@@ -1,0 +1,375 @@
+package adaptmirror
+
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Section 4), plus ablations of the design choices DESIGN.md calls
+// out. Each figure benchmark runs the full experiment sweep once per
+// iteration and logs the regenerated data table; the headline numbers
+// land in EXPERIMENTS.md. Run with:
+//
+//	go test -bench=Fig -benchtime=1x
+//	go test -bench=Ablation -benchtime=1x
+//
+// (Figure sweeps take seconds per iteration; -benchtime=1x avoids
+// needless repetition. A bare -bench=. works too — Go settles on one
+// iteration for slow benchmarks.)
+
+import (
+	"testing"
+	"time"
+
+	"adaptmirror/internal/adapt"
+	"adaptmirror/internal/cbcast"
+	"adaptmirror/internal/cluster"
+	"adaptmirror/internal/costmodel"
+	"adaptmirror/internal/ede"
+	"adaptmirror/internal/figures"
+	"adaptmirror/internal/loadbal"
+	"adaptmirror/internal/workload"
+)
+
+// benchScale trims repetition during benchmarking: each point is a
+// single run (the figure tables in EXPERIMENTS.md use the full
+// median-of-5 scale via cmd/benchrunner).
+var benchScale = func() figures.Scale {
+	s := figures.Full
+	s.Repeats = 1
+	return s
+}()
+
+func runFigure(b *testing.B, f func() (figures.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", figures.Table(fig))
+		}
+	}
+}
+
+// BenchmarkFig4MirrorOverheadBySize regenerates Figure 4: overhead of
+// mirroring to a single site vs event size, for no mirroring, simple,
+// and selective mirroring.
+func BenchmarkFig4MirrorOverheadBySize(b *testing.B) {
+	runFigure(b, func() (figures.Figure, error) { return figures.Fig4(benchScale) })
+}
+
+// BenchmarkFig5MirrorCountOverhead regenerates Figure 5: execution
+// time as mirror sites are added.
+func BenchmarkFig5MirrorCountOverhead(b *testing.B) {
+	runFigure(b, func() (figures.Figure, error) { return figures.Fig5(benchScale) })
+}
+
+// BenchmarkFig6MirrorsUnderLoad regenerates Figure 6: total time
+// under constant 100 req/s for 1/2/4 mirrors across event sizes (the
+// crossover figure).
+func BenchmarkFig6MirrorsUnderLoad(b *testing.B) {
+	runFigure(b, func() (figures.Figure, error) { return figures.Fig6(benchScale) })
+}
+
+// BenchmarkFig7MirrorFunctions regenerates Figure 7: total time vs
+// request load for simple, selective, and selective with halved
+// checkpoint frequency.
+func BenchmarkFig7MirrorFunctions(b *testing.B) {
+	runFigure(b, func() (figures.Figure, error) { return figures.Fig7(benchScale) })
+}
+
+// BenchmarkFig8UpdateDelay regenerates Figure 8: mean update delay vs
+// request load, simple vs selective mirroring.
+func BenchmarkFig8UpdateDelay(b *testing.B) {
+	runFigure(b, func() (figures.Figure, error) { return figures.Fig8(benchScale) })
+}
+
+// BenchmarkFig9Adaptation regenerates Figure 9: the update-delay time
+// series under bursty requests with and without runtime adaptation.
+func BenchmarkFig9Adaptation(b *testing.B) {
+	p := figures.DefaultFig9
+	p.Repeats = 1
+	runFigure(b, func() (figures.Figure, error) { return figures.Fig9(benchScale, p) })
+}
+
+// ablationOpts is the shared baseline workload for ablation benches.
+func ablationOpts() cluster.Options {
+	return cluster.Options{
+		Mirrors:          1,
+		Flights:          25,
+		UpdatesPerFlight: 40,
+		EventSize:        1000,
+		StatePadding:     64,
+		Seed:             1,
+	}
+}
+
+func runAblation(b *testing.B, opts cluster.Options) {
+	b.Helper()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.RunExperiment(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.TotalTime
+	}
+	b.ReportMetric(total.Seconds()/float64(b.N), "s/run")
+}
+
+// BenchmarkAblationOverwriteLen sweeps the overwrite run length L:
+// the knob behind "selective mirroring". Longer runs shed more mirror
+// traffic at the cost of coarser mirror fidelity.
+func BenchmarkAblationOverwriteLen(b *testing.B) {
+	for _, l := range []int{0, 2, 5, 10, 20, 40} {
+		b.Run(nameInt("L", l), func(b *testing.B) {
+			opts := ablationOpts()
+			opts.Selective = l
+			runAblation(b, opts)
+		})
+	}
+}
+
+// BenchmarkAblationCheckpointFreq sweeps the checkpoint frequency
+// (events per round).
+func BenchmarkAblationCheckpointFreq(b *testing.B) {
+	for _, f := range []int{10, 25, 50, 100, 200, 400} {
+		b.Run(nameInt("every", f), func(b *testing.B) {
+			opts := ablationOpts()
+			opts.Selective = 10
+			opts.ChkptFreq = f
+			runAblation(b, opts)
+		})
+	}
+}
+
+// BenchmarkAblationCoalesceVsOverwrite compares the two
+// traffic-reduction mechanisms at matched reduction factors.
+func BenchmarkAblationCoalesceVsOverwrite(b *testing.B) {
+	b.Run("overwrite-10", func(b *testing.B) {
+		opts := ablationOpts()
+		opts.Selective = 10
+		runAblation(b, opts)
+	})
+	b.Run("coalesce-10", func(b *testing.B) {
+		opts := ablationOpts()
+		opts.Coalesce = true
+		opts.MaxCoalesce = 10
+		runAblation(b, opts)
+	})
+	b.Run("both", func(b *testing.B) {
+		opts := ablationOpts()
+		opts.Selective = 10
+		opts.Coalesce = true
+		opts.MaxCoalesce = 10
+		runAblation(b, opts)
+	})
+}
+
+// BenchmarkAblationTransport compares the three site interconnects.
+func BenchmarkAblationTransport(b *testing.B) {
+	for _, tr := range []cluster.Transport{
+		cluster.TransportDirect, cluster.TransportChannels, cluster.TransportTCP,
+	} {
+		b.Run(tr.String(), func(b *testing.B) {
+			opts := ablationOpts()
+			opts.Selective = 10
+			opts.Transport = tr
+			runAblation(b, opts)
+		})
+	}
+}
+
+// BenchmarkAblationLoadBalance compares request load-balancing
+// policies under a spike against two mirrors.
+func BenchmarkAblationLoadBalance(b *testing.B) {
+	run := func(b *testing.B, mkBal func(targets []*MainUnit) loadbal.Balancer) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			cl, err := NewCluster(ClusterConfig{Mirrors: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events := cluster.BuildEvents(cluster.Options{
+				Flights: 25, UpdatesPerFlight: 20, EventSize: 512, Seed: 1,
+			})
+			cl.Feed(events)
+			targets := cl.Targets()
+			start := time.Now()
+			served, _ := workload.Burst(targets, mkBal(targets), 300, nil)
+			if served != 300 {
+				b.Fatalf("served %d of 300", served)
+			}
+			cl.Drain()
+			b.ReportMetric(time.Since(start).Seconds(), "s/run")
+			cl.Close()
+		}
+	}
+	b.Run("round-robin", func(b *testing.B) {
+		run(b, func(t []*MainUnit) loadbal.Balancer {
+			bal, _ := loadbal.NewRoundRobin(len(t))
+			return bal
+		})
+	})
+	b.Run("least-loaded", func(b *testing.B) {
+		run(b, func(t []*MainUnit) loadbal.Balancer {
+			bal, _ := loadbal.NewLeastLoaded(len(t), func(i int) int { return t[i].PendingRequests() })
+			return bal
+		})
+	})
+	b.Run("random", func(b *testing.B) {
+		run(b, func(t []*MainUnit) loadbal.Balancer {
+			bal, _ := loadbal.NewRandom(len(t), 1)
+			return bal
+		})
+	})
+}
+
+// BenchmarkAblationAdaptationThresholds sweeps the primary threshold
+// of the pending-request monitor under the Figure 9 burst pattern.
+func BenchmarkAblationAdaptationThresholds(b *testing.B) {
+	fn1 := adapt.Regime{ID: 1, Coalesce: true, MaxCoalesce: 10, CheckpointFreq: 50}
+	fn2 := adapt.Regime{ID: 2, Coalesce: true, MaxCoalesce: 20, OverwriteLen: 20, CheckpointFreq: 100}
+	for _, primary := range []int{10, 30, 100} {
+		b.Run(nameInt("primary", primary), func(b *testing.B) {
+			opts := ablationOpts()
+			opts.UpdatesPerFlight = 160
+			opts.EventRate = 4000
+			opts.Adaptive = true
+			opts.Baseline = fn1
+			opts.Degraded = fn2
+			opts.PendingPrimary = primary
+			opts.PendingSecondary = primary / 2
+			opts.RequestPattern = workload.Bursty{
+				Base: 20 * 60, Burst: 520 * 60,
+				Period: time.Second, BurstLen: 300 * time.Millisecond,
+			}
+			opts.RequestsToAllSites = true
+			opts.RequestsUntilDrained = true
+			runAblation(b, opts)
+		})
+	}
+}
+
+// BenchmarkAblationNICOffload measures the paper's planned
+// network-co-processor split (IXP1200 future work): hosting the
+// auxiliary unit's mirroring/checkpointing work on a separate
+// processor removes its overhead from the central node.
+func BenchmarkAblationNICOffload(b *testing.B) {
+	for _, offload := range []bool{false, true} {
+		name := "host-only"
+		if offload {
+			name = "nic-offload"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				cl, err := cluster.New(cluster.Config{
+					Mirrors:    2,
+					Model:      costmodel.Default,
+					NICOffload: offload,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events := cluster.BuildEvents(cluster.Options{
+					Flights: 25, UpdatesPerFlight: 40, EventSize: 2000, Seed: 1,
+				})
+				start := time.Now()
+				if err := cl.Feed(events); err != nil {
+					b.Fatal(err)
+				}
+				cl.DrainAll()
+				costmodel.WaitIdle(cl.CPUs...)
+				total += time.Since(start)
+				cl.Close()
+			}
+			b.ReportMetric(total.Seconds()/float64(b.N), "s/run")
+		})
+	}
+}
+
+// BenchmarkAblationCBCASTBaseline compares the paper's
+// application-level mirroring against the classical CBCAST-style
+// baseline it cites (Birman et al.): causal broadcast replicates every
+// event to every member with no semantic filtering, so each replica
+// pays full processing cost for the full stream. Selective mirroring
+// replicates the same state at a fraction of the traffic.
+func BenchmarkAblationCBCASTBaseline(b *testing.B) {
+	const (
+		flights, perFlight = 25, 40
+		size               = 1000
+		members            = 3 // one source replica + two others
+	)
+	events := cluster.BuildEvents(cluster.Options{
+		Flights: flights, UpdatesPerFlight: perFlight, EventSize: size, Seed: 1,
+	})
+	model := costmodel.Default
+
+	b.Run("cbcast-full-replication", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cpus := make([]*costmodel.CPU, members)
+			engines := make([]*ede.Engine, members)
+			for m := range cpus {
+				cpus[m] = &costmodel.CPU{}
+				engines[m] = ede.New(ede.Config{Model: model, CPU: cpus[m]})
+			}
+			group, err := cbcast.NewGroup(members, func(member int, msg cbcast.Message) {
+				engines[member].Process(msg.Event)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, _ := group.Member(0)
+			start := time.Now()
+			for _, e := range events {
+				// The sender also pays the per-member send cost the
+				// mirroring path would pay.
+				cpus[0].Charge(model.SerializeCost(len(e.Payload)))
+				for m := 1; m < members; m++ {
+					cpus[0].Charge(model.SubmitCost(len(e.Payload)))
+				}
+				if err := src.Broadcast(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			costmodel.WaitIdle(cpus...)
+			b.ReportMetric(time.Since(start).Seconds(), "s/run")
+			b.ReportMetric(float64(group.Broadcasts()*uint64(members-1)), "msgs")
+			group.Close()
+			// Replicas converged: every member processed everything.
+			for m := 1; m < members; m++ {
+				if engines[m].State().Processed() != uint64(len(events)) {
+					b.Fatalf("member %d processed %d of %d", m, engines[m].State().Processed(), len(events))
+				}
+			}
+		}
+	})
+
+	b.Run("selective-mirroring", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := cluster.Options{
+				Mirrors: members - 1,
+				Flights: flights, UpdatesPerFlight: perFlight, EventSize: size,
+				Selective: 10, Seed: 1,
+			}
+			res, err := cluster.RunExperiment(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.TotalTime.Seconds(), "s/run")
+			b.ReportMetric(float64(res.Central.Mirrored*uint64(members-1)), "msgs")
+		}
+	})
+}
+
+func nameInt(prefix string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return prefix + "-0"
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{digits[v%10]}, buf...)
+		v /= 10
+	}
+	return prefix + "-" + string(buf)
+}

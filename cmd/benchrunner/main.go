@@ -1,0 +1,77 @@
+// Command benchrunner regenerates the data series behind every figure
+// of the paper's evaluation and prints them as text tables.
+//
+// Usage:
+//
+//	benchrunner -fig all            # every figure, full scale
+//	benchrunner -fig 4 -fig 7      # selected figures
+//	benchrunner -fig all -quick    # reduced scale (smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adaptmirror/internal/figures"
+)
+
+type figList []string
+
+func (f *figList) String() string { return strings.Join(*f, ",") }
+
+func (f *figList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var figs figList
+	flag.Var(&figs, "fig", "figure to regenerate: 4,5,6,7,8,9 or all (repeatable)")
+	quick := flag.Bool("quick", false, "use the reduced smoke-test scale")
+	plot := flag.Bool("plot", false, "render ASCII charts in addition to tables")
+	flag.Parse()
+	if len(figs) == 0 {
+		figs = figList{"all"}
+	}
+
+	scale := figures.Full
+	if *quick {
+		scale = figures.Quick
+	}
+
+	runners := map[string]func() (figures.Figure, error){
+		"4": func() (figures.Figure, error) { return figures.Fig4(scale) },
+		"5": func() (figures.Figure, error) { return figures.Fig5(scale) },
+		"6": func() (figures.Figure, error) { return figures.Fig6(scale) },
+		"7": func() (figures.Figure, error) { return figures.Fig7(scale) },
+		"8": func() (figures.Figure, error) { return figures.Fig8(scale) },
+		"9": func() (figures.Figure, error) { return figures.Fig9(scale, figures.DefaultFig9) },
+	}
+
+	var selected []string
+	for _, f := range figs {
+		if f == "all" {
+			selected = []string{"4", "5", "6", "7", "8", "9"}
+			break
+		}
+		selected = append(selected, f)
+	}
+	for _, id := range selected {
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchrunner: unknown figure %q\n", id)
+			os.Exit(2)
+		}
+		fig, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(figures.Table(fig))
+		if *plot {
+			fmt.Println(figures.Plot(fig, 64, 16))
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command loadgen generates open-loop HTTP client request load
+// against mirror sites' HTTP fronts and reports httperf-style
+// statistics. It reproduces the role httperf 0.8 played in the
+// paper's experiments.
+//
+//	loadgen -targets http://h1:8001,http://h2:8002 -rate 100 -duration 10s
+//	loadgen -targets http://h1:8001 -rate 20 -burst 400 -period 1s -burstlen 300ms -duration 15s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adaptmirror/internal/workload"
+)
+
+func main() {
+	var (
+		targets  = flag.String("targets", "", "comma-separated base URLs of site HTTP fronts")
+		rate     = flag.Float64("rate", 100, "base request rate (req/s)")
+		burst    = flag.Float64("burst", 0, "burst request rate (req/s, 0 = constant load)")
+		period   = flag.Duration("period", time.Second, "burst period")
+		burstLen = flag.Duration("burstlen", 300*time.Millisecond, "burst length within each period")
+		duration = flag.Duration("duration", 10*time.Second, "run duration")
+		total    = flag.Int("n", 0, "stop after this many requests (0 = duration-bound)")
+	)
+	flag.Parse()
+	if *targets == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -targets is required")
+		os.Exit(2)
+	}
+	urls := strings.Split(*targets, ",")
+	for i, u := range urls {
+		urls[i] = strings.TrimRight(u, "/") + "/init"
+	}
+
+	var pattern workload.Pattern = workload.Constant{RPS: *rate}
+	if *burst > 0 {
+		pattern = workload.Bursty{Base: *rate, Burst: *burst, Period: *period, BurstLen: *burstLen}
+	}
+
+	stats, err := run(runConfig{
+		URLs:     urls,
+		Pattern:  pattern,
+		Duration: *duration,
+		Total:    *total,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("loadgen: %d issued, %d completed, %d failed in %v (%.1f req/s offered)\n",
+		stats.Issued, stats.Completed, stats.Failed,
+		stats.Elapsed.Round(time.Millisecond), float64(stats.Issued)/stats.Elapsed.Seconds())
+	fmt.Printf("latency: %s\n", stats.Latency.Summary())
+}

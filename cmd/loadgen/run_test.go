@@ -1,0 +1,95 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/httpfront"
+	"adaptmirror/internal/workload"
+)
+
+func startFront(t *testing.T) string {
+	t.Helper()
+	m := core.NewMainUnit(core.MainConfig{})
+	m.Deliver(event.NewPosition(1, 1, 0, 0, 0, 64))
+	f := httpfront.New(m)
+	addr, err := f.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close(); m.Close() })
+	return "http://" + addr + "/init"
+}
+
+func TestRunFixedCount(t *testing.T) {
+	url := startFront(t)
+	stats, err := run(runConfig{
+		URLs:    []string{url},
+		Pattern: workload.Constant{RPS: 5000},
+		Total:   40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Issued != 40 || stats.Completed != 40 || stats.Failed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Latency.Count() != 40 {
+		t.Fatalf("latency samples = %d", stats.Latency.Count())
+	}
+}
+
+func TestRunDurationBound(t *testing.T) {
+	url := startFront(t)
+	stats, err := run(runConfig{
+		URLs:     []string{url},
+		Pattern:  workload.Constant{RPS: 1000},
+		Duration: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Issued == 0 {
+		t.Fatal("no requests issued")
+	}
+	if stats.Elapsed < 50*time.Millisecond {
+		t.Fatalf("Elapsed = %v", stats.Elapsed)
+	}
+}
+
+func TestRunBalancesAcrossTargets(t *testing.T) {
+	a, b := startFront(t), startFront(t)
+	stats, err := run(runConfig{
+		URLs:    []string{a, b},
+		Pattern: workload.Constant{RPS: 5000},
+		Total:   20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 20 {
+		t.Fatalf("completed = %d", stats.Completed)
+	}
+}
+
+func TestRunCountsFailures(t *testing.T) {
+	stats, err := run(runConfig{
+		URLs:    []string{"http://127.0.0.1:1/init"},
+		Pattern: workload.Constant{RPS: 10000},
+		Total:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 5 || stats.Completed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRunNoTargets(t *testing.T) {
+	if _, err := run(runConfig{Pattern: workload.Constant{RPS: 1}}); err == nil {
+		t.Fatal("no targets must fail")
+	}
+}

@@ -1,0 +1,92 @@
+// Command mirrord runs one site of the mirrored OIS server over TCP.
+//
+// A deployment runs one central site and any number of mirror sites,
+// mirrors first:
+//
+//	mirrord -role mirror  -listen :7001 -central host0:7000 -http :8001
+//	mirrord -role mirror  -listen :7002 -central host0:7000 -http :8002
+//	mirrord -role central -listen :7000 -mirrors host1:7001,host2:7002 -http :8000 \
+//	        -selective 10 -chkpt 50
+//
+// Sources feed the central site with cmd/oisgen; clients fetch
+// initialization state from any site's HTTP front (exercised with
+// cmd/loadgen).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+)
+
+func main() {
+	var (
+		role      = flag.String("role", "", "site role: central or mirror")
+		listen    = flag.String("listen", "127.0.0.1:7000", "event-channel listen address")
+		httpAddr  = flag.String("http", "127.0.0.1:8000", "HTTP front listen address (client requests)")
+		central   = flag.String("central", "", "mirror role: central site's event-channel address")
+		mirrors   = flag.String("mirrors", "", "central role: comma-separated mirror event-channel addresses")
+		selective = flag.Int("selective", 0, "overwrite run length for FAA positions (0 = simple mirroring)")
+		coalesce  = flag.Int("coalesce", 0, "coalesce up to N events before mirroring (0 = off)")
+		chkpt     = flag.Int("chkpt", 50, "checkpoint once per N processed events")
+		padding   = flag.Int("padding", 64, "per-flight init-state padding bytes")
+		adaptOn   = flag.Bool("adapt", false, "central role: enable runtime adaptation between mirroring functions")
+		adaptPri  = flag.Int("adapt-primary", 100, "pending-request primary threshold for adaptation")
+		adaptSec  = flag.Int("adapt-secondary", 50, "hysteresis below primary for reverting")
+		logDir    = flag.String("log", "", "central role: directory for the durable operations log (empty = disabled)")
+	)
+	flag.Parse()
+
+	var (
+		site interface{ Close() error }
+		err  error
+	)
+	switch *role {
+	case "central":
+		var addrs []string
+		if *mirrors != "" {
+			addrs = strings.Split(*mirrors, ",")
+		}
+		site, err = startCentral(centralOptions{
+			Listen:         *listen,
+			HTTP:           *httpAddr,
+			Mirrors:        addrs,
+			Selective:      *selective,
+			Coalesce:       *coalesce,
+			ChkptFreq:      *chkpt,
+			StatePad:       *padding,
+			Adapt:          *adaptOn,
+			AdaptPrimary:   *adaptPri,
+			AdaptSecondary: *adaptSec,
+			LogDir:         *logDir,
+		})
+	case "mirror":
+		if *central == "" {
+			fmt.Fprintln(os.Stderr, "mirrord: -central is required for the mirror role")
+			os.Exit(2)
+		}
+		site, err = startMirror(mirrorOptions{
+			Listen:   *listen,
+			HTTP:     *httpAddr,
+			Central:  *central,
+			StatePad: *padding,
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "mirrord: -role must be central or mirror")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mirrord: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mirrord: %s site up (events %s, http %s)\n", *role, *listen, *httpAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mirrord: shutting down")
+	site.Close()
+}

@@ -1,0 +1,345 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"adaptmirror/internal/adapt"
+
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/costmodel"
+	"adaptmirror/internal/echo"
+	"adaptmirror/internal/ede"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/httpfront"
+	"adaptmirror/internal/oislog"
+)
+
+// Channel names of the deployed wire protocol. Sources send to the
+// central site's "ingress"; the central dials each mirror's "data" and
+// "ctrl.down"; mirrors dial the central's "ctrl.up".
+const (
+	chanIngress  = "ingress"
+	chanData     = "data"
+	chanCtrlDown = "ctrl.down"
+	chanCtrlUp   = "ctrl.up"
+	// chanUpdates carries the central EDE's output stream; thin
+	// clients (cmd/oisclient) subscribe to it with recv links.
+	chanUpdates = "updates"
+)
+
+type centralOptions struct {
+	Listen    string
+	HTTP      string
+	Mirrors   []string
+	Selective int
+	Coalesce  int
+	ChkptFreq int
+	StatePad  int
+	// LogDir, when non-empty, durably records every client state
+	// update in a segmented operations log (the paper's logging
+	// database consumer).
+	LogDir string
+	// Adapt enables runtime adaptation between the paper's two
+	// mirroring functions, engaging when any site's pending-request
+	// buffer reaches AdaptPrimary and reverting below
+	// AdaptPrimary-AdaptSecondary.
+	Adapt          bool
+	AdaptPrimary   int
+	AdaptSecondary int
+}
+
+// centralSite bundles everything a running central site owns.
+type centralSite struct {
+	Central *core.Central
+	Front   *httpfront.Front
+	// Controller is non-nil when runtime adaptation is enabled.
+	Controller *adapt.Controller
+	// Log is non-nil when -log was configured.
+	Log *oislog.Log
+	// Addr and HTTPAddr are the bound listen addresses.
+	Addr     string
+	HTTPAddr string
+	srv      *echo.Server
+	bus      *echo.Bus
+	links    []interface{ Close() error }
+}
+
+// startCentral assembles a central site: an event-channel server for
+// ingress and control-up traffic, send links to every mirror, and an
+// HTTP front for client requests.
+func startCentral(opts centralOptions) (*centralSite, error) {
+	s := &centralSite{bus: echo.NewBus()}
+
+	// Dial every mirror before constructing the central so its
+	// sending task has live links from the first event.
+	var mirrorLinks []core.MirrorLink
+	for _, addr := range opts.Mirrors {
+		data, err := echo.DialSend(addr, chanData)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("dialing mirror %s data channel: %w", addr, err)
+		}
+		s.links = append(s.links, data)
+		ctrl, err := echo.DialSend(addr, chanCtrlDown)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("dialing mirror %s control channel: %w", addr, err)
+		}
+		s.links = append(s.links, ctrl)
+		mirrorLinks = append(mirrorLinks, core.MirrorLink{Data: data, Ctrl: ctrl})
+	}
+
+	// The central EDE's output stream is exported on the updates
+	// channel for remote thin clients, and optionally tee'd into the
+	// durable operations log.
+	updatesCh, err := s.bus.Open(chanUpdates)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	mainCfg := core.MainConfig{
+		EDE: ede.Config{Model: costmodel.Default, StatePadding: opts.StatePad},
+		Out: updatesCh,
+	}
+	if opts.LogDir != "" {
+		logOut, err := oislog.Open(opts.LogDir, oislog.Options{})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.Log = logOut
+		updatesCh.Subscribe(func(e *event.Event) { _ = logOut.Append(e) })
+	}
+	s.Central = core.NewCentral(core.CentralConfig{
+		Streams: 2,
+		Params: core.Params{
+			Coalesce:       opts.Coalesce > 0,
+			MaxCoalesce:    opts.Coalesce,
+			CheckpointFreq: opts.ChkptFreq,
+		},
+		Model:    costmodel.Default,
+		CPU:      &costmodel.CPU{},
+		Main:     mainCfg,
+		Mirrors:  mirrorLinks,
+		NoMirror: len(mirrorLinks) == 0,
+		OnMirrorSample: func(sample core.Sample) {
+			s.observeSample(sample)
+		},
+	})
+	if opts.Selective > 0 {
+		s.Central.InstallSelective(opts.Selective)
+	}
+	if opts.Adapt {
+		fn1 := adapt.Regime{ID: 1, Name: "coalesce-10/chkpt-50", Coalesce: true, MaxCoalesce: 10, OverwriteLen: opts.Selective, CheckpointFreq: 50}
+		fn2 := adapt.Regime{ID: 2, Name: "overwrite-20/chkpt-100", Coalesce: true, MaxCoalesce: 20, OverwriteLen: 20, CheckpointFreq: 100}
+		s.Controller = adapt.NewController(fn1, fn2, adapt.InstallRegime(s.Central))
+		primary, secondary := opts.AdaptPrimary, opts.AdaptSecondary
+		if primary <= 0 {
+			primary = 100
+		}
+		if secondary <= 0 {
+			secondary = primary / 2
+		}
+		s.Controller.SetMonitorValues(adapt.VarPending, primary, secondary)
+		s.Central.SetPiggyback(func() []byte {
+			s.Controller.Observe(s.Central.Sample())
+			return adapt.EncodeRegime(s.Controller.Current())
+		})
+	}
+
+	// Export ingress and control-up channels.
+	ingress, err := s.bus.Open(chanIngress)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	ingress.Subscribe(func(e *event.Event) { _ = s.Central.Ingest(e) })
+	ctrlUp, err := s.bus.Open(chanCtrlUp)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	ctrlUp.Subscribe(s.Central.HandleControl)
+
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("listening on %s: %w", opts.Listen, err)
+	}
+	s.Addr = ln.Addr().String()
+	s.srv = echo.NewServer(s.bus)
+	go s.srv.Serve(ln)
+
+	s.Front = httpfront.New(s.Central.Main())
+	// Gate agents and similar clients may generate state updates;
+	// they enter through the central site's receiving task.
+	s.Front.EnableUpdates(s.Central.Ingest)
+	httpAddr, err := s.Front.Listen(opts.HTTP)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.HTTPAddr = httpAddr
+	return s, nil
+}
+
+// observeSample forwards piggybacked mirror monitor samples to the
+// adaptation controller, when one is installed.
+func (s *centralSite) observeSample(sample core.Sample) {
+	if s.Controller != nil {
+		s.Controller.Observe(sample)
+	}
+}
+
+// Close tears the site down.
+func (s *centralSite) Close() error {
+	if s.Front != nil {
+		s.Front.Close()
+	}
+	if s.srv != nil {
+		s.srv.Close()
+	}
+	if s.Central != nil {
+		s.Central.Close()
+	}
+	if s.Log != nil {
+		s.Log.Close()
+	}
+	for _, l := range s.links {
+		l.Close()
+	}
+	if s.bus != nil {
+		s.bus.Close()
+	}
+	return nil
+}
+
+type mirrorOptions struct {
+	Listen   string
+	HTTP     string
+	Central  string
+	StatePad int
+}
+
+// lazyUplink dials the central site's control channel on first use
+// and redials after failures, so mirrors can start before the central
+// site exists (the documented startup order).
+type lazyUplink struct {
+	addr string
+	name string
+
+	mu   sync.Mutex
+	link *echo.SendLink
+}
+
+// Submit implements core.Sender.
+func (l *lazyUplink) Submit(e *event.Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.link == nil {
+		link, err := echo.DialSend(l.addr, l.name)
+		if err != nil {
+			return err
+		}
+		l.link = link
+	}
+	if err := l.link.Submit(e); err != nil {
+		l.link.Close()
+		l.link = nil
+		return err
+	}
+	return nil
+}
+
+// Close shuts the current link down.
+func (l *lazyUplink) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.link != nil {
+		err := l.link.Close()
+		l.link = nil
+		return err
+	}
+	return nil
+}
+
+// mirrorSite bundles everything a running mirror site owns.
+type mirrorSite struct {
+	Mirror *core.MirrorSite
+	Front  *httpfront.Front
+	// Addr and HTTPAddr are the bound listen addresses.
+	Addr     string
+	HTTPAddr string
+	srv      *echo.Server
+	bus      *echo.Bus
+	uplink   *lazyUplink
+}
+
+// startMirror assembles a mirror site: an event-channel server
+// exporting its data and control channels, a (lazily dialed) uplink
+// to the central site, and an HTTP front.
+func startMirror(opts mirrorOptions) (*mirrorSite, error) {
+	s := &mirrorSite{bus: echo.NewBus()}
+	uplink := &lazyUplink{addr: opts.Central, name: chanCtrlUp}
+	s.uplink = uplink
+
+	s.Mirror = core.NewMirrorSite(core.MirrorSiteConfig{
+		Main:   core.MainConfig{EDE: ede.Config{Model: costmodel.Default, StatePadding: opts.StatePad}},
+		Model:  costmodel.Default,
+		CPU:    &costmodel.CPU{},
+		CtrlUp: uplink,
+	})
+
+	data, err := s.bus.Open(chanData)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	data.Subscribe(s.Mirror.HandleData)
+	ctrl, err := s.bus.Open(chanCtrlDown)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	ctrl.Subscribe(s.Mirror.HandleControl)
+
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("listening on %s: %w", opts.Listen, err)
+	}
+	s.Addr = ln.Addr().String()
+	s.srv = echo.NewServer(s.bus)
+	go s.srv.Serve(ln)
+
+	s.Front = httpfront.New(s.Mirror.Main())
+	httpAddr, err := s.Front.Listen(opts.HTTP)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.HTTPAddr = httpAddr
+	return s, nil
+}
+
+// Close tears the site down.
+func (s *mirrorSite) Close() error {
+	if s.Front != nil {
+		s.Front.Close()
+	}
+	if s.srv != nil {
+		s.srv.Close()
+	}
+	if s.Mirror != nil {
+		s.Mirror.Close()
+	}
+	if s.uplink != nil {
+		s.uplink.Close()
+	}
+	if s.bus != nil {
+		s.bus.Close()
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/echo"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/oislog"
+	"adaptmirror/internal/thinclient"
+)
+
+// TestFullDeployment brings up a 1-central + 2-mirror deployment over
+// real loopback TCP (the exact wiring mirrord uses), streams events
+// through the ingress channel like oisgen would, serves client
+// requests over HTTP like loadgen would, and verifies replication.
+func TestFullDeployment(t *testing.T) {
+	// Mirrors first (the documented startup order).
+	m1, err := startMirror(mirrorOptions{
+		Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", Central: "unused-until-dialed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close()
+	m2, err := startMirror(mirrorOptions{
+		Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", Central: "unused-until-dialed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+
+	central, err := startCentral(centralOptions{
+		Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0",
+		Mirrors:   []string{m1.Addr, m2.Addr},
+		Selective: 10,
+		ChkptFreq: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer central.Close()
+
+	// Point the mirrors' lazy uplinks at the now-known central address.
+	m1.uplink.addr = central.Addr
+	m2.uplink.addr = central.Addr
+
+	// Stream events like oisgen.
+	src, err := echo.DialSend(central.Addr, chanIngress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	const total = 200
+	for i := uint64(1); i <= total; i++ {
+		e := event.NewPosition(event.FlightID(1+i%4), i, float64(i), -float64(i), 9000, 256)
+		if err := src.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wait for the pipeline to replicate (selective: 1 in 10 events
+	// per flight is mirrored).
+	deadline := time.Now().Add(10 * time.Second)
+	for central.Central.Main().Processed() < total && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := central.Central.Main().Processed(); got != total {
+		t.Fatalf("central processed %d, want %d", got, total)
+	}
+	wantMirrored := central.Central.Stats().Mirrored
+	if wantMirrored == 0 || wantMirrored >= total {
+		t.Fatalf("Mirrored = %d, want selective reduction", wantMirrored)
+	}
+	for _, m := range []*mirrorSite{m1, m2} {
+		for m.Mirror.Received() < wantMirrored && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if got := m.Mirror.Received(); got != wantMirrored {
+			t.Fatalf("mirror received %d, want %d", got, wantMirrored)
+		}
+	}
+
+	// Serve a client from a mirror's HTTP front, like loadgen.
+	resp, err := http.Get("http://" + m1.HTTPAddr + "/init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("init request failed: %d %v", resp.StatusCode, err)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty init state from mirror")
+	}
+
+	// Checkpoint control flow ran over the real links.
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, commits := centralCommits(central); commits > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no checkpoint commits over the deployed control channels")
+}
+
+func centralCommits(c *centralSite) (rounds, commits uint64) {
+	st := c.Central.Stats()
+	return st.ChkptRounds, st.ChkptCommits
+}
+
+func TestStartMirrorBadListen(t *testing.T) {
+	if _, err := startMirror(mirrorOptions{Listen: "256.0.0.1:bad", HTTP: "127.0.0.1:0", Central: "x"}); err == nil {
+		t.Fatal("bad listen address must fail")
+	}
+}
+
+func TestStartCentralBadMirror(t *testing.T) {
+	_, err := startCentral(centralOptions{
+		Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0",
+		Mirrors: []string{"127.0.0.1:1"},
+	})
+	if err == nil {
+		t.Fatal("unreachable mirror must fail central startup")
+	}
+}
+
+func TestLazyUplinkRedials(t *testing.T) {
+	up := &lazyUplink{addr: "127.0.0.1:1", name: chanCtrlUp}
+	if err := up.Submit(event.NewControl(event.TypeChkptReply, nil)); err == nil {
+		t.Fatal("submit to unreachable central must fail")
+	}
+	// Bring a central up and retry.
+	central, err := startCentral(centralOptions{Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer central.Close()
+	up.addr = central.Addr
+	if err := up.Submit(event.NewControl(event.TypeChkptReply, nil)); err != nil {
+		t.Fatalf("redial failed: %v", err)
+	}
+	up.Close()
+}
+
+func TestCentralWithAdaptation(t *testing.T) {
+	m, err := startMirror(mirrorOptions{Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", Central: "pending"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	central, err := startCentral(centralOptions{
+		Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0",
+		Mirrors:   []string{m.Addr},
+		ChkptFreq: 10,
+		Adapt:     true, AdaptPrimary: 1, AdaptSecondary: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer central.Close()
+	m.uplink.addr = central.Addr
+
+	if central.Controller == nil {
+		t.Fatal("adaptation controller not installed")
+	}
+	if got := central.Central.GetParams().CheckpointFreq; got != 50 {
+		t.Fatalf("baseline regime not applied: chkpt freq = %d, want 50", got)
+	}
+
+	// Saturate the mirror's request buffer while events flow so a
+	// checkpoint round observes pending > primary and engages. The
+	// buffer must stay deep for tens of milliseconds (the virtual CPU
+	// drains ~30 requests/ms), so pile up thousands.
+	for i := 0; i < 3000; i++ {
+		m.Mirror.Main().Request(&core.InitRequest{})
+	}
+	src, err := echo.DialSend(central.Addr, chanIngress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := uint64(1); i <= 200; i++ {
+		src.Submit(event.NewPosition(1, i, 0, 0, 0, 64))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if e, _ := central.Controller.Transitions(); e > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("adaptation never engaged in deployed central")
+}
+
+func TestCentralWithOperationsLog(t *testing.T) {
+	dir := t.TempDir()
+	central, err := startCentral(centralOptions{
+		Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", LogDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := echo.DialSend(central.Addr, chanIngress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := uint64(1); i <= n; i++ {
+		src.Submit(event.NewPosition(1, i, float64(i), 0, 9000, 64))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for central.Central.Main().Processed() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	src.Close()
+	central.Close()
+
+	count, err := oislog.Replay(dir, func(*event.Event) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("operations log replayed %d records, want %d", count, n)
+	}
+}
+
+// TestRemoteThinClientFollowsUpdates exercises the full distributed
+// client story oisclient implements: HTTP init from a mirror +
+// update-stream subscription from the central site's updates channel.
+func TestRemoteThinClientFollowsUpdates(t *testing.T) {
+	m, err := startMirror(mirrorOptions{Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", Central: "pending", StatePad: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	central, err := startCentral(centralOptions{
+		Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0",
+		Mirrors: []string{m.Addr}, Selective: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer central.Close()
+	m.uplink.addr = central.Addr
+
+	view := thinclient.New(64)
+	updatesLink, err := echo.DialRecv(central.Addr, chanUpdates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer updatesLink.Close()
+	updatesLink.Subscribe(func(e *event.Event) { view.Apply(e) })
+	// Wait for the server-side subscription to attach before feeding
+	// (a real client instead fetches /init after subscribing and
+	// relies on stale-update filtering for the overlap). The updates
+	// channel already has one subscriber when -log is configured;
+	// here it starts with none, so wait for ours.
+	updatesCh, err := central.bus.Lookup(chanUpdates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachDeadline := time.Now().Add(5 * time.Second)
+	for updatesCh.Subscribers() < 1 && time.Now().Before(attachDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	src, err := echo.DialSend(central.Addr, chanIngress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := uint64(1); i <= 60; i++ {
+		src.Submit(event.NewPosition(event.FlightID(1+i%3), i, float64(i), 0, 9000, 128))
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if applied, _ := view.Stats(); applied >= 60 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if applied, _ := view.Stats(); applied < 60 {
+		t.Fatalf("client applied %d updates, want 60", applied)
+	}
+	if view.Flights() != 3 {
+		t.Fatalf("client tracks %d flights, want 3", view.Flights())
+	}
+
+	// And an /init fetch from the mirror produces a loadable snapshot.
+	resp, err := http.Get("http://" + m.HTTPAddr + "/init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fresh := thinclient.New(64)
+	if err := fresh.Initialize(body); err != nil {
+		t.Fatalf("snapshot from mirror not loadable: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+// Command oisclient runs a thin client — the paper's airport flight
+// display: it fetches its initialization state from a mirror site's
+// HTTP front, subscribes to the central site's update stream, and
+// maintains a live local view, printing a summary periodically.
+//
+//	oisclient -init http://host1:8001 -updates host0:7000 -interval 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adaptmirror/internal/echo"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/thinclient"
+)
+
+func main() {
+	var (
+		initURL  = flag.String("init", "", "base URL of a mirror site's HTTP front")
+		updates  = flag.String("updates", "", "central site's event-channel address (updates stream)")
+		padding  = flag.Int("padding", 64, "per-flight init-state padding (must match the server)")
+		interval = flag.Duration("interval", time.Second, "summary print interval")
+	)
+	flag.Parse()
+	if *initURL == "" || *updates == "" {
+		fmt.Fprintln(os.Stderr, "oisclient: -init and -updates are required")
+		os.Exit(2)
+	}
+
+	view := thinclient.New(*padding)
+
+	// Subscribe to updates FIRST so nothing is missed between the
+	// snapshot and the stream (stale-update filtering discards any
+	// overlap).
+	link, err := echo.DialRecv(*updates, "updates")
+	if err != nil {
+		fatal(err)
+	}
+	defer link.Close()
+	link.Subscribe(func(e *event.Event) { view.Apply(e) })
+
+	state, err := fetchInit(*initURL)
+	if err != nil {
+		fatal(err)
+	}
+	if err := view.Initialize(state); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("oisclient: initialized with %d flights (%d-byte state)\n",
+		view.Flights(), len(state))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if view.NeedsReinit() {
+				// Updates were lost (e.g. a dropped stream); do what
+				// the paper's displays do and re-initialize.
+				fmt.Println("oisclient: update gap detected — re-initializing")
+				if state, err := fetchInit(*initURL); err == nil {
+					if err := view.Initialize(state); err != nil {
+						fmt.Fprintf(os.Stderr, "oisclient: re-init: %v\n", err)
+					}
+				} else {
+					fmt.Fprintf(os.Stderr, "oisclient: re-init fetch: %v\n", err)
+				}
+			}
+			applied, stale := view.Stats()
+			fmt.Printf("oisclient: %d flights, %d updates applied (%d stale), progress %s\n",
+				view.Flights(), applied, stale, view.Progress())
+		case <-sig:
+			fmt.Println("oisclient: bye")
+			return
+		}
+	}
+}
+
+// fetchInit performs the thin client's initialization request.
+func fetchInit(baseURL string) ([]byte, error) {
+	resp, err := http.Get(baseURL + "/init")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("oisclient: init request: %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "oisclient: %v\n", err)
+	os.Exit(1)
+}

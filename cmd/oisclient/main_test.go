@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/httpfront"
+)
+
+func TestFetchInit(t *testing.T) {
+	m := core.NewMainUnit(core.MainConfig{})
+	defer m.Close()
+	m.Deliver(event.NewPosition(1, 1, 10, 20, 30000, 64))
+	f := httpfront.New(m)
+	addr, err := f.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	state, err := fetchInit("http://" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) == 0 {
+		t.Fatal("empty init state")
+	}
+}
+
+func TestFetchInitErrors(t *testing.T) {
+	if _, err := fetchInit("http://127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable front must fail")
+	}
+	// A front whose main unit is closed returns 503.
+	m := core.NewMainUnit(core.MainConfig{})
+	f := httpfront.New(m)
+	addr, _ := f.Listen("127.0.0.1:0")
+	defer f.Close()
+	m.Close()
+	if _, err := fetchInit("http://" + addr); err == nil {
+		t.Fatal("503 must surface as an error")
+	}
+}

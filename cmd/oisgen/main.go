@@ -1,0 +1,92 @@
+// Command oisgen feeds a central site with operational data streams:
+// a synthetic FAA flight-position stream and (optionally) a Delta
+// flight-lifecycle stream, or a previously captured trace. It plays
+// the role of the paper's "wide area collection infrastructure".
+//
+// Generate and stream live:
+//
+//	oisgen -central host0:7000 -flights 50 -updates 200 -size 1024 -rate 2000 -delta
+//
+// Capture a trace for reproducible replay, then replay it:
+//
+//	oisgen -save faa.trace -flights 50 -updates 200 -size 1024
+//	oisgen -central host0:7000 -trace faa.trace -rate 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adaptmirror/internal/cluster"
+	"adaptmirror/internal/echo"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/trace"
+)
+
+func main() {
+	var (
+		central   = flag.String("central", "", "central site's event-channel address")
+		flights   = flag.Int("flights", 50, "number of flights")
+		updates   = flag.Int("updates", 100, "position updates per flight")
+		size      = flag.Int("size", 1024, "event payload size in bytes")
+		withDelta = flag.Bool("delta", false, "interleave the Delta lifecycle stream")
+		pax       = flag.Int("passengers", 20, "gate-reader events per flight (with -delta)")
+		rate      = flag.Float64("rate", 0, "events per second (0 = as fast as accepted)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		tracePath = flag.String("trace", "", "replay this trace file instead of generating")
+		savePath  = flag.String("save", "", "save the generated stream to this trace file and exit")
+	)
+	flag.Parse()
+
+	var events []*event.Event
+	if *tracePath != "" {
+		var err error
+		events, err = trace.Load(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		events = cluster.BuildEvents(cluster.Options{
+			Flights:          *flights,
+			UpdatesPerFlight: *updates,
+			EventSize:        *size,
+			WithDelta:        *withDelta,
+			Passengers:       *pax,
+			Seed:             *seed,
+		})
+	}
+
+	if *savePath != "" {
+		if err := trace.Save(*savePath, events); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("oisgen: saved %d events to %s\n", len(events), *savePath)
+		return
+	}
+	if *central == "" {
+		fmt.Fprintln(os.Stderr, "oisgen: -central (or -save) is required")
+		os.Exit(2)
+	}
+
+	link, err := echo.DialSend(*central, "ingress")
+	if err != nil {
+		fatal(err)
+	}
+	defer link.Close()
+
+	start := time.Now()
+	sent, err := stream(events, *rate, link.Submit)
+	if err != nil {
+		fatal(fmt.Errorf("after %d events: %w", sent, err))
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("oisgen: streamed %d events in %v (%.0f ev/s)\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "oisgen: %v\n", err)
+	os.Exit(1)
+}

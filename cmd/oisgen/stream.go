@@ -1,0 +1,41 @@
+package main
+
+import (
+	"time"
+
+	"adaptmirror/internal/event"
+)
+
+// submitFunc sends one event toward the central site.
+type submitFunc func(*event.Event) error
+
+// stream pushes events through submit, optionally paced at rate
+// events/second (0 = as fast as accepted). It returns how many events
+// were sent and the first error encountered.
+func stream(events []*event.Event, rate float64, submit submitFunc) (int, error) {
+	if rate <= 0 {
+		for i, e := range events {
+			if err := submit(e); err != nil {
+				return i, err
+			}
+		}
+		return len(events), nil
+	}
+	start := time.Now()
+	sent := 0
+	for sent < len(events) {
+		due := int(time.Since(start).Seconds() * rate)
+		if due > len(events) {
+			due = len(events)
+		}
+		for ; sent < due; sent++ {
+			if err := submit(events[sent]); err != nil {
+				return sent, err
+			}
+		}
+		if sent < len(events) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return sent, nil
+}

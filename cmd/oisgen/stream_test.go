@@ -1,0 +1,66 @@
+package main
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"adaptmirror/internal/cluster"
+	"adaptmirror/internal/event"
+)
+
+func TestStreamFullSpeed(t *testing.T) {
+	events := cluster.BuildEvents(cluster.Options{Flights: 3, UpdatesPerFlight: 10, Seed: 1})
+	var got []*event.Event
+	n, err := stream(events, 0, func(e *event.Event) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil || n != 30 || len(got) != 30 {
+		t.Fatalf("stream = (%d, %v), got %d", n, err, len(got))
+	}
+}
+
+func TestStreamPaced(t *testing.T) {
+	events := cluster.BuildEvents(cluster.Options{Flights: 1, UpdatesPerFlight: 50, Seed: 1})
+	start := time.Now()
+	n, err := stream(events, 1000, func(*event.Event) error { return nil })
+	if err != nil || n != 50 {
+		t.Fatalf("stream = (%d, %v)", n, err)
+	}
+	// 50 events at 1000/s ≈ 50ms.
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("paced stream finished in %v, want ~50ms", elapsed)
+	}
+}
+
+func TestStreamStopsOnError(t *testing.T) {
+	events := cluster.BuildEvents(cluster.Options{Flights: 1, UpdatesPerFlight: 10, Seed: 1})
+	boom := errors.New("boom")
+	n, err := stream(events, 0, func(e *event.Event) error {
+		if e.Seq == 4 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || n != 3 {
+		t.Fatalf("stream = (%d, %v)", n, err)
+	}
+}
+
+func TestStreamWithDeltaMix(t *testing.T) {
+	events := cluster.BuildEvents(cluster.Options{
+		Flights: 2, UpdatesPerFlight: 20, WithDelta: true, Passengers: 3, Seed: 2,
+	})
+	var types = map[event.Type]int{}
+	stream(events, 0, func(e *event.Event) error {
+		types[e.Type]++
+		return nil
+	})
+	if types[event.TypeFAAPosition] != 40 {
+		t.Fatalf("positions = %d, want 40", types[event.TypeFAAPosition])
+	}
+	if types[event.TypeGateReader] != 6 {
+		t.Fatalf("gate readers = %d, want 6", types[event.TypeGateReader])
+	}
+}

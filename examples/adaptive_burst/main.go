@@ -1,0 +1,120 @@
+// Adaptive burst: runtime adaptation under bursty client requests
+// (the paper's Section 4.3 experiment as a demo). The cluster runs a
+// paced event stream while the request load alternates between calm
+// and bursts; the adaptation controller switches between the paper's
+// two mirroring functions and the demo prints when and why.
+//
+//	go run ./examples/adaptive_burst
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adaptmirror"
+	"adaptmirror/internal/cluster"
+	"adaptmirror/internal/workload"
+)
+
+func main() {
+	cl, err := adaptmirror.NewCluster(adaptmirror.ClusterConfig{Mirrors: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Function 1: coalesce up to 10 events, checkpoint every 50.
+	// Function 2: overwrite up to 20 position events, checkpoint
+	// every 100 (cheaper, less consistent).
+	fn1 := adaptmirror.Regime{ID: 1, Name: "coalesce-10/chkpt-50", Coalesce: true, MaxCoalesce: 10, CheckpointFreq: 50}
+	fn2 := adaptmirror.Regime{ID: 2, Name: "overwrite-20/chkpt-100", Coalesce: true, MaxCoalesce: 20, OverwriteLen: 20, CheckpointFreq: 100}
+
+	// Engage function 2 when any site's pending-request buffer
+	// reaches 30; reinstall function 1 below 15.
+	ctl := cl.NewAdaptation(fn1, fn2, 30, 15)
+	fmt.Printf("baseline regime: %s\n", fn1.Name)
+
+	// Paced event stream: 4000 events/s for ~3 seconds.
+	events := cluster.BuildEvents(cluster.Options{
+		Flights: 50, UpdatesPerFlight: 240, EventSize: 1000, Seed: 3,
+	})
+
+	// Bursty request pattern: calm at 1.2k req/s with 300ms bursts of
+	// 30k req/s each second, against both sites.
+	stop := make(chan struct{})
+	done := make(chan workload.Result, 1)
+	go func() {
+		done <- workload.Run(workload.Config{
+			Pattern: workload.Bursty{
+				Base: 1200, Burst: 30000,
+				Period: time.Second, BurstLen: 300 * time.Millisecond,
+			},
+			Targets: cl.AllTargets(),
+			Stop:    stop,
+		})
+	}()
+
+	// Watch regime transitions while the stream plays.
+	watch := make(chan struct{})
+	go func() {
+		defer close(watch)
+		engaged := false
+		start := time.Now()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if e := ctl.Engaged(); e != engaged {
+				engaged = e
+				name := fn1.Name
+				if engaged {
+					name = fn2.Name
+				}
+				fmt.Printf("t=%6s  adaptation switched to %s\n",
+					time.Since(start).Round(10*time.Millisecond), name)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	feedStart := time.Now()
+	if err := feedPaced(cl, events, 4000); err != nil {
+		log.Fatal(err)
+	}
+	cl.Drain()
+	close(stop)
+	res := <-done
+	<-watch
+
+	engages, reverts := ctl.Transitions()
+	fmt.Printf("\nrun complete in %v\n", time.Since(feedStart).Round(time.Millisecond))
+	fmt.Printf("requests served: %d (rejected %d)\n", res.Completed, res.Rejected)
+	fmt.Printf("adaptation transitions: %d engage(s), %d revert(s)\n", engages, reverts)
+	st := cl.Central().Stats()
+	fmt.Printf("events mirrored: %d of %d (regime switching varied the reduction)\n",
+		st.Mirrored, st.Received)
+}
+
+// feedPaced streams events at the given rate.
+func feedPaced(cl *adaptmirror.Cluster, events []*adaptmirror.Event, rate float64) error {
+	start := time.Now()
+	sent := 0
+	for sent < len(events) {
+		due := int(time.Since(start).Seconds() * rate)
+		if due > len(events) {
+			due = len(events)
+		}
+		for ; sent < due; sent++ {
+			if err := cl.Central().Ingest(events[sent]); err != nil {
+				return err
+			}
+		}
+		if sent < len(events) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module adaptmirror
+
+go 1.22

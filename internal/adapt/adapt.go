@@ -1,0 +1,248 @@
+// Package adapt implements the paper's runtime adaptation mechanism
+// (Section 3.2.2): monitored variables — ready/backup queue lengths
+// and the pending client request buffer — each carry a primary and a
+// secondary threshold set through set_monitor_values(). When a
+// monitored value reaches its primary threshold, the mirroring
+// algorithm is modified (a different mirroring function or parameter
+// set is installed); the original mechanism is reinstalled when the
+// value falls below primary - secondary. Decisions are made at the
+// central site so all mirrors adapt identically, and directives travel
+// piggybacked on checkpoint messages.
+package adapt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"adaptmirror/internal/core"
+)
+
+// Var identifies a monitored variable (the index argument of
+// set_monitor_values).
+type Var uint8
+
+// Monitored variables.
+const (
+	VarReady Var = iota
+	VarBackup
+	VarPending
+	numVars
+)
+
+// String names the variable.
+func (v Var) String() string {
+	switch v {
+	case VarReady:
+		return "ready-queue"
+	case VarBackup:
+		return "backup-queue"
+	case VarPending:
+		return "pending-requests"
+	default:
+		return fmt.Sprintf("var(%d)", uint8(v))
+	}
+}
+
+// Thresholds is a primary/secondary threshold pair. Primary triggers
+// the modification; the modification remains until the value falls
+// below Primary - Secondary (hysteresis).
+type Thresholds struct {
+	Primary   int
+	Secondary int
+}
+
+// enabled reports whether the thresholds are active.
+func (t Thresholds) enabled() bool { return t.Primary > 0 }
+
+// Regime is one complete mirroring configuration the controller can
+// install: the paper's experiment alternates between a regime that
+// coalesces up to 10 events with checkpointing every 50 and one that
+// overwrites up to 20 position events with checkpointing every 100.
+type Regime struct {
+	// ID distinguishes regimes on the wire.
+	ID uint8
+	// Name is a human-readable label.
+	Name string
+	// Coalesce and MaxCoalesce configure sending-task coalescing.
+	Coalesce    bool
+	MaxCoalesce int
+	// OverwriteLen is the run length for FAA position overwriting
+	// (0 = no overwriting).
+	OverwriteLen int
+	// CheckpointFreq is the checkpoint frequency in mirrored events.
+	CheckpointFreq int
+}
+
+// Controller makes adaptation decisions at the central site. It is
+// fed Samples — the central site's own and those piggybacked on
+// mirror checkpoint replies — and switches between the baseline and
+// degraded regimes with hysteresis.
+type Controller struct {
+	mu         sync.Mutex
+	thresholds [numVars]Thresholds
+	baseline   Regime
+	degraded   Regime
+	apply      func(Regime)
+	engaged    bool
+	engages    uint64
+	reverts    uint64
+
+	// revertAfter debounces reverts: samples arrive per site, so one
+	// idle site's report must not reinstall the baseline while another
+	// site is still overloaded. The controller reverts only after this
+	// many consecutive below-band samples.
+	revertAfter int
+	calmStreak  int
+}
+
+// DefaultRevertAfter is the revert debounce in consecutive samples.
+const DefaultRevertAfter = 8
+
+// NewController returns a controller that switches between baseline
+// and degraded regimes, calling apply on every transition (and once
+// immediately to install the baseline).
+func NewController(baseline, degraded Regime, apply func(Regime)) *Controller {
+	c := &Controller{
+		baseline:    baseline,
+		degraded:    degraded,
+		apply:       apply,
+		revertAfter: DefaultRevertAfter,
+	}
+	if apply != nil {
+		apply(baseline)
+	}
+	return c
+}
+
+// SetRevertAfter tunes the revert debounce (minimum 1).
+func (c *Controller) SetRevertAfter(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.revertAfter = n
+	c.mu.Unlock()
+}
+
+// SetMonitorValues is set_monitor_values(index, p, s): configure the
+// primary and secondary thresholds for one monitored variable.
+func (c *Controller) SetMonitorValues(v Var, primary, secondary int) {
+	if v >= numVars {
+		return
+	}
+	c.mu.Lock()
+	c.thresholds[v] = Thresholds{Primary: primary, Secondary: secondary}
+	c.mu.Unlock()
+}
+
+// Observe feeds one sample (the central site's own, or one reported
+// by a mirror). It returns true when the observation caused a regime
+// transition. Any single site crossing a primary threshold engages the
+// degraded regime; a site observed fully below the hysteresis band
+// (primary - secondary on every enabled variable) reverts it.
+func (c *Controller) Observe(s core.Sample) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vals := [numVars]int{s.Ready, s.Backup, s.Pending}
+
+	if !c.engaged {
+		for v := Var(0); v < numVars; v++ {
+			th := c.thresholds[v]
+			if th.enabled() && vals[v] >= th.Primary {
+				c.engaged = true
+				c.engages++
+				c.calmStreak = 0
+				if c.apply != nil {
+					c.apply(c.degraded)
+				}
+				return true
+			}
+		}
+		return false
+	}
+
+	for v := Var(0); v < numVars; v++ {
+		th := c.thresholds[v]
+		if th.enabled() && vals[v] >= th.Primary-th.Secondary {
+			c.calmStreak = 0
+			return false
+		}
+	}
+	c.calmStreak++
+	if c.calmStreak < c.revertAfter {
+		return false
+	}
+	c.engaged = false
+	c.reverts++
+	c.calmStreak = 0
+	if c.apply != nil {
+		c.apply(c.baseline)
+	}
+	return true
+}
+
+// Engaged reports whether the degraded regime is installed.
+func (c *Controller) Engaged() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.engaged
+}
+
+// Current returns the installed regime.
+func (c *Controller) Current() Regime {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.engaged {
+		return c.degraded
+	}
+	return c.baseline
+}
+
+// Transitions returns the number of engage and revert transitions.
+func (c *Controller) Transitions() (engages, reverts uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.engages, c.reverts
+}
+
+// regimeWire is the encoded size of a Regime directive.
+const regimeWire = 1 + 1 + 4 + 4 + 4
+
+// EncodeRegime serializes the settings of r for piggybacking on CHKPT
+// control events (the name is not transmitted).
+func EncodeRegime(r Regime) []byte {
+	b := make([]byte, regimeWire)
+	b[0] = r.ID
+	if r.Coalesce {
+		b[1] = 1
+	}
+	binary.LittleEndian.PutUint32(b[2:], uint32(r.MaxCoalesce))
+	binary.LittleEndian.PutUint32(b[6:], uint32(r.OverwriteLen))
+	binary.LittleEndian.PutUint32(b[10:], uint32(r.CheckpointFreq))
+	return b
+}
+
+// DecodeRegime parses a directive encoded by EncodeRegime.
+func DecodeRegime(b []byte) (Regime, error) {
+	if len(b) < regimeWire {
+		return Regime{}, fmt.Errorf("adapt: regime directive too short: %d bytes", len(b))
+	}
+	return Regime{
+		ID:             b[0],
+		Coalesce:       b[1] == 1,
+		MaxCoalesce:    int(binary.LittleEndian.Uint32(b[2:])),
+		OverwriteLen:   int(binary.LittleEndian.Uint32(b[6:])),
+		CheckpointFreq: int(binary.LittleEndian.Uint32(b[10:])),
+	}, nil
+}
+
+// InstallRegime applies a regime to a central site: it configures
+// coalescing, FAA-position overwriting, and checkpoint frequency in
+// one step. It is the standard apply callback for NewController.
+func InstallRegime(c *core.Central) func(Regime) {
+	return func(r Regime) {
+		c.SetParams(r.Coalesce, r.MaxCoalesce, r.CheckpointFreq)
+		c.InstallSelective(r.OverwriteLen)
+	}
+}

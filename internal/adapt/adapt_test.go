@@ -1,0 +1,251 @@
+package adapt
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"adaptmirror/internal/core"
+)
+
+var (
+	base = Regime{ID: 1, Name: "normal", Coalesce: true, MaxCoalesce: 10, OverwriteLen: 10, CheckpointFreq: 50}
+	degr = Regime{ID: 2, Name: "degraded", Coalesce: true, MaxCoalesce: 20, OverwriteLen: 20, CheckpointFreq: 100}
+)
+
+func controller(applied *[]Regime) *Controller {
+	c := NewController(base, degr, func(r Regime) { *applied = append(*applied, r) })
+	c.SetMonitorValues(VarPending, 100, 40)
+	// Most tests exercise single-sample transitions; the debounce has
+	// its own test.
+	c.SetRevertAfter(1)
+	return c
+}
+
+func TestRevertDebounce(t *testing.T) {
+	var applied []Regime
+	c := NewController(base, degr, func(r Regime) { applied = append(applied, r) })
+	c.SetMonitorValues(VarPending, 100, 40)
+	c.SetRevertAfter(3)
+	c.Observe(core.Sample{Pending: 150}) // engage
+	// Two calm samples: still engaged.
+	for i := 0; i < 2; i++ {
+		if c.Observe(core.Sample{Pending: 0}) {
+			t.Fatal("reverted before the debounce elapsed")
+		}
+	}
+	// An in-band sample resets the streak.
+	c.Observe(core.Sample{Pending: 80})
+	for i := 0; i < 2; i++ {
+		if c.Observe(core.Sample{Pending: 0}) {
+			t.Fatal("streak not reset by in-band sample")
+		}
+	}
+	if !c.Observe(core.Sample{Pending: 0}) {
+		t.Fatal("third consecutive calm sample must revert")
+	}
+	if c.Engaged() {
+		t.Fatal("still engaged after debounced revert")
+	}
+}
+
+func TestSetRevertAfterFloor(t *testing.T) {
+	c := NewController(base, degr, nil)
+	c.SetRevertAfter(0) // clamps to 1
+	c.SetMonitorValues(VarPending, 10, 5)
+	c.Observe(core.Sample{Pending: 10})
+	if !c.Observe(core.Sample{Pending: 0}) {
+		t.Fatal("revert-after 1 must revert on first calm sample")
+	}
+}
+
+func TestBaselineInstalledOnConstruction(t *testing.T) {
+	var applied []Regime
+	controller(&applied)
+	if len(applied) != 1 || applied[0].ID != base.ID {
+		t.Fatalf("applied = %v, want baseline once", applied)
+	}
+}
+
+func TestEngageOnPrimaryThreshold(t *testing.T) {
+	var applied []Regime
+	c := controller(&applied)
+	if c.Observe(core.Sample{Pending: 99}) {
+		t.Fatal("below primary must not transition")
+	}
+	if !c.Observe(core.Sample{Pending: 100}) {
+		t.Fatal("reaching primary must engage")
+	}
+	if !c.Engaged() {
+		t.Fatal("Engaged = false after engage")
+	}
+	if c.Current().ID != degr.ID {
+		t.Fatalf("Current = %+v, want degraded", c.Current())
+	}
+	if applied[len(applied)-1].ID != degr.ID {
+		t.Fatal("degraded regime not applied")
+	}
+}
+
+func TestHysteresisRevert(t *testing.T) {
+	var applied []Regime
+	c := controller(&applied)
+	c.Observe(core.Sample{Pending: 150})
+	// Within the hysteresis band [60, ∞): stays engaged.
+	if c.Observe(core.Sample{Pending: 80}) {
+		t.Fatal("value inside hysteresis band must not revert")
+	}
+	if c.Observe(core.Sample{Pending: 60}) {
+		t.Fatal("value at primary-secondary must not revert")
+	}
+	// Below primary - secondary: reverts.
+	if !c.Observe(core.Sample{Pending: 59}) {
+		t.Fatal("value below primary-secondary must revert")
+	}
+	if c.Engaged() {
+		t.Fatal("still engaged after revert")
+	}
+	engages, reverts := c.Transitions()
+	if engages != 1 || reverts != 1 {
+		t.Fatalf("transitions = %d/%d, want 1/1", engages, reverts)
+	}
+}
+
+func TestReEngageAfterRevert(t *testing.T) {
+	var applied []Regime
+	c := controller(&applied)
+	c.Observe(core.Sample{Pending: 150})
+	c.Observe(core.Sample{Pending: 0})
+	c.Observe(core.Sample{Pending: 200})
+	engages, reverts := c.Transitions()
+	if engages != 2 || reverts != 1 {
+		t.Fatalf("transitions = %d/%d, want 2/1", engages, reverts)
+	}
+}
+
+func TestMultipleVariablesAnyEngages(t *testing.T) {
+	var applied []Regime
+	c := controller(&applied)
+	c.SetMonitorValues(VarReady, 50, 20)
+	if !c.Observe(core.Sample{Ready: 50}) {
+		t.Fatal("ready-queue threshold must engage")
+	}
+	// Revert requires ALL enabled variables below their bands.
+	if c.Observe(core.Sample{Ready: 40, Pending: 70}) {
+		t.Fatal("pending still in band, must not revert")
+	}
+	if !c.Observe(core.Sample{Ready: 29, Pending: 59}) {
+		t.Fatal("all below bands, must revert")
+	}
+}
+
+func TestDisabledVariablesIgnored(t *testing.T) {
+	var applied []Regime
+	c := NewController(base, degr, func(r Regime) { *(&applied) = append(applied, r) })
+	// No thresholds set at all: nothing ever engages.
+	if c.Observe(core.Sample{Ready: 1 << 20, Backup: 1 << 20, Pending: 1 << 20}) {
+		t.Fatal("engaged with no thresholds configured")
+	}
+}
+
+func TestSetMonitorValuesOutOfRange(t *testing.T) {
+	c := NewController(base, degr, nil)
+	c.SetMonitorValues(Var(200), 1, 1) // must not panic
+	if c.Observe(core.Sample{Pending: 1 << 20}) {
+		t.Fatal("out-of-range variable affected decisions")
+	}
+}
+
+func TestNilApplyCallback(t *testing.T) {
+	c := NewController(base, degr, nil)
+	c.SetMonitorValues(VarPending, 10, 5)
+	if !c.Observe(core.Sample{Pending: 10}) {
+		t.Fatal("engage must still be reported without an apply callback")
+	}
+}
+
+func TestRegimeEncodeDecode(t *testing.T) {
+	b := EncodeRegime(degr)
+	got, err := DecodeRegime(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := degr
+	want.Name = "" // names do not travel
+	if got != want {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+	if _, err := DecodeRegime(b[:5]); err == nil {
+		t.Fatal("short directive must fail")
+	}
+}
+
+func TestRegimeEncodeNoCoalesce(t *testing.T) {
+	r := Regime{ID: 3, OverwriteLen: 5, CheckpointFreq: 25}
+	got, err := DecodeRegime(EncodeRegime(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Coalesce {
+		t.Fatal("Coalesce flag corrupted")
+	}
+}
+
+func TestVarString(t *testing.T) {
+	for v, want := range map[Var]string{
+		VarReady:   "ready-queue",
+		VarBackup:  "backup-queue",
+		VarPending: "pending-requests",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+	if !strings.Contains(Var(9).String(), "9") {
+		t.Error("unknown var must embed its value")
+	}
+}
+
+func TestInstallRegimeAppliesToCentral(t *testing.T) {
+	central := core.NewCentral(core.CentralConfig{Streams: 1, NoMirror: true})
+	defer central.Close()
+	apply := InstallRegime(central)
+	apply(degr)
+	p := central.GetParams()
+	if !p.Coalesce || p.MaxCoalesce != 20 || p.CheckpointFreq != 100 {
+		t.Fatalf("params = %+v", p)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	c := NewController(base, degr, func(Regime) {})
+	c.SetMonitorValues(VarPending, 100, 40)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Observe(core.Sample{Pending: (g*37 + i*13) % 220})
+			}
+		}()
+	}
+	wg.Wait()
+	engages, reverts := c.Transitions()
+	if engages == 0 {
+		t.Fatal("no engagements under oscillating load")
+	}
+	if reverts > engages {
+		t.Fatalf("reverts (%d) exceed engages (%d)", reverts, engages)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	c := NewController(base, degr, func(Regime) {})
+	c.SetMonitorValues(VarPending, 100, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(core.Sample{Pending: i & 127})
+	}
+}

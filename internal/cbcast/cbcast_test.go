@@ -1,0 +1,303 @@
+package cbcast
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
+)
+
+func ev(seq uint64) *event.Event {
+	return &event.Event{Type: event.TypeFAAPosition, Seq: seq, Coalesced: 1}
+}
+
+func TestDeliverable(t *testing.T) {
+	cases := []struct {
+		msg   Message
+		local vclock.VC
+		want  bool
+	}{
+		// Next message from sender 0, no dependencies.
+		{Message{Sender: 0, VT: vclock.VC{1, 0}}, vclock.VC{0, 0}, true},
+		// Gap from sender 0.
+		{Message{Sender: 0, VT: vclock.VC{2, 0}}, vclock.VC{0, 0}, false},
+		// Dependency on sender 1 not yet delivered.
+		{Message{Sender: 0, VT: vclock.VC{1, 1}}, vclock.VC{0, 0}, false},
+		// Dependency satisfied.
+		{Message{Sender: 0, VT: vclock.VC{1, 1}}, vclock.VC{0, 1}, true},
+		// Duplicate (already delivered).
+		{Message{Sender: 0, VT: vclock.VC{1, 0}}, vclock.VC{1, 0}, false},
+	}
+	for i, c := range cases {
+		if got := Deliverable(c.msg, c.local); got != c.want {
+			t.Errorf("case %d: Deliverable = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	var mu sync.Mutex
+	got := map[int][]uint64{}
+	g, err := NewGroup(3, func(member int, msg Message) {
+		mu.Lock()
+		got[member] = append(got[member], msg.Event.Seq)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	m0, _ := g.Member(0)
+	for i := uint64(1); i <= 20; i++ {
+		if err := m0.Broadcast(ev(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for member := 0; member < 3; member++ {
+		seqs := got[member]
+		if len(seqs) != 20 {
+			t.Fatalf("member %d delivered %d, want 20", member, len(seqs))
+		}
+		for i, s := range seqs {
+			if s != uint64(i+1) {
+				t.Fatalf("member %d: delivery %d has seq %d", member, i, s)
+			}
+		}
+	}
+}
+
+func TestCausalOrderAcrossSenders(t *testing.T) {
+	// Member 1 broadcasts only after delivering member 0's message;
+	// every member must deliver 0's before 1's even if the network
+	// reorders them.
+	var mu sync.Mutex
+	order := map[int][]int{}
+	g, _ := NewGroup(2, func(member int, msg Message) {
+		mu.Lock()
+		order[member] = append(order[member], msg.Sender)
+		mu.Unlock()
+	})
+	defer g.Close()
+	m0, _ := g.Member(0)
+	m1, _ := g.Member(1)
+
+	// Delay member 0's copy of m0's own broadcast... instead: deliver
+	// m0's broadcast to member 1 first, then m1 broadcasts (causally
+	// after), and we deliver m1's message to member 0 BEFORE m0's own
+	// copy of its broadcast is... simpler: route m1's message to a
+	// fresh member before its dependency.
+	g.SetReorder(func(msg Message, deliver func(to int)) {
+		if msg.Sender == 0 {
+			deliver(1) // member 1 sees it (and will broadcast after)
+			// member 0's own copy is delayed until after m1's message.
+			delayed := msg
+			g.SetReorder(func(msg2 Message, deliver2 func(to int)) {
+				// m1's broadcast: deliver to member 0 FIRST (premature),
+				// then member 1; then release the delayed message.
+				deliver2(0)
+				deliver2(1)
+				deliver(0)
+				_ = delayed
+				g.SetReorder(nil)
+			})
+			return
+		}
+		deliver(0)
+		deliver(1)
+	})
+
+	if err := m0.Broadcast(ev(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Broadcast(ev(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for member, senders := range order {
+		if len(senders) != 2 {
+			t.Fatalf("member %d delivered %d messages, want 2", member, len(senders))
+		}
+		if senders[0] != 0 || senders[1] != 1 {
+			t.Fatalf("member %d delivered out of causal order: %v", member, senders)
+		}
+	}
+}
+
+func TestReorderedStreamStillCausal(t *testing.T) {
+	// Randomly shuffle per-member delivery of a single sender's
+	// stream; the pending buffer must restore FIFO order.
+	var mu sync.Mutex
+	got := map[int][]uint64{}
+	g, _ := NewGroup(2, func(member int, msg Message) {
+		mu.Lock()
+		got[member] = append(got[member], msg.Event.Seq)
+		mu.Unlock()
+	})
+	defer g.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	var backlog []Message
+	g.SetReorder(func(msg Message, deliver func(to int)) {
+		deliver(0) // member 0 in order
+		backlog = append(backlog, msg)
+		// Flush member 1 in random order every few messages.
+		if len(backlog) >= 5 {
+			rng.Shuffle(len(backlog), func(i, j int) { backlog[i], backlog[j] = backlog[j], backlog[i] })
+			for _, b := range backlog {
+				m1, _ := g.Member(1)
+				m1.receive(b)
+			}
+			backlog = nil
+		}
+	})
+	m0, _ := g.Member(0)
+	for i := uint64(1); i <= 25; i++ {
+		m0.Broadcast(ev(i))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	seqs := got[1]
+	if len(seqs) != 25 {
+		t.Fatalf("member 1 delivered %d, want 25", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("member 1: delivery %d has seq %d: FIFO violated", i, s)
+		}
+	}
+}
+
+func TestConcurrentBroadcasters(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[int]int{}
+	perSenderOrder := map[int]map[int]uint64{} // member → sender → last seq component
+	g, _ := NewGroup(4, func(member int, msg Message) {
+		mu.Lock()
+		defer mu.Unlock()
+		counts[member]++
+		if perSenderOrder[member] == nil {
+			perSenderOrder[member] = map[int]uint64{}
+		}
+		last := perSenderOrder[member][msg.Sender]
+		seq := msg.VT.At(msg.Sender)
+		if seq != last+1 {
+			t.Errorf("member %d: sender %d jumped %d -> %d", member, msg.Sender, last, seq)
+		}
+		perSenderOrder[member][msg.Sender] = seq
+	})
+	defer g.Close()
+
+	var wg sync.WaitGroup
+	const per = 50
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			m, _ := g.Member(s)
+			for i := 0; i < per; i++ {
+				if err := m.Broadcast(ev(uint64(i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for member, n := range counts {
+		if n != 4*per {
+			t.Fatalf("member %d delivered %d, want %d", member, n, 4*per)
+		}
+	}
+}
+
+func TestDeliveryClockConvergence(t *testing.T) {
+	g, _ := NewGroup(3, nil)
+	defer g.Close()
+	for s := 0; s < 3; s++ {
+		m, _ := g.Member(s)
+		for i := 0; i < 10; i++ {
+			m.Broadcast(ev(uint64(i)))
+		}
+	}
+	want := vclock.VC{10, 10, 10}
+	for s := 0; s < 3; s++ {
+		m, _ := g.Member(s)
+		if got := m.Delivered(); got.Compare(want) != vclock.Equal {
+			t.Fatalf("member %d delivered clock %v, want %v", s, got, want)
+		}
+		if m.Pending() != 0 {
+			t.Fatalf("member %d has %d pending after quiescence", s, m.Pending())
+		}
+	}
+	if g.Broadcasts() != 30 {
+		t.Fatalf("Broadcasts = %d, want 30", g.Broadcasts())
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	if _, err := NewGroup(0, nil); err == nil {
+		t.Fatal("empty group must fail")
+	}
+	g, _ := NewGroup(2, nil)
+	defer g.Close()
+	if _, err := g.Member(5); err == nil {
+		t.Fatal("out-of-range member must fail")
+	}
+	if _, err := g.Member(-1); err == nil {
+		t.Fatal("negative member must fail")
+	}
+	if g.Size() != 2 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+}
+
+func TestClosedGroupRejectsBroadcast(t *testing.T) {
+	g, _ := NewGroup(2, nil)
+	m, _ := g.Member(0)
+	g.Close()
+	if err := m.Broadcast(ev(1)); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDeliverableProperty(t *testing.T) {
+	// Property: a message deliverable at `local` is no longer
+	// deliverable after delivery (duplicates rejected).
+	f := func(sender8 uint8, deps []uint8) bool {
+		n := len(deps)%4 + 2
+		sender := int(sender8) % n
+		local := vclock.New(n)
+		for k := 0; k < n && len(deps) > 0; k++ {
+			local[k] = uint64(deps[k%len(deps)] % 5)
+		}
+		vt := local.Clone()
+		vt = vt.Tick(sender)
+		msg := Message{Sender: sender, VT: vt}
+		if !Deliverable(msg, local) {
+			return false
+		}
+		after := local.Merge(vt)
+		return !Deliverable(msg, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBroadcast4Members(b *testing.B) {
+	g, _ := NewGroup(4, nil)
+	defer g.Close()
+	m, _ := g.Member(0)
+	e := ev(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Broadcast(e)
+	}
+}

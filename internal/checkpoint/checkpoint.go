@@ -1,0 +1,220 @@
+// Package checkpoint implements the modified two-phase commit protocol
+// of the paper's Figure 3, which advances a consistent view of
+// application state across mirror sites and lets every unit trim its
+// backup queue.
+//
+// The protocol is non-standard in several ways the paper calls out:
+// during the voting phase the coordinator *suggests* a timestamp (the
+// most recent value in its backup queue); participants reply with the
+// minimum of that suggestion and their own progress; there are no 'No'
+// votes and no ABORT messages; no timeouts are used — if a round has
+// not committed before the next one starts, the later commit subsumes
+// the earlier one; and a commit naming an event no longer in a unit's
+// backup queue is simply ignored.
+//
+// The package provides the three state machines of Figure 3 —
+// Coordinator (central aux unit), Mirror (mirror aux unit), and Main
+// (main unit) — wired to their surroundings through callbacks, so the
+// same machines run over in-process channels in the harness and over
+// TCP links in a deployed cluster. Adaptation directives piggyback on
+// checkpoint control events (paper Section 3.2.2) via the Piggyback
+// hooks.
+package checkpoint
+
+import (
+	"sync"
+
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
+)
+
+// Coordinator runs at the central site's auxiliary unit. It initiates
+// rounds, collects CHKPT_REP replies, computes their minimum, and
+// issues COMMIT.
+type Coordinator struct {
+	// Propose returns the timestamp to suggest: usually the most
+	// recent value found in the central backup queue. A nil proposal
+	// skips the round (nothing to commit).
+	Propose func() vclock.VC
+	// Broadcast sends a control event to every mirror aux unit and to
+	// the central site's own main unit.
+	Broadcast func(*event.Event)
+	// OnCommit applies a committed timestamp locally (trim the central
+	// backup queue).
+	OnCommit func(vclock.VC)
+	// Participants is the number of CHKPT_REP replies that complete a
+	// round (mirror sites + the central main unit).
+	Participants int
+	// Piggyback, when non-nil, returns bytes to attach to outgoing
+	// CHKPT events (adaptation directives ride along here).
+	Piggyback func() []byte
+
+	mu      sync.Mutex
+	round   uint64
+	pending int
+	min     vclock.VC
+	commits uint64
+	rounds  uint64
+}
+
+// Init starts a new checkpoint round. If a previous round is still
+// open it is abandoned: its eventual commit is subsumed by this one.
+// It reports whether a round was actually started.
+func (c *Coordinator) Init() bool {
+	proposal := c.Propose()
+	if proposal == nil {
+		return false
+	}
+	c.mu.Lock()
+	c.round++
+	round := c.round
+	c.pending = c.Participants
+	participants := c.Participants
+	c.min = nil
+	c.rounds++
+	c.mu.Unlock()
+
+	ev := event.NewControl(event.TypeChkpt, proposal)
+	ev.Seq = round
+	if c.Piggyback != nil {
+		ev.Payload = c.Piggyback()
+	}
+	c.Broadcast(ev)
+	if participants == 0 {
+		// Degenerate single-site deployment: commit immediately.
+		c.finish(round, proposal)
+	}
+	return true
+}
+
+// OnReply handles a CHKPT_REP. Replies for abandoned rounds are
+// ignored. When the round's last reply arrives, the minimum timestamp
+// is committed and broadcast.
+func (c *Coordinator) OnReply(e *event.Event) {
+	if e.Type != event.TypeChkptReply {
+		return
+	}
+	c.mu.Lock()
+	if e.Seq != c.round || c.pending == 0 {
+		c.mu.Unlock()
+		return
+	}
+	if c.min == nil {
+		c.min = e.VT.Clone()
+	} else {
+		c.min = c.min.Min(e.VT)
+	}
+	c.pending--
+	done := c.pending == 0
+	round := c.round
+	commit := c.min.Clone()
+	c.mu.Unlock()
+	if done {
+		c.finish(round, commit)
+	}
+}
+
+func (c *Coordinator) finish(round uint64, commit vclock.VC) {
+	c.mu.Lock()
+	c.commits++
+	c.mu.Unlock()
+	ev := event.NewControl(event.TypeCommit, commit)
+	ev.Seq = round
+	c.Broadcast(ev)
+	if c.OnCommit != nil {
+		c.OnCommit(commit)
+	}
+}
+
+// SetParticipants changes the number of replies that complete a round
+// (membership changes: failed mirrors leave the quorum, recovered ones
+// rejoin). It takes effect at the next Init.
+func (c *Coordinator) SetParticipants(n int) {
+	c.mu.Lock()
+	c.Participants = n
+	c.mu.Unlock()
+}
+
+// Stats returns the number of rounds initiated and commits issued.
+func (c *Coordinator) Stats() (rounds, commits uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rounds, c.commits
+}
+
+// Mirror runs at a mirror site's auxiliary unit. Per Figure 3: CHKPT
+// is forwarded to the main unit; the main unit's CHKPT_REP is
+// forwarded to the central site if its timestamp is (at or before an
+// event) in the local backup queue; COMMIT trims the local backup
+// queue and is forwarded to the main unit.
+type Mirror struct {
+	// ToMain forwards a control event to the site's main unit.
+	ToMain func(*event.Event)
+	// ToCentral sends a control event to the coordinator.
+	ToCentral func(*event.Event)
+	// Commit trims the local backup queue through the timestamp.
+	Commit func(vclock.VC)
+	// OnPiggyback, when non-nil, receives the adaptation bytes
+	// attached to CHKPT events.
+	OnPiggyback func([]byte)
+}
+
+// OnControl dispatches one control event through the mirror-aux state
+// machine. Non-checkpoint events are ignored.
+func (m *Mirror) OnControl(e *event.Event) {
+	switch e.Type {
+	case event.TypeChkpt:
+		if m.OnPiggyback != nil && len(e.Payload) > 0 {
+			m.OnPiggyback(e.Payload)
+		}
+		m.ToMain(e)
+	case event.TypeChkptReply:
+		// From our main unit: forward to the coordinator. The paper's
+		// "if chkpt_rep in backup queue" guard is subsumed by the
+		// commit side: stale commits are ignored by the backup queue
+		// itself, so a reply is always safe to forward.
+		m.ToCentral(e)
+	case event.TypeCommit:
+		// "if commit in backup queue, update backup queue": the
+		// backup queue ignores commits at or below its trim point.
+		if m.Commit != nil {
+			m.Commit(e.VT)
+		}
+		m.ToMain(e)
+	}
+}
+
+// Main runs at a main unit (central or mirror). On CHKPT it replies
+// with min{suggested, last locally processed}; on COMMIT it trims any
+// main-unit-side retained state.
+type Main struct {
+	// LastProcessed returns the highest event timestamp the unit's
+	// business logic has applied.
+	LastProcessed func() vclock.VC
+	// Reply sends a control event back to the local aux unit (or, for
+	// the central main unit, directly to the coordinator).
+	Reply func(*event.Event)
+	// Commit, when non-nil, is told the committed timestamp.
+	Commit func(vclock.VC)
+}
+
+// OnControl dispatches one control event through the main-unit state
+// machine.
+func (m *Main) OnControl(e *event.Event) {
+	switch e.Type {
+	case event.TypeChkpt:
+		last := m.LastProcessed()
+		rep := e.VT.Min(last)
+		if last == nil {
+			// Nothing processed yet: vote zero progress.
+			rep = vclock.New(len(e.VT))
+		}
+		reply := event.NewControl(event.TypeChkptReply, rep)
+		reply.Seq = e.Seq
+		m.Reply(reply)
+	case event.TypeCommit:
+		if m.Commit != nil {
+			m.Commit(e.VT)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package checkpoint
+
+import (
+	"sync"
+	"testing"
+
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/queue"
+	"adaptmirror/internal/vclock"
+)
+
+// harness wires a coordinator, n mirror-aux participants (each with a
+// main unit and backup queue), and the central main unit, all over
+// direct function calls.
+type harness struct {
+	coord      *Coordinator
+	central    *queue.Backup
+	mirrors    []*Mirror
+	mirrorBk   []*queue.Backup
+	mains      []*Main
+	mainLast   []vclock.VC
+	mu         sync.Mutex
+	commitsAt  []vclock.VC // commit timestamps observed at central
+	centralRep vclock.VC   // central main unit's progress
+}
+
+func newHarness(nMirrors int) *harness {
+	h := &harness{central: queue.NewBackup()}
+	h.coord = &Coordinator{
+		Propose:      func() vclock.VC { return h.central.Last() },
+		Participants: nMirrors + 1, // mirrors + central main unit
+	}
+	h.coord.OnCommit = func(ts vclock.VC) {
+		h.central.Commit(ts)
+		h.mu.Lock()
+		h.commitsAt = append(h.commitsAt, ts)
+		h.mu.Unlock()
+	}
+
+	// Central main unit replies directly to the coordinator.
+	centralMain := &Main{
+		LastProcessed: func() vclock.VC {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return h.centralRep.Clone()
+		},
+		Reply: func(e *event.Event) { h.coord.OnReply(e) },
+	}
+
+	h.mirrorBk = make([]*queue.Backup, nMirrors)
+	h.mainLast = make([]vclock.VC, nMirrors)
+	h.mirrors = make([]*Mirror, nMirrors)
+	h.mains = make([]*Main, nMirrors)
+	for i := 0; i < nMirrors; i++ {
+		i := i
+		h.mirrorBk[i] = queue.NewBackup()
+		h.mains[i] = &Main{
+			LastProcessed: func() vclock.VC {
+				h.mu.Lock()
+				defer h.mu.Unlock()
+				return h.mainLast[i].Clone()
+			},
+		}
+		h.mirrors[i] = &Mirror{
+			ToMain:    func(e *event.Event) { h.mains[i].OnControl(e) },
+			ToCentral: func(e *event.Event) { h.coord.OnReply(e) },
+			Commit:    func(ts vclock.VC) { h.mirrorBk[i].Commit(ts) },
+		}
+		h.mains[i].Reply = func(e *event.Event) { h.mirrors[i].OnControl(e) }
+	}
+
+	h.coord.Broadcast = func(e *event.Event) {
+		for _, m := range h.mirrors {
+			m.OnControl(e.Clone())
+		}
+		centralMain.OnControl(e.Clone())
+	}
+	return h
+}
+
+func (h *harness) setProgress(central uint64, mirrors ...uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.centralRep = vclock.VC{central}
+	for i, m := range mirrors {
+		h.mainLast[i] = vclock.VC{m}
+	}
+}
+
+func (h *harness) feed(n uint64) {
+	for i := uint64(1); i <= n; i++ {
+		e := &event.Event{Type: event.TypeFAAPosition, Seq: i, Coalesced: 1, VT: vclock.VC{i}}
+		h.central.Append(e)
+		for _, bk := range h.mirrorBk {
+			bk.Append(e.Clone())
+		}
+	}
+}
+
+func TestRoundCommitsMinimum(t *testing.T) {
+	h := newHarness(2)
+	h.feed(10)
+	// Central main processed through 9; mirror mains through 7 and 5.
+	h.setProgress(9, 7, 5)
+	if !h.coord.Init() {
+		t.Fatal("Init returned false with a non-empty backup queue")
+	}
+	if len(h.commitsAt) != 1 {
+		t.Fatalf("commits = %d, want 1", len(h.commitsAt))
+	}
+	// Commit = min(propose=10, central=9, mirrors 7 and 5) = 5.
+	if got := h.commitsAt[0]; got.Compare(vclock.VC{5}) != vclock.Equal {
+		t.Fatalf("commit = %v, want <5>", got)
+	}
+	if h.central.Len() != 5 {
+		t.Fatalf("central backup len = %d, want 5", h.central.Len())
+	}
+	for i, bk := range h.mirrorBk {
+		if bk.Len() != 5 {
+			t.Fatalf("mirror %d backup len = %d, want 5", i, bk.Len())
+		}
+	}
+}
+
+func TestEmptyBackupSkipsRound(t *testing.T) {
+	h := newHarness(1)
+	if h.coord.Init() {
+		t.Fatal("Init must skip when backup queue is empty")
+	}
+	rounds, commits := h.coord.Stats()
+	if rounds != 0 || commits != 0 {
+		t.Fatalf("stats = %d rounds %d commits", rounds, commits)
+	}
+}
+
+func TestSuccessiveRoundsAdvance(t *testing.T) {
+	h := newHarness(1)
+	h.feed(4)
+	h.setProgress(4, 4)
+	h.coord.Init()
+	if h.central.Len() != 0 {
+		t.Fatalf("after full commit central backup = %d", h.central.Len())
+	}
+	h.feed(4) // seq 1..4 again is stale; feed stamps 1..4 — need fresh stamps
+	// Re-feed with higher stamps.
+	for i := uint64(5); i <= 8; i++ {
+		e := &event.Event{Type: event.TypeFAAPosition, Seq: i, Coalesced: 1, VT: vclock.VC{i}}
+		h.central.Append(e)
+		h.mirrorBk[0].Append(e.Clone())
+	}
+	h.setProgress(8, 6)
+	h.coord.Init()
+	if got := h.commitsAt[len(h.commitsAt)-1]; got.Compare(vclock.VC{6}) != vclock.Equal {
+		t.Fatalf("second commit = %v, want <6>", got)
+	}
+}
+
+func TestStaleReplyIgnored(t *testing.T) {
+	h := newHarness(1)
+	h.feed(5)
+	h.setProgress(5, 5)
+	h.coord.Init()
+	_, commits := h.coord.Stats()
+	// Inject a reply for a long-gone round; nothing should change.
+	stale := event.NewControl(event.TypeChkptReply, vclock.VC{1})
+	stale.Seq = 999
+	h.coord.OnReply(stale)
+	if _, c := h.coord.Stats(); c != commits {
+		t.Fatalf("stale reply caused a commit: %d -> %d", commits, c)
+	}
+}
+
+func TestDuplicateAndExtraRepliesIgnored(t *testing.T) {
+	h := newHarness(1)
+	h.feed(5)
+	h.setProgress(5, 5)
+	h.coord.Init()
+	// Round completed; a duplicate reply for the same round must not
+	// trigger another commit.
+	dup := event.NewControl(event.TypeChkptReply, vclock.VC{2})
+	dup.Seq = 1
+	h.coord.OnReply(dup)
+	if _, commits := h.coord.Stats(); commits != 1 {
+		t.Fatalf("commits = %d, want 1", commits)
+	}
+}
+
+func TestNonReplyEventIgnoredByCoordinator(t *testing.T) {
+	h := newHarness(1)
+	h.feed(3)
+	h.setProgress(3, 3)
+	h.coord.OnReply(event.NewControl(event.TypeCommit, vclock.VC{3})) // wrong type
+	if _, commits := h.coord.Stats(); commits != 0 {
+		t.Fatal("wrong-type event advanced the protocol")
+	}
+}
+
+func TestLaterRoundSubsumesAbandoned(t *testing.T) {
+	// Manually drive a coordinator whose participants never reply to
+	// round 1; round 2 must commit and round-1 replies arriving later
+	// must be ignored.
+	var sent []*event.Event
+	var committed []vclock.VC
+	proposals := []vclock.VC{{5}, {8}}
+	c := &Coordinator{
+		Propose:      func() vclock.VC { v := proposals[0]; proposals = proposals[1:]; return v },
+		Broadcast:    func(e *event.Event) { sent = append(sent, e) },
+		OnCommit:     func(ts vclock.VC) { committed = append(committed, ts) },
+		Participants: 1,
+	}
+	c.Init() // round 1, no replies
+	c.Init() // round 2 abandons round 1
+	rep := event.NewControl(event.TypeChkptReply, vclock.VC{7})
+	rep.Seq = 2
+	c.OnReply(rep)
+	if len(committed) != 1 || committed[0].Compare(vclock.VC{7}) != vclock.Equal {
+		t.Fatalf("committed = %v, want [<7>]", committed)
+	}
+	// Late reply for abandoned round 1.
+	late := event.NewControl(event.TypeChkptReply, vclock.VC{3})
+	late.Seq = 1
+	c.OnReply(late)
+	if len(committed) != 1 {
+		t.Fatalf("late round-1 reply caused commit: %v", committed)
+	}
+}
+
+func TestZeroParticipantsCommitsImmediately(t *testing.T) {
+	var committed []vclock.VC
+	c := &Coordinator{
+		Propose:      func() vclock.VC { return vclock.VC{4} },
+		Broadcast:    func(*event.Event) {},
+		OnCommit:     func(ts vclock.VC) { committed = append(committed, ts) },
+		Participants: 0,
+	}
+	c.Init()
+	if len(committed) != 1 || committed[0].Compare(vclock.VC{4}) != vclock.Equal {
+		t.Fatalf("committed = %v, want [<4>]", committed)
+	}
+}
+
+func TestMainRepliesMinOfProposalAndProgress(t *testing.T) {
+	var replies []*event.Event
+	m := &Main{
+		LastProcessed: func() vclock.VC { return vclock.VC{3} },
+		Reply:         func(e *event.Event) { replies = append(replies, e) },
+	}
+	chkpt := event.NewControl(event.TypeChkpt, vclock.VC{10})
+	chkpt.Seq = 7
+	m.OnControl(chkpt)
+	if len(replies) != 1 {
+		t.Fatalf("replies = %d", len(replies))
+	}
+	if replies[0].VT.Compare(vclock.VC{3}) != vclock.Equal {
+		t.Fatalf("reply VT = %v, want <3>", replies[0].VT)
+	}
+	if replies[0].Seq != 7 {
+		t.Fatalf("reply round = %d, want 7", replies[0].Seq)
+	}
+	// Progress ahead of proposal: reply capped at proposal.
+	m2 := &Main{
+		LastProcessed: func() vclock.VC { return vclock.VC{20} },
+		Reply:         func(e *event.Event) { replies = append(replies, e) },
+	}
+	m2.OnControl(chkpt)
+	if replies[1].VT.Compare(vclock.VC{10}) != vclock.Equal {
+		t.Fatalf("reply VT = %v, want <10>", replies[1].VT)
+	}
+}
+
+func TestMainWithNoProgressVotesZero(t *testing.T) {
+	var replies []*event.Event
+	m := &Main{
+		LastProcessed: func() vclock.VC { return nil },
+		Reply:         func(e *event.Event) { replies = append(replies, e) },
+	}
+	m.OnControl(event.NewControl(event.TypeChkpt, vclock.VC{10, 2}))
+	if len(replies) != 1 {
+		t.Fatal("no reply")
+	}
+	if replies[0].VT.Compare(vclock.VC{0, 0}) != vclock.Equal {
+		t.Fatalf("reply VT = %v, want <0,0>", replies[0].VT)
+	}
+}
+
+func TestMainCommitCallback(t *testing.T) {
+	var got vclock.VC
+	m := &Main{
+		LastProcessed: func() vclock.VC { return nil },
+		Reply:         func(*event.Event) {},
+		Commit:        func(ts vclock.VC) { got = ts },
+	}
+	m.OnControl(event.NewControl(event.TypeCommit, vclock.VC{6}))
+	if got.Compare(vclock.VC{6}) != vclock.Equal {
+		t.Fatalf("commit callback got %v", got)
+	}
+}
+
+func TestPiggybackDelivery(t *testing.T) {
+	var delivered [][]byte
+	coord := &Coordinator{
+		Propose:      func() vclock.VC { return vclock.VC{1} },
+		Participants: 1,
+		Piggyback:    func() []byte { return []byte("adapt:coalesce=20") },
+	}
+	mirror := &Mirror{
+		ToMain:      func(*event.Event) {},
+		ToCentral:   func(*event.Event) {},
+		OnPiggyback: func(b []byte) { delivered = append(delivered, b) },
+	}
+	coord.Broadcast = func(e *event.Event) { mirror.OnControl(e) }
+	coord.Init()
+	if len(delivered) != 1 || string(delivered[0]) != "adapt:coalesce=20" {
+		t.Fatalf("delivered = %q", delivered)
+	}
+}
+
+func TestCommitForTrimmedEventIgnored(t *testing.T) {
+	// Mirror receives a commit for a timestamp its backup queue has
+	// already trimmed; per the paper it is ignored (no state change,
+	// no error).
+	bk := queue.NewBackup()
+	bk.Append(&event.Event{VT: vclock.VC{1}, Coalesced: 1})
+	bk.Append(&event.Event{VT: vclock.VC{2}, Coalesced: 1})
+	bk.Commit(vclock.VC{2})
+	m := &Mirror{
+		ToMain:    func(*event.Event) {},
+		ToCentral: func(*event.Event) {},
+		Commit:    func(ts vclock.VC) { bk.Commit(ts) },
+	}
+	m.OnControl(event.NewControl(event.TypeCommit, vclock.VC{1}))
+	if bk.Len() != 0 {
+		t.Fatalf("backup len = %d", bk.Len())
+	}
+	if got := bk.Committed(); got.Compare(vclock.VC{2}) != vclock.Equal {
+		t.Fatalf("committed regressed to %v", got)
+	}
+}
+
+func TestConcurrentRepliesSafe(t *testing.T) {
+	c := &Coordinator{
+		Propose:      func() vclock.VC { return vclock.VC{100} },
+		Broadcast:    func(*event.Event) {},
+		OnCommit:     func(vclock.VC) {},
+		Participants: 8,
+	}
+	c.Init()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep := event.NewControl(event.TypeChkptReply, vclock.VC{uint64(10 + i)})
+			rep.Seq = 1
+			c.OnReply(rep)
+		}(i)
+	}
+	wg.Wait()
+	if _, commits := c.Stats(); commits != 1 {
+		t.Fatalf("commits = %d, want 1", commits)
+	}
+}
+
+func BenchmarkCheckpointRound(b *testing.B) {
+	h := newHarness(4)
+	h.feed(uint64(b.N%1000 + 100))
+	h.setProgress(50, 50, 50, 50, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.coord.Init()
+	}
+}

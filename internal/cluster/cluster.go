@@ -1,0 +1,462 @@
+// Package cluster assembles a mirrored OIS server — one central site
+// plus N mirror sites — over a choice of transports, and exposes the
+// handles experiments need: feeding events, draining the pipeline,
+// request targets, and the per-node virtual CPUs. It is the
+// reproduction's stand-in for the paper's 8-node Pentium III cluster.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/costmodel"
+	"adaptmirror/internal/echo"
+	"adaptmirror/internal/ede"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/metrics"
+	"adaptmirror/internal/simnet"
+)
+
+// Transport selects how sites are wired together.
+type Transport int
+
+// Available transports.
+const (
+	// TransportDirect wires sites with synchronous function calls —
+	// the fastest harness, used by most experiments (network cost is
+	// modeled by the cost model, matching the paper's observation
+	// that intra-cluster bandwidth is not the bottleneck).
+	TransportDirect Transport = iota
+	// TransportChannels wires sites with in-process ECho event
+	// channels (asynchronous per-subscriber dispatch).
+	TransportChannels
+	// TransportTCP wires sites with framed events over loopback TCP,
+	// optionally shaped by a simnet profile — the deployment path.
+	TransportTCP
+)
+
+// String names the transport.
+func (t Transport) String() string {
+	switch t {
+	case TransportDirect:
+		return "direct"
+	case TransportChannels:
+		return "channels"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("transport(%d)", int(t))
+	}
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Mirrors is the number of mirror sites.
+	Mirrors int
+	// Transport wires the sites (default TransportDirect).
+	Transport Transport
+	// Shaping applies to TCP links (TransportTCP only).
+	Shaping simnet.Profile
+	// Params are the initial mirroring parameters.
+	Params core.Params
+	// Model is the CPU cost model for every site.
+	Model costmodel.Model
+	// StatePadding inflates per-flight init-state size.
+	StatePadding int
+	// Streams is the input stream count (default 2: FAA + Delta).
+	Streams int
+	// NoMirror disables the mirroring path (baseline).
+	NoMirror bool
+	// NICOffload gives the central site a second processor hosting
+	// its auxiliary-unit work (the paper's planned IXP1200
+	// network-co-processor split).
+	NICOffload bool
+	// SeriesBin, when non-zero, records a delay time series with this
+	// bin width (Figure 9).
+	SeriesBin time.Duration
+	// OnMirrorSample forwards piggybacked mirror monitor samples
+	// (adaptation input).
+	OnMirrorSample func(core.Sample)
+	// ClientOut, when non-nil, additionally receives the central
+	// site's client update stream (thin clients, operations logs).
+	ClientOut core.Sender
+}
+
+// Cluster is a running mirrored server.
+type Cluster struct {
+	Central *core.Central
+	Mirrors []*core.MirrorSite
+
+	// CPUs[0] is the central node; CPUs[1..] the mirrors.
+	CPUs []*costmodel.CPU
+
+	// DelayHist records central update delays (Figures 7-9 metrics).
+	DelayHist *metrics.Histogram
+	// DelaySeries is non-nil when Config.SeriesBin was set.
+	DelaySeries *metrics.Series
+
+	// Updates counts state updates emitted to regular clients.
+	Updates *metrics.Counter
+
+	start     time.Time
+	closers   []func()
+	closeOnce sync.Once
+
+	sampleMu sync.Mutex
+	onSample func(core.Sample)
+}
+
+// SetOnMirrorSample installs (or replaces) the callback receiving the
+// monitor samples mirror sites piggyback on checkpoint replies. It
+// composes with Config.OnMirrorSample: both are invoked.
+func (cl *Cluster) SetOnMirrorSample(f func(core.Sample)) {
+	cl.sampleMu.Lock()
+	cl.onSample = f
+	cl.sampleMu.Unlock()
+}
+
+func (cl *Cluster) dispatchSample(s core.Sample, configured func(core.Sample)) {
+	if configured != nil {
+		configured(s)
+	}
+	cl.sampleMu.Lock()
+	f := cl.onSample
+	cl.sampleMu.Unlock()
+	if f != nil {
+		f(s)
+	}
+}
+
+// counterSink counts submissions (the regular-clients channel) and
+// forwards them to an optional downstream consumer.
+type counterSink struct {
+	c    *metrics.Counter
+	next core.Sender
+}
+
+func (s counterSink) Submit(e *event.Event) error {
+	s.c.Inc()
+	if s.next != nil {
+		return s.next.Submit(e)
+	}
+	return nil
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 2
+	}
+	cl := &Cluster{
+		DelayHist: metrics.NewHistogram(0),
+		Updates:   &metrics.Counter{},
+		start:     time.Now(),
+	}
+	if cfg.SeriesBin > 0 {
+		cl.DelaySeries = metrics.NewSeries(cl.start, cfg.SeriesBin)
+	}
+	for i := 0; i <= cfg.Mirrors; i++ {
+		cl.CPUs = append(cl.CPUs, &costmodel.CPU{})
+	}
+
+	mainCfg := core.MainConfig{
+		EDE:         edeConfig(cfg),
+		Out:         counterSink{c: cl.Updates, next: cfg.ClientOut},
+		DelayHist:   cl.DelayHist,
+		DelaySeries: cl.DelaySeries,
+	}
+
+	var links []core.MirrorLink
+	var err error
+	switch cfg.Transport {
+	case TransportDirect:
+		links = cl.wireDirect(cfg)
+	case TransportChannels:
+		links = cl.wireChannels(cfg)
+	case TransportTCP:
+		links, err = cl.wireTCP(cfg)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown transport %d", cfg.Transport)
+	}
+
+	var auxCPU *costmodel.CPU
+	if cfg.NICOffload {
+		auxCPU = &costmodel.CPU{}
+		cl.CPUs = append(cl.CPUs, auxCPU)
+	}
+	configured := cfg.OnMirrorSample
+	cl.Central = core.NewCentral(core.CentralConfig{
+		Streams:  cfg.Streams,
+		Params:   cfg.Params,
+		Model:    cfg.Model,
+		CPU:      cl.CPUs[0],
+		AuxCPU:   auxCPU,
+		Main:     mainCfg,
+		Mirrors:  links,
+		NoMirror: cfg.NoMirror,
+		OnMirrorSample: func(s core.Sample) {
+			cl.dispatchSample(s, configured)
+		},
+	})
+	cl.finishWiring()
+	return cl, nil
+}
+
+func edeConfig(cfg Config) ede.Config {
+	return ede.Config{Model: cfg.Model, StatePadding: cfg.StatePadding}
+}
+
+// Start returns the cluster construction instant (experiment t=0).
+func (cl *Cluster) Start() time.Time { return cl.start }
+
+// Targets returns the main units that serve client requests: the
+// mirror sites, or the central site when no mirrors exist.
+func (cl *Cluster) Targets() []*core.MainUnit {
+	if len(cl.Mirrors) == 0 {
+		return []*core.MainUnit{cl.Central.Main()}
+	}
+	out := make([]*core.MainUnit, len(cl.Mirrors))
+	for i, m := range cl.Mirrors {
+		out[i] = m.Main()
+	}
+	return out
+}
+
+// AllTargets returns every site's main unit — the central site acts
+// as the primary mirror in the paper's architecture, so experiment
+// request load is "evenly distributed across mirror sites" including
+// it (Figures 6-9).
+func (cl *Cluster) AllTargets() []*core.MainUnit {
+	out := []*core.MainUnit{cl.Central.Main()}
+	for _, m := range cl.Mirrors {
+		out = append(out, m.Main())
+	}
+	return out
+}
+
+// Feed ingests events in order, as fast as the central site admits
+// them.
+func (cl *Cluster) Feed(events []*event.Event) error {
+	for i, e := range events {
+		if err := cl.Central.Ingest(e); err != nil {
+			return fmt.Errorf("cluster: feeding event %d/%d: %w", i, len(events), err)
+		}
+	}
+	return nil
+}
+
+// FeedPaced ingests events at the given rate in events/second (0
+// behaves like Feed). Figure 9's time-series experiment paces its
+// stream so adaptation has a timeline to react on.
+func (cl *Cluster) FeedPaced(events []*event.Event, rate float64, stop <-chan struct{}) error {
+	if rate <= 0 {
+		return cl.Feed(events)
+	}
+	// Accumulate due events as the integral of the rate, dispatching
+	// batches per wake-up: accurate pacing at rates far above the
+	// host's sleep granularity.
+	start := time.Now()
+	sent := 0
+	for sent < len(events) {
+		select {
+		case <-stopCh(stop):
+			return nil
+		default:
+		}
+		due := int(time.Since(start).Seconds() * rate)
+		if due > len(events) {
+			due = len(events)
+		}
+		for ; sent < due; sent++ {
+			if err := cl.Central.Ingest(events[sent]); err != nil {
+				return fmt.Errorf("cluster: feeding event %d/%d: %w", sent, len(events), err)
+			}
+		}
+		if sent < len(events) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return nil
+}
+
+func stopCh(stop <-chan struct{}) <-chan struct{} {
+	if stop == nil {
+		return make(chan struct{}) // never ready
+	}
+	return stop
+}
+
+// DrainAll stops ingestion, waits until every site has received and
+// processed every event, runs a final checkpoint, and waits for all
+// booked CPU work to complete. It returns the wall-clock instant the
+// last site finished.
+func (cl *Cluster) DrainAll() time.Time {
+	cl.Central.Drain()
+	want := cl.Central.Stats().Mirrored
+	for _, m := range cl.Mirrors {
+		for m.Received() < want {
+			time.Sleep(200 * time.Microsecond)
+		}
+		m.Drain()
+	}
+	cl.Central.Checkpoint()
+	return costmodel.WaitIdle(cl.CPUs...)
+}
+
+// Close tears the cluster down.
+func (cl *Cluster) Close() {
+	cl.closeOnce.Do(func() {
+		if cl.Central != nil {
+			cl.Central.Close()
+		}
+		for _, m := range cl.Mirrors {
+			m.Close()
+		}
+		for i := len(cl.closers) - 1; i >= 0; i-- {
+			cl.closers[i]()
+		}
+	})
+}
+
+// --- wiring -----------------------------------------------------------
+
+type senderFunc func(*event.Event) error
+
+func (f senderFunc) Submit(e *event.Event) error { return f(e) }
+
+// wireDirect connects sites with synchronous calls. Mirrors are
+// created first; the central's links close over the slice.
+func (cl *Cluster) wireDirect(cfg Config) []core.MirrorLink {
+	links := make([]core.MirrorLink, cfg.Mirrors)
+	for i := 0; i < cfg.Mirrors; i++ {
+		i := i
+		m := core.NewMirrorSite(core.MirrorSiteConfig{
+			Main:   core.MainConfig{EDE: edeConfig(cfg)},
+			Model:  cfg.Model,
+			CPU:    cl.CPUs[i+1],
+			SiteID: uint8(i),
+			CtrlUp: senderFunc(func(e *event.Event) error {
+				cl.Central.HandleControl(e)
+				return nil
+			}),
+		})
+		cl.Mirrors = append(cl.Mirrors, m)
+		links[i] = core.MirrorLink{
+			Data: senderFunc(func(e *event.Event) error { m.HandleData(e); return nil }),
+			Ctrl: senderFunc(func(e *event.Event) error { m.HandleControl(e); return nil }),
+		}
+	}
+	return links
+}
+
+// wireChannels connects sites with in-process ECho channels.
+func (cl *Cluster) wireChannels(cfg Config) []core.MirrorLink {
+	links := make([]core.MirrorLink, cfg.Mirrors)
+	ctrlUp := echo.NewLocal("ctrl.up")
+	cl.closers = append(cl.closers, func() { ctrlUp.Close() })
+	ctrlUp.Subscribe(func(e *event.Event) { cl.Central.HandleControl(e) })
+	for i := 0; i < cfg.Mirrors; i++ {
+		m := core.NewMirrorSite(core.MirrorSiteConfig{
+			Main:   core.MainConfig{EDE: edeConfig(cfg)},
+			Model:  cfg.Model,
+			CPU:    cl.CPUs[i+1],
+			SiteID: uint8(i),
+			CtrlUp: ctrlUp,
+		})
+		cl.Mirrors = append(cl.Mirrors, m)
+		data := echo.NewLocal(fmt.Sprintf("data.%d", i))
+		ctrl := echo.NewLocal(fmt.Sprintf("ctrl.down.%d", i))
+		data.Subscribe(m.HandleData)
+		ctrl.Subscribe(m.HandleControl)
+		cl.closers = append(cl.closers, func() { data.Close(); ctrl.Close() })
+		links[i] = core.MirrorLink{Data: data, Ctrl: ctrl}
+	}
+	return links
+}
+
+// wireTCP connects sites over loopback TCP with optional shaping:
+// each mirror runs an ECho server exporting its data and control
+// channels; the central site dials shaped send links to each and runs
+// its own server for the shared control-up channel.
+func (cl *Cluster) wireTCP(cfg Config) ([]core.MirrorLink, error) {
+	// Central's control-up server.
+	upBus := echo.NewBus()
+	upCh, _ := upBus.Open("ctrl.up")
+	upCh.Subscribe(func(e *event.Event) { cl.Central.HandleControl(e) })
+	upLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: central listener: %w", err)
+	}
+	upSrv := echo.NewServer(upBus)
+	go upSrv.Serve(upLn)
+	cl.closers = append(cl.closers, func() { upSrv.Close(); upBus.Close() })
+
+	links := make([]core.MirrorLink, cfg.Mirrors)
+	for i := 0; i < cfg.Mirrors; i++ {
+		bus := echo.NewBus()
+		dataCh, _ := bus.Open("data")
+		ctrlCh, _ := bus.Open("ctrl.down")
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: mirror %d listener: %w", i, err)
+		}
+		srv := echo.NewServer(bus)
+		go srv.Serve(ln)
+		cl.closers = append(cl.closers, func() { srv.Close(); bus.Close() })
+
+		// Mirror's uplink to the central control channel.
+		upConn, err := simnet.Dial(upLn.Addr().String(), cfg.Shaping)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: mirror %d uplink: %w", i, err)
+		}
+		upLink, err := echo.NewSendLink(upConn, "ctrl.up")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: mirror %d uplink handshake: %w", i, err)
+		}
+		cl.closers = append(cl.closers, func() { upLink.Close() })
+
+		m := core.NewMirrorSite(core.MirrorSiteConfig{
+			Main:   core.MainConfig{EDE: edeConfig(cfg)},
+			Model:  cfg.Model,
+			CPU:    cl.CPUs[i+1],
+			SiteID: uint8(i),
+			CtrlUp: upLink,
+		})
+		cl.Mirrors = append(cl.Mirrors, m)
+		dataCh.Subscribe(m.HandleData)
+		ctrlCh.Subscribe(m.HandleControl)
+
+		// Central's downlinks to this mirror.
+		dataConn, err := simnet.Dial(ln.Addr().String(), cfg.Shaping)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: mirror %d data link: %w", i, err)
+		}
+		dataLink, err := echo.NewSendLink(dataConn, "data")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: mirror %d data handshake: %w", i, err)
+		}
+		ctrlConn, err := simnet.Dial(ln.Addr().String(), cfg.Shaping)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: mirror %d ctrl link: %w", i, err)
+		}
+		ctrlLink, err := echo.NewSendLink(ctrlConn, "ctrl.down")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: mirror %d ctrl handshake: %w", i, err)
+		}
+		cl.closers = append(cl.closers, func() { dataLink.Close(); ctrlLink.Close() })
+		links[i] = core.MirrorLink{Data: dataLink, Ctrl: ctrlLink}
+	}
+	return links, nil
+}
+
+// finishWiring is a hook for post-central-construction steps (the
+// direct transport's closures capture cl.Central lazily, so nothing is
+// needed today).
+func (cl *Cluster) finishWiring() {}

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"time"
+
+	"adaptmirror/internal/adapt"
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/costmodel"
+	"adaptmirror/internal/delta"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/faa"
+	"adaptmirror/internal/simnet"
+	"adaptmirror/internal/workload"
+)
+
+// Options parameterizes one experiment run: a workload (event stream
+// plus client request load), a mirroring configuration, and a cluster
+// topology. Each figure of the paper's evaluation is a sweep over one
+// or two of these fields.
+type Options struct {
+	// Topology.
+	Mirrors   int
+	NoMirror  bool
+	Transport Transport
+	Shaping   simnet.Profile
+
+	// Event stream.
+	Flights          int
+	UpdatesPerFlight int
+	EventSize        int
+	WithDelta        bool
+	Passengers       int
+	EventRate        float64 // events/second; 0 = feed at full speed
+
+	// Mirroring configuration.
+	Selective    int  // FAA overwrite length; 0 = simple mirroring
+	ComplexRules bool // install the paper's seq + tuple rules
+	Coalesce     bool
+	MaxCoalesce  int
+	ChkptFreq    int
+
+	// Client request load.
+	RequestRate     float64
+	TotalRequests   int
+	RequestPattern  workload.Pattern // overrides RequestRate when set
+	RequestDuration time.Duration
+	// RequestsToAllSites balances requests over the central site (the
+	// primary mirror) as well as the secondary mirrors, matching the
+	// paper's "evenly distributed across mirror sites".
+	RequestsToAllSites bool
+	// RequestsUntilDrained keeps the request generator running at the
+	// offered rate until the event stream has fully drained (the
+	// "constant request load" of Figures 6-8), instead of stopping at
+	// TotalRequests/RequestDuration.
+	RequestsUntilDrained bool
+
+	// Adaptation (Figure 9).
+	Adaptive           bool
+	Baseline, Degraded adapt.Regime
+	PendingPrimary     int
+	PendingSecondary   int
+	ReadyPrimary       int
+	ReadySecondary     int
+
+	// Misc.
+	StatePadding int
+	SeriesBin    time.Duration
+	Seed         int64
+	Model        costmodel.Model // zero value → costmodel.Default
+}
+
+// Result reports one experiment run.
+type Result struct {
+	// TotalTime is the wall-clock span from workload start until the
+	// last site finished all event processing and request service —
+	// the paper's "total execution time".
+	TotalTime time.Duration
+	// MeanDelay/P95Delay/MaxDelay summarize central update delays
+	// (ingress → EDE emission), the Figure 8/9 metric.
+	MeanDelay time.Duration
+	P95Delay  time.Duration
+	MaxDelay  time.Duration
+	// DelayBins is the per-bin mean update delay in microseconds when
+	// Options.SeriesBin was set.
+	DelayBins []float64
+	// Central are the central site's traffic counters.
+	Central core.CentralStats
+	// Requests summarizes the client load run.
+	Requests workload.Result
+	// Engages/Reverts count adaptation transitions.
+	Engages uint64
+	Reverts uint64
+}
+
+// zeroModel reports whether m is entirely unset.
+func zeroModel(m costmodel.Model) bool { return m == costmodel.Model{} }
+
+// BuildEvents generates the experiment's input stream: an FAA
+// position stream (stream 0), optionally interleaved with a Delta
+// lifecycle stream (stream 1) at a ~10:1 ratio.
+func BuildEvents(opts Options) []*event.Event {
+	faaGen := faa.New(faa.Config{
+		Flights:          opts.Flights,
+		UpdatesPerFlight: opts.UpdatesPerFlight,
+		EventSize:        opts.EventSize,
+		Stream:           0,
+		Seed:             opts.Seed + 1,
+	})
+	if !opts.WithDelta {
+		return faaGen.All()
+	}
+	deltaGen := delta.New(delta.Config{
+		Flights:    opts.Flights,
+		Passengers: opts.Passengers,
+		EventSize:  minInt(opts.EventSize, 256),
+		Stream:     1,
+		Seed:       opts.Seed + 2,
+	})
+	var out []*event.Event
+	for {
+		for i := 0; i < 10; i++ {
+			e, ok := faaGen.Next()
+			if !ok {
+				out = append(out, deltaGen.All()...)
+				return out
+			}
+			out = append(out, e)
+		}
+		if e, ok := deltaGen.Next(); ok {
+			out = append(out, e)
+		}
+		if faaGen.Remaining() == 0 && deltaGen.Remaining() == 0 {
+			return out
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RunExperiment executes one configuration and reports its result.
+func RunExperiment(opts Options) (Result, error) {
+	model := opts.Model
+	if zeroModel(model) {
+		model = costmodel.Default
+	}
+	var controller *adapt.Controller
+	cfg := Config{
+		Mirrors:      opts.Mirrors,
+		Transport:    opts.Transport,
+		Shaping:      opts.Shaping,
+		Model:        model,
+		StatePadding: opts.StatePadding,
+		NoMirror:     opts.NoMirror,
+		SeriesBin:    opts.SeriesBin,
+		Params: core.Params{
+			Coalesce:       opts.Coalesce,
+			MaxCoalesce:    opts.MaxCoalesce,
+			CheckpointFreq: opts.ChkptFreq,
+		},
+		OnMirrorSample: func(s core.Sample) {
+			if controller != nil {
+				controller.Observe(s)
+			}
+		},
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cl.Close()
+
+	// Mirroring configuration (Table-1 API calls).
+	if opts.Selective > 0 {
+		cl.Central.InstallSelective(opts.Selective)
+	} else if !opts.Adaptive {
+		cl.Central.InstallSimple()
+	}
+	if opts.ComplexRules {
+		cl.Central.SetComplexSeq(event.TypeDeltaStatus, event.StatusLanded, event.TypeFAAPosition)
+		cl.Central.SetComplexTuple(
+			[]event.Status{event.StatusLanded, event.StatusAtRunway, event.StatusAtGate},
+			event.TypeFlightArrived)
+	}
+	if opts.Adaptive {
+		controller = adapt.NewController(opts.Baseline, opts.Degraded, adapt.InstallRegime(cl.Central))
+		if opts.PendingPrimary > 0 {
+			controller.SetMonitorValues(adapt.VarPending, opts.PendingPrimary, opts.PendingSecondary)
+		}
+		if opts.ReadyPrimary > 0 {
+			controller.SetMonitorValues(adapt.VarReady, opts.ReadyPrimary, opts.ReadySecondary)
+		}
+		// Central observes its own sample and piggybacks the current
+		// regime on every checkpoint round.
+		cl.Central.SetPiggyback(func() []byte {
+			controller.Observe(cl.Central.Sample())
+			return adapt.EncodeRegime(controller.Current())
+		})
+	}
+
+	events := BuildEvents(opts)
+
+	start := time.Now()
+
+	// Client request load runs concurrently with the event stream.
+	var reqResult workload.Result
+	reqDone := make(chan struct{})
+	reqStop := make(chan struct{})
+	if opts.RequestPattern != nil || opts.RequestRate > 0 {
+		pattern := opts.RequestPattern
+		if pattern == nil {
+			pattern = workload.Constant{RPS: opts.RequestRate}
+		}
+		targets := cl.Targets()
+		if opts.RequestsToAllSites {
+			targets = cl.AllTargets()
+		}
+		var stop <-chan struct{}
+		if opts.RequestsUntilDrained {
+			stop = reqStop
+		}
+		go func() {
+			defer close(reqDone)
+			reqResult = workload.Run(workload.Config{
+				Pattern:       pattern,
+				Targets:       targets,
+				TotalRequests: opts.TotalRequests,
+				Duration:      opts.RequestDuration,
+				Stop:          stop,
+				Seed:          opts.Seed,
+			})
+		}()
+	} else {
+		close(reqDone)
+	}
+
+	if err := cl.FeedPaced(events, opts.EventRate, nil); err != nil {
+		return Result{}, err
+	}
+	cl.DrainAll()
+	close(reqStop)
+	<-reqDone
+	// Requests book CPU work too; wait for everything to complete.
+	// WaitIdle sleeps past every node's booked deadline, so wall
+	// clock here is the honest completion instant.
+	costmodel.WaitIdle(cl.CPUs...)
+
+	res := Result{
+		TotalTime: time.Since(start),
+		MeanDelay: cl.DelayHist.Mean(),
+		P95Delay:  cl.DelayHist.Percentile(95),
+		MaxDelay:  cl.DelayHist.Max(),
+		Central:   cl.Central.Stats(),
+		Requests:  reqResult,
+	}
+	if cl.DelaySeries != nil {
+		res.DelayBins = cl.DelaySeries.Bins()
+	}
+	if controller != nil {
+		res.Engages, res.Reverts = controller.Transitions()
+	}
+	return res, nil
+}

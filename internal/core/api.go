@@ -1,0 +1,103 @@
+package core
+
+import "adaptmirror/internal/event"
+
+// This file is the programmer-facing mirroring API of the paper's
+// Table 1. Each method corresponds to one API call; all of them may be
+// invoked at initialization or dynamically at runtime (directly or by
+// the adaptation mechanism).
+
+// SetParams is set_params(c, number, f): coalesce (c) up to number
+// events and set checkpointing frequency to f.
+func (c *Central) SetParams(coalesce bool, number, f int) {
+	c.params.update(func(p *Params) {
+		p.Coalesce = coalesce
+		p.MaxCoalesce = number
+		p.CheckpointFreq = f
+	})
+}
+
+// GetParams returns the current mirroring parameters.
+func (c *Central) GetParams() Params { return c.params.get() }
+
+// SetOverwrite is set_overwrite(t, l): allow overwriting of events of
+// type t with a maximum run length of l (one event of each run of l is
+// mirrored). l < 2 disables overwriting for t.
+func (c *Central) SetOverwrite(t event.Type, l int) { c.sem.SetOverwrite(t, l) }
+
+// SetComplexSeq is set_complex_seq(t1, value, t2): discard events of
+// type t2 for a flight after an event of type t1 with the given status
+// value has been observed. The paper's example discards FAA position
+// updates after a Delta 'flight landed' event:
+//
+//	c.SetComplexSeq(event.TypeDeltaStatus, event.StatusLanded, event.TypeFAAPosition)
+func (c *Central) SetComplexSeq(t1 event.Type, value event.Status, t2 event.Type) {
+	c.sem.AddSeqRule(SeqRule{Trigger: t1, TriggerStatus: value, Discard: t2})
+}
+
+// SetComplexTuple is set_complex_tuple(t, values, n): combine the n
+// events with the given status values into one complex event of type
+// out. The paper's example collapses 'flight landed', 'flight at
+// runway', and 'flight at gate' into 'flight arrived'.
+func (c *Central) SetComplexTuple(values []event.Status, out event.Type) {
+	c.sem.AddTupleRule(TupleRule{Statuses: values, Out: out})
+}
+
+// SetMirror is set_mirror(func): install a custom mirroring function.
+func (c *Central) SetMirror(fn MirrorFunc) {
+	if fn == nil {
+		fn = DefaultMirrorFunc
+	}
+	c.fnMu.Lock()
+	c.mirrorFn = fn
+	c.fnMu.Unlock()
+}
+
+// SetFwd is set_fwd(func): install a custom forwarding function.
+func (c *Central) SetFwd(fn FwdFunc) {
+	if fn == nil {
+		fn = DefaultFwdFunc
+	}
+	c.fnMu.Lock()
+	c.fwdFn = fn
+	c.fnMu.Unlock()
+}
+
+// AdjustParam is set_adapt(p_id, p)'s effect: modify parameter p_id by
+// pct percent (100 = unchanged). The adaptation mechanism invokes it
+// when a monitored variable crosses its primary threshold.
+func (c *Central) AdjustParam(id Param, pct int) {
+	switch id {
+	case ParamMaxCoalesce:
+		c.params.update(func(p *Params) {
+			p.MaxCoalesce = scalePct(p.MaxCoalesce, pct)
+		})
+	case ParamChkptFreq:
+		c.params.update(func(p *Params) {
+			p.CheckpointFreq = scalePct(p.CheckpointFreq, pct)
+		})
+	case ParamOverwriteLen:
+		c.sem.ScaleOverwrite(pct)
+	}
+}
+
+func scalePct(v, pct int) int {
+	nv := v * pct / 100
+	if nv < 1 {
+		nv = 1
+	}
+	return nv
+}
+
+// InstallSelective configures the paper's "selective mirroring"
+// function for FAA data: only the most recent event in each sequence
+// of up to l overwriting position events is mirrored.
+func (c *Central) InstallSelective(l int) {
+	c.SetOverwrite(event.TypeFAAPosition, l)
+	c.SetMirror(DefaultMirrorFunc)
+}
+
+// InstallSimple reverts to simple mirroring (every event mirrored).
+func (c *Central) InstallSimple() {
+	c.SetMirror(SimpleMirrorFunc)
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptmirror/internal/checkpoint"
+	"adaptmirror/internal/costmodel"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/queue"
+	"adaptmirror/internal/vclock"
+)
+
+// MirrorFunc decides, per event, what (if anything) to mirror. The
+// default applies the installed semantic rules; set_mirror() replaces
+// it (paper Table 1). The function may transform or suppress (return
+// nil) the event; it owns the passed event.
+type MirrorFunc func(sem *Semantics, e *event.Event) *event.Event
+
+// FwdFunc decides what the local main unit receives for each incoming
+// event; set_fwd() replaces the default (identity).
+type FwdFunc func(e *event.Event) *event.Event
+
+// DefaultMirrorFunc applies the semantic rule engine.
+func DefaultMirrorFunc(sem *Semantics, e *event.Event) *event.Event {
+	return sem.FilterForMirror(e)
+}
+
+// SimpleMirrorFunc mirrors every event unmodified (the paper's
+// "simple mirroring" baseline, ignoring all semantic rules).
+func SimpleMirrorFunc(_ *Semantics, e *event.Event) *event.Event { return e }
+
+// DefaultFwdFunc forwards every event unmodified.
+func DefaultFwdFunc(e *event.Event) *event.Event { return e }
+
+// MirrorLink is the central site's connection to one mirror site: a
+// data channel for mirrored events and a control channel for the
+// checkpoint/adaptation protocol. An optional Filter restricts which
+// events the site receives — the paper notes that "update events must
+// be mirrored both to sites that replicate local state and to sites
+// that need such events for functionally different tasks"; a filtered
+// link serves the latter (e.g. a weather-analytics site receiving only
+// weather events).
+type MirrorLink struct {
+	Data Sender
+	Ctrl Sender
+	// Filter, when non-nil, selects the events this site receives;
+	// nil mirrors everything.
+	Filter func(*event.Event) bool
+}
+
+// CentralConfig parameterizes a central site.
+type CentralConfig struct {
+	// Streams is the number of input streams (the vector timestamp
+	// width). Must cover every Stream index used by sources.
+	Streams int
+	// Params are the initial mirroring parameters (init()).
+	Params Params
+	// Model is the CPU cost model charged on the mirroring path.
+	Model costmodel.Model
+	// CPU is the central node's virtual processor, shared by the
+	// auxiliary unit's tasks and the main unit's EDE. Nil spins the
+	// real CPU for charges.
+	CPU *costmodel.CPU
+	// AuxCPU, when non-nil, hosts the auxiliary unit's mirroring and
+	// checkpointing work on its own processor — the paper's planned
+	// network-co-processor split ("splitting the functionality of the
+	// 'auxiliary' units between a host node and a NI-resident
+	// processing unit"). Nil keeps everything on CPU.
+	AuxCPU *costmodel.CPU
+	// Main configures the central main unit (EDE).
+	Main MainConfig
+	// Mirrors are the links to the mirror sites.
+	Mirrors []MirrorLink
+	// NoMirror disables the mirroring path entirely (the "no
+	// mirroring" baseline of Figure 4): events are only forwarded to
+	// the local main unit.
+	NoMirror bool
+	// IngestBuffer bounds the inbound raw-event buffer (default 8192).
+	IngestBuffer int
+	// OnMirrorSample, when non-nil, receives the monitored-variable
+	// samples mirror sites piggyback on their checkpoint replies.
+	OnMirrorSample func(Sample)
+}
+
+// Central is the central site: the primary mirror. Its auxiliary unit
+// runs the receiving, sending, and control tasks; its main unit runs
+// the EDE and emits state updates to regular clients.
+type Central struct {
+	cfg    CentralConfig
+	sem    *Semantics
+	params *paramBox
+	ready  *queue.Ready
+	backup *queue.Backup
+	main   *MainUnit
+	coord  *checkpoint.Coordinator
+
+	ingestMu     sync.RWMutex
+	in           chan *event.Event
+	ingestClosed bool
+
+	fnMu     sync.Mutex
+	mirrorFn MirrorFunc
+	fwdFn    FwdFunc
+
+	piggyMu   sync.Mutex
+	piggyback func() []byte
+
+	chkptTrigger chan struct{}
+	ctrlStop     chan struct{}
+
+	memberMu   sync.Mutex
+	membership *Membership
+
+	received  atomic.Uint64
+	mirrored  atomic.Uint64 // events sent to each mirror (per-mirror count)
+	mirroredW atomic.Uint64 // weighted raw events represented by mirrored ones
+	forwarded atomic.Uint64
+	sinceCk   atomic.Uint64
+
+	pipeWG    sync.WaitGroup // receiving + sending tasks
+	ctrlWG    sync.WaitGroup // control task
+	drainOnce sync.Once
+	closeOnce sync.Once
+}
+
+// NewCentral builds and starts a central site.
+func NewCentral(cfg CentralConfig) *Central {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 1
+	}
+	if cfg.IngestBuffer <= 0 {
+		cfg.IngestBuffer = 8192
+	}
+	if cfg.AuxCPU == nil {
+		cfg.AuxCPU = cfg.CPU
+	}
+	// The main unit shares the central node's processor, and its
+	// inbound queue back-pressures the sending task so the auxiliary
+	// unit cannot run unboundedly ahead of the EDE (on a real node
+	// the two contend for the same cycles).
+	cfg.Main.EDE.CPU = cfg.CPU
+	if cfg.Main.QueueCap == 0 {
+		cfg.Main.QueueCap = 8
+	}
+	c := &Central{
+		cfg:      cfg,
+		sem:      NewSemantics(),
+		params:   newParamBox(cfg.Params),
+		ready:    queue.NewReady(0),
+		backup:   queue.NewBackup(),
+		main:     NewMainUnit(cfg.Main),
+		in:       make(chan *event.Event, cfg.IngestBuffer),
+		mirrorFn: DefaultMirrorFunc,
+		fwdFn:    DefaultFwdFunc,
+		// Deep buffer: the sending task can mirror hundreds of events
+		// between scheduler yields, and every earned checkpoint round
+		// must eventually run (frequency is defined in events, not
+		// wall time).
+		chkptTrigger: make(chan struct{}, 4096),
+		ctrlStop:     make(chan struct{}),
+	}
+
+	// The central main unit participates in checkpointing directly:
+	// CHKPT events reach it through Broadcast and its replies go
+	// straight back to the coordinator.
+	mainPart := &checkpoint.Main{
+		LastProcessed: c.main.LastProcessed,
+		Reply:         func(e *event.Event) { c.coord.OnReply(e) },
+	}
+	c.coord = &checkpoint.Coordinator{
+		Propose: func() vclock.VC { return c.backup.Last() },
+		Broadcast: func(e *event.Event) {
+			for i, m := range cfg.Mirrors {
+				if !c.mirrorAlive(i) {
+					continue
+				}
+				_ = m.Ctrl.Submit(e.Clone())
+			}
+			mainPart.OnControl(e.Clone())
+		},
+		OnCommit:     func(ts vclock.VC) { c.backup.Commit(ts) },
+		Participants: len(cfg.Mirrors) + 1,
+		Piggyback:    c.takePiggyback,
+	}
+
+	c.pipeWG.Add(2)
+	go c.receivingTask()
+	go c.sendingTask()
+	c.ctrlWG.Add(1)
+	go c.controlTask()
+	return c
+}
+
+// Main exposes the central main unit.
+func (c *Central) Main() *MainUnit { return c.main }
+
+// Semantics exposes the rule engine (for the Table-1 API and tests).
+func (c *Central) Semantics() *Semantics { return c.sem }
+
+// Ingest accepts one raw event from a source stream. The event's
+// Stream field selects its vector-timestamp component.
+func (c *Central) Ingest(e *event.Event) error {
+	c.ingestMu.RLock()
+	defer c.ingestMu.RUnlock()
+	if c.ingestClosed {
+		return ErrUnitClosed
+	}
+	c.in <- e
+	return nil
+}
+
+// receivingTask timestamps incoming events and places them on the
+// ready queue (paper Section 3.1).
+func (c *Central) receivingTask() {
+	defer c.pipeWG.Done()
+	clock := vclock.New(c.cfg.Streams)
+	for e := range c.in {
+		clock = clock.Tick(int(e.Stream))
+		e.VT = clock.Clone()
+		e.Ingress = time.Now().UnixNano()
+		if e.Coalesced == 0 {
+			e.Coalesced = 1
+		}
+		c.received.Add(1)
+		if c.ready.Put(e) != nil {
+			return
+		}
+	}
+	c.ready.Close()
+}
+
+// sendingTask removes events from the ready queue, forwards them to
+// the main unit, applies the mirroring function, sends surviving
+// events to every mirror site, stores them in the backup queue, and
+// triggers checkpoints at the configured frequency.
+func (c *Central) sendingTask() {
+	defer c.pipeWG.Done()
+	defer c.main.DrainEvents()
+	for {
+		p := c.params.get()
+		max := 1
+		if p.Coalesce && !c.cfg.NoMirror {
+			max = p.MaxCoalesce
+		}
+		batch, err := c.ready.GetBatch(max)
+		if err != nil {
+			return
+		}
+
+		c.fnMu.Lock()
+		mirrorFn, fwdFn := c.mirrorFn, c.fwdFn
+		c.fnMu.Unlock()
+
+		// Forward the full stream to the local main unit: regular
+		// clients see unreduced state updates. Checkpointing runs at a
+		// frequency counted in processed events (the paper's "once per
+		// 50 processed events"), independent of how many survive the
+		// mirroring filter.
+		for _, e := range batch {
+			if fe := fwdFn(e); fe != nil {
+				if c.main.Deliver(fe) == nil {
+					c.forwarded.Add(1)
+				}
+			}
+			if !c.cfg.NoMirror && c.sinceCk.Add(1) >= uint64(p.CheckpointFreq) {
+				c.sinceCk.Store(0)
+				select {
+				case c.chkptTrigger <- struct{}{}:
+				default:
+				}
+			}
+		}
+		if c.cfg.NoMirror {
+			continue
+		}
+
+		// Mirror path: filter, optionally coalesce, send, back up.
+		filtered := make([]*event.Event, 0, len(batch))
+		for _, e := range batch {
+			if me := mirrorFn(c.sem, e.Clone()); me != nil {
+				filtered = append(filtered, me)
+			}
+		}
+		if p.Coalesce && len(filtered) > 1 {
+			filtered = c.sem.Coalesce(filtered)
+		}
+		for _, me := range filtered {
+			c.backup.Append(me)
+			// Event resubmission, queue management and copying cost
+			// once per event, plus a per-mirror submission charge.
+			c.cfg.AuxCPU.Charge(c.cfg.Model.SerializeCost(len(me.Payload)))
+			for i, m := range c.cfg.Mirrors {
+				if !c.mirrorAlive(i) {
+					continue
+				}
+				if m.Filter != nil && !m.Filter(me) {
+					continue
+				}
+				c.cfg.AuxCPU.Charge(c.cfg.Model.SubmitCost(len(me.Payload)))
+				_ = m.Data.Submit(me)
+			}
+			c.mirrored.Add(1)
+			c.mirroredW.Add(uint64(me.Weight()))
+		}
+	}
+}
+
+// controlTask runs checkpoint rounds when the sending task signals
+// that the configured number of events has been mirrored.
+func (c *Central) controlTask() {
+	defer c.ctrlWG.Done()
+	for {
+		select {
+		case <-c.chkptTrigger:
+			// The coordinator's own work is the fixed round cost;
+			// participants charge their backup-queue scans locally.
+			c.cfg.AuxCPU.ChargeAsync(c.cfg.Model.CheckpointBase)
+			c.runRound()
+		case <-c.ctrlStop:
+			return
+		}
+	}
+}
+
+// Checkpoint synchronously initiates one checkpoint round (the control
+// task triggers rounds automatically at the configured frequency; this
+// entry point serves final flushes and tests). It reports whether a
+// round ran.
+func (c *Central) Checkpoint() bool {
+	return c.runRound()
+}
+
+// runRound performs one checkpoint round with membership bookkeeping:
+// the round is counted against every live mirror before it starts, and
+// replies arriving during the round clear their site's miss counter.
+func (c *Central) runRound() bool {
+	if c.backup.Last() == nil {
+		return false
+	}
+	c.noteRoundStart()
+	return c.coord.Init()
+}
+
+// HandleControl processes a control event arriving from a mirror site
+// (checkpoint replies carrying piggybacked monitor samples).
+func (c *Central) HandleControl(e *event.Event) {
+	if e.Type == event.TypeChkptReply {
+		if c.cfg.OnMirrorSample != nil && len(e.Payload) > 0 {
+			if s, err := DecodeSample(e.Payload); err == nil {
+				c.cfg.OnMirrorSample(s)
+			}
+		}
+		c.noteReply(e)
+		c.coord.OnReply(e)
+	}
+}
+
+// SetPiggyback installs a provider whose bytes ride on the next CHKPT
+// broadcast (adaptation directives). The provider is consumed once
+// per checkpoint round.
+func (c *Central) SetPiggyback(f func() []byte) {
+	c.piggyMu.Lock()
+	c.piggyback = f
+	c.piggyMu.Unlock()
+}
+
+func (c *Central) takePiggyback() []byte {
+	c.piggyMu.Lock()
+	f := c.piggyback
+	c.piggyMu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f()
+}
+
+// Sample returns the central site's own monitored variables.
+func (c *Central) Sample() Sample {
+	return Sample{
+		Ready:   c.ready.Len(),
+		Backup:  c.backup.Len(),
+		Pending: c.main.PendingRequests(),
+	}
+}
+
+// Backup exposes the central backup queue (recovery, tests).
+func (c *Central) Backup() *queue.Backup { return c.backup }
+
+// Stats snapshot.
+type CentralStats struct {
+	Received       uint64 // raw events admitted
+	Forwarded      uint64 // events delivered to the central main unit
+	Mirrored       uint64 // events sent to each mirror site
+	MirroredWeight uint64 // raw events those mirrored events represent
+	ChkptRounds    uint64
+	ChkptCommits   uint64
+}
+
+// Stats returns traffic and protocol counters.
+func (c *Central) Stats() CentralStats {
+	rounds, commits := c.coord.Stats()
+	return CentralStats{
+		Received:       c.received.Load(),
+		Forwarded:      c.forwarded.Load(),
+		Mirrored:       c.mirrored.Load(),
+		MirroredWeight: c.mirroredW.Load(),
+		ChkptRounds:    rounds,
+		ChkptCommits:   commits,
+	}
+}
+
+// Drain stops ingestion and blocks until every admitted event has
+// flowed through the ready queue, the mirror path, and the central
+// EDE (the sending task drains the main unit's event queue before it
+// exits). Mirror sites drain on their own schedule.
+func (c *Central) Drain() {
+	c.drainOnce.Do(func() {
+		c.ingestMu.Lock()
+		c.ingestClosed = true
+		close(c.in)
+		c.ingestMu.Unlock()
+		c.pipeWG.Wait()
+	})
+}
+
+// Close drains the pipeline, stops the control task, and shuts the
+// main unit down. It blocks until all goroutines exit.
+func (c *Central) Close() {
+	c.closeOnce.Do(func() {
+		c.Drain()
+		close(c.ctrlStop)
+		c.ctrlWG.Wait()
+		c.main.Close()
+	})
+}

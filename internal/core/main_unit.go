@@ -1,0 +1,269 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptmirror/internal/ede"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/metrics"
+	"adaptmirror/internal/queue"
+	"adaptmirror/internal/vclock"
+)
+
+// Sender is the minimal outbound interface the framework needs from a
+// transport: both echo.LocalChannel and echo.SendLink satisfy it.
+type Sender interface {
+	Submit(*event.Event) error
+}
+
+// ErrUnitClosed is returned when submitting work to a closed unit.
+var ErrUnitClosed = errors.New("core: unit closed")
+
+// ErrBusy is returned when the pending request buffer is full.
+var ErrBusy = errors.New("core: request buffer full")
+
+// MainConfig parameterizes a MainUnit.
+type MainConfig struct {
+	// EDE configures the unit's Event Derivation Engine.
+	EDE ede.Config
+	// Out, when non-nil, receives the state updates the EDE emits to
+	// regular clients (only the central site sets this).
+	Out Sender
+	// DelayHist, when non-nil, records per-event update delays
+	// (ingress → emission), the metric of Figures 8 and 9.
+	DelayHist *metrics.Histogram
+	// DelaySeries, when non-nil, records update delays against wall
+	// time (Figure 9's time axis).
+	DelaySeries *metrics.Series
+	// RequestBuffer bounds the pending client request buffer; the
+	// buffer's length is one of the adaptation-monitored variables.
+	RequestBuffer int
+	// RequestWorkers is the number of goroutines serving client
+	// requests (default 1).
+	RequestWorkers int
+	// QueueCap bounds the inbound event queue; Deliver blocks when it
+	// is full, back-pressuring the feeding task to the EDE's pace.
+	// 0 leaves the queue unbounded.
+	QueueCap int
+}
+
+// InitRequest is one thin-client request for a fresh initialization
+// state.
+type InitRequest struct {
+	// EnqueuedAt is stamped when the request enters the buffer.
+	EnqueuedAt time.Time
+	// Resp receives the serialized initialization state; it is closed
+	// without a value if the unit shuts down first.
+	Resp chan []byte
+}
+
+// MainUnit hosts a site's EDE: it processes events forwarded by the
+// auxiliary unit, emits state updates (central site), answers
+// initialization-state requests (primarily mirror sites), and
+// participates in checkpointing by reporting its processing progress.
+type MainUnit struct {
+	engine *ede.Engine
+	cfg    MainConfig
+	in     *queue.Ready
+
+	reqMu     sync.RWMutex
+	reqQ      chan *InitRequest
+	reqClosed bool
+
+	pendingReqs atomic.Int64
+	servedReqs  atomic.Uint64
+	emitted     atomic.Uint64
+
+	procWG    sync.WaitGroup
+	reqWG     sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewMainUnit starts a main unit's processing and request-serving
+// goroutines.
+func NewMainUnit(cfg MainConfig) *MainUnit {
+	if cfg.RequestBuffer <= 0 {
+		cfg.RequestBuffer = 4096
+	}
+	if cfg.RequestWorkers <= 0 {
+		cfg.RequestWorkers = 1
+	}
+	m := &MainUnit{
+		engine: ede.New(cfg.EDE),
+		cfg:    cfg,
+		in:     queue.NewReady(cfg.QueueCap),
+		reqQ:   make(chan *InitRequest, cfg.RequestBuffer),
+	}
+	m.procWG.Add(1)
+	go m.processLoop()
+	for i := 0; i < cfg.RequestWorkers; i++ {
+		m.reqWG.Add(1)
+		go m.requestLoop()
+	}
+	return m
+}
+
+// Engine exposes the unit's EDE.
+func (m *MainUnit) Engine() *ede.Engine { return m.engine }
+
+// Deliver hands one forwarded event to the unit.
+func (m *MainUnit) Deliver(e *event.Event) error {
+	if err := m.in.Put(e); err != nil {
+		return ErrUnitClosed
+	}
+	return nil
+}
+
+func (m *MainUnit) processLoop() {
+	defer m.procWG.Done()
+	for {
+		e, err := m.in.Get()
+		if err != nil {
+			return
+		}
+		// The emission instant comes from the node's timeline (the
+		// virtual-CPU charge), so update delays reflect the node's
+		// booked processing, not the host's scheduling.
+		derived, done := m.engine.Process(e)
+		if e.Ingress != 0 && (m.cfg.DelayHist != nil || m.cfg.DelaySeries != nil) {
+			delay := e.Age(done)
+			if delay < 0 {
+				// The virtual CPU's catch-up window can book work
+				// slightly in the past; an event cannot complete
+				// before it arrived.
+				delay = 0
+			}
+			if m.cfg.DelayHist != nil {
+				m.cfg.DelayHist.Record(delay)
+			}
+			if m.cfg.DelaySeries != nil {
+				m.cfg.DelaySeries.Observe(done, float64(delay)/float64(time.Microsecond))
+			}
+		}
+		if m.cfg.Out != nil {
+			// Position updates carry the source payload so thin
+			// clients can advance their local views from the stream
+			// alone; other updates are identified by their Status
+			// field and payloads are not forwarded (clients receive
+			// derived events for boarding/arrival).
+			var payload []byte
+			if e.Type == event.TypeFAAPosition {
+				payload = e.Payload
+			}
+			update := &event.Event{
+				Type:      event.TypeStateUpdate,
+				Flight:    e.Flight,
+				Stream:    e.Stream,
+				Seq:       e.Seq,
+				Status:    e.Status,
+				Coalesced: e.Weight(),
+				VT:        e.VT,
+				Ingress:   e.Ingress,
+				Payload:   payload,
+			}
+			if m.cfg.Out.Submit(update) == nil {
+				m.emitted.Add(1)
+			}
+			for _, d := range derived {
+				if m.cfg.Out.Submit(d) == nil {
+					m.emitted.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// Request enqueues a client init-state request. It returns
+// ErrUnitClosed after Close and ErrBusy when the pending buffer is
+// full.
+func (m *MainUnit) Request(r *InitRequest) error {
+	m.reqMu.RLock()
+	defer m.reqMu.RUnlock()
+	if m.reqClosed {
+		return ErrUnitClosed
+	}
+	r.EnqueuedAt = time.Now()
+	select {
+	case m.reqQ <- r:
+		m.pendingReqs.Add(1)
+		return nil
+	default:
+		return ErrBusy
+	}
+}
+
+// RequestInitState performs a synchronous init-state request.
+func (m *MainUnit) RequestInitState() ([]byte, error) {
+	r := &InitRequest{Resp: make(chan []byte, 1)}
+	if err := m.Request(r); err != nil {
+		return nil, err
+	}
+	state, ok := <-r.Resp
+	if !ok {
+		return nil, ErrUnitClosed
+	}
+	return state, nil
+}
+
+func (m *MainUnit) requestLoop() {
+	defer m.reqWG.Done()
+	for r := range m.reqQ {
+		state := m.engine.ServeInitState()
+		m.pendingReqs.Add(-1)
+		m.servedReqs.Add(1)
+		if r.Resp != nil {
+			r.Resp <- state
+		}
+	}
+}
+
+// PendingRequests returns the current depth of the client request
+// buffer (an adaptation-monitored variable).
+func (m *MainUnit) PendingRequests() int {
+	n := m.pendingReqs.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// ServedRequests returns the number of requests answered.
+func (m *MainUnit) ServedRequests() uint64 { return m.servedReqs.Load() }
+
+// EmittedUpdates returns the number of output events sent to clients.
+func (m *MainUnit) EmittedUpdates() uint64 { return m.emitted.Load() }
+
+// Processed returns the weighted number of events applied by the EDE.
+func (m *MainUnit) Processed() uint64 { return m.engine.State().Processed() }
+
+// LastProcessed reports EDE progress for checkpointing.
+func (m *MainUnit) LastProcessed() vclock.VC { return m.engine.LastProcessed() }
+
+// QueueLen returns the depth of the unit's inbound event queue.
+func (m *MainUnit) QueueLen() int { return m.in.Len() }
+
+// DrainEvents stops accepting events and blocks until every delivered
+// event has been processed. Request serving stays available until
+// Close.
+func (m *MainUnit) DrainEvents() {
+	m.in.Close()
+	m.procWG.Wait()
+}
+
+// Close shuts the unit down: the inbound event queue is drained, then
+// request workers finish buffered requests and stop. Close blocks
+// until all goroutines exit.
+func (m *MainUnit) Close() {
+	m.closeOnce.Do(func() {
+		m.in.Close()
+		m.procWG.Wait()
+		m.reqMu.Lock()
+		m.reqClosed = true
+		close(m.reqQ)
+		m.reqMu.Unlock()
+		m.reqWG.Wait()
+	})
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptmirror/internal/event"
+)
+
+// failableLink wraps a sender with a kill switch.
+type failableLink struct {
+	dead atomic.Bool
+	fn   senderFunc
+}
+
+func (l *failableLink) Submit(e *event.Event) error {
+	if l.dead.Load() {
+		return ErrUnitClosed
+	}
+	return l.fn(e)
+}
+
+// membershipRig wires a central with two mirrors whose links can be
+// severed.
+type membershipRig struct {
+	central *Central
+	mirrors []*MirrorSite
+	links   []*failableLink // data+ctrl per mirror, interleaved
+	member  *Membership
+}
+
+func newMembershipRig(t *testing.T, missedRounds int) *membershipRig {
+	t.Helper()
+	r := &membershipRig{}
+	var coreLinks []MirrorLink
+	for i := 0; i < 2; i++ {
+		i := i
+		data := &failableLink{fn: func(e *event.Event) error { r.mirrors[i].HandleData(e); return nil }}
+		ctrl := &failableLink{fn: func(e *event.Event) error { r.mirrors[i].HandleControl(e); return nil }}
+		r.links = append(r.links, data, ctrl)
+		coreLinks = append(coreLinks, MirrorLink{Data: data, Ctrl: ctrl})
+	}
+	r.central = NewCentral(CentralConfig{Streams: 1, Mirrors: coreLinks})
+	for i := 0; i < 2; i++ {
+		r.mirrors = append(r.mirrors, NewMirrorSite(MirrorSiteConfig{
+			SiteID: uint8(i),
+			CtrlUp: senderFunc(func(e *event.Event) error { r.central.HandleControl(e); return nil }),
+		}))
+	}
+	r.member = NewMembership(r.central, MembershipConfig{MissedRounds: missedRounds})
+	t.Cleanup(func() {
+		r.central.Close()
+		for _, m := range r.mirrors {
+			m.Close()
+		}
+	})
+	return r
+}
+
+func (r *membershipRig) kill(mirror int) {
+	r.links[2*mirror].dead.Store(true)
+	r.links[2*mirror+1].dead.Store(true)
+}
+
+func (r *membershipRig) revive(mirror int) {
+	r.links[2*mirror].dead.Store(false)
+	r.links[2*mirror+1].dead.Store(false)
+}
+
+func (r *membershipRig) feed(t *testing.T, from, n uint64) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if err := r.central.Ingest(event.NewPosition(event.FlightID(1+i%3), i, 0, 0, 0, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func (r *membershipRig) settle() {
+	// Give the asynchronous pipeline a moment to process.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.central.ready.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+}
+
+func TestHealthyClusterStaysAdmitted(t *testing.T) {
+	r := newMembershipRig(t, 3)
+	r.central.SetParams(false, 1, 10)
+	r.feed(t, 1, 200)
+	r.settle()
+	for i := 0; i < 10; i++ {
+		r.central.Checkpoint()
+	}
+	if got := r.member.Live(); got != 2 {
+		t.Fatalf("Live = %d, want 2", got)
+	}
+	if failed := r.member.Failed(); len(failed) != 0 {
+		t.Fatalf("Failed = %v, want none", failed)
+	}
+}
+
+func TestDeadMirrorExcludedAndCommitsResume(t *testing.T) {
+	r := newMembershipRig(t, 3)
+	r.central.SetParams(false, 1, 1<<30) // manual rounds only
+	r.feed(t, 1, 100)
+	r.settle()
+
+	r.kill(1)
+	// Rounds run; mirror 1 never replies. After MissedRounds, it is
+	// excluded and rounds complete with the remaining quorum.
+	for i := 0; i < 5; i++ {
+		r.central.Checkpoint()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if failed := r.member.Failed(); len(failed) != 1 || failed[0] != 1 {
+		t.Fatalf("Failed = %v, want [1]", failed)
+	}
+	if r.member.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", r.member.Live())
+	}
+	// Post-exclusion rounds commit with the healthy quorum, so new
+	// traffic keeps being trimmed instead of accumulating forever.
+	r.feed(t, 5000, 50)
+	r.settle()
+	r.central.Checkpoint()
+	time.Sleep(2 * time.Millisecond)
+	if after := r.central.Backup().Len(); after >= 50 {
+		t.Fatalf("backup stuck at %d after exclusion; commits did not resume", after)
+	}
+}
+
+func TestExcludedMirrorReceivesNoTraffic(t *testing.T) {
+	r := newMembershipRig(t, 2)
+	r.central.SetParams(false, 1, 1<<30)
+	r.feed(t, 1, 50)
+	r.settle()
+	r.kill(1)
+	for i := 0; i < 4; i++ {
+		r.central.Checkpoint()
+		time.Sleep(time.Millisecond)
+	}
+	if len(r.member.Failed()) != 1 {
+		t.Fatalf("mirror 1 not excluded: %v", r.member.Failed())
+	}
+	// Revive the link but do NOT rejoin: excluded mirrors get nothing.
+	r.revive(1)
+	before := r.mirrors[1].Received()
+	r.feed(t, 1000, 50)
+	r.settle()
+	if got := r.mirrors[1].Received(); got != before {
+		t.Fatalf("excluded mirror received %d new events", got-before)
+	}
+	// The live mirror keeps receiving.
+	if got := r.mirrors[0].Received(); got < 100 {
+		t.Fatalf("live mirror received only %d", got)
+	}
+}
+
+func TestRejoinRestoresReplicationAndQuorum(t *testing.T) {
+	r := newMembershipRig(t, 2)
+	r.central.SetParams(false, 1, 1<<30)
+	r.feed(t, 1, 60)
+	r.settle()
+	r.kill(1)
+	for i := 0; i < 4; i++ {
+		r.central.Checkpoint()
+		time.Sleep(time.Millisecond)
+	}
+	if len(r.member.Failed()) != 1 {
+		t.Fatal("mirror 1 not excluded")
+	}
+
+	// The mirror comes back: replace it with a fresh site (its state
+	// was lost) and rejoin.
+	r.mirrors[1].Close()
+	r.mirrors[1] = NewMirrorSite(MirrorSiteConfig{
+		SiteID: 1,
+		CtrlUp: senderFunc(func(e *event.Event) error { r.central.HandleControl(e); return nil }),
+	})
+	r.revive(1)
+	// After the healthy quorum committed, the backup may be fully
+	// trimmed — the state snapshot alone then carries recovery, and
+	// replayed can legitimately be zero.
+	replayed, err := r.member.Rejoin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed > 0 && r.mirrors[1].Received() == 0 {
+		t.Fatal("replayed events never reached the rejoined mirror")
+	}
+	if r.member.Live() != 2 {
+		t.Fatalf("Live = %d after rejoin, want 2", r.member.Live())
+	}
+
+	// New traffic reaches the rejoined mirror again.
+	r.feed(t, 2000, 30)
+	r.settle()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.mirrors[1].Processed() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if r.mirrors[1].Processed() == 0 {
+		t.Fatal("rejoined mirror processed nothing")
+	}
+}
+
+func TestRejoinValidation(t *testing.T) {
+	r := newMembershipRig(t, 2)
+	if _, err := r.member.Rejoin(0); err == nil {
+		t.Fatal("rejoining a live mirror must fail")
+	}
+	if _, err := r.member.Rejoin(9); err == nil {
+		t.Fatal("rejoining an unknown mirror must fail")
+	}
+}
+
+func TestMembershipCallbacks(t *testing.T) {
+	var failures, rejoins atomic.Int64
+	r := &membershipRig{}
+	var coreLinks []MirrorLink
+	data := &failableLink{fn: func(e *event.Event) error { r.mirrors[0].HandleData(e); return nil }}
+	ctrl := &failableLink{fn: func(e *event.Event) error { r.mirrors[0].HandleControl(e); return nil }}
+	r.links = append(r.links, data, ctrl)
+	coreLinks = append(coreLinks, MirrorLink{Data: data, Ctrl: ctrl})
+	r.central = NewCentral(CentralConfig{Streams: 1, Mirrors: coreLinks})
+	r.mirrors = append(r.mirrors, NewMirrorSite(MirrorSiteConfig{
+		SiteID: 0,
+		CtrlUp: senderFunc(func(e *event.Event) error { r.central.HandleControl(e); return nil }),
+	}))
+	r.member = NewMembership(r.central, MembershipConfig{
+		MissedRounds: 1,
+		OnFailure:    func(int) { failures.Add(1) },
+		OnRejoin:     func(int) { rejoins.Add(1) },
+	})
+	defer r.central.Close()
+	defer r.mirrors[0].Close()
+
+	r.central.SetParams(false, 1, 1<<30)
+	r.feed(t, 1, 20)
+	r.settle()
+	r.kill(0)
+	for i := 0; i < 3; i++ {
+		r.central.Checkpoint()
+		time.Sleep(time.Millisecond)
+	}
+	if failures.Load() != 1 {
+		t.Fatalf("failure callbacks = %d, want 1", failures.Load())
+	}
+	r.revive(0)
+	if _, err := r.member.Rejoin(0); err != nil {
+		t.Fatal(err)
+	}
+	if rejoins.Load() != 1 {
+		t.Fatalf("rejoin callbacks = %d, want 1", rejoins.Load())
+	}
+}

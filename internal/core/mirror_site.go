@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptmirror/internal/checkpoint"
+	"adaptmirror/internal/costmodel"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/queue"
+	"adaptmirror/internal/vclock"
+)
+
+// MirrorSiteConfig parameterizes a mirror site.
+type MirrorSiteConfig struct {
+	// Main configures the site's main unit (EDE replica).
+	Main MainConfig
+	// Model is the CPU cost model for control-event handling.
+	Model costmodel.Model
+	// CPU is the mirror node's virtual processor, shared by its
+	// auxiliary and main units. Nil spins the real CPU.
+	CPU *costmodel.CPU
+	// CtrlUp sends control events to the central site (checkpoint
+	// replies with piggybacked monitor samples).
+	CtrlUp Sender
+	// SiteID identifies this mirror at the central site (its index in
+	// the central's Mirrors slice); it is stamped into the Stream
+	// field of control replies for membership tracking.
+	SiteID uint8
+	// OnPiggyback, when non-nil, receives adaptation bytes attached to
+	// CHKPT events by the central site.
+	OnPiggyback func([]byte)
+}
+
+// MirrorSite is a secondary mirror: its auxiliary unit receives
+// mirrored events, retains them in a backup queue until checkpoint
+// commit, and forwards them to the local main unit, whose replicated
+// state serves client initialization requests.
+type MirrorSite struct {
+	cfg    MirrorSiteConfig
+	ready  *queue.Ready
+	backup *queue.Backup
+	main   *MainUnit
+	aux    *checkpoint.Mirror
+
+	received atomic.Uint64
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewMirrorSite builds and starts a mirror site.
+func NewMirrorSite(cfg MirrorSiteConfig) *MirrorSite {
+	cfg.Main.EDE.CPU = cfg.CPU
+	m := &MirrorSite{
+		cfg:    cfg,
+		ready:  queue.NewReady(0),
+		backup: queue.NewBackup(),
+		main:   NewMainUnit(cfg.Main),
+	}
+	mainPart := &checkpoint.Main{
+		LastProcessed: m.main.LastProcessed,
+	}
+	m.aux = &checkpoint.Mirror{
+		ToMain: func(e *event.Event) { mainPart.OnControl(e) },
+		ToCentral: func(e *event.Event) {
+			// Piggyback the site's monitored variables on the reply
+			// so central adaptation sees this site's load, and stamp
+			// the site identity for membership tracking.
+			e.Payload = EncodeSample(m.Sample())
+			e.Stream = cfg.SiteID
+			if cfg.CtrlUp != nil {
+				_ = cfg.CtrlUp.Submit(e)
+			}
+		},
+		Commit:      func(ts vclock.VC) { m.backup.Commit(ts) },
+		OnPiggyback: cfg.OnPiggyback,
+	}
+	// The main unit's checkpoint replies flow back through the aux
+	// state machine (Figure 3: main sends chkpt_rep to aux, aux
+	// forwards to central).
+	mainPart.Reply = func(e *event.Event) { m.aux.OnControl(e) }
+
+	m.wg.Add(1)
+	go m.forwardTask()
+	return m
+}
+
+// Main exposes the site's main unit.
+func (m *MirrorSite) Main() *MainUnit { return m.main }
+
+// Backup exposes the site's backup queue.
+func (m *MirrorSite) Backup() *queue.Backup { return m.backup }
+
+// HandleData accepts one mirrored event from the central site.
+func (m *MirrorSite) HandleData(e *event.Event) {
+	m.received.Add(1)
+	m.backup.Append(e)
+	_ = m.ready.Put(e)
+}
+
+// HandleControl accepts one control event from the central site.
+// CHKPT and COMMIT handling scans the local backup queue (answering
+// the proposal, trimming on commit), so their cost grows with the
+// site's backlog — the mechanism that makes checkpointing frequency
+// matter under load (paper Figure 7).
+func (m *MirrorSite) HandleControl(e *event.Event) {
+	cost := m.cfg.Model.ControlCost
+	if e.Type == event.TypeChkpt || e.Type == event.TypeCommit {
+		// Answering a proposal and trimming on commit scan the local
+		// backup queue.
+		cost += time.Duration(m.backup.Len()) * m.cfg.Model.CheckpointPerBacklog
+	}
+	m.cfg.CPU.ChargeAsync(cost)
+	m.aux.OnControl(e)
+}
+
+// forwardTask moves mirrored events from the ready queue to the local
+// main unit.
+func (m *MirrorSite) forwardTask() {
+	defer m.wg.Done()
+	defer m.main.DrainEvents()
+	for {
+		e, err := m.ready.Get()
+		if err != nil {
+			return
+		}
+		_ = m.main.Deliver(e)
+	}
+}
+
+// Sample returns the site's monitored variables.
+func (m *MirrorSite) Sample() Sample {
+	return Sample{
+		Ready:   m.ready.Len(),
+		Backup:  m.backup.Len(),
+		Pending: m.main.PendingRequests(),
+	}
+}
+
+// Received returns the number of mirrored events accepted.
+func (m *MirrorSite) Received() uint64 { return m.received.Load() }
+
+// Processed returns the weighted number of events applied by the EDE.
+func (m *MirrorSite) Processed() uint64 { return m.main.Processed() }
+
+// Drain stops accepting data events and blocks until every received
+// event has been processed by the EDE. Control handling and request
+// serving stay available until Close.
+func (m *MirrorSite) Drain() {
+	m.ready.Close()
+	m.wg.Wait()
+}
+
+// Close drains the site and shuts its main unit down.
+func (m *MirrorSite) Close() {
+	m.closeOnce.Do(func() {
+		m.Drain()
+		m.main.Close()
+	})
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Sample is one observation of the variables the adaptation mechanism
+// monitors (paper Section 3.2.2): the lengths of the ready and backup
+// queues and the depth of the application-level buffer of pending
+// client requests. Mirror sites attach an encoded Sample to their
+// CHKPT_REP control events so adaptation decisions at the central site
+// see the whole cluster without extra traffic.
+type Sample struct {
+	Ready   int
+	Backup  int
+	Pending int
+}
+
+// Max returns the component-wise maximum of s and o — the aggregation
+// the central decision-maker applies across sites.
+func (s Sample) Max(o Sample) Sample {
+	if o.Ready > s.Ready {
+		s.Ready = o.Ready
+	}
+	if o.Backup > s.Backup {
+		s.Backup = o.Backup
+	}
+	if o.Pending > s.Pending {
+		s.Pending = o.Pending
+	}
+	return s
+}
+
+// sampleWire is the encoded size of a Sample.
+const sampleWire = 12
+
+// EncodeSample serializes s for piggybacking on control events.
+func EncodeSample(s Sample) []byte {
+	b := make([]byte, sampleWire)
+	binary.LittleEndian.PutUint32(b[0:], uint32(s.Ready))
+	binary.LittleEndian.PutUint32(b[4:], uint32(s.Backup))
+	binary.LittleEndian.PutUint32(b[8:], uint32(s.Pending))
+	return b
+}
+
+// DecodeSample parses a Sample encoded by EncodeSample.
+func DecodeSample(b []byte) (Sample, error) {
+	if len(b) < sampleWire {
+		return Sample{}, fmt.Errorf("core: sample too short: %d bytes", len(b))
+	}
+	return Sample{
+		Ready:   int(binary.LittleEndian.Uint32(b[0:])),
+		Backup:  int(binary.LittleEndian.Uint32(b[4:])),
+		Pending: int(binary.LittleEndian.Uint32(b[8:])),
+	}, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"adaptmirror/internal/event"
+)
+
+// Recovery support is listed as future work in the paper ("extending
+// the mirroring infrastructure with recovery support, for both client
+// failures, and failures of a node within the cluster server"); this
+// file implements the server-node half: a mirror site that lost state
+// (crash, restart) is brought back by replaying the central backup
+// queue, which by construction still holds every mirrored event not
+// yet covered by a checkpoint commit, preceded by a state snapshot
+// covering the committed prefix.
+
+// RecoverySnapshot is what a rejoining mirror needs: the central EDE
+// state as of now plus the uncommitted backup events. Replaying the
+// snapshot then the events (idempotent rules make replay of the
+// overlap harmless) reconstructs a mirror replica.
+type RecoverySnapshot struct {
+	// State is the serialized central EDE state (ede.Snapshot format).
+	State []byte
+	// Events are the retained backup-queue events in timestamp order.
+	Events []*event.Event
+}
+
+// BuildRecovery assembles a recovery snapshot for a rejoining mirror.
+func (c *Central) BuildRecovery() RecoverySnapshot {
+	return RecoverySnapshot{
+		State:  c.main.Engine().State().Snapshot(),
+		Events: c.backup.Snapshot(),
+	}
+}
+
+// RecoverMirror pushes a recovery snapshot to a mirror site's data
+// link: the state snapshot travels as a single TypeStateUpdate event
+// whose payload is the serialized state, followed by the backup
+// events. It returns the number of events replayed.
+func (c *Central) RecoverMirror(link Sender) (int, error) {
+	snap := c.BuildRecovery()
+	stateEv := &event.Event{
+		Type:      event.TypeStateUpdate,
+		Coalesced: 1,
+		Payload:   snap.State,
+	}
+	if err := link.Submit(stateEv); err != nil {
+		return 0, fmt.Errorf("core: recovery state transfer: %w", err)
+	}
+	for i, e := range snap.Events {
+		if err := link.Submit(e); err != nil {
+			return i, fmt.Errorf("core: recovery replay at %d/%d: %w", i, len(snap.Events), err)
+		}
+	}
+	return len(snap.Events), nil
+}
+
+// HandleRecoveryRequest serves a TypeRecoveryRequest control event by
+// replaying to the identified mirror link. The requesting site's index
+// travels in the event's Seq field.
+func (c *Central) HandleRecoveryRequest(e *event.Event) (int, error) {
+	if e.Type != event.TypeRecoveryRequest {
+		return 0, fmt.Errorf("core: not a recovery request: %s", e.Type)
+	}
+	idx := int(e.Seq)
+	if idx < 0 || idx >= len(c.cfg.Mirrors) {
+		return 0, fmt.Errorf("core: recovery request for unknown mirror %d", idx)
+	}
+	return c.RecoverMirror(c.cfg.Mirrors[idx].Data)
+}

@@ -1,0 +1,245 @@
+// Package core implements the paper's contribution: the middleware
+// mirroring framework. A central site's auxiliary unit runs three
+// tasks — receiving, sending, and control (paper Section 3.1) — around
+// a ready queue, a backup queue, and a status table. The sending task
+// mirrors events to mirror sites and forwards them to the local main
+// unit; semantic rules (overwriting, complex sequences, complex
+// tuples, coalescing) reduce mirror traffic; the control task runs the
+// checkpoint protocol and the adaptation exchange. Mirror sites run a
+// reduced auxiliary unit plus an identical main unit (EDE), making
+// their application states replicas that can serve client requests.
+package core
+
+import (
+	"sync"
+
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/queue"
+)
+
+// SeqRule is the set_complex_seq(t1, value, t2) rule: once an event of
+// type Trigger with status TriggerStatus has been seen for a flight,
+// subsequent events of type Discard for that flight are discarded.
+// The paper's example: discard FAA position updates after a Delta
+// 'flight landed' event.
+type SeqRule struct {
+	Trigger       event.Type
+	TriggerStatus event.Status
+	Discard       event.Type
+}
+
+// TupleRule is the set_complex_tuple(types, values, n) rule: once all
+// listed statuses have been observed for a flight, they are collapsed
+// into a single complex event of type Out, and the component events
+// are not mirrored individually. The paper's example: 'flight landed'
+// + 'flight at runway' + 'flight at gate' → 'flight arrived'.
+type TupleRule struct {
+	Statuses []event.Status
+	Out      event.Type
+}
+
+type weightKey struct {
+	flight event.FlightID
+	typ    event.Type
+}
+
+// Semantics is the application-specific rule engine consulted by the
+// sending task when deciding what to mirror. All rule sets can be
+// changed at runtime (directly through the Table-1 API or by the
+// adaptation mechanism).
+type Semantics struct {
+	mu        sync.Mutex
+	overwrite map[event.Type]int
+	seqRules  []SeqRule
+	tuples    []TupleRule
+	table     *queue.StatusTable
+
+	// pending accumulates the weight of overwritten (discarded)
+	// events per (flight, type); the next mirrored event of that key
+	// carries the accumulated weight so replica counters converge.
+	pending map[weightKey]uint32
+}
+
+// NewSemantics returns a rule engine with no rules installed
+// (everything is mirrored — the paper's "simple mirroring").
+func NewSemantics() *Semantics {
+	return &Semantics{
+		overwrite: make(map[event.Type]int),
+		table:     queue.NewStatusTable(),
+		pending:   make(map[weightKey]uint32),
+	}
+}
+
+// Table exposes the status table (monitored by tests and diagnostics).
+func (s *Semantics) Table() *queue.StatusTable { return s.table }
+
+// SetOverwrite installs an overwrite rule: of every run of l events of
+// type t per flight, only the first is mirrored. l < 2 removes the
+// rule.
+func (s *Semantics) SetOverwrite(t event.Type, l int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l < 2 {
+		delete(s.overwrite, t)
+	} else {
+		s.overwrite[t] = l
+	}
+	s.table.ResetAllRuns()
+}
+
+// OverwriteLen returns the current overwrite length for t (0 when
+// disabled).
+func (s *Semantics) OverwriteLen(t event.Type) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overwrite[t]
+}
+
+// ScaleOverwrite multiplies every installed overwrite length by
+// pct/100 (minimum 2); used by set_adapt percent adjustments.
+func (s *Semantics) ScaleOverwrite(pct int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for t, l := range s.overwrite {
+		nl := l * pct / 100
+		if nl < 2 {
+			nl = 2
+		}
+		s.overwrite[t] = nl
+	}
+}
+
+// AddSeqRule installs a complex-sequence rule.
+func (s *Semantics) AddSeqRule(r SeqRule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seqRules = append(s.seqRules, r)
+}
+
+// AddTupleRule installs a complex-tuple rule.
+func (s *Semantics) AddTupleRule(r TupleRule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tuples = append(s.tuples, r)
+}
+
+// ClearRules removes all sequence and tuple rules and overwrite
+// settings.
+func (s *Semantics) ClearRules() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.overwrite = make(map[event.Type]int)
+	s.seqRules = nil
+	s.tuples = nil
+}
+
+// FilterForMirror applies the installed rules to one event and returns
+// the event to mirror (possibly transformed) or nil when the event is
+// suppressed. The caller must not reuse the input event afterwards.
+func (s *Semantics) FilterForMirror(e *event.Event) *event.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Track lifecycle state for sequence and tuple rules.
+	if e.Type == event.TypeDeltaStatus {
+		s.table.ObserveStatus(e.Flight, e.Status)
+	}
+
+	// Complex-sequence rules: discard events made obsolete by an
+	// observed trigger status.
+	for _, r := range s.seqRules {
+		if e.Type == r.Discard && s.table.Status(e.Flight) >= r.TriggerStatus {
+			s.table.CountDiscard()
+			return nil
+		}
+	}
+
+	// Complex-tuple rules: suppress component statuses; emit the
+	// complex event once the tuple completes.
+	if e.Type == event.TypeDeltaStatus {
+		for _, r := range s.tuples {
+			if !statusIn(e.Status, r.Statuses) {
+				continue
+			}
+			if s.table.TryCollapse(e.Flight, r.Statuses) {
+				return &event.Event{
+					Type:      r.Out,
+					Flight:    e.Flight,
+					Stream:    e.Stream,
+					Seq:       e.Seq,
+					Status:    event.StatusArrived,
+					Coalesced: uint32(len(r.Statuses)),
+					VT:        e.VT,
+					Ingress:   e.Ingress,
+				}
+			}
+			// Component suppressed until (or after) the collapse.
+			return nil
+		}
+	}
+
+	// Overwrite rules: mirror the first of each run of l, fold the
+	// weight of the discarded remainder into the next mirrored event.
+	if l, ok := s.overwrite[e.Type]; ok {
+		key := weightKey{e.Flight, e.Type}
+		if !s.table.OverwriteTick(e.Flight, e.Type, l) {
+			s.pending[key] += e.Weight()
+			return nil
+		}
+		if p := s.pending[key]; p > 0 {
+			e.Coalesced = e.Weight() + p
+			delete(s.pending, key)
+		}
+	}
+	return e
+}
+
+// Coalesce folds a batch of already-filtered events: for each
+// (flight, type) group of overwritable types, only the newest event
+// survives, carrying the group's total weight. Events of types without
+// an overwrite rule pass through untouched. Relative order of
+// survivors follows their last occurrence in the batch.
+func (s *Semantics) Coalesce(batch []*event.Event) []*event.Event {
+	if len(batch) <= 1 {
+		return batch
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := batch[:0]
+	last := make(map[weightKey]int) // key → index in out
+	for _, e := range batch {
+		if _, overwritable := s.overwrite[e.Type]; !overwritable && e.Type != event.TypeFAAPosition {
+			out = append(out, e)
+			continue
+		}
+		key := weightKey{e.Flight, e.Type}
+		if i, ok := last[key]; ok {
+			e.Coalesced = e.Weight() + out[i].Weight()
+			out[i] = nil // superseded
+		}
+		out = append(out, e)
+		last[key] = len(out) - 1
+	}
+	// Compact superseded slots.
+	dst := out[:0]
+	for _, e := range out {
+		if e != nil {
+			dst = append(dst, e)
+		}
+	}
+	return dst
+}
+
+// Stats returns the rule engine's discard/combine counters.
+func (s *Semantics) Stats() (discarded, combined uint64) {
+	return s.table.Stats()
+}
+
+func statusIn(st event.Status, set []event.Status) bool {
+	for _, s := range set {
+		if s == st {
+			return true
+		}
+	}
+	return false
+}

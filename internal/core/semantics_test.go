@@ -1,0 +1,367 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adaptmirror/internal/event"
+)
+
+func pos(flight event.FlightID, seq uint64) *event.Event {
+	return event.NewPosition(flight, seq, float64(seq), -float64(seq), 10000, 64)
+}
+
+func status(flight event.FlightID, seq uint64, s event.Status) *event.Event {
+	return event.NewStatus(flight, seq, s, 32)
+}
+
+func TestNoRulesPassthrough(t *testing.T) {
+	s := NewSemantics()
+	for i := uint64(0); i < 10; i++ {
+		if s.FilterForMirror(pos(1, i)) == nil {
+			t.Fatalf("event %d suppressed with no rules installed", i)
+		}
+	}
+}
+
+func TestOverwriteRuleKeepsOneOfL(t *testing.T) {
+	s := NewSemantics()
+	s.SetOverwrite(event.TypeFAAPosition, 10)
+	var kept []*event.Event
+	for i := uint64(0); i < 40; i++ {
+		if e := s.FilterForMirror(pos(1, i)); e != nil {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) != 4 {
+		t.Fatalf("kept %d of 40 with L=10, want 4", len(kept))
+	}
+	// Weight conservation: first kept has weight 1; later kept events
+	// carry the preceding discards.
+	if kept[0].Weight() != 1 {
+		t.Fatalf("first kept weight = %d, want 1", kept[0].Weight())
+	}
+	for i := 1; i < len(kept); i++ {
+		if kept[i].Weight() != 10 {
+			t.Fatalf("kept[%d] weight = %d, want 10", i, kept[i].Weight())
+		}
+	}
+}
+
+func TestOverwriteWeightConservation(t *testing.T) {
+	// Property: total delivered weight + pending tail = events fed.
+	f := func(n8 uint8, l8 uint8) bool {
+		n := int(n8%200) + 1
+		l := int(l8%15) + 2
+		s := NewSemantics()
+		s.SetOverwrite(event.TypeFAAPosition, l)
+		var total uint64
+		for i := 0; i < n; i++ {
+			if e := s.FilterForMirror(pos(1, uint64(i))); e != nil {
+				total += uint64(e.Weight())
+			}
+		}
+		// The tail of the last run (up to l-1 events) may still be
+		// pending attribution.
+		return int(total) <= n && int(total) >= n-(l-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverwritePerFlight(t *testing.T) {
+	s := NewSemantics()
+	s.SetOverwrite(event.TypeFAAPosition, 5)
+	if s.FilterForMirror(pos(1, 0)) == nil || s.FilterForMirror(pos(2, 0)) == nil {
+		t.Fatal("first event of each flight must be mirrored")
+	}
+	if s.FilterForMirror(pos(1, 1)) != nil {
+		t.Fatal("second event of flight 1 must be suppressed")
+	}
+}
+
+func TestSetOverwriteDisable(t *testing.T) {
+	s := NewSemantics()
+	s.SetOverwrite(event.TypeFAAPosition, 5)
+	s.SetOverwrite(event.TypeFAAPosition, 0)
+	if s.OverwriteLen(event.TypeFAAPosition) != 0 {
+		t.Fatal("overwrite rule not removed")
+	}
+	for i := uint64(0); i < 5; i++ {
+		if s.FilterForMirror(pos(1, i)) == nil {
+			t.Fatal("suppression after rule removal")
+		}
+	}
+}
+
+func TestScaleOverwrite(t *testing.T) {
+	s := NewSemantics()
+	s.SetOverwrite(event.TypeFAAPosition, 10)
+	s.ScaleOverwrite(200)
+	if got := s.OverwriteLen(event.TypeFAAPosition); got != 20 {
+		t.Fatalf("scaled length = %d, want 20", got)
+	}
+	s.ScaleOverwrite(10) // 20*10/100 = 2
+	if got := s.OverwriteLen(event.TypeFAAPosition); got != 2 {
+		t.Fatalf("scaled length = %d, want 2 (floor)", got)
+	}
+	s.ScaleOverwrite(1) // would go below 2 → clamped
+	if got := s.OverwriteLen(event.TypeFAAPosition); got != 2 {
+		t.Fatalf("scaled length = %d, want 2 (clamp)", got)
+	}
+}
+
+func TestComplexSeqDiscardsAfterTrigger(t *testing.T) {
+	// Paper example: FAA updates arriving after 'flight landed' are
+	// discarded.
+	s := NewSemantics()
+	s.AddSeqRule(SeqRule{Trigger: event.TypeDeltaStatus, TriggerStatus: event.StatusLanded, Discard: event.TypeFAAPosition})
+
+	if s.FilterForMirror(pos(1, 0)) == nil {
+		t.Fatal("position before landing must pass")
+	}
+	if s.FilterForMirror(status(1, 1, event.StatusLanded)) == nil {
+		t.Fatal("the landed event itself must pass")
+	}
+	if s.FilterForMirror(pos(1, 2)) != nil {
+		t.Fatal("position after landing must be discarded")
+	}
+	// Other flights unaffected.
+	if s.FilterForMirror(pos(2, 0)) == nil {
+		t.Fatal("other flight's position wrongly discarded")
+	}
+	discarded, _ := s.Stats()
+	if discarded != 1 {
+		t.Fatalf("discarded = %d, want 1", discarded)
+	}
+}
+
+func TestComplexSeqLaterStatusAlsoTriggers(t *testing.T) {
+	// A status beyond the trigger (at-gate > landed) also suppresses.
+	s := NewSemantics()
+	s.AddSeqRule(SeqRule{Trigger: event.TypeDeltaStatus, TriggerStatus: event.StatusLanded, Discard: event.TypeFAAPosition})
+	s.FilterForMirror(status(1, 0, event.StatusAtGate))
+	if s.FilterForMirror(pos(1, 1)) != nil {
+		t.Fatal("position after at-gate must be discarded")
+	}
+}
+
+func TestComplexTupleCollapse(t *testing.T) {
+	s := NewSemantics()
+	tuple := []event.Status{event.StatusLanded, event.StatusAtRunway, event.StatusAtGate}
+	s.AddTupleRule(TupleRule{Statuses: tuple, Out: event.TypeFlightArrived})
+
+	if got := s.FilterForMirror(status(1, 0, event.StatusLanded)); got != nil {
+		t.Fatalf("component 'landed' must be suppressed, got %s", got)
+	}
+	if got := s.FilterForMirror(status(1, 1, event.StatusAtRunway)); got != nil {
+		t.Fatalf("component 'at-runway' must be suppressed, got %s", got)
+	}
+	got := s.FilterForMirror(status(1, 2, event.StatusAtGate))
+	if got == nil {
+		t.Fatal("tuple completion must emit the complex event")
+	}
+	if got.Type != event.TypeFlightArrived {
+		t.Fatalf("complex event type = %s, want flight-arrived", got.Type)
+	}
+	if got.Weight() != 3 {
+		t.Fatalf("complex event weight = %d, want 3", got.Weight())
+	}
+	// Repeats after collapse are suppressed.
+	if s.FilterForMirror(status(1, 3, event.StatusAtGate)) != nil {
+		t.Fatal("post-collapse component must be suppressed")
+	}
+	// Non-tuple statuses pass.
+	if s.FilterForMirror(status(1, 4, event.StatusBoarding)) == nil {
+		t.Fatal("status outside the tuple must pass")
+	}
+}
+
+func TestTupleAndSeqCompose(t *testing.T) {
+	// With both the paper's rules installed, a full flight lifecycle
+	// mirrors only: early positions (1 per run), pre-landing statuses,
+	// and one flight-arrived event.
+	s := NewSemantics()
+	s.SetOverwrite(event.TypeFAAPosition, 10)
+	s.AddSeqRule(SeqRule{Trigger: event.TypeDeltaStatus, TriggerStatus: event.StatusLanded, Discard: event.TypeFAAPosition})
+	s.AddTupleRule(TupleRule{
+		Statuses: []event.Status{event.StatusLanded, event.StatusAtRunway, event.StatusAtGate},
+		Out:      event.TypeFlightArrived,
+	})
+
+	var mirrored []*event.Event
+	feed := func(e *event.Event) {
+		if out := s.FilterForMirror(e); out != nil {
+			mirrored = append(mirrored, out)
+		}
+	}
+	seq := uint64(0)
+	next := func() uint64 { seq++; return seq }
+	feed(status(1, next(), event.StatusDeparted))
+	for i := 0; i < 25; i++ {
+		feed(pos(1, next()))
+	}
+	feed(status(1, next(), event.StatusLanded))
+	for i := 0; i < 5; i++ {
+		feed(pos(1, next())) // post-landing: all discarded
+	}
+	feed(status(1, next(), event.StatusAtRunway))
+	feed(status(1, next(), event.StatusAtGate))
+
+	var positions, arrived, statuses int
+	for _, e := range mirrored {
+		switch e.Type {
+		case event.TypeFAAPosition:
+			positions++
+		case event.TypeFlightArrived:
+			arrived++
+		case event.TypeDeltaStatus:
+			statuses++
+		}
+	}
+	if positions != 3 { // 25 positions, L=10 → 3 kept
+		t.Fatalf("positions mirrored = %d, want 3", positions)
+	}
+	if arrived != 1 {
+		t.Fatalf("flight-arrived events = %d, want 1", arrived)
+	}
+	if statuses != 1 { // only 'departed'; landed/runway/gate collapsed
+		t.Fatalf("status events mirrored = %d, want 1", statuses)
+	}
+}
+
+func TestCoalesceKeepsNewestPerFlight(t *testing.T) {
+	s := NewSemantics()
+	batch := []*event.Event{pos(1, 1), pos(2, 1), pos(1, 2), pos(1, 3), pos(2, 2)}
+	out := s.Coalesce(batch)
+	if len(out) != 2 {
+		t.Fatalf("coalesced to %d events, want 2", len(out))
+	}
+	byFlight := map[event.FlightID]*event.Event{}
+	for _, e := range out {
+		byFlight[e.Flight] = e
+	}
+	if byFlight[1].Seq != 3 || byFlight[1].Weight() != 3 {
+		t.Fatalf("flight 1 survivor = %s", byFlight[1])
+	}
+	if byFlight[2].Seq != 2 || byFlight[2].Weight() != 2 {
+		t.Fatalf("flight 2 survivor = %s", byFlight[2])
+	}
+}
+
+func TestCoalesceLeavesStatusEventsAlone(t *testing.T) {
+	s := NewSemantics()
+	batch := []*event.Event{
+		status(1, 1, event.StatusBoarding),
+		pos(1, 2), pos(1, 3),
+		status(1, 4, event.StatusBoarded),
+	}
+	out := s.Coalesce(batch)
+	var statuses, positions int
+	for _, e := range out {
+		switch e.Type {
+		case event.TypeDeltaStatus:
+			statuses++
+		case event.TypeFAAPosition:
+			positions++
+		}
+	}
+	if statuses != 2 {
+		t.Fatalf("statuses = %d, want 2 (never coalesced)", statuses)
+	}
+	if positions != 1 {
+		t.Fatalf("positions = %d, want 1", positions)
+	}
+}
+
+func TestCoalesceSmallBatches(t *testing.T) {
+	s := NewSemantics()
+	if out := s.Coalesce(nil); len(out) != 0 {
+		t.Fatal("nil batch must coalesce to nothing")
+	}
+	one := []*event.Event{pos(1, 1)}
+	if out := s.Coalesce(one); len(out) != 1 || out[0].Seq != 1 {
+		t.Fatal("single-event batch must pass through")
+	}
+}
+
+func TestClearRules(t *testing.T) {
+	s := NewSemantics()
+	s.SetOverwrite(event.TypeFAAPosition, 5)
+	s.AddSeqRule(SeqRule{Trigger: event.TypeDeltaStatus, TriggerStatus: event.StatusLanded, Discard: event.TypeFAAPosition})
+	s.ClearRules()
+	s.FilterForMirror(status(1, 0, event.StatusLanded))
+	for i := uint64(1); i < 5; i++ {
+		if s.FilterForMirror(pos(1, i)) == nil {
+			t.Fatal("rules still active after ClearRules")
+		}
+	}
+}
+
+func BenchmarkFilterForMirrorSelective(b *testing.B) {
+	s := NewSemantics()
+	s.SetOverwrite(event.TypeFAAPosition, 10)
+	e := pos(1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ec := *e
+		s.FilterForMirror(&ec)
+	}
+}
+
+func TestCoalesceWeightConservation(t *testing.T) {
+	// Property: coalescing preserves total weight for any interleaving
+	// of flights.
+	f := func(flights8, n8 uint8) bool {
+		flights := int(flights8%6) + 1
+		n := int(n8%60) + 1
+		s := NewSemantics()
+		var batch []*event.Event
+		var total uint64
+		for i := 0; i < n; i++ {
+			e := pos(event.FlightID(1+i%flights), uint64(i))
+			total += uint64(e.Weight())
+			batch = append(batch, e)
+		}
+		out := s.Coalesce(batch)
+		var got uint64
+		for _, e := range out {
+			got += uint64(e.Weight())
+		}
+		if got != total {
+			return false
+		}
+		// At most one survivor per flight.
+		return len(out) <= flights
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterThenCoalesceWeightBound(t *testing.T) {
+	// Property: chaining overwrite filtering and coalescing never
+	// inflates weight beyond the raw event count.
+	f := func(n8, l8 uint8) bool {
+		n := int(n8%80) + 1
+		l := int(l8%10) + 2
+		s := NewSemantics()
+		s.SetOverwrite(event.TypeFAAPosition, l)
+		var filtered []*event.Event
+		for i := 0; i < n; i++ {
+			if e := s.FilterForMirror(pos(1, uint64(i))); e != nil {
+				filtered = append(filtered, e)
+			}
+		}
+		out := s.Coalesce(filtered)
+		var got uint64
+		for _, e := range out {
+			got += uint64(e.Weight())
+		}
+		return got <= uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

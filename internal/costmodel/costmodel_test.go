@@ -1,0 +1,214 @@
+package costmodel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCostsScaleWithSize(t *testing.T) {
+	m := Default
+	if m.EventCost(8192) <= m.EventCost(0) {
+		t.Fatal("event cost must grow with payload size")
+	}
+	if m.SerializeCost(8192) <= m.SerializeCost(0) {
+		t.Fatal("serialize cost must grow with payload size")
+	}
+	if m.SubmitCost(8192) <= m.SubmitCost(0) {
+		t.Fatal("submit cost must grow with payload size")
+	}
+	if m.RequestCost(8192) <= m.RequestCost(0) {
+		t.Fatal("request cost must grow with state size")
+	}
+	if m.CheckpointCost(1000) <= m.CheckpointCost(0) {
+		t.Fatal("checkpoint cost must grow with backlog")
+	}
+}
+
+func TestCostsExactValues(t *testing.T) {
+	m := Model{
+		EventBase:  10 * time.Microsecond,
+		EventPerKB: 4 * time.Microsecond,
+	}
+	if got := m.EventCost(0); got != 10*time.Microsecond {
+		t.Fatalf("EventCost(0) = %v, want 10µs", got)
+	}
+	if got := m.EventCost(2048); got != 18*time.Microsecond {
+		t.Fatalf("EventCost(2048) = %v, want 18µs", got)
+	}
+	if got := m.EventCost(512); got != 12*time.Microsecond {
+		t.Fatalf("EventCost(512) = %v, want 12µs", got)
+	}
+}
+
+func TestMirroringOverheadFraction(t *testing.T) {
+	// Figure 4's premise: mirroring to one site costs ~15-20% of event
+	// processing, growing with event size.
+	for _, n := range []int{0, 1024, 4096, 8192} {
+		mirror := Default.SerializeCost(n) + Default.SubmitCost(n)
+		frac := float64(mirror) / float64(Default.EventCost(n))
+		if frac < 0.10 || frac > 0.30 {
+			t.Fatalf("size %d: one-mirror overhead fraction %.2f outside [0.10, 0.30]", n, frac)
+		}
+	}
+}
+
+func TestAdditionalMirrorUnderTenPercent(t *testing.T) {
+	// Figure 5's premise: each additional mirror adds < 10%.
+	for _, n := range []int{0, 1024, 8192} {
+		oneMirror := Default.EventCost(n) + Default.SerializeCost(n) + Default.SubmitCost(n)
+		added := Default.SubmitCost(n)
+		if frac := float64(added) / float64(oneMirror); frac >= 0.10 {
+			t.Fatalf("size %d: extra-mirror fraction %.2f >= 0.10", n, frac)
+		}
+	}
+}
+
+func TestRequestCostAtRealisticStateSize(t *testing.T) {
+	// A realistic init-state snapshot (tens of flights → several KiB)
+	// must cost at least as much as processing a small event, so
+	// request bursts genuinely perturb event processing.
+	if Default.RequestCost(6<<10) < Default.EventCost(0) {
+		t.Fatal("init-state requests too cheap to perturb event processing")
+	}
+}
+
+func TestCPULedgerAccrues(t *testing.T) {
+	cpu := &CPU{}
+	start := time.Now()
+	var release time.Time
+	for i := 0; i < 100; i++ {
+		release = cpu.Charge(100 * time.Microsecond)
+	}
+	virtual := release.Sub(start)
+	// 100 × 100µs = 10ms of booked work; allow the catch-up window of
+	// slack on both sides.
+	if virtual < 10*time.Millisecond-catchUpWindow {
+		t.Fatalf("ledger advanced only %v, want ~10ms", virtual)
+	}
+	if virtual > 10*time.Millisecond+20*time.Millisecond {
+		t.Fatalf("ledger advanced %v, far beyond 10ms", virtual)
+	}
+}
+
+func TestCPUChargePacesWhenBacklogged(t *testing.T) {
+	cpu := &CPU{}
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		cpu.Charge(time.Millisecond) // 100ms booked
+	}
+	// Caller must have been paced to within sleepSlack of the ledger.
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond-sleepSlack-catchUpWindow {
+		t.Fatalf("caller ran %v ahead of a 100ms ledger", elapsed)
+	}
+}
+
+func TestCPUsRunInParallel(t *testing.T) {
+	// Two nodes each booking 100ms must finish in ~100ms wall, not
+	// 200ms — the point of virtual CPUs on a single host core.
+	a, b := &CPU{}, &CPU{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, cpu := range []*CPU{a, b} {
+		cpu := cpu
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				cpu.Charge(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	WaitIdle(a, b)
+	elapsed := time.Since(start)
+	if elapsed > 160*time.Millisecond {
+		t.Fatalf("two parallel 100ms nodes took %v, want ~100ms", elapsed)
+	}
+}
+
+func TestCPUIdleDoesNotBackfill(t *testing.T) {
+	cpu := &CPU{}
+	cpu.Charge(time.Millisecond)
+	time.Sleep(20 * time.Millisecond) // genuine idle
+	before := time.Now()
+	release := cpu.Charge(time.Millisecond)
+	// The release must be anchored near now, not at the old deadline.
+	if release.Before(before.Add(-catchUpWindow)) {
+		t.Fatalf("idle CPU back-filled: release %v before now", before.Sub(release))
+	}
+}
+
+func TestWaitIdleReturnsLatest(t *testing.T) {
+	a, b := &CPU{}, &CPU{}
+	a.Charge(5 * time.Millisecond)
+	rb := b.Charge(40 * time.Millisecond)
+	latest := WaitIdle(a, b)
+	if latest.Before(rb) {
+		t.Fatalf("WaitIdle returned %v, want >= %v", latest, rb)
+	}
+	if time.Now().Before(rb) {
+		t.Fatal("WaitIdle returned before the latest deadline passed")
+	}
+}
+
+func TestWaitIdleNoCPUs(t *testing.T) {
+	start := time.Now()
+	WaitIdle()
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("WaitIdle with no CPUs must return immediately")
+	}
+}
+
+func TestNilCPUSpins(t *testing.T) {
+	var cpu *CPU
+	start := time.Now()
+	release := cpu.Charge(2 * time.Millisecond)
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("nil CPU must spin for the charge")
+	}
+	if release.Before(start) {
+		t.Fatal("release must be after start")
+	}
+	if cpu.BusyUntil().IsZero() {
+		t.Fatal("nil CPU BusyUntil must report now")
+	}
+}
+
+func TestChargeNegativeDuration(t *testing.T) {
+	cpu := &CPU{}
+	r1 := cpu.Charge(time.Millisecond)
+	r2 := cpu.Charge(-time.Second)
+	if r2.Before(r1) {
+		t.Fatal("negative charge must not rewind the ledger")
+	}
+}
+
+func TestSpinBurnsApproximatelyRequestedTime(t *testing.T) {
+	const d = 2 * time.Millisecond
+	start := time.Now()
+	Spin(d)
+	elapsed := time.Since(start)
+	if elapsed < d {
+		t.Fatalf("Spin(%v) returned after %v", d, elapsed)
+	}
+	if elapsed > 20*d {
+		t.Fatalf("Spin(%v) took %v, far too long", d, elapsed)
+	}
+}
+
+func TestSpinZeroAndNegative(t *testing.T) {
+	start := time.Now()
+	Spin(0)
+	Spin(-time.Second)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("Spin must return immediately for non-positive durations")
+	}
+}
+
+func BenchmarkCharge(b *testing.B) {
+	cpu := &CPU{}
+	for i := 0; i < b.N; i++ {
+		cpu.Charge(0)
+	}
+}

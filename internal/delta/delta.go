@@ -1,0 +1,154 @@
+// Package delta synthesizes the airline-internal data stream of the
+// paper's OIS: flight lifecycle status events (boarding, departed,
+// landed, at runway, at gate) and gate-reader boarding events. The
+// real stream is Delta Air Lines' proprietary operational feed; this
+// generator reproduces its structure — per-flight monotone lifecycle
+// transitions interleaved across flights, plus bursts of gate-reader
+// events during boarding — deterministically from a seed.
+package delta
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"adaptmirror/internal/event"
+)
+
+// Config parameterizes a stream.
+type Config struct {
+	// Flights is the number of flights whose lifecycles are emitted.
+	Flights int
+	// Passengers is the number of gate-reader events per flight
+	// during boarding.
+	Passengers int
+	// EventSize is the payload size of status events.
+	EventSize int
+	// Stream is the stream index stamped on events.
+	Stream uint8
+	// Seed makes interleaving reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Flights <= 0 {
+		c.Flights = 1
+	}
+	if c.Passengers < 0 {
+		c.Passengers = 0
+	}
+	return c
+}
+
+// lifecycle is the scripted status progression every flight follows.
+var lifecycle = []event.Status{
+	event.StatusScheduled,
+	event.StatusBoarding,
+	// gate-reader events are injected here
+	event.StatusBoarded,
+	event.StatusDeparted,
+	event.StatusEnRoute,
+	event.StatusLanded,
+	event.StatusAtRunway,
+	event.StatusAtGate,
+}
+
+// EventsPerFlight returns the number of events one flight contributes.
+func (c Config) EventsPerFlight() int {
+	c = c.withDefaults()
+	return len(lifecycle) + c.Passengers
+}
+
+// Total returns the number of events the stream will produce.
+func (c Config) Total() int {
+	c = c.withDefaults()
+	return c.Flights * c.EventsPerFlight()
+}
+
+type flightScript struct {
+	id    event.FlightID
+	stage int // index into lifecycle
+	pax   int // gate-reader events still to emit
+}
+
+// Generator interleaves flight lifecycles pseudo-randomly.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	scripts []*flightScript
+	seq     uint64
+	left    int
+}
+
+// New returns a generator for cfg.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		left: cfg.Total(),
+	}
+	for i := 0; i < cfg.Flights; i++ {
+		g.scripts = append(g.scripts, &flightScript{
+			id:  event.FlightID(i + 1),
+			pax: cfg.Passengers,
+		})
+	}
+	return g
+}
+
+// Remaining returns how many events are left to generate.
+func (g *Generator) Remaining() int { return g.left }
+
+// Next returns the next event, or (nil, false) when exhausted.
+func (g *Generator) Next() (*event.Event, bool) {
+	for g.left > 0 {
+		f := g.scripts[g.rng.Intn(len(g.scripts))]
+		if f.stage >= len(lifecycle) {
+			continue
+		}
+		g.left--
+		g.seq++
+
+		// Between 'boarding' and 'boarded', emit the flight's
+		// gate-reader events.
+		if lifecycle[f.stage] == event.StatusBoarded && f.pax > 0 {
+			f.pax--
+			return &event.Event{
+				Type:      event.TypeGateReader,
+				Flight:    f.id,
+				Stream:    g.cfg.Stream,
+				Seq:       g.seq,
+				Coalesced: 1,
+				Payload:   gatePayload(uint32(g.cfg.Passengers), g.cfg.EventSize),
+			}, true
+		}
+
+		st := lifecycle[f.stage]
+		f.stage++
+		e := event.NewStatus(f.id, g.seq, st, g.cfg.EventSize)
+		e.Stream = g.cfg.Stream
+		return e, true
+	}
+	return nil, false
+}
+
+func gatePayload(expected uint32, size int) []byte {
+	if size < 4 {
+		size = 4
+	}
+	p := make([]byte, size)
+	binary.LittleEndian.PutUint32(p, expected)
+	return p
+}
+
+// All drains the generator into a slice.
+func (g *Generator) All() []*event.Event {
+	out := make([]*event.Event, 0, g.left)
+	for {
+		e, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,150 @@
+package delta
+
+import (
+	"testing"
+
+	"adaptmirror/internal/event"
+)
+
+func TestTotalCount(t *testing.T) {
+	cfg := Config{Flights: 3, Passengers: 5, Seed: 1}
+	if cfg.EventsPerFlight() != 13 { // 8 lifecycle + 5 pax
+		t.Fatalf("EventsPerFlight = %d, want 13", cfg.EventsPerFlight())
+	}
+	events := New(cfg).All()
+	if len(events) != 39 {
+		t.Fatalf("generated %d, want 39", len(events))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Flights: 4, Passengers: 3, Seed: 77}
+	a, b := New(cfg).All(), New(cfg).All()
+	for i := range a {
+		if a[i].Type != b[i].Type || a[i].Flight != b[i].Flight || a[i].Status != b[i].Status {
+			t.Fatalf("event %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestPerFlightLifecycleOrder(t *testing.T) {
+	events := New(Config{Flights: 5, Passengers: 4, Seed: 2}).All()
+	perFlight := map[event.FlightID][]*event.Event{}
+	for _, e := range events {
+		perFlight[e.Flight] = append(perFlight[e.Flight], e)
+	}
+	if len(perFlight) != 5 {
+		t.Fatalf("flights = %d, want 5", len(perFlight))
+	}
+	for f, evs := range perFlight {
+		lastStatus := event.StatusUnknown
+		gateSeen := 0
+		var boardingSeen, boardedSeen bool
+		for _, e := range evs {
+			switch e.Type {
+			case event.TypeDeltaStatus:
+				if e.Status <= lastStatus {
+					t.Fatalf("flight %d: status regressed %s -> %s", f, lastStatus, e.Status)
+				}
+				lastStatus = e.Status
+				if e.Status == event.StatusBoarding {
+					boardingSeen = true
+				}
+				if e.Status == event.StatusBoarded {
+					boardedSeen = true
+					if gateSeen != 4 {
+						t.Fatalf("flight %d: boarded after %d gate events, want 4", f, gateSeen)
+					}
+				}
+			case event.TypeGateReader:
+				if !boardingSeen || boardedSeen {
+					t.Fatalf("flight %d: gate-reader event outside boarding window", f)
+				}
+				gateSeen++
+			default:
+				t.Fatalf("unexpected type %s", e.Type)
+			}
+		}
+		if lastStatus != event.StatusAtGate {
+			t.Fatalf("flight %d: lifecycle ended at %s", f, lastStatus)
+		}
+	}
+}
+
+func TestGatePayloadCarriesExpectedCount(t *testing.T) {
+	events := New(Config{Flights: 1, Passengers: 7, Seed: 3}).All()
+	for _, e := range events {
+		if e.Type != event.TypeGateReader {
+			continue
+		}
+		if len(e.Payload) < 4 {
+			t.Fatal("gate payload too short")
+		}
+		got := uint32(e.Payload[0]) | uint32(e.Payload[1])<<8 | uint32(e.Payload[2])<<16 | uint32(e.Payload[3])<<24
+		if got != 7 {
+			t.Fatalf("expected-pax = %d, want 7", got)
+		}
+	}
+}
+
+func TestZeroPassengers(t *testing.T) {
+	events := New(Config{Flights: 2, Passengers: 0, Seed: 1}).All()
+	for _, e := range events {
+		if e.Type == event.TypeGateReader {
+			t.Fatal("gate-reader events with zero passengers")
+		}
+	}
+	if len(events) != 16 {
+		t.Fatalf("events = %d, want 16", len(events))
+	}
+}
+
+func TestEventSizeHonored(t *testing.T) {
+	events := New(Config{Flights: 1, Passengers: 2, EventSize: 512, Seed: 1}).All()
+	for _, e := range events {
+		if len(e.Payload) != 512 {
+			t.Fatalf("payload = %d, want 512", len(e.Payload))
+		}
+	}
+}
+
+func TestStreamAndSeq(t *testing.T) {
+	events := New(Config{Flights: 2, Passengers: 1, Stream: 1, Seed: 5}).All()
+	for i, e := range events {
+		if e.Stream != 1 {
+			t.Fatalf("stream = %d, want 1", e.Stream)
+		}
+		if i > 0 && e.Seq <= events[i-1].Seq {
+			t.Fatal("seq not strictly increasing")
+		}
+	}
+}
+
+func TestFeedsEDEToCompletion(t *testing.T) {
+	// End-to-end sanity: the generated stream drives the EDE's
+	// boarding and arrival rules for every flight.
+	events := New(Config{Flights: 3, Passengers: 2, Seed: 11}).All()
+	type miniState struct {
+		boarded int
+		arrived bool
+	}
+	states := map[event.FlightID]*miniState{}
+	for _, e := range events {
+		s := states[e.Flight]
+		if s == nil {
+			s = &miniState{}
+			states[e.Flight] = s
+		}
+		switch {
+		case e.Type == event.TypeGateReader:
+			s.boarded++
+		case e.Type == event.TypeDeltaStatus && e.Status == event.StatusAtGate:
+			s.arrived = true
+		}
+	}
+	for f, s := range states {
+		if s.boarded != 2 || !s.arrived {
+			t.Fatalf("flight %d: boarded=%d arrived=%v", f, s.boarded, s.arrived)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package ede
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"adaptmirror/internal/costmodel"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
+)
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// Rule is one unit of business logic: it inspects an incoming event
+// against the current state (already updated by earlier rules) and may
+// derive new events. Rules run under the engine's state lock and must
+// not block.
+type Rule interface {
+	// Name identifies the rule in diagnostics.
+	Name() string
+	// Apply processes e and returns any derived events.
+	Apply(st *State, e *event.Event) []*event.Event
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Model is the CPU cost model charged per event; zero disables
+	// cost charging (useful in unit tests).
+	Model costmodel.Model
+	// CPU is the virtual processor of the node hosting this engine;
+	// nil spins the real CPU for charges instead.
+	CPU *costmodel.CPU
+	// Rules is the business logic; nil installs DefaultRules.
+	Rules []Rule
+	// StatePadding inflates per-flight snapshot size.
+	StatePadding int
+}
+
+// Engine applies business rules to incoming events, maintains
+// operational state, and reports the highest event timestamp it has
+// processed (which the checkpoint protocol's main-unit participant
+// replies with).
+type Engine struct {
+	model costmodel.Model
+	cpu   *costmodel.CPU
+	rules []Rule
+	state *State
+
+	mu            sync.Mutex
+	lastProcessed vclock.VC
+}
+
+// New returns an Engine with the given configuration.
+func New(cfg Config) *Engine {
+	rules := cfg.Rules
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	return &Engine{
+		model: cfg.Model,
+		cpu:   cfg.CPU,
+		rules: rules,
+		state: NewState(cfg.StatePadding),
+	}
+}
+
+// State exposes the engine's operational state.
+func (en *Engine) State() *State { return en.state }
+
+// Process runs e through every rule, charges the event's CPU cost, and
+// returns the derived events (possibly none) plus the instant the
+// processing completes in the node's timeline (the emission time used
+// for update-delay measurement). Coalesced events are charged once but
+// counted by weight.
+func (en *Engine) Process(e *event.Event) ([]*event.Event, time.Time) {
+	done := en.cpu.Charge(en.model.EventCost(len(e.Payload)))
+
+	en.state.mu.Lock()
+	en.state.processed += uint64(e.Weight())
+	var derived []*event.Event
+	for _, r := range en.rules {
+		if out := r.Apply(en.state, e); len(out) > 0 {
+			derived = append(derived, out...)
+		}
+	}
+	en.state.mu.Unlock()
+
+	if e.VT != nil {
+		en.mu.Lock()
+		en.lastProcessed = en.lastProcessed.Merge(e.VT)
+		en.mu.Unlock()
+	}
+	return derived, done
+}
+
+// LastProcessed returns the highest event timestamp processed so far.
+func (en *Engine) LastProcessed() vclock.VC {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.lastProcessed.Clone()
+}
+
+// ServeInitState computes a fresh initialization state for a thin
+// client, charging the request's CPU cost. This is the expensive
+// operation whose bursts the mirroring framework offloads.
+func (en *Engine) ServeInitState() []byte {
+	snap := en.state.Snapshot()
+	en.cpu.Charge(en.model.RequestCost(len(snap)))
+	return snap
+}
+
+// DefaultRules returns the standard OIS rule set: position tracking,
+// status lifecycle, boarding completion, and arrival derivation.
+func DefaultRules() []Rule {
+	return []Rule{PositionRule{}, StatusRule{}, BoardingRule{}, ArrivalRule{}}
+}
+
+// PositionRule applies FAA position reports to flight state.
+type PositionRule struct{}
+
+// Name implements Rule.
+func (PositionRule) Name() string { return "position" }
+
+// Apply implements Rule.
+func (PositionRule) Apply(st *State, e *event.Event) []*event.Event {
+	if e.Type != event.TypeFAAPosition {
+		return nil
+	}
+	fs := st.flight(e.Flight)
+	if lat, lon, alt, ok := e.Position(); ok {
+		fs.Lat, fs.Lon, fs.Alt = lat, lon, alt
+	}
+	fs.PositionUpdates += uint64(e.Weight())
+	return nil
+}
+
+// StatusRule advances a flight's lifecycle from Delta status events.
+// Stale (earlier-phase) transitions are ignored, so replaying a
+// filtered event stream converges to the same state.
+type StatusRule struct{}
+
+// Name implements Rule.
+func (StatusRule) Name() string { return "status" }
+
+// Apply implements Rule.
+func (StatusRule) Apply(st *State, e *event.Event) []*event.Event {
+	if e.Type != event.TypeDeltaStatus && e.Type != event.TypeFlightArrived {
+		return nil
+	}
+	fs := st.flight(e.Flight)
+	status := e.Status
+	if e.Type == event.TypeFlightArrived {
+		status = event.StatusArrived
+	}
+	if status > fs.Status {
+		fs.Status = status
+	}
+	return nil
+}
+
+// BoardingRule counts gate-reader boardings and derives AllBoarded
+// when the expected count is reached. The expected passenger count
+// travels in the first 4 payload bytes of gate-reader events.
+type BoardingRule struct{}
+
+// Name implements Rule.
+func (BoardingRule) Name() string { return "boarding" }
+
+// Apply implements Rule.
+func (BoardingRule) Apply(st *State, e *event.Event) []*event.Event {
+	if e.Type != event.TypeGateReader {
+		return nil
+	}
+	fs := st.flight(e.Flight)
+	if exp := gateExpected(e); exp > 0 && fs.PaxExpected == 0 {
+		fs.PaxExpected = exp
+	}
+	fs.PaxBoarded += e.Weight()
+	if !fs.AllBoarded && fs.PaxExpected > 0 && fs.PaxBoarded >= fs.PaxExpected {
+		fs.AllBoarded = true
+		return []*event.Event{{
+			Type:      event.TypeAllBoarded,
+			Flight:    e.Flight,
+			Stream:    e.Stream,
+			Seq:       e.Seq,
+			Coalesced: 1,
+			VT:        e.VT.Clone(),
+			Ingress:   e.Ingress,
+		}}
+	}
+	return nil
+}
+
+func gateExpected(e *event.Event) uint32 {
+	if len(e.Payload) < 4 {
+		return 0
+	}
+	return uint32(e.Payload[0]) | uint32(e.Payload[1])<<8 |
+		uint32(e.Payload[2])<<16 | uint32(e.Payload[3])<<24
+}
+
+// ArrivalRule derives the 'flight arrived' complex event once a flight
+// has reached the gate (the landed → at-runway → at-gate sequence the
+// paper collapses).
+type ArrivalRule struct{}
+
+// Name implements Rule.
+func (ArrivalRule) Name() string { return "arrival" }
+
+// Apply implements Rule.
+func (ArrivalRule) Apply(st *State, e *event.Event) []*event.Event {
+	if e.Type != event.TypeDeltaStatus || e.Status != event.StatusAtGate {
+		return nil
+	}
+	fs := st.flight(e.Flight)
+	if fs.Arrived {
+		return nil
+	}
+	fs.Arrived = true
+	fs.Status = event.StatusArrived
+	return []*event.Event{{
+		Type:      event.TypeFlightArrived,
+		Flight:    e.Flight,
+		Stream:    e.Stream,
+		Seq:       e.Seq,
+		Status:    event.StatusArrived,
+		Coalesced: 1,
+		VT:        e.VT.Clone(),
+		Ingress:   e.Ingress,
+	}}
+}

@@ -1,0 +1,33 @@
+package ede
+
+import (
+	"testing"
+
+	"adaptmirror/internal/event"
+)
+
+// FuzzDecodeSnapshot hardens the init-state decoder thin clients run
+// on received snapshots: arbitrary bytes must produce clean errors.
+func FuzzDecodeSnapshot(f *testing.F) {
+	en := New(Config{})
+	en.Process(event.NewPosition(3, 1, 10, 20, 30000, 64))
+	f.Add(en.State().Snapshot(), 0)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0}, 4)
+
+	f.Fuzz(func(t *testing.T, data []byte, padding int) {
+		if padding < 0 || padding > 1024 {
+			return
+		}
+		flights, err := DecodeSnapshot(data, padding)
+		if err != nil {
+			return
+		}
+		// Accepted snapshots must be internally consistent.
+		for id, fs := range flights {
+			if fs.ID != id {
+				t.Fatalf("flight map key %d holds record for %d", id, fs.ID)
+			}
+		}
+	})
+}

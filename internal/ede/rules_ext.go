@@ -1,0 +1,184 @@
+package ede
+
+import (
+	"encoding/binary"
+
+	"adaptmirror/internal/event"
+)
+
+// Extended business rules covering the rest of the OIS domains the
+// paper enumerates — crew dispositions, baggage, and weather tracking
+// (Section 1's Case 2: inclement weather raises tracking precision and
+// with it event rates and processing load). Install them alongside
+// DefaultRules with ExtendedRules.
+
+// ExtendedRules returns the default rule set plus crew, baggage, and
+// weather handling.
+func ExtendedRules() []Rule {
+	return append(DefaultRules(), CrewRule{}, BaggageRule{}, WeatherRule{})
+}
+
+// CrewState tracks a flight's crew readiness.
+type CrewState struct {
+	Assigned uint32
+	Required uint32
+	Complete bool
+}
+
+// BaggageState tracks a flight's baggage handling.
+type BaggageState struct {
+	Loaded uint32
+}
+
+// WeatherState tracks the most recent weather severity observed per
+// flight's route (0 = clear).
+type WeatherState struct {
+	Severity uint8
+	Reports  uint64
+}
+
+// extended returns (creating if needed) the extended state attached to
+// a flight. Caller holds the state write lock.
+func (s *State) extended(f event.FlightID) *extState {
+	if s.ext == nil {
+		s.ext = make(map[event.FlightID]*extState)
+	}
+	e := s.ext[f]
+	if e == nil {
+		e = &extState{}
+		s.ext[f] = e
+	}
+	return e
+}
+
+type extState struct {
+	crew    CrewState
+	baggage BaggageState
+	weather WeatherState
+}
+
+// Crew returns the crew state for a flight.
+func (s *State) Crew(f event.FlightID) (CrewState, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.ext[f]; ok {
+		return e.crew, true
+	}
+	return CrewState{}, false
+}
+
+// Baggage returns the baggage state for a flight.
+func (s *State) Baggage(f event.FlightID) (BaggageState, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.ext[f]; ok {
+		return e.baggage, true
+	}
+	return BaggageState{}, false
+}
+
+// Weather returns the weather state for a flight.
+func (s *State) Weather(f event.FlightID) (WeatherState, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.ext[f]; ok {
+		return e.weather, true
+	}
+	return WeatherState{}, false
+}
+
+// CrewRule applies crew-disposition updates. The payload carries the
+// required crew size (uint32) followed by the newly assigned count
+// (uint32); crew completeness is derived once assigned ≥ required.
+type CrewRule struct{}
+
+// Name implements Rule.
+func (CrewRule) Name() string { return "crew" }
+
+// Apply implements Rule.
+func (CrewRule) Apply(st *State, e *event.Event) []*event.Event {
+	if e.Type != event.TypeCrewUpdate {
+		return nil
+	}
+	ext := st.extended(e.Flight)
+	if len(e.Payload) >= 8 {
+		if req := binary.LittleEndian.Uint32(e.Payload); req > 0 && ext.crew.Required == 0 {
+			ext.crew.Required = req
+		}
+		ext.crew.Assigned += binary.LittleEndian.Uint32(e.Payload[4:])
+	}
+	if !ext.crew.Complete && ext.crew.Required > 0 && ext.crew.Assigned >= ext.crew.Required {
+		ext.crew.Complete = true
+	}
+	return nil
+}
+
+// BaggageRule counts baggage-loading updates (weighted, so coalesced
+// mirror streams converge with the central count).
+type BaggageRule struct{}
+
+// Name implements Rule.
+func (BaggageRule) Name() string { return "baggage" }
+
+// Apply implements Rule.
+func (BaggageRule) Apply(st *State, e *event.Event) []*event.Event {
+	if e.Type != event.TypeBaggage {
+		return nil
+	}
+	st.extended(e.Flight).baggage.Loaded += e.Weight()
+	return nil
+}
+
+// WeatherRule records per-route weather severity from the first
+// payload byte. The operational response to severe weather — raising
+// FAA tracking precision, i.e. a higher position-update rate — is a
+// source-side behaviour (paper Section 1, Case 2) exercised by the
+// experiment harness through higher UpdatesPerFlight.
+type WeatherRule struct{}
+
+// WeatherSevere is the severity at which operations would raise
+// tracking precision (Case 2 of the paper's introduction).
+const WeatherSevere = 200
+
+// Name implements Rule.
+func (WeatherRule) Name() string { return "weather" }
+
+// Apply implements Rule.
+func (WeatherRule) Apply(st *State, e *event.Event) []*event.Event {
+	if e.Type != event.TypeWeather {
+		return nil
+	}
+	ext := st.extended(e.Flight)
+	if len(e.Payload) >= 1 {
+		ext.weather.Severity = e.Payload[0]
+	}
+	ext.weather.Reports += uint64(e.Weight())
+	return nil
+}
+
+// NewCrewUpdate builds a crew-disposition event: required is the crew
+// complement, assigned how many this update adds.
+func NewCrewUpdate(flight event.FlightID, seq uint64, required, assigned uint32, size int) *event.Event {
+	if size < 8 {
+		size = 8
+	}
+	p := make([]byte, size)
+	binary.LittleEndian.PutUint32(p, required)
+	binary.LittleEndian.PutUint32(p[4:], assigned)
+	return &event.Event{Type: event.TypeCrewUpdate, Flight: flight, Seq: seq, Coalesced: 1, Payload: p}
+}
+
+// NewBaggage builds a baggage-loading event.
+func NewBaggage(flight event.FlightID, seq uint64, size int) *event.Event {
+	return &event.Event{Type: event.TypeBaggage, Flight: flight, Seq: seq, Coalesced: 1, Payload: make([]byte, size)}
+}
+
+// NewWeather builds a weather report with the given severity.
+func NewWeather(flight event.FlightID, seq uint64, severity uint8, size int) *event.Event {
+	if size < 1 {
+		size = 1
+	}
+	p := make([]byte, size)
+	p[0] = severity
+	return &event.Event{Type: event.TypeWeather, Flight: flight, Seq: seq, Coalesced: 1, Payload: p}
+}

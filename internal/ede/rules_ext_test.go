@@ -1,0 +1,111 @@
+package ede
+
+import (
+	"testing"
+
+	"adaptmirror/internal/event"
+)
+
+func extEngine() *Engine { return New(Config{Rules: ExtendedRules()}) }
+
+func TestCrewRuleTracksCompleteness(t *testing.T) {
+	en := extEngine()
+	en.Process(NewCrewUpdate(5, 1, 6, 2, 16))
+	cs, ok := en.State().Crew(5)
+	if !ok || cs.Required != 6 || cs.Assigned != 2 || cs.Complete {
+		t.Fatalf("crew state = %+v ok=%v", cs, ok)
+	}
+	en.Process(NewCrewUpdate(5, 2, 6, 3, 16))
+	en.Process(NewCrewUpdate(5, 3, 6, 1, 16))
+	cs, _ = en.State().Crew(5)
+	if cs.Assigned != 6 || !cs.Complete {
+		t.Fatalf("crew not complete: %+v", cs)
+	}
+	// Required is fixed by the first report.
+	en.Process(NewCrewUpdate(5, 4, 99, 0, 16))
+	cs, _ = en.State().Crew(5)
+	if cs.Required != 6 {
+		t.Fatalf("Required changed to %d", cs.Required)
+	}
+}
+
+func TestCrewRuleShortPayload(t *testing.T) {
+	en := extEngine()
+	e := &event.Event{Type: event.TypeCrewUpdate, Flight: 1, Coalesced: 1, Payload: []byte{1, 2}}
+	en.Process(e)
+	cs, ok := en.State().Crew(1)
+	if !ok || cs.Assigned != 0 {
+		t.Fatalf("short payload mishandled: %+v ok=%v", cs, ok)
+	}
+}
+
+func TestBaggageRuleWeighted(t *testing.T) {
+	en := extEngine()
+	en.Process(NewBaggage(3, 1, 32))
+	coalesced := NewBaggage(3, 2, 32)
+	coalesced.Coalesced = 7
+	en.Process(coalesced)
+	bs, ok := en.State().Baggage(3)
+	if !ok || bs.Loaded != 8 {
+		t.Fatalf("Loaded = %d ok=%v, want 8", bs.Loaded, ok)
+	}
+}
+
+func TestWeatherRuleSeverity(t *testing.T) {
+	en := extEngine()
+	en.Process(NewWeather(9, 1, 40, 16))
+	en.Process(NewWeather(9, 2, 220, 16))
+	ws, ok := en.State().Weather(9)
+	if !ok || ws.Severity != 220 || ws.Reports != 2 {
+		t.Fatalf("weather = %+v ok=%v", ws, ok)
+	}
+	if ws.Severity < WeatherSevere {
+		t.Fatal("severity 220 must count as severe")
+	}
+}
+
+func TestExtendedStateAbsentForUnknownFlight(t *testing.T) {
+	en := extEngine()
+	if _, ok := en.State().Crew(42); ok {
+		t.Fatal("crew state for unknown flight")
+	}
+	if _, ok := en.State().Baggage(42); ok {
+		t.Fatal("baggage state for unknown flight")
+	}
+	if _, ok := en.State().Weather(42); ok {
+		t.Fatal("weather state for unknown flight")
+	}
+}
+
+func TestExtendedRulesIncludeDefaults(t *testing.T) {
+	rules := ExtendedRules()
+	names := map[string]bool{}
+	for _, r := range rules {
+		names[r.Name()] = true
+	}
+	for _, want := range []string{"position", "status", "boarding", "arrival", "crew", "baggage", "weather"} {
+		if !names[want] {
+			t.Fatalf("rule %q missing from ExtendedRules", want)
+		}
+	}
+}
+
+func TestExtendedRulesIgnoreOtherTypes(t *testing.T) {
+	en := extEngine()
+	en.Process(event.NewPosition(1, 1, 0, 0, 0, 32))
+	if _, ok := en.State().Crew(1); ok {
+		t.Fatal("position event created crew state")
+	}
+}
+
+func TestEventConstructorsPadding(t *testing.T) {
+	if got := len(NewCrewUpdate(1, 1, 2, 3, 0).Payload); got != 8 {
+		t.Fatalf("crew payload = %d, want padded 8", got)
+	}
+	if got := len(NewWeather(1, 1, 5, 0).Payload); got != 1 {
+		t.Fatalf("weather payload = %d, want padded 1", got)
+	}
+	if got := len(NewBaggage(1, 1, 64).Payload); got != 64 {
+		t.Fatalf("baggage payload = %d", got)
+	}
+}

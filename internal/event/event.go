@@ -1,0 +1,157 @@
+package event
+
+import (
+	"fmt"
+	"time"
+
+	"adaptmirror/internal/vclock"
+)
+
+// FlightID identifies a flight across all streams and sites.
+type FlightID uint32
+
+// Event is one application-level update event (or framework control
+// event). Events are value-ish: the mirroring layer copies the struct
+// freely but treats Payload and VT as immutable once the event has been
+// admitted; use Clone when a mutated copy is needed.
+type Event struct {
+	// Type is the event kind; see the Type constants.
+	Type Type
+
+	// Flight is the flight this event concerns (zero for events that
+	// are not flight-scoped, e.g. control events).
+	Flight FlightID
+
+	// Stream is the index of the incoming source stream, which is
+	// also the event's component in vector timestamps.
+	Stream uint8
+
+	// Seq is the per-stream sequence number, unique and monotonically
+	// increasing within a stream (assigned by the source).
+	Seq uint64
+
+	// Status is the lifecycle state for TypeDeltaStatus events and
+	// for derived status-bearing events; StatusUnknown otherwise.
+	Status Status
+
+	// Coalesced is the number of raw source events this event
+	// represents: 1 for an ordinary event, n>1 when the sending task
+	// coalesced or overwrote a run of events into this one.
+	Coalesced uint32
+
+	// VT is the vector timestamp assigned by the central site's
+	// receiving task when the event enters the OIS.
+	VT vclock.VC
+
+	// Ingress is the wall-clock instant (UnixNano) the event entered
+	// the OIS; the update-delay metric (Figure 8/9) measures from
+	// here to EDE emission.
+	Ingress int64
+
+	// Payload is the opaque application body. Its size drives
+	// serialization, transmission and processing cost, matching the
+	// "size of data events" axis of Figures 4 and 6.
+	Payload []byte
+}
+
+// Clone returns a deep copy of e (payload and vector timestamp are
+// copied, not aliased).
+func (e *Event) Clone() *Event {
+	c := *e
+	c.VT = e.VT.Clone()
+	if e.Payload != nil {
+		c.Payload = make([]byte, len(e.Payload))
+		copy(c.Payload, e.Payload)
+	}
+	return &c
+}
+
+// Weight returns how many raw source events e stands for (at least 1),
+// used when accounting for overwritten/coalesced traffic.
+func (e *Event) Weight() uint32 {
+	if e.Coalesced < 1 {
+		return 1
+	}
+	return e.Coalesced
+}
+
+// Age returns the time elapsed since the event entered the OIS,
+// measured at now. It reports 0 for events that never passed through a
+// receiving task (Ingress == 0).
+func (e *Event) Age(now time.Time) time.Duration {
+	if e.Ingress == 0 {
+		return 0
+	}
+	return time.Duration(now.UnixNano() - e.Ingress)
+}
+
+// String formats a short debugging description.
+func (e *Event) String() string {
+	if e == nil {
+		return "event(nil)"
+	}
+	return fmt.Sprintf("%s flight=%d stream=%d seq=%d status=%s vt=%s n=%d len=%d",
+		e.Type, e.Flight, e.Stream, e.Seq, e.Status, e.VT, e.Weight(), len(e.Payload))
+}
+
+// NewPosition builds an FAA flight-position event. The payload carries
+// the encoded position padded to size bytes (the experiments sweep this
+// size).
+func NewPosition(flight FlightID, seq uint64, lat, lon, alt float64, size int) *Event {
+	return &Event{
+		Type:      TypeFAAPosition,
+		Flight:    flight,
+		Seq:       seq,
+		Coalesced: 1,
+		Payload:   encodePosition(lat, lon, alt, size),
+	}
+}
+
+// NewStatus builds a Delta flight-status event with the given payload
+// size.
+func NewStatus(flight FlightID, seq uint64, s Status, size int) *Event {
+	p := make([]byte, size)
+	if size > 0 {
+		p[0] = byte(s)
+	}
+	return &Event{
+		Type:      TypeDeltaStatus,
+		Flight:    flight,
+		Seq:       seq,
+		Status:    s,
+		Coalesced: 1,
+		Payload:   p,
+	}
+}
+
+// NewControl builds a control event of type t whose VT carries the
+// timestamp value the protocol is negotiating.
+func NewControl(t Type, vt vclock.VC) *Event {
+	if !t.IsControl() {
+		panic(fmt.Sprintf("event: NewControl called with data type %s", t))
+	}
+	return &Event{Type: t, Coalesced: 1, VT: vt.Clone()}
+}
+
+// positionHeader is the encoded size of a position triple.
+const positionHeader = 24
+
+func encodePosition(lat, lon, alt float64, size int) []byte {
+	if size < positionHeader {
+		size = positionHeader
+	}
+	p := make([]byte, size)
+	putFloat(p[0:], lat)
+	putFloat(p[8:], lon)
+	putFloat(p[16:], alt)
+	return p
+}
+
+// Position decodes the (lat, lon, alt) triple from a position payload.
+// ok is false when the payload is too short to hold one.
+func (e *Event) Position() (lat, lon, alt float64, ok bool) {
+	if len(e.Payload) < positionHeader {
+		return 0, 0, 0, false
+	}
+	return getFloat(e.Payload[0:]), getFloat(e.Payload[8:]), getFloat(e.Payload[16:]), true
+}

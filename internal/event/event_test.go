@@ -1,0 +1,190 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"adaptmirror/internal/vclock"
+)
+
+func TestTypeClassification(t *testing.T) {
+	dataTypes := []Type{TypeFAAPosition, TypeDeltaStatus, TypeGateReader,
+		TypeCrewUpdate, TypeBaggage, TypeWeather, TypeAllBoarded,
+		TypeFlightArrived, TypeCoalesced, TypeStateUpdate}
+	for _, ty := range dataTypes {
+		if !ty.IsData() {
+			t.Errorf("%s: IsData = false, want true", ty)
+		}
+		if ty.IsControl() {
+			t.Errorf("%s: IsControl = true, want false", ty)
+		}
+	}
+	ctrlTypes := []Type{TypeChkpt, TypeChkptReply, TypeCommit, TypeAdapt,
+		TypeHello, TypeRecoveryRequest}
+	for _, ty := range ctrlTypes {
+		if ty.IsData() {
+			t.Errorf("%s: IsData = true, want false", ty)
+		}
+		if !ty.IsControl() {
+			t.Errorf("%s: IsControl = false, want true", ty)
+		}
+	}
+	if TypeInvalid.IsData() || TypeInvalid.IsControl() {
+		t.Error("TypeInvalid must be neither data nor control")
+	}
+}
+
+func TestTypeStringsDistinct(t *testing.T) {
+	seen := map[string]Type{}
+	for _, ty := range []Type{TypeInvalid, TypeFAAPosition, TypeDeltaStatus,
+		TypeGateReader, TypeCrewUpdate, TypeBaggage, TypeWeather,
+		TypeAllBoarded, TypeFlightArrived, TypeCoalesced, TypeStateUpdate,
+		TypeChkpt, TypeChkptReply, TypeCommit, TypeAdapt, TypeHello,
+		TypeRecoveryRequest, Type(9999)} {
+		s := ty.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("types %d and %d share name %q", prev, ty, s)
+		}
+		seen[s] = ty
+	}
+}
+
+func TestStatusLifecycle(t *testing.T) {
+	order := []Status{StatusScheduled, StatusBoarding, StatusBoarded,
+		StatusDeparted, StatusEnRoute, StatusLanded, StatusAtRunway,
+		StatusAtGate, StatusArrived}
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatalf("lifecycle must be strictly increasing: %s <= %s", order[i], order[i-1])
+		}
+	}
+	for _, s := range order[:5] {
+		if s.Terminal() {
+			t.Errorf("%s: Terminal = true, want false", s)
+		}
+	}
+	for _, s := range order[5:] {
+		if !s.Terminal() {
+			t.Errorf("%s: Terminal = false, want true", s)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusLanded.String() != "landed" {
+		t.Errorf("got %q", StatusLanded.String())
+	}
+	if !strings.Contains(Status(200).String(), "200") {
+		t.Errorf("unknown status should embed numeric value, got %q", Status(200).String())
+	}
+}
+
+func TestNewPosition(t *testing.T) {
+	e := NewPosition(42, 7, 33.64, -84.43, 10500, 1024)
+	if e.Type != TypeFAAPosition || e.Flight != 42 || e.Seq != 7 {
+		t.Fatalf("bad event: %s", e)
+	}
+	if len(e.Payload) != 1024 {
+		t.Fatalf("payload size = %d, want 1024", len(e.Payload))
+	}
+	lat, lon, alt, ok := e.Position()
+	if !ok || lat != 33.64 || lon != -84.43 || alt != 10500 {
+		t.Fatalf("Position() = %v %v %v %v", lat, lon, alt, ok)
+	}
+}
+
+func TestNewPositionMinimumSize(t *testing.T) {
+	e := NewPosition(1, 1, 1, 2, 3, 0)
+	if len(e.Payload) < positionHeader {
+		t.Fatalf("payload must be padded to hold a position, got %d", len(e.Payload))
+	}
+	if _, _, _, ok := e.Position(); !ok {
+		t.Fatal("position must decode")
+	}
+}
+
+func TestPositionTooShort(t *testing.T) {
+	e := &Event{Type: TypeFAAPosition, Payload: make([]byte, 8)}
+	if _, _, _, ok := e.Position(); ok {
+		t.Fatal("short payload must not decode as position")
+	}
+}
+
+func TestNewStatus(t *testing.T) {
+	e := NewStatus(9, 3, StatusLanded, 256)
+	if e.Type != TypeDeltaStatus || e.Status != StatusLanded || len(e.Payload) != 256 {
+		t.Fatalf("bad event: %s", e)
+	}
+	e0 := NewStatus(9, 4, StatusAtGate, 0)
+	if len(e0.Payload) != 0 {
+		t.Fatalf("zero-size payload expected, got %d", len(e0.Payload))
+	}
+}
+
+func TestNewControl(t *testing.T) {
+	vt := vclock.VC{3, 4}
+	e := NewControl(TypeChkpt, vt)
+	if e.Type != TypeChkpt || e.VT.Compare(vt) != vclock.Equal {
+		t.Fatalf("bad control event: %s", e)
+	}
+	vt[0] = 99
+	if e.VT[0] == 99 {
+		t.Fatal("NewControl must clone the timestamp")
+	}
+}
+
+func TestNewControlPanicsOnDataType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for data type")
+		}
+	}()
+	NewControl(TypeFAAPosition, nil)
+}
+
+func TestCloneDeep(t *testing.T) {
+	e := NewPosition(1, 1, 1, 2, 3, 64)
+	e.VT = vclock.VC{5}
+	c := e.Clone()
+	c.Payload[0] = ^c.Payload[0]
+	c.VT[0] = 99
+	if e.Payload[0] == c.Payload[0] || e.VT[0] == 99 {
+		t.Fatal("Clone must not alias payload or VT")
+	}
+}
+
+func TestWeight(t *testing.T) {
+	e := &Event{}
+	if e.Weight() != 1 {
+		t.Fatalf("zero Coalesced must weigh 1, got %d", e.Weight())
+	}
+	e.Coalesced = 10
+	if e.Weight() != 10 {
+		t.Fatalf("Weight = %d, want 10", e.Weight())
+	}
+}
+
+func TestAge(t *testing.T) {
+	now := time.Now()
+	e := &Event{Ingress: now.Add(-time.Second).UnixNano()}
+	if age := e.Age(now); age != time.Second {
+		t.Fatalf("Age = %v, want 1s", age)
+	}
+	if (&Event{}).Age(now) != 0 {
+		t.Fatal("unstamped event must have zero age")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	var e *Event
+	if e.String() != "event(nil)" {
+		t.Fatalf("nil String = %q", e.String())
+	}
+	s := NewStatus(7, 1, StatusLanded, 8).String()
+	for _, want := range []string{"delta-status", "flight=7", "landed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

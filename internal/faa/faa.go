@@ -1,0 +1,141 @@
+// Package faa synthesizes the 'flight positions' data stream the
+// paper's experiments replay from FAA radar captures. Real FAA feeds
+// are proprietary; this generator reproduces the properties the
+// mirroring framework depends on — many flights, high-rate per-flight
+// position updates where later reports supersede earlier ones, and a
+// configurable event size (the swept axis of Figures 4 and 6) — from a
+// deterministic seed, so experiments are repeatable.
+package faa
+
+import (
+	"math/rand"
+
+	"adaptmirror/internal/event"
+)
+
+// Config parameterizes a stream.
+type Config struct {
+	// Flights is the number of concurrently tracked flights.
+	Flights int
+	// UpdatesPerFlight is how many position reports each flight emits.
+	UpdatesPerFlight int
+	// EventSize is the payload size in bytes (experiments sweep
+	// 0-8 KB; the position triple occupies the first 24 bytes).
+	EventSize int
+	// Stream is the stream index stamped on events (the vector
+	// timestamp component).
+	Stream uint8
+	// Seed makes the trajectories reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Flights <= 0 {
+		c.Flights = 1
+	}
+	if c.UpdatesPerFlight <= 0 {
+		c.UpdatesPerFlight = 1
+	}
+	return c
+}
+
+// Total returns the number of events the stream will produce.
+func (c Config) Total() int {
+	c = c.withDefaults()
+	return c.Flights * c.UpdatesPerFlight
+}
+
+// flight is one synthetic trajectory: a great-circle-ish linear path
+// with altitude profile and per-step jitter.
+type flight struct {
+	id         event.FlightID
+	lat, lon   float64
+	dLat, dLon float64
+	alt        float64
+	climbing   bool
+	remaining  int
+}
+
+// Generator produces the stream: flights emit position updates in
+// round-robin interleave (as a merged radar feed would).
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	flights []*flight
+	next    int
+	seq     uint64
+	left    int
+}
+
+// New returns a generator for cfg.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{cfg: cfg, rng: rng, left: cfg.Total()}
+	for i := 0; i < cfg.Flights; i++ {
+		oLat := 25 + rng.Float64()*25 // continental US-ish band
+		oLon := -125 + rng.Float64()*55
+		dLat := 25 + rng.Float64()*25
+		dLon := -125 + rng.Float64()*55
+		g.flights = append(g.flights, &flight{
+			id:        event.FlightID(i + 1),
+			lat:       oLat,
+			lon:       oLon,
+			dLat:      (dLat - oLat) / float64(cfg.UpdatesPerFlight),
+			dLon:      (dLon - oLon) / float64(cfg.UpdatesPerFlight),
+			alt:       0,
+			climbing:  true,
+			remaining: cfg.UpdatesPerFlight,
+		})
+	}
+	return g
+}
+
+// Remaining returns how many events are left to generate.
+func (g *Generator) Remaining() int { return g.left }
+
+// Next returns the next position event, or (nil, false) when the
+// stream is exhausted.
+func (g *Generator) Next() (*event.Event, bool) {
+	for g.left > 0 {
+		f := g.flights[g.next]
+		g.next = (g.next + 1) % len(g.flights)
+		if f.remaining == 0 {
+			continue
+		}
+		f.remaining--
+		g.left--
+		g.seq++
+
+		f.lat += f.dLat + (g.rng.Float64()-0.5)*0.01
+		f.lon += f.dLon + (g.rng.Float64()-0.5)*0.01
+		if f.climbing {
+			f.alt += 1500
+			if f.alt >= 35000 {
+				f.alt = 35000
+				f.climbing = false
+			}
+		} else if f.remaining < 20 {
+			f.alt -= 1500
+			if f.alt < 0 {
+				f.alt = 0
+			}
+		}
+		e := event.NewPosition(f.id, g.seq, f.lat, f.lon, f.alt, g.cfg.EventSize)
+		e.Stream = g.cfg.Stream
+		return e, true
+	}
+	return nil, false
+}
+
+// All drains the generator into a slice.
+func (g *Generator) All() []*event.Event {
+	out := make([]*event.Event, 0, g.left)
+	for {
+		e, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,129 @@
+package faa
+
+import (
+	"testing"
+
+	"adaptmirror/internal/event"
+)
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Flights: 5, UpdatesPerFlight: 20, EventSize: 256, Seed: 42}
+	a := New(cfg).All()
+	b := New(cfg).All()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		la, lo, al, _ := a[i].Position()
+		lb, lob, alb, _ := b[i].Position()
+		if a[i].Flight != b[i].Flight || la != lb || lo != lob || al != alb {
+			t.Fatalf("event %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestTotalAndExhaustion(t *testing.T) {
+	cfg := Config{Flights: 3, UpdatesPerFlight: 7, Seed: 1}
+	g := New(cfg)
+	if g.Remaining() != 21 || cfg.Total() != 21 {
+		t.Fatalf("Remaining = %d, Total = %d, want 21", g.Remaining(), cfg.Total())
+	}
+	events := g.All()
+	if len(events) != 21 {
+		t.Fatalf("generated %d events, want 21", len(events))
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("Next after exhaustion must return false")
+	}
+	if g.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after exhaustion", g.Remaining())
+	}
+}
+
+func TestPerFlightCounts(t *testing.T) {
+	events := New(Config{Flights: 4, UpdatesPerFlight: 10, Seed: 9}).All()
+	counts := map[event.FlightID]int{}
+	for _, e := range events {
+		if e.Type != event.TypeFAAPosition {
+			t.Fatalf("unexpected type %s", e.Type)
+		}
+		counts[e.Flight]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("flights seen = %d, want 4", len(counts))
+	}
+	for f, n := range counts {
+		if n != 10 {
+			t.Fatalf("flight %d has %d updates, want 10", f, n)
+		}
+	}
+}
+
+func TestSequenceMonotonic(t *testing.T) {
+	events := New(Config{Flights: 2, UpdatesPerFlight: 5, Seed: 3}).All()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("seq not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestEventSizeHonored(t *testing.T) {
+	for _, size := range []int{0, 24, 100, 4096} {
+		events := New(Config{Flights: 1, UpdatesPerFlight: 2, EventSize: size, Seed: 1}).All()
+		want := size
+		if want < 24 {
+			want = 24 // position triple minimum
+		}
+		for _, e := range events {
+			if len(e.Payload) != want {
+				t.Fatalf("size %d: payload = %d, want %d", size, len(e.Payload), want)
+			}
+		}
+	}
+}
+
+func TestStreamStamped(t *testing.T) {
+	events := New(Config{Flights: 1, UpdatesPerFlight: 3, Stream: 2, Seed: 1}).All()
+	for _, e := range events {
+		if e.Stream != 2 {
+			t.Fatalf("stream = %d, want 2", e.Stream)
+		}
+	}
+}
+
+func TestPositionsPlausible(t *testing.T) {
+	events := New(Config{Flights: 3, UpdatesPerFlight: 50, Seed: 7}).All()
+	for _, e := range events {
+		lat, lon, alt, ok := e.Position()
+		if !ok {
+			t.Fatal("position must decode")
+		}
+		if lat < 20 || lat > 55 || lon < -130 || lon > -65 {
+			t.Fatalf("implausible position %v,%v", lat, lon)
+		}
+		if alt < 0 || alt > 35000 {
+			t.Fatalf("implausible altitude %v", alt)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := New(Config{})
+	if g.Remaining() != 1 {
+		t.Fatalf("Remaining = %d, want 1 (1 flight × 1 update)", g.Remaining())
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := Config{Flights: 50, UpdatesPerFlight: 100, EventSize: 1024, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := New(cfg)
+		for {
+			if _, ok := g.Next(); !ok {
+				break
+			}
+		}
+	}
+}

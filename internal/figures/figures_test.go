@@ -1,0 +1,207 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The Quick scale keeps these smoke tests fast; shape assertions are
+// deliberately loose (the strong checks run at Full scale via
+// cmd/benchrunner and are recorded in EXPERIMENTS.md).
+
+func TestFig4SmokeShape(t *testing.T) {
+	fig, err := Fig4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(fig.Series))
+	}
+	byName := map[string]Series{}
+	for _, s := range fig.Series {
+		if len(s.X) != 9 {
+			t.Fatalf("%s has %d points, want 9", s.Name, len(s.X))
+		}
+		byName[s.Name] = s
+	}
+	// Simple mirroring must cost more than no mirroring at the
+	// largest size (where the effect is clearest).
+	last := len(byName["simple"].Y) - 1
+	if byName["simple"].Y[last] <= byName["no-mirroring"].Y[last] {
+		t.Fatalf("simple (%v) not slower than no-mirroring (%v) at 8KB",
+			byName["simple"].Y[last], byName["no-mirroring"].Y[last])
+	}
+	// Execution time grows with event size.
+	ys := byName["no-mirroring"].Y
+	if ys[len(ys)-1] <= ys[0] {
+		t.Fatal("execution time must grow with event size")
+	}
+}
+
+func TestFig5SmokeShape(t *testing.T) {
+	fig, err := Fig5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := fig.Series[0].Y
+	if len(ys) != 5 {
+		t.Fatalf("points = %d, want 5 (1,2,4,6,8 mirrors)", len(ys))
+	}
+	if ys[4] <= ys[0] {
+		t.Fatal("8 mirrors must cost more than 1")
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	fig, err := Fig6(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for _, y := range s.Y {
+			if y <= 0 || math.IsNaN(y) {
+				t.Fatalf("%s has non-positive point", s.Name)
+			}
+		}
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	fig, err := Fig7(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s
+	}
+	simple, sel := byName["simple"], byName["selective"]
+	if len(simple.Y) != len(fig78Loads) {
+		t.Fatalf("points = %d, want %d", len(simple.Y), len(fig78Loads))
+	}
+	// At the highest load, selective must not be meaningfully slower
+	// than simple. The tolerance is wide: Quick scale is a smoke test
+	// on sub-5ms runs (race-detector instrumentation alone shifts
+	// them); the real shape assertions run at Full scale and are
+	// recorded in EXPERIMENTS.md.
+	last := len(simple.Y) - 1
+	if sel.Y[last] > simple.Y[last]*1.5 {
+		t.Fatalf("selective (%v) far slower than simple (%v) at max load", sel.Y[last], simple.Y[last])
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	fig, err := Fig8(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 4 {
+			t.Fatalf("%s points = %d, want 4", s.Name, len(s.Y))
+		}
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	p := Fig9Params{
+		EventRate:        2000,
+		RunSeconds:       1,
+		BurstBase:        10,
+		BurstPeak:        200,
+		Period:           500 * time.Millisecond,
+		BurstLen:         150 * time.Millisecond,
+		Bin:              100 * time.Millisecond,
+		PendingPrimary:   5,
+		PendingSecondary: 2,
+		EventSize:        256,
+		Repeats:          1,
+	}
+	fig, err := Fig9(Quick, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2 (no-adaptation, with-adaptation)", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 {
+			t.Fatalf("%s has no bins", s.Name)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	fig := Figure{
+		ID: "figX", Title: "Test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{2, 3}, Y: []float64{30, 40}},
+		},
+	}
+	out := Table(fig)
+	for _, want := range []string{"FIGX", "Test", "a", "b", "10.0000", "40.0000", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 2 header comments + 1 column header + 3 distinct x rows.
+	if len(lines) != 6 {
+		t.Fatalf("table has %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestRunMedianOddAndSingle(t *testing.T) {
+	s := Quick
+	s.Repeats = 1
+	opts := s.base(128)
+	opts.NoMirror = true
+	if _, err := s.runMedian(opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	fig := Figure{
+		ID: "figY", Title: "Plot test", XLabel: "size", YLabel: "time",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 2, 3}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{3, 2, 1}},
+		},
+	}
+	out := Plot(fig, 40, 10)
+	for _, want := range []string{"FIGY", "Plot test", "o = a", "+ = b", "x: size, y: time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The crossing point of the two series renders as an overlap.
+	if !strings.Contains(out, "&") && !strings.Contains(out, "o") {
+		t.Fatalf("plot has no markers:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	out := Plot(Figure{ID: "e", Title: "empty"}, 0, 0)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot = %q", out)
+	}
+	// Single point: degenerate ranges must not divide by zero.
+	one := Figure{ID: "one", Series: []Series{{Name: "s", X: []float64{5}, Y: []float64{7}}}}
+	if out := Plot(one, 20, 8); !strings.Contains(out, "o") {
+		t.Fatalf("single-point plot missing marker:\n%s", out)
+	}
+	// NaN-only series behaves as empty.
+	nan := Figure{ID: "nan", Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if out := Plot(nan, 20, 8); !strings.Contains(out, "no data") {
+		t.Fatalf("NaN plot = %q", out)
+	}
+}

@@ -1,0 +1,80 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders a figure as an ASCII chart (width×height characters of
+// plot area, plus axes and legend), for terminal inspection of the
+// regenerated curves. Each series draws with its own marker.
+func Plot(f Figure, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	markers := []byte{'o', '+', 'x', '*', '#', '@'}
+
+	// Bounds over all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			points++
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if grid[row][col] != ' ' && grid[row][col] != m {
+				grid[row][col] = '&' // overlap of different series
+			} else {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	yLabelW := 10
+	for r, line := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%*.3g |%s|\n", yLabelW, yVal, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", yLabelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s %-*.4g%*.4g\n", yLabelW, "", width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&b, "%*s x: %s, y: %s\n", yLabelW, "", f.XLabel, f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%*s %c = %s\n", yLabelW, "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

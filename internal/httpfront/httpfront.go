@@ -1,0 +1,183 @@
+// Package httpfront exposes a site's client services over HTTP — the
+// interface the paper's experiments exercised with httperf. Thin
+// clients GET /init to fetch a fresh initialization state from the
+// site's main unit; /healthz and /stats support operations. The
+// deployed binaries (cmd/mirrord) mount one front per site, and
+// cmd/loadgen plays httperf's role against it.
+package httpfront
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/event"
+)
+
+// Stats summarizes a front's request handling.
+type Stats struct {
+	Requests  uint64 `json:"requests"`
+	Updates   uint64 `json:"updates"`
+	Busy      uint64 `json:"busy"`
+	Bytes     uint64 `json:"bytes"`
+	UptimeSec int64  `json:"uptime_sec"`
+	Pending   int    `json:"pending"`
+}
+
+// Front serves one site's client requests over HTTP.
+type Front struct {
+	main   *core.MainUnit
+	ingest func(*event.Event) error
+	srv    *http.Server
+	ln     net.Listener
+	start  time.Time
+
+	mu       sync.Mutex
+	requests uint64
+	busy     uint64
+	bytes    uint64
+	updates  uint64
+}
+
+// New builds a front for the given main unit (not yet listening).
+func New(main *core.MainUnit) *Front {
+	f := &Front{main: main, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/init", f.handleInit)
+	mux.HandleFunc("/update", f.handleUpdate)
+	mux.HandleFunc("/healthz", f.handleHealth)
+	mux.HandleFunc("/stats", f.handleStats)
+	f.srv = &http.Server{Handler: mux}
+	return f
+}
+
+// EnableUpdates accepts client-generated state updates at POST /update
+// (the paper: "certain clients may generate additional state updates,
+// such as changes in flights, crews, or passengers"). Only the central
+// site's front should enable this — events enter the OIS through the
+// central receiving task, which assigns their timestamps.
+func (f *Front) EnableUpdates(ingest func(*event.Event) error) {
+	f.mu.Lock()
+	f.ingest = ingest
+	f.mu.Unlock()
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts serving in the
+// background. It returns the bound address.
+func (f *Front) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("httpfront: %w", err)
+	}
+	f.ln = ln
+	go f.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// handleInit answers a thin client's initialization-state request.
+func (f *Front) handleInit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	state, err := f.main.RequestInitState()
+	switch {
+	case errors.Is(err, core.ErrBusy):
+		f.count(func() { f.busy++ })
+		http.Error(w, "request buffer full", http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	f.count(func() { f.requests++; f.bytes += uint64(len(state)) })
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(state)
+}
+
+// handleUpdate ingests one client-generated update: the POST body is
+// a single binary-encoded event.
+func (f *Front) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	f.mu.Lock()
+	ingest := f.ingest
+	f.mu.Unlock()
+	if ingest == nil {
+		http.Error(w, "updates not accepted at this site", http.StatusForbidden)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	e, _, err := event.Unmarshal(body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad event: %v", err), http.StatusBadRequest)
+		return
+	}
+	if !e.Type.IsData() {
+		http.Error(w, "control events not accepted", http.StatusBadRequest)
+		return
+	}
+	if err := ingest(e); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	f.count(func() { f.updates++ })
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (f *Front) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (f *Front) handleStats(w http.ResponseWriter, _ *http.Request) {
+	f.mu.Lock()
+	st := Stats{
+		Requests:  f.requests,
+		Updates:   f.updates,
+		Busy:      f.busy,
+		Bytes:     f.bytes,
+		UptimeSec: int64(time.Since(f.start).Seconds()),
+		Pending:   f.main.PendingRequests(),
+	}
+	f.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+func (f *Front) count(fn func()) {
+	f.mu.Lock()
+	fn()
+	f.mu.Unlock()
+}
+
+// Stats returns a snapshot of the front's counters.
+func (f *Front) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Stats{
+		Requests:  f.requests,
+		Updates:   f.updates,
+		Busy:      f.busy,
+		Bytes:     f.bytes,
+		UptimeSec: int64(time.Since(f.start).Seconds()),
+		Pending:   f.main.PendingRequests(),
+	}
+}
+
+// Close stops the server.
+func (f *Front) Close() error {
+	return f.srv.Close()
+}

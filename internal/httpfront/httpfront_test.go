@@ -1,0 +1,236 @@
+package httpfront
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/event"
+)
+
+func front(t *testing.T, cfg core.MainConfig) (*Front, string, *core.MainUnit) {
+	t.Helper()
+	m := core.NewMainUnit(cfg)
+	f := New(m)
+	addr, err := f.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		f.Close()
+		m.Close()
+	})
+	return f, addr, m
+}
+
+func TestInitServesState(t *testing.T) {
+	f, addr, m := front(t, core.MainConfig{})
+	m.Deliver(event.NewPosition(1, 1, 10, 20, 30000, 64))
+	m.Deliver(event.NewPosition(2, 2, 11, 21, 31000, 64))
+
+	resp, err := http.Get("http://" + addr + "/init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty init state")
+	}
+	if got := f.Stats().Requests; got != 1 {
+		t.Fatalf("Requests = %d, want 1", got)
+	}
+}
+
+func TestInitRejectsNonGet(t *testing.T) {
+	_, addr, _ := front(t, core.MainConfig{})
+	resp, err := http.Post("http://"+addr+"/init", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, addr, _ := front(t, core.MainConfig{})
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, addr, m := front(t, core.MainConfig{})
+	m.Deliver(event.NewPosition(1, 1, 0, 0, 0, 32))
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get("http://" + addr + "/init")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get("http://" + addr + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 3 {
+		t.Fatalf("stats requests = %d, want 3", st.Requests)
+	}
+	if st.Bytes == 0 {
+		t.Fatal("stats bytes = 0")
+	}
+}
+
+func TestClosedMainUnitReturns503(t *testing.T) {
+	m := core.NewMainUnit(core.MainConfig{})
+	f := New(m)
+	addr, err := f.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m.Close()
+	resp, err := http.Get("http://" + addr + "/init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestListenBadAddr(t *testing.T) {
+	m := core.NewMainUnit(core.MainConfig{})
+	defer m.Close()
+	f := New(m)
+	if _, err := f.Listen("256.256.256.256:99999"); err == nil {
+		t.Fatal("bad address must fail")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr, m := front(t, core.MainConfig{RequestWorkers: 2})
+	m.Deliver(event.NewPosition(1, 1, 0, 0, 0, 32))
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func() {
+			resp, err := http.Get("http://" + addr + "/init")
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUpdateEndpoint(t *testing.T) {
+	var got []*event.Event
+	m := core.NewMainUnit(core.MainConfig{})
+	f := New(m)
+	f.EnableUpdates(func(e *event.Event) error {
+		got = append(got, e)
+		return nil
+	})
+	addr, err := f.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	defer m.Close()
+
+	e := event.NewStatus(9, 1, event.StatusDeparted, 64)
+	resp, err := http.Post("http://"+addr+"/update", "application/octet-stream",
+		bytes.NewReader(e.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", resp.StatusCode)
+	}
+	if len(got) != 1 || got[0].Flight != 9 || got[0].Status != event.StatusDeparted {
+		t.Fatalf("ingested = %v", got)
+	}
+	if f.Stats().Updates != 1 {
+		t.Fatalf("Updates stat = %d", f.Stats().Updates)
+	}
+}
+
+func TestUpdateRejectedWhenDisabled(t *testing.T) {
+	_, addr, _ := front(t, core.MainConfig{})
+	e := event.NewStatus(1, 1, event.StatusDeparted, 16)
+	resp, err := http.Post("http://"+addr+"/update", "application/octet-stream",
+		bytes.NewReader(e.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("status = %d, want 403 (mirror sites do not ingest)", resp.StatusCode)
+	}
+}
+
+func TestUpdateRejectsGarbageAndControl(t *testing.T) {
+	m := core.NewMainUnit(core.MainConfig{})
+	f := New(m)
+	f.EnableUpdates(func(*event.Event) error { return nil })
+	addr, _ := f.Listen("127.0.0.1:0")
+	defer f.Close()
+	defer m.Close()
+
+	resp, _ := http.Post("http://"+addr+"/update", "application/octet-stream",
+		bytes.NewReader([]byte{1, 2, 3}))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage status = %d, want 400", resp.StatusCode)
+	}
+	ctrl := event.NewControl(event.TypeChkpt, nil)
+	resp, _ = http.Post("http://"+addr+"/update", "application/octet-stream",
+		bytes.NewReader(ctrl.Marshal()))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("control status = %d, want 400", resp.StatusCode)
+	}
+	// GET not allowed.
+	resp, _ = http.Get("http://" + addr + "/update")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,146 @@
+// Package loadbal distributes client requests across mirror sites.
+// The paper relies on "simple load balancing strategies" (citing
+// cluster-server work) to spread request processing over the mirrors;
+// this package provides the standard ones: round-robin, random,
+// least-loaded, and weighted.
+package loadbal
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNoTargets is returned when a balancer is constructed with no
+// targets.
+var ErrNoTargets = errors.New("loadbal: no targets")
+
+// Balancer picks the index of the target to receive the next request.
+type Balancer interface {
+	// Pick returns a target index in [0, n).
+	Pick() int
+	// Targets returns the number of targets.
+	Targets() int
+}
+
+// RoundRobin cycles through targets in order.
+type RoundRobin struct {
+	n    int
+	next atomic.Uint64
+}
+
+// NewRoundRobin returns a round-robin balancer over n targets.
+func NewRoundRobin(n int) (*RoundRobin, error) {
+	if n <= 0 {
+		return nil, ErrNoTargets
+	}
+	return &RoundRobin{n: n}, nil
+}
+
+// Pick implements Balancer.
+func (b *RoundRobin) Pick() int {
+	return int((b.next.Add(1) - 1) % uint64(b.n))
+}
+
+// Targets implements Balancer.
+func (b *RoundRobin) Targets() int { return b.n }
+
+// Random picks targets uniformly at random.
+type Random struct {
+	n   int
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom returns a random balancer over n targets with a seed.
+func NewRandom(n int, seed int64) (*Random, error) {
+	if n <= 0 {
+		return nil, ErrNoTargets
+	}
+	return &Random{n: n, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Pick implements Balancer.
+func (b *Random) Pick() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rng.Intn(b.n)
+}
+
+// Targets implements Balancer.
+func (b *Random) Targets() int { return b.n }
+
+// LeastLoaded picks the target with the smallest current load as
+// reported by the load function (e.g. pending-request depth).
+type LeastLoaded struct {
+	n    int
+	load func(i int) int
+}
+
+// NewLeastLoaded returns a least-loaded balancer: load(i) reports
+// target i's instantaneous load.
+func NewLeastLoaded(n int, load func(i int) int) (*LeastLoaded, error) {
+	if n <= 0 {
+		return nil, ErrNoTargets
+	}
+	if load == nil {
+		return nil, errors.New("loadbal: nil load function")
+	}
+	return &LeastLoaded{n: n, load: load}, nil
+}
+
+// Pick implements Balancer. Ties go to the lowest index.
+func (b *LeastLoaded) Pick() int {
+	best, bestLoad := 0, b.load(0)
+	for i := 1; i < b.n; i++ {
+		if l := b.load(i); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// Targets implements Balancer.
+func (b *LeastLoaded) Targets() int { return b.n }
+
+// Weighted picks targets proportionally to fixed integer weights
+// (e.g. heterogeneous mirror capacity).
+type Weighted struct {
+	cum   []int // cumulative weights
+	total int
+	mu    sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewWeighted returns a weighted balancer; weights must be positive.
+func NewWeighted(weights []int, seed int64) (*Weighted, error) {
+	if len(weights) == 0 {
+		return nil, ErrNoTargets
+	}
+	w := &Weighted{rng: rand.New(rand.NewSource(seed))}
+	for _, x := range weights {
+		if x <= 0 {
+			return nil, errors.New("loadbal: non-positive weight")
+		}
+		w.total += x
+		w.cum = append(w.cum, w.total)
+	}
+	return w, nil
+}
+
+// Pick implements Balancer.
+func (b *Weighted) Pick() int {
+	b.mu.Lock()
+	r := b.rng.Intn(b.total)
+	b.mu.Unlock()
+	for i, c := range b.cum {
+		if r < c {
+			return i
+		}
+	}
+	return len(b.cum) - 1
+}
+
+// Targets implements Balancer.
+func (b *Weighted) Targets() int { return len(b.cum) }

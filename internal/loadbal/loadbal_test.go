@@ -1,0 +1,144 @@
+package loadbal
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRoundRobinCycles(t *testing.T) {
+	b, err := NewRoundRobin(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Targets() != 3 {
+		t.Fatalf("Targets = %d", b.Targets())
+	}
+	for i := 0; i < 9; i++ {
+		if got := b.Pick(); got != i%3 {
+			t.Fatalf("pick %d = %d, want %d", i, got, i%3)
+		}
+	}
+}
+
+func TestRoundRobinNoTargets(t *testing.T) {
+	if _, err := NewRoundRobin(0); err != ErrNoTargets {
+		t.Fatalf("err = %v, want ErrNoTargets", err)
+	}
+}
+
+func TestRoundRobinConcurrentBalance(t *testing.T) {
+	b, _ := NewRoundRobin(4)
+	counts := make([]int64, 4)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, 4)
+			for i := 0; i < 1000; i++ {
+				local[b.Pick()]++
+			}
+			mu.Lock()
+			for i, n := range local {
+				counts[i] += n
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for i, n := range counts {
+		if n != 2000 {
+			t.Fatalf("target %d got %d picks, want 2000", i, n)
+		}
+	}
+}
+
+func TestRandomInRangeAndSpread(t *testing.T) {
+	b, err := NewRandom(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		p := b.Pick()
+		if p < 0 || p >= 4 {
+			t.Fatalf("pick out of range: %d", p)
+		}
+		counts[p]++
+	}
+	for i, n := range counts {
+		if n < 700 || n > 1300 {
+			t.Fatalf("target %d got %d of 4000 picks: poor spread", i, n)
+		}
+	}
+	if _, err := NewRandom(0, 1); err != ErrNoTargets {
+		t.Fatal("want ErrNoTargets")
+	}
+}
+
+func TestLeastLoaded(t *testing.T) {
+	loads := []int{5, 2, 8}
+	b, err := NewLeastLoaded(3, func(i int) int { return loads[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Pick(); got != 1 {
+		t.Fatalf("Pick = %d, want 1", got)
+	}
+	loads[1] = 100
+	if got := b.Pick(); got != 0 {
+		t.Fatalf("Pick = %d, want 0", got)
+	}
+	// Ties: lowest index wins.
+	loads = []int{3, 3, 3}
+	if got := b.Pick(); got != 0 {
+		t.Fatalf("tie Pick = %d, want 0", got)
+	}
+}
+
+func TestLeastLoadedValidation(t *testing.T) {
+	if _, err := NewLeastLoaded(0, func(int) int { return 0 }); err != ErrNoTargets {
+		t.Fatal("want ErrNoTargets")
+	}
+	if _, err := NewLeastLoaded(2, nil); err == nil {
+		t.Fatal("nil load function must fail")
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	b, err := NewWeighted([]int{1, 3}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Targets() != 2 {
+		t.Fatalf("Targets = %d", b.Targets())
+	}
+	counts := make([]int, 2)
+	for i := 0; i < 8000; i++ {
+		counts[b.Pick()]++
+	}
+	// Expect roughly 2000 / 6000.
+	if counts[0] < 1500 || counts[0] > 2500 {
+		t.Fatalf("weight-1 target got %d of 8000", counts[0])
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted(nil, 1); err != ErrNoTargets {
+		t.Fatal("want ErrNoTargets")
+	}
+	if _, err := NewWeighted([]int{1, 0}, 1); err == nil {
+		t.Fatal("zero weight must fail")
+	}
+	if _, err := NewWeighted([]int{1, -2}, 1); err == nil {
+		t.Fatal("negative weight must fail")
+	}
+}
+
+func BenchmarkRoundRobinPick(b *testing.B) {
+	bal, _ := NewRoundRobin(8)
+	for i := 0; i < b.N; i++ {
+		bal.Pick()
+	}
+}

@@ -1,0 +1,219 @@
+// Package metrics provides the measurement primitives the experiment
+// harness uses: counters, duration histograms with percentiles, and
+// time-binned series (Figure 9 plots update delay against wall time).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram accumulates durations. It retains raw samples (bounded by
+// maxSamples with reservoir-free head retention plus reservoir-style
+// statistics always exact for count/sum/min/max).
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	cap     int
+}
+
+// DefaultHistogramCap bounds retained samples per histogram.
+const DefaultHistogramCap = 1 << 18
+
+// NewHistogram returns a histogram retaining up to capSamples raw
+// samples (0 uses DefaultHistogramCap).
+func NewHistogram(capSamples int) *Histogram {
+	if capSamples <= 0 {
+		capSamples = DefaultHistogramCap
+	}
+	return &Histogram{cap: capSamples, min: math.MaxInt64}
+}
+
+// Record adds one duration sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average of all samples (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) over retained
+// samples, 0 when empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// Summary formats count/mean/p50/p95/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Max())
+}
+
+// Series bins (time, value) observations into fixed-width wall-clock
+// bins relative to a start instant, averaging values per bin. Figure 9
+// is a Series of update delays with 1-second bins.
+type Series struct {
+	mu    sync.Mutex
+	start time.Time
+	width time.Duration
+	sums  []float64
+	ns    []uint64
+}
+
+// NewSeries returns a series with the given bin width, starting at
+// start.
+func NewSeries(start time.Time, width time.Duration) *Series {
+	if width <= 0 {
+		width = time.Second
+	}
+	return &Series{start: start, width: width}
+}
+
+// Observe records value at instant at. Observations before start fall
+// into bin 0.
+func (s *Series) Observe(at time.Time, value float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bin := int(at.Sub(s.start) / s.width)
+	if bin < 0 {
+		bin = 0
+	}
+	for len(s.sums) <= bin {
+		s.sums = append(s.sums, 0)
+		s.ns = append(s.ns, 0)
+	}
+	s.sums[bin] += value
+	s.ns[bin]++
+}
+
+// Bins returns the per-bin averages; empty bins are NaN.
+func (s *Series) Bins() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.sums))
+	for i := range out {
+		if s.ns[i] == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = s.sums[i] / float64(s.ns[i])
+		}
+	}
+	return out
+}
+
+// Counts returns the number of observations per bin.
+func (s *Series) Counts() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, len(s.ns))
+	copy(out, s.ns)
+	return out
+}
+
+// MaxBin returns the largest per-bin average, ignoring empty bins.
+func (s *Series) MaxBin() float64 {
+	var max float64
+	for _, v := range s.Bins() {
+		if !math.IsNaN(v) && v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MeanOfBins returns the average over non-empty bins.
+func (s *Series) MeanOfBins() float64 {
+	var sum float64
+	var n int
+	for _, v := range s.Bins() {
+		if !math.IsNaN(v) {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

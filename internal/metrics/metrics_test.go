@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond {
+		t.Fatalf("Min = %v", h.Min())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("Mean = %v, want 50.5ms", got)
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", got)
+	}
+	if got := h.Percentile(95); got != 95*time.Millisecond {
+		t.Fatalf("p95 = %v, want 95ms", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", got)
+	}
+	if got := h.Percentile(0); got != time.Millisecond {
+		t.Fatalf("p0 = %v, want 1ms", got)
+	}
+}
+
+func TestHistogramCapRetention(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 0; i < 100; i++ {
+		h.Record(time.Duration(i))
+	}
+	// Count and extremes stay exact even past the retention cap.
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 99 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram(0)
+	h.Record(time.Millisecond)
+	s := h.Summary()
+	for _, want := range []string{"n=1", "mean=", "p50=", "p95=", "max="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Record(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 2000 {
+		t.Fatalf("Count = %d, want 2000", h.Count())
+	}
+}
+
+func TestSeriesBinning(t *testing.T) {
+	start := time.Unix(1000, 0)
+	s := NewSeries(start, time.Second)
+	s.Observe(start.Add(100*time.Millisecond), 10)
+	s.Observe(start.Add(900*time.Millisecond), 20)
+	s.Observe(start.Add(2500*time.Millisecond), 5)
+	bins := s.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("bins = %v, want 3 bins", bins)
+	}
+	if bins[0] != 15 {
+		t.Fatalf("bin0 = %v, want 15", bins[0])
+	}
+	if !math.IsNaN(bins[1]) {
+		t.Fatalf("bin1 = %v, want NaN (empty)", bins[1])
+	}
+	if bins[2] != 5 {
+		t.Fatalf("bin2 = %v, want 5", bins[2])
+	}
+	counts := s.Counts()
+	if counts[0] != 2 || counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+}
+
+func TestSeriesEarlyObservationsClampToBinZero(t *testing.T) {
+	start := time.Unix(1000, 0)
+	s := NewSeries(start, time.Second)
+	s.Observe(start.Add(-5*time.Second), 42)
+	bins := s.Bins()
+	if len(bins) != 1 || bins[0] != 42 {
+		t.Fatalf("bins = %v", bins)
+	}
+}
+
+func TestSeriesAggregates(t *testing.T) {
+	start := time.Unix(0, 0)
+	s := NewSeries(start, time.Second)
+	s.Observe(start.Add(500*time.Millisecond), 10)
+	s.Observe(start.Add(1500*time.Millisecond), 30)
+	s.Observe(start.Add(3500*time.Millisecond), 20)
+	if got := s.MaxBin(); got != 30 {
+		t.Fatalf("MaxBin = %v, want 30", got)
+	}
+	if got := s.MeanOfBins(); got != 20 {
+		t.Fatalf("MeanOfBins = %v, want 20", got)
+	}
+}
+
+func TestSeriesDefaultWidth(t *testing.T) {
+	s := NewSeries(time.Now(), 0)
+	if s.width != time.Second {
+		t.Fatalf("default width = %v, want 1s", s.width)
+	}
+}
+
+func TestSeriesEmptyAggregates(t *testing.T) {
+	s := NewSeries(time.Now(), time.Second)
+	if s.MaxBin() != 0 || s.MeanOfBins() != 0 {
+		t.Fatal("empty series aggregates must be 0")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram(0)
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i))
+	}
+}
+
+func BenchmarkSeriesObserve(b *testing.B) {
+	s := NewSeries(time.Now(), time.Millisecond)
+	at := time.Now()
+	for i := 0; i < b.N; i++ {
+		s.Observe(at, float64(i))
+	}
+}

@@ -1,0 +1,267 @@
+// Package oislog implements the durable operational-state log among
+// the OIS's output consumers: the paper lists "large databases in
+// which operational state changes are recorded for logging purposes"
+// as clients of the server's update stream. The log is a segmented
+// append-only file store: every record is a framed event with a CRC;
+// segments rotate at a size threshold; Replay streams every record
+// back in order, stopping cleanly at a torn tail (a crash mid-write
+// loses at most the last record).
+package oislog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"adaptmirror/internal/event"
+)
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("oislog: closed")
+
+// DefaultSegmentSize is the rotation threshold.
+const DefaultSegmentSize = 4 << 20
+
+// segment file names: 00000001.oislog, 00000002.oislog, ...
+const segmentSuffix = ".oislog"
+
+// Log is a durable, append-only event log.
+type Log struct {
+	dir     string
+	maxSize int64
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64
+	seq     uint64 // current segment number
+	appends uint64
+	closed  bool
+}
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentSize is the rotation threshold (default 4 MiB).
+	SegmentSize int64
+}
+
+// Open creates or resumes a log in dir. Existing segments are kept;
+// appends continue in a fresh segment after the highest existing one
+// (a torn tail in an old segment therefore never corrupts new data).
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("oislog: %w", err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if len(segs) > 0 {
+		next = segs[len(segs)-1].Seq + 1
+	}
+	l := &Log{dir: dir, maxSize: opts.SegmentSize, seq: next}
+	if err := l.openSegment(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// SegmentInfo describes one on-disk segment.
+type SegmentInfo struct {
+	Seq  uint64
+	Path string
+	Size int64
+}
+
+// Segments lists a log directory's segments in order.
+func Segments(dir string) ([]SegmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("oislog: %w", err)
+	}
+	var segs []SegmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != segmentSuffix {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "%08d"+segmentSuffix, &seq); err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("oislog: %w", err)
+		}
+		segs = append(segs, SegmentInfo{Seq: seq, Path: filepath.Join(dir, name), Size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	return segs, nil
+}
+
+func (l *Log) openSegment() error {
+	path := filepath.Join(l.dir, fmt.Sprintf("%08d%s", l.seq, segmentSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("oislog: %w", err)
+	}
+	l.f = f
+	l.size = 0
+	return nil
+}
+
+// Append durably records one event. Records are framed as
+// [len uint32][crc32 uint32][event bytes].
+func (l *Log) Append(e *event.Event) error {
+	body := e.Marshal()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.size > 0 && l.size+int64(len(body))+8 > l.maxSize {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("oislog: %w", err)
+	}
+	if _, err := l.f.Write(body); err != nil {
+		return fmt.Errorf("oislog: %w", err)
+	}
+	l.size += int64(len(body)) + 8
+	l.appends++
+	return nil
+}
+
+// Submit implements the core.Sender shape, so a Log can serve directly
+// as a site's client-update sink.
+func (l *Log) Submit(e *event.Event) error { return l.Append(e) }
+
+func (l *Log) rotateLocked() error {
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("oislog: %w", err)
+	}
+	l.seq++
+	return l.openSegment()
+}
+
+// Rotate forces a segment boundary.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.rotateLocked()
+}
+
+// Sync flushes the current segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.f.Sync()
+}
+
+// Appends returns the number of records appended by this handle.
+func (l *Log) Appends() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("oislog: %w", err)
+	}
+	return l.f.Close()
+}
+
+// Replay streams every durable record in order to fn, stopping at the
+// first torn or corrupt record in the final segment (earlier segments
+// must be intact). It returns the number of records delivered.
+func Replay(dir string, fn func(*event.Event) error) (int, error) {
+	segs, err := Segments(dir)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for i, seg := range segs {
+		n, err := replaySegment(seg.Path, fn)
+		total += n
+		if err != nil {
+			if i == len(segs)-1 && errors.Is(err, errTorn) {
+				// A torn tail in the last segment is the expected
+				// crash artifact: everything before it is intact.
+				return total, nil
+			}
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+var errTorn = errors.New("oislog: torn record")
+
+func replaySegment(path string, fn func(*event.Event) error) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("oislog: %w", err)
+	}
+	defer f.Close()
+	n := 0
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return n, nil
+			}
+			return n, errTorn
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:])
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		if size > event.MaxPayload {
+			return n, errTorn
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return n, errTorn
+		}
+		if crc32.ChecksumIEEE(body) != want {
+			return n, errTorn
+		}
+		e, _, err := event.Unmarshal(body)
+		if err != nil {
+			return n, errTorn
+		}
+		if err := fn(e); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

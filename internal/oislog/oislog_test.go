@@ -1,0 +1,255 @@
+package oislog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
+)
+
+func ev(seq uint64, size int) *event.Event {
+	e := event.NewPosition(event.FlightID(1+seq%5), seq, float64(seq), 0, 9000, size)
+	e.VT = vclock.VC{seq}
+	return e
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := uint64(1); i <= n; i++ {
+		if err := l.Append(ev(i, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Appends() != n {
+		t.Fatalf("Appends = %d", l.Appends())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []uint64
+	count, err := Replay(dir, func(e *event.Event) error {
+		got = append(got, e.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n || len(got) != n {
+		t.Fatalf("replayed %d, want %d", count, n)
+	}
+	for i, s := range got {
+		if s != uint64(i+1) {
+			t.Fatalf("record %d has seq %d: order violated", i, s)
+		}
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		if err := l.Append(ev(i, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("segments = %d, want rotation", len(segs))
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Seq <= segs[i-1].Seq {
+			t.Fatal("segments not ordered")
+		}
+	}
+	count, err := Replay(dir, func(*event.Event) error { return nil })
+	if err != nil || count != 50 {
+		t.Fatalf("replay across segments = (%d, %v)", count, err)
+	}
+}
+
+func TestExplicitRotate(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	l.Append(ev(1, 64))
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(ev(2, 64))
+	l.Close()
+	segs, _ := Segments(dir)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(segs))
+	}
+}
+
+func TestReopenContinuesInFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	l1, _ := Open(dir, Options{})
+	l1.Append(ev(1, 64))
+	l1.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Append(ev(2, 64))
+	l2.Close()
+	segs, _ := Segments(dir)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2 (fresh segment per open)", len(segs))
+	}
+	count, err := Replay(dir, func(*event.Event) error { return nil })
+	if err != nil || count != 2 {
+		t.Fatalf("replay = (%d, %v)", count, err)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	for i := uint64(1); i <= 10; i++ {
+		l.Append(ev(i, 64))
+	}
+	l.Close()
+	// Simulate a crash mid-write: truncate the last few bytes.
+	segs, _ := Segments(dir)
+	last := segs[len(segs)-1]
+	if err := os.Truncate(last.Path, last.Size-7); err != nil {
+		t.Fatal(err)
+	}
+	count, err := Replay(dir, func(*event.Event) error { return nil })
+	if err != nil {
+		t.Fatalf("torn tail must replay cleanly: %v", err)
+	}
+	if count != 9 {
+		t.Fatalf("replayed %d, want 9 (last record lost)", count)
+	}
+}
+
+func TestCorruptBodyDetected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	l.Append(ev(1, 64))
+	l.Append(ev(2, 64))
+	l.Close()
+	segs, _ := Segments(dir)
+	data, err := os.ReadFile(segs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[12] ^= 0xFF // flip a byte inside the first record's body
+	os.WriteFile(segs[0].Path, data, 0o644)
+	count, err := Replay(dir, func(*event.Event) error { return nil })
+	if err != nil {
+		t.Fatalf("corrupt tail of single segment tolerated as torn: %v", err)
+	}
+	if count != 0 {
+		t.Fatalf("replayed %d past a corrupt record, want 0", count)
+	}
+}
+
+func TestCorruptMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{SegmentSize: 1024})
+	for i := uint64(1); i <= 30; i++ {
+		l.Append(ev(i, 128))
+	}
+	l.Close()
+	segs, _ := Segments(dir)
+	if len(segs) < 3 {
+		t.Skip("need ≥3 segments for this scenario")
+	}
+	data, _ := os.ReadFile(segs[0].Path)
+	data[10] ^= 0xFF
+	os.WriteFile(segs[0].Path, data, 0o644)
+	if _, err := Replay(dir, func(*event.Event) error { return nil }); err == nil {
+		t.Fatal("corruption in a non-final segment must be reported")
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	l.Append(ev(1, 64))
+	l.Close()
+	boom := errors.New("boom")
+	if _, err := Replay(dir, func(*event.Event) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestClosedLogRejectsOps(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	l.Close()
+	if err := l.Append(ev(1, 16)); err != ErrClosed {
+		t.Fatalf("Append after close = %v", err)
+	}
+	if err := l.Rotate(); err != ErrClosed {
+		t.Fatalf("Rotate after close = %v", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Fatalf("Sync after close = %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}
+
+func TestOpenBadDir(t *testing.T) {
+	// A file where the directory should be.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "file")
+	os.WriteFile(path, []byte("x"), 0o644)
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open on a file must fail")
+	}
+}
+
+func TestSubmitImplementsSender(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	defer l.Close()
+	if err := l.Submit(ev(1, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Appends() != 1 {
+		t.Fatal("Submit did not append")
+	}
+}
+
+func TestReplayEmptyDir(t *testing.T) {
+	count, err := Replay(t.TempDir(), func(*event.Event) error { return nil })
+	if err != nil || count != 0 {
+		t.Fatalf("empty replay = (%d, %v)", count, err)
+	}
+}
+
+func BenchmarkAppend1KB(b *testing.B) {
+	dir := b.TempDir()
+	l, _ := Open(dir, Options{})
+	defer l.Close()
+	e := ev(1, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package queue
+
+import (
+	"sync"
+
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
+)
+
+// Backup retains sent events until the checkpoint protocol commits a
+// timestamp covering them (paper Section 3.2.1). Events are appended in
+// timestamp order — the central site's sending task is the only writer
+// and admission stamps are monotonic — and trimmed from the front at
+// commit. Its length is the second monitored variable used by the
+// adaptation mechanism.
+type Backup struct {
+	mu  sync.Mutex
+	buf []*event.Event
+	hwm int
+
+	// committed is the highest timestamp trimmed so far; commits at or
+	// below it are ignored (the "commit no longer in backup" rule).
+	committed vclock.VC
+}
+
+// NewBackup returns an empty backup queue.
+func NewBackup() *Backup { return &Backup{} }
+
+// Append stores a sent event until commit. Events must be appended in
+// non-decreasing timestamp order.
+func (b *Backup) Append(e *event.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, e)
+	if len(b.buf) > b.hwm {
+		b.hwm = len(b.buf)
+	}
+}
+
+// Last returns the timestamp of the most recently appended event, or
+// nil when the queue is empty. The checkpoint coordinator proposes this
+// value in its CHKPT message.
+func (b *Backup) Last() vclock.VC {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.buf) == 0 {
+		return nil
+	}
+	return b.buf[len(b.buf)-1].VT.Clone()
+}
+
+// LastAtOrBefore returns the timestamp of the newest retained event
+// whose timestamp is ≤ limit, or nil if none is. Participants use it to
+// answer a CHKPT proposal with their own safe value.
+func (b *Backup) LastAtOrBefore(limit vclock.VC) vclock.VC {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := len(b.buf) - 1; i >= 0; i-- {
+		if b.buf[i].VT.LessEq(limit) {
+			return b.buf[i].VT.Clone()
+		}
+	}
+	return nil
+}
+
+// Contains reports whether an event with timestamp ts is still
+// retained. Per the protocol, a unit receiving a commit identifying an
+// event no longer in its backup ignores it.
+func (b *Backup) Contains(ts vclock.VC) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := len(b.buf) - 1; i >= 0; i-- {
+		if b.buf[i].VT.Compare(ts) == vclock.Equal {
+			return true
+		}
+	}
+	return false
+}
+
+// Commit removes every event with timestamp ≤ ts and records ts as
+// committed. It returns the number of events released. Commits not
+// newer than a previous commit are ignored (later checkpoints subsume
+// earlier ones).
+func (b *Backup) Commit(ts vclock.VC) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.committed != nil && ts.LessEq(b.committed) {
+		return 0
+	}
+	n := 0
+	for n < len(b.buf) && b.buf[n].VT.LessEq(ts) {
+		b.buf[n] = nil
+		n++
+	}
+	if n > 0 {
+		b.buf = append(b.buf[:0], b.buf[n:]...)
+	}
+	b.committed = b.committed.Merge(ts)
+	return n
+}
+
+// Committed returns the highest committed timestamp (nil before the
+// first commit).
+func (b *Backup) Committed() vclock.VC {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.committed.Clone()
+}
+
+// Len returns the number of retained events.
+func (b *Backup) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// HighWater returns the maximum length the queue has reached.
+func (b *Backup) HighWater() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hwm
+}
+
+// Snapshot returns the retained events in order. The recovery extension
+// replays them to a rejoining mirror; callers must not mutate the
+// returned events.
+func (b *Backup) Snapshot() []*event.Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*event.Event, len(b.buf))
+	copy(out, b.buf)
+	return out
+}

@@ -1,0 +1,169 @@
+package queue
+
+import (
+	"testing"
+
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
+)
+
+func stamped(seq uint64) *event.Event {
+	e := ev(seq)
+	e.VT = vclock.VC{seq}
+	return e
+}
+
+func TestBackupLastAndLen(t *testing.T) {
+	b := NewBackup()
+	if b.Last() != nil {
+		t.Fatal("empty backup must have nil Last")
+	}
+	for i := uint64(1); i <= 5; i++ {
+		b.Append(stamped(i))
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", b.Len())
+	}
+	if got := b.Last(); got.Compare(vclock.VC{5}) != vclock.Equal {
+		t.Fatalf("Last = %v, want <5>", got)
+	}
+}
+
+func TestBackupCommitTrims(t *testing.T) {
+	b := NewBackup()
+	for i := uint64(1); i <= 10; i++ {
+		b.Append(stamped(i))
+	}
+	n := b.Commit(vclock.VC{4})
+	if n != 4 {
+		t.Fatalf("Commit released %d, want 4", n)
+	}
+	if b.Len() != 6 {
+		t.Fatalf("Len after commit = %d, want 6", b.Len())
+	}
+	if got := b.Committed(); got.Compare(vclock.VC{4}) != vclock.Equal {
+		t.Fatalf("Committed = %v, want <4>", got)
+	}
+}
+
+func TestBackupStaleCommitIgnored(t *testing.T) {
+	b := NewBackup()
+	for i := uint64(1); i <= 10; i++ {
+		b.Append(stamped(i))
+	}
+	b.Commit(vclock.VC{6})
+	if n := b.Commit(vclock.VC{4}); n != 0 {
+		t.Fatalf("stale commit released %d events, want 0", n)
+	}
+	if n := b.Commit(vclock.VC{6}); n != 0 {
+		t.Fatalf("repeated commit released %d events, want 0", n)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+}
+
+func TestBackupLaterCommitSubsumesEarlier(t *testing.T) {
+	// Paper: "if a checkpointing procedure has not completed a commit
+	// before the following one is initiated, the later commit will
+	// encapsulate the earlier one."
+	b := NewBackup()
+	for i := uint64(1); i <= 10; i++ {
+		b.Append(stamped(i))
+	}
+	if n := b.Commit(vclock.VC{9}); n != 9 {
+		t.Fatalf("released %d, want 9", n)
+	}
+	// The earlier (skipped) commit arrives late and must be a no-op.
+	if n := b.Commit(vclock.VC{5}); n != 0 {
+		t.Fatalf("late earlier commit released %d, want 0", n)
+	}
+}
+
+func TestBackupContains(t *testing.T) {
+	b := NewBackup()
+	b.Append(stamped(1))
+	b.Append(stamped(2))
+	if !b.Contains(vclock.VC{2}) {
+		t.Fatal("Contains(<2>) = false, want true")
+	}
+	if b.Contains(vclock.VC{3}) {
+		t.Fatal("Contains(<3>) = true, want false")
+	}
+	b.Commit(vclock.VC{2})
+	if b.Contains(vclock.VC{2}) {
+		t.Fatal("Contains after commit = true, want false")
+	}
+}
+
+func TestBackupLastAtOrBefore(t *testing.T) {
+	b := NewBackup()
+	for _, s := range []uint64{1, 3, 5, 7} {
+		b.Append(stamped(s))
+	}
+	if got := b.LastAtOrBefore(vclock.VC{6}); got.Compare(vclock.VC{5}) != vclock.Equal {
+		t.Fatalf("LastAtOrBefore(<6>) = %v, want <5>", got)
+	}
+	if got := b.LastAtOrBefore(vclock.VC{0}); got != nil {
+		t.Fatalf("LastAtOrBefore(<0>) = %v, want nil", got)
+	}
+	if got := b.LastAtOrBefore(vclock.VC{100}); got.Compare(vclock.VC{7}) != vclock.Equal {
+		t.Fatalf("LastAtOrBefore(<100>) = %v, want <7>", got)
+	}
+}
+
+func TestBackupSnapshotOrder(t *testing.T) {
+	b := NewBackup()
+	for i := uint64(1); i <= 4; i++ {
+		b.Append(stamped(i))
+	}
+	b.Commit(vclock.VC{2})
+	snap := b.Snapshot()
+	if len(snap) != 2 || snap[0].Seq != 3 || snap[1].Seq != 4 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}
+
+func TestBackupHighWater(t *testing.T) {
+	b := NewBackup()
+	for i := uint64(1); i <= 8; i++ {
+		b.Append(stamped(i))
+	}
+	b.Commit(vclock.VC{8})
+	b.Append(stamped(9))
+	if b.HighWater() != 8 {
+		t.Fatalf("HighWater = %d, want 8", b.HighWater())
+	}
+}
+
+func TestBackupVectorTimestamps(t *testing.T) {
+	// Two streams: commits respect the component-wise partial order.
+	b := NewBackup()
+	e1 := ev(1)
+	e1.VT = vclock.VC{1, 0}
+	e2 := ev(2)
+	e2.VT = vclock.VC{1, 1}
+	e3 := ev(3)
+	e3.VT = vclock.VC{2, 1}
+	b.Append(e1)
+	b.Append(e2)
+	b.Append(e3)
+	if n := b.Commit(vclock.VC{1, 1}); n != 2 {
+		t.Fatalf("released %d, want 2", n)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+}
+
+func BenchmarkBackupAppendCommit(b *testing.B) {
+	bk := NewBackup()
+	for i := 0; i < b.N; i++ {
+		e := ev(uint64(i))
+		e.VT = vclock.VC{uint64(i + 1)}
+		bk.Append(e)
+		if i%50 == 49 {
+			bk.Commit(vclock.VC{uint64(i + 1)})
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package queue provides the data structures shared by the tasks of an
+// auxiliary unit: the ready queue feeding the sending task, the backup
+// queue retaining sent events until checkpoint commit, and the status
+// table recording per-flight history for the semantic mirroring rules
+// (paper Section 3.1-3.2).
+package queue
+
+import (
+	"errors"
+	"sync"
+
+	"adaptmirror/internal/event"
+)
+
+// ErrClosed is returned by queue operations after Close.
+var ErrClosed = errors.New("queue: closed")
+
+// Ready is the blocking FIFO between the receiving task (producer) and
+// the sending task (consumer). Its length is one of the monitored
+// variables driving adaptation, so Len is cheap and safe to call from
+// other goroutines.
+type Ready struct {
+	mu     sync.Mutex
+	nonEmp *sync.Cond
+	notFul *sync.Cond
+	buf    []*event.Event
+	head   int
+	cap    int // 0 = unbounded
+	closed bool
+
+	// hwm tracks the high-water mark of the queue length, reported by
+	// experiment harnesses to characterize backlog behaviour.
+	hwm int
+}
+
+// NewReady returns a ready queue. capacity 0 means unbounded; a
+// positive capacity makes Put block when full (back-pressure on the
+// receiving task, as with a fixed-size kernel queue).
+func NewReady(capacity int) *Ready {
+	q := &Ready{cap: capacity}
+	q.nonEmp = sync.NewCond(&q.mu)
+	q.notFul = sync.NewCond(&q.mu)
+	return q
+}
+
+// Put appends e, blocking while the queue is full. It returns ErrClosed
+// if the queue was closed before the event could be enqueued.
+func (q *Ready) Put(e *event.Event) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.cap > 0 && len(q.buf)-q.head >= q.cap && !q.closed {
+		q.notFul.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.buf = append(q.buf, e)
+	if n := len(q.buf) - q.head; n > q.hwm {
+		q.hwm = n
+	}
+	q.nonEmp.Signal()
+	return nil
+}
+
+// Get removes and returns the oldest event, blocking while the queue is
+// empty. After Close, Get drains remaining events and then returns
+// ErrClosed.
+func (q *Ready) Get() (*event.Event, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == q.head && !q.closed {
+		q.nonEmp.Wait()
+	}
+	if len(q.buf) == q.head {
+		return nil, ErrClosed
+	}
+	e := q.take()
+	q.notFul.Signal()
+	return e, nil
+}
+
+// GetBatch removes up to max events in one call (at least one; it
+// blocks while empty). The sending task uses it to coalesce runs of
+// events. After Close, remaining events are drained before ErrClosed.
+func (q *Ready) GetBatch(max int) ([]*event.Event, error) {
+	if max < 1 {
+		max = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == q.head && !q.closed {
+		q.nonEmp.Wait()
+	}
+	if len(q.buf) == q.head {
+		return nil, ErrClosed
+	}
+	n := len(q.buf) - q.head
+	if n > max {
+		n = max
+	}
+	out := make([]*event.Event, n)
+	for i := range out {
+		out[i] = q.take()
+	}
+	q.notFul.Broadcast()
+	return out, nil
+}
+
+// take pops one event; caller holds q.mu and guarantees non-empty.
+func (q *Ready) take() *event.Event {
+	e := q.buf[q.head]
+	q.buf[q.head] = nil // release for GC
+	q.head++
+	if q.head > 1024 && q.head*2 >= len(q.buf) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return e
+}
+
+// Len returns the current number of queued events.
+func (q *Ready) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) - q.head
+}
+
+// HighWater returns the maximum length the queue has reached.
+func (q *Ready) HighWater() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.hwm
+}
+
+// Close marks the queue closed. Blocked producers fail with ErrClosed;
+// consumers drain remaining events, then receive ErrClosed. Close is
+// idempotent.
+func (q *Ready) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.nonEmp.Broadcast()
+	q.notFul.Broadcast()
+}

@@ -1,0 +1,277 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adaptmirror/internal/event"
+)
+
+func ev(seq uint64) *event.Event {
+	return &event.Event{Type: event.TypeFAAPosition, Seq: seq, Coalesced: 1}
+}
+
+func TestReadyFIFO(t *testing.T) {
+	q := NewReady(0)
+	for i := uint64(0); i < 10; i++ {
+		if err := q.Put(ev(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for i := uint64(0); i < 10; i++ {
+		e, err := q.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Seq != i {
+			t.Fatalf("got seq %d, want %d", e.Seq, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestReadyGetBlocksUntilPut(t *testing.T) {
+	q := NewReady(0)
+	done := make(chan *event.Event, 1)
+	go func() {
+		e, err := q.Get()
+		if err != nil {
+			t.Error(err)
+		}
+		done <- e
+	}()
+	select {
+	case <-done:
+		t.Fatal("Get returned before Put")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if err := q.Put(ev(42)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-done:
+		if e.Seq != 42 {
+			t.Fatalf("seq = %d, want 42", e.Seq)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get did not wake up")
+	}
+}
+
+func TestReadyBoundedBackpressure(t *testing.T) {
+	q := NewReady(2)
+	if err := q.Put(ev(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Put(ev(2)); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- q.Put(ev(3)) }()
+	select {
+	case <-blocked:
+		t.Fatal("Put must block when full")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if _, err := q.Get(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Put did not unblock after Get")
+	}
+}
+
+func TestReadyCloseDrains(t *testing.T) {
+	q := NewReady(0)
+	q.Put(ev(1))
+	q.Put(ev(2))
+	q.Close()
+	if err := q.Put(ev(3)); err != ErrClosed {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	for i := uint64(1); i <= 2; i++ {
+		e, err := q.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Seq != i {
+			t.Fatalf("seq = %d, want %d", e.Seq, i)
+		}
+	}
+	if _, err := q.Get(); err != ErrClosed {
+		t.Fatalf("Get on drained closed queue = %v, want ErrClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+func TestReadyCloseWakesBlockedGetters(t *testing.T) {
+	q := NewReady(0)
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := q.Get()
+			errs <- err
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	q.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != ErrClosed {
+				t.Fatalf("err = %v, want ErrClosed", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("blocked Get not woken by Close")
+		}
+	}
+}
+
+func TestReadyCloseWakesBlockedPutters(t *testing.T) {
+	q := NewReady(1)
+	q.Put(ev(1))
+	errs := make(chan error, 1)
+	go func() { errs <- q.Put(ev(2)) }()
+	time.Sleep(5 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-errs:
+		if err != ErrClosed {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked Put not woken by Close")
+	}
+}
+
+func TestReadyGetBatch(t *testing.T) {
+	q := NewReady(0)
+	for i := uint64(0); i < 5; i++ {
+		q.Put(ev(i))
+	}
+	batch, err := q.GetBatch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch size = %d, want 3", len(batch))
+	}
+	for i, e := range batch {
+		if e.Seq != uint64(i) {
+			t.Fatalf("batch[%d].Seq = %d, want %d", i, e.Seq, i)
+		}
+	}
+	batch, err = q.GetBatch(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("second batch size = %d, want 2", len(batch))
+	}
+}
+
+func TestReadyGetBatchMinimumOne(t *testing.T) {
+	q := NewReady(0)
+	q.Put(ev(7))
+	batch, err := q.GetBatch(0)
+	if err != nil || len(batch) != 1 || batch[0].Seq != 7 {
+		t.Fatalf("GetBatch(0) = %v, %v", batch, err)
+	}
+}
+
+func TestReadyHighWater(t *testing.T) {
+	q := NewReady(0)
+	for i := uint64(0); i < 7; i++ {
+		q.Put(ev(i))
+	}
+	q.Get()
+	q.Get()
+	q.Put(ev(99))
+	if hwm := q.HighWater(); hwm != 7 {
+		t.Fatalf("HighWater = %d, want 7", hwm)
+	}
+}
+
+func TestReadyConcurrentProducersConsumers(t *testing.T) {
+	q := NewReady(64)
+	const producers, perProducer = 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Put(ev(uint64(p*perProducer + i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	got := make(chan uint64, producers*perProducer)
+	var cwg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				e, err := q.Get()
+				if err != nil {
+					return
+				}
+				got <- e.Seq
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	close(got)
+	seen := make(map[uint64]bool)
+	for s := range got {
+		if seen[s] {
+			t.Fatalf("duplicate event %d", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("received %d events, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestReadyCompaction(t *testing.T) {
+	// Exercise the internal buffer compaction path (head > 1024).
+	q := NewReady(0)
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 2000; i++ {
+			q.Put(ev(i))
+		}
+		for i := uint64(0); i < 2000; i++ {
+			e, err := q.Get()
+			if err != nil || e.Seq != i {
+				t.Fatalf("round %d: got (%v, %v), want seq %d", round, e, err, i)
+			}
+		}
+	}
+}
+
+func BenchmarkReadyPutGet(b *testing.B) {
+	q := NewReady(0)
+	e := ev(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Put(e)
+		q.Get()
+	}
+}

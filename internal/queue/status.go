@@ -1,0 +1,180 @@
+package queue
+
+import (
+	"sync"
+
+	"adaptmirror/internal/event"
+)
+
+// StatusTable is the per-flight history the mirroring process consults
+// when applying semantic rules: the number of overwritten updates for a
+// flight, the value of status events with actions attached, and which
+// lifecycle states have been observed (paper Section 3.2.1). It lives
+// in the auxiliary unit of the central site.
+type StatusTable struct {
+	mu      sync.Mutex
+	flights map[event.FlightID]*flightRecord
+
+	discarded uint64 // events dropped by overwrite/complex-seq rules
+	combined  uint64 // events folded into complex/coalesced events
+}
+
+type flightRecord struct {
+	status event.Status
+	// runs counts, per event type, the events of that type mirrored
+	// or discarded since the last one actually sent — the state behind
+	// the "send 1, discard the next L-1" overwrite rule.
+	runs map[event.Type]int
+	// seen records lifecycle states observed for the flight, used by
+	// the complex-tuple rule (landed + at-runway + at-gate → arrived).
+	seen map[event.Status]bool
+	// collapsed marks that a complex event has already been emitted
+	// for the current seen-set, preventing duplicates.
+	collapsed bool
+}
+
+// NewStatusTable returns an empty table.
+func NewStatusTable() *StatusTable {
+	return &StatusTable{flights: make(map[event.FlightID]*flightRecord)}
+}
+
+func (t *StatusTable) record(f event.FlightID) *flightRecord {
+	r := t.flights[f]
+	if r == nil {
+		r = &flightRecord{
+			runs: make(map[event.Type]int),
+			seen: make(map[event.Status]bool),
+		}
+		t.flights[f] = r
+	}
+	return r
+}
+
+// ObserveStatus records a status transition for a flight. Stale
+// transitions (earlier lifecycle states than already recorded) update
+// the seen-set but not the current status.
+func (t *StatusTable) ObserveStatus(f event.FlightID, s event.Status) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.record(f)
+	r.seen[s] = true
+	if s > r.status {
+		r.status = s
+		if !s.Terminal() {
+			// A new lifecycle phase re-arms complex-event collapse.
+			r.collapsed = false
+		}
+	}
+}
+
+// Status returns the current lifecycle state recorded for the flight
+// (StatusUnknown when never observed).
+func (t *StatusTable) Status(f event.FlightID) event.Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r := t.flights[f]; r != nil {
+		return r.status
+	}
+	return event.StatusUnknown
+}
+
+// OverwriteTick advances the overwrite run for (flight, type) and
+// reports whether this event should be sent: the first event of each
+// run of length l is sent, the following l-1 are discarded. l < 2
+// disables overwriting (everything is sent).
+func (t *StatusTable) OverwriteTick(f event.FlightID, ty event.Type, l int) (send bool) {
+	if l < 2 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.record(f)
+	n := r.runs[ty]
+	r.runs[ty] = (n + 1) % l
+	if n == 0 {
+		return true
+	}
+	t.discarded++
+	return false
+}
+
+// ResetRun clears the overwrite run for (flight, type); used when the
+// overwrite length is re-tuned by adaptation so the next event is
+// always sent under the new regime.
+func (t *StatusTable) ResetRun(f event.FlightID, ty event.Type) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r := t.flights[f]; r != nil {
+		delete(r.runs, ty)
+	}
+}
+
+// ResetAllRuns clears overwrite runs for every flight.
+func (t *StatusTable) ResetAllRuns() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.flights {
+		clear(r.runs)
+	}
+}
+
+// HasAll reports whether every status in want has been observed for
+// the flight.
+func (t *StatusTable) HasAll(f event.FlightID, want []event.Status) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.flights[f]
+	if r == nil {
+		return false
+	}
+	for _, s := range want {
+		if !r.seen[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// TryCollapse reports whether a complex event should be emitted now
+// for the flight: it returns true exactly once after all statuses in
+// want have been observed, until the seen-set is re-armed by a new
+// (non-terminal) lifecycle phase.
+func (t *StatusTable) TryCollapse(f event.FlightID, want []event.Status) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.flights[f]
+	if r == nil || r.collapsed {
+		return false
+	}
+	for _, s := range want {
+		if !r.seen[s] {
+			return false
+		}
+	}
+	r.collapsed = true
+	t.combined += uint64(len(want))
+	return true
+}
+
+// CountDiscard increments the discarded-events counter (used by rules
+// applied outside the table, e.g. complex-seq drops).
+func (t *StatusTable) CountDiscard() {
+	t.mu.Lock()
+	t.discarded++
+	t.mu.Unlock()
+}
+
+// Stats returns the cumulative counts of events discarded by overwrite
+// and complex-seq rules, and of events combined into complex events.
+func (t *StatusTable) Stats() (discarded, combined uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.discarded, t.combined
+}
+
+// Flights returns the number of flights with recorded history.
+func (t *StatusTable) Flights() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.flights)
+}

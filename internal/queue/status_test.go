@@ -1,0 +1,202 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"adaptmirror/internal/event"
+)
+
+func TestObserveStatusMonotonic(t *testing.T) {
+	st := NewStatusTable()
+	st.ObserveStatus(1, event.StatusBoarding)
+	st.ObserveStatus(1, event.StatusLanded)
+	st.ObserveStatus(1, event.StatusBoarded) // stale, must not regress
+	if got := st.Status(1); got != event.StatusLanded {
+		t.Fatalf("Status = %s, want landed", got)
+	}
+	if got := st.Status(2); got != event.StatusUnknown {
+		t.Fatalf("unseen flight Status = %s, want unknown", got)
+	}
+}
+
+func TestOverwriteTickSendOneOfL(t *testing.T) {
+	st := NewStatusTable()
+	const l = 5
+	sent := 0
+	for i := 0; i < 20; i++ {
+		if st.OverwriteTick(7, event.TypeFAAPosition, l) {
+			sent++
+		}
+	}
+	if sent != 4 {
+		t.Fatalf("sent %d of 20 with L=5, want 4", sent)
+	}
+	discarded, _ := st.Stats()
+	if discarded != 16 {
+		t.Fatalf("discarded = %d, want 16", discarded)
+	}
+}
+
+func TestOverwriteTickPerFlightIndependent(t *testing.T) {
+	st := NewStatusTable()
+	// First event of each flight's run must be sent regardless of
+	// other flights' runs.
+	if !st.OverwriteTick(1, event.TypeFAAPosition, 10) {
+		t.Fatal("flight 1 first event must send")
+	}
+	if !st.OverwriteTick(2, event.TypeFAAPosition, 10) {
+		t.Fatal("flight 2 first event must send")
+	}
+	if st.OverwriteTick(1, event.TypeFAAPosition, 10) {
+		t.Fatal("flight 1 second event must be discarded")
+	}
+}
+
+func TestOverwriteTickPerTypeIndependent(t *testing.T) {
+	st := NewStatusTable()
+	st.OverwriteTick(1, event.TypeFAAPosition, 10)
+	if !st.OverwriteTick(1, event.TypeWeather, 10) {
+		t.Fatal("different type must have its own run")
+	}
+}
+
+func TestOverwriteTickDisabled(t *testing.T) {
+	st := NewStatusTable()
+	for _, l := range []int{0, 1, -3} {
+		for i := 0; i < 5; i++ {
+			if !st.OverwriteTick(3, event.TypeFAAPosition, l) {
+				t.Fatalf("L=%d must disable overwriting", l)
+			}
+		}
+	}
+}
+
+func TestOverwriteFraction(t *testing.T) {
+	// Property: over n events with run length l, the number sent is
+	// ceil(n/l).
+	f := func(n8, l8 uint8) bool {
+		n := int(n8%100) + 1
+		l := int(l8%20) + 2
+		st := NewStatusTable()
+		sent := 0
+		for i := 0; i < n; i++ {
+			if st.OverwriteTick(1, event.TypeFAAPosition, l) {
+				sent++
+			}
+		}
+		want := (n + l - 1) / l
+		return sent == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetRun(t *testing.T) {
+	st := NewStatusTable()
+	st.OverwriteTick(1, event.TypeFAAPosition, 10)
+	st.ResetRun(1, event.TypeFAAPosition)
+	if !st.OverwriteTick(1, event.TypeFAAPosition, 10) {
+		t.Fatal("after ResetRun the next event must send")
+	}
+	st.ResetRun(99, event.TypeFAAPosition) // unknown flight: no-op
+}
+
+func TestResetAllRuns(t *testing.T) {
+	st := NewStatusTable()
+	st.OverwriteTick(1, event.TypeFAAPosition, 10)
+	st.OverwriteTick(2, event.TypeFAAPosition, 10)
+	st.ResetAllRuns()
+	if !st.OverwriteTick(1, event.TypeFAAPosition, 10) || !st.OverwriteTick(2, event.TypeFAAPosition, 10) {
+		t.Fatal("after ResetAllRuns every flight's next event must send")
+	}
+}
+
+func TestHasAll(t *testing.T) {
+	st := NewStatusTable()
+	want := []event.Status{event.StatusLanded, event.StatusAtRunway, event.StatusAtGate}
+	st.ObserveStatus(5, event.StatusLanded)
+	st.ObserveStatus(5, event.StatusAtRunway)
+	if st.HasAll(5, want) {
+		t.Fatal("HasAll true with one status missing")
+	}
+	st.ObserveStatus(5, event.StatusAtGate)
+	if !st.HasAll(5, want) {
+		t.Fatal("HasAll false with all statuses observed")
+	}
+	if st.HasAll(6, want) {
+		t.Fatal("HasAll true for unknown flight")
+	}
+}
+
+func TestTryCollapseOnce(t *testing.T) {
+	st := NewStatusTable()
+	want := []event.Status{event.StatusLanded, event.StatusAtRunway, event.StatusAtGate}
+	if st.TryCollapse(5, want) {
+		t.Fatal("collapse before any status observed")
+	}
+	st.ObserveStatus(5, event.StatusLanded)
+	st.ObserveStatus(5, event.StatusAtRunway)
+	st.ObserveStatus(5, event.StatusAtGate)
+	if !st.TryCollapse(5, want) {
+		t.Fatal("collapse must fire once all statuses observed")
+	}
+	if st.TryCollapse(5, want) {
+		t.Fatal("collapse must fire only once")
+	}
+	_, combined := st.Stats()
+	if combined != 3 {
+		t.Fatalf("combined = %d, want 3", combined)
+	}
+}
+
+func TestCountDiscard(t *testing.T) {
+	st := NewStatusTable()
+	st.CountDiscard()
+	st.CountDiscard()
+	d, _ := st.Stats()
+	if d != 2 {
+		t.Fatalf("discarded = %d, want 2", d)
+	}
+}
+
+func TestFlightsCount(t *testing.T) {
+	st := NewStatusTable()
+	st.ObserveStatus(1, event.StatusLanded)
+	st.ObserveStatus(2, event.StatusBoarding)
+	st.OverwriteTick(3, event.TypeFAAPosition, 5)
+	if st.Flights() != 3 {
+		t.Fatalf("Flights = %d, want 3", st.Flights())
+	}
+}
+
+func TestStatusTableConcurrency(t *testing.T) {
+	st := NewStatusTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := event.FlightID(g % 4)
+			for i := 0; i < 200; i++ {
+				st.OverwriteTick(f, event.TypeFAAPosition, 10)
+				st.ObserveStatus(f, event.StatusEnRoute)
+				st.Status(f)
+				st.HasAll(f, []event.Status{event.StatusEnRoute})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Flights() != 4 {
+		t.Fatalf("Flights = %d, want 4", st.Flights())
+	}
+}
+
+func BenchmarkOverwriteTick(b *testing.B) {
+	st := NewStatusTable()
+	for i := 0; i < b.N; i++ {
+		st.OverwriteTick(event.FlightID(i&31), event.TypeFAAPosition, 10)
+	}
+}

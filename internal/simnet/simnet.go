@@ -1,0 +1,166 @@
+// Package simnet emulates the network asymmetry of the paper's
+// testbed: a fast cluster interconnect between mirror sites versus a
+// 100 Mbps Ethernet between server and clients. It shapes io/net
+// connections with a token-bucket bandwidth limit (serialization
+// delay, which grows with event size) and one-way propagation latency.
+package simnet
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Profile describes one direction of a link.
+type Profile struct {
+	// Bandwidth in bytes per second; 0 means unlimited.
+	Bandwidth float64
+	// Latency is the one-way propagation delay added to each write.
+	Latency time.Duration
+	// Burst is the token bucket depth in bytes; defaults to 64 KiB
+	// when zero and a bandwidth limit is set.
+	Burst int
+}
+
+// Common profiles. The cluster SAN dwarfs the client network, which is
+// what makes intra-cluster mirroring cheap relative to client traffic.
+var (
+	// ClusterSAN approximates the paper's cluster interconnect:
+	// ~1 Gbps, tens of microseconds of latency.
+	ClusterSAN = Profile{Bandwidth: 125e6, Latency: 50 * time.Microsecond}
+	// ClientEthernet approximates the 100 Mbps client-facing network.
+	ClientEthernet = Profile{Bandwidth: 12.5e6, Latency: 200 * time.Microsecond}
+	// Unshaped applies no shaping at all.
+	Unshaped = Profile{}
+)
+
+// IsZero reports whether p applies no shaping.
+func (p Profile) IsZero() bool {
+	return p.Bandwidth == 0 && p.Latency == 0
+}
+
+// bucket is a token bucket: callers wait until enough byte-tokens have
+// accrued. It intentionally models only serialization delay — no drops.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int) *bucket {
+	if burst <= 0 {
+		burst = 64 << 10
+	}
+	return &bucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// wait blocks until n bytes of tokens are available and consumes them.
+// Requests larger than the burst are satisfied in burst-sized slices.
+func (b *bucket) wait(n int) {
+	for n > 0 {
+		slice := n
+		if float64(slice) > b.burst {
+			slice = int(b.burst)
+		}
+		b.waitSlice(slice)
+		n -= slice
+	}
+}
+
+func (b *bucket) waitSlice(n int) {
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+		if b.tokens >= float64(n) {
+			b.tokens -= float64(n)
+			b.mu.Unlock()
+			return
+		}
+		need := (float64(n) - b.tokens) / b.rate
+		b.mu.Unlock()
+		time.Sleep(time.Duration(need * float64(time.Second)))
+	}
+}
+
+// Conn shapes writes on an underlying net.Conn. Reads pass through
+// untouched (the peer's writes are shaped on its side).
+type Conn struct {
+	net.Conn
+	bucket  *bucket
+	latency time.Duration
+
+	mu sync.Mutex // serializes shaped writes
+}
+
+// Shape wraps c so writes experience p. A zero profile returns c
+// unchanged.
+func Shape(c net.Conn, p Profile) net.Conn {
+	if p.IsZero() {
+		return c
+	}
+	sc := &Conn{Conn: c, latency: p.Latency}
+	if p.Bandwidth > 0 {
+		sc.bucket = newBucket(p.Bandwidth, p.Burst)
+	}
+	return sc
+}
+
+// Write applies serialization delay (bandwidth) and propagation
+// latency, then writes to the underlying connection.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bucket != nil {
+		c.bucket.wait(len(p))
+	}
+	if c.latency > 0 {
+		time.Sleep(c.latency)
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener shapes connections accepted from an inner listener.
+type Listener struct {
+	net.Listener
+	profile Profile
+}
+
+// ShapeListener wraps l so accepted connections are shaped with p.
+func ShapeListener(l net.Listener, p Profile) net.Listener {
+	if p.IsZero() {
+		return l
+	}
+	return &Listener{Listener: l, profile: p}
+}
+
+// Accept shapes the accepted connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Shape(c, l.profile), nil
+}
+
+// Dial connects to addr over TCP and shapes the connection with p.
+func Dial(addr string, p Profile) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Shape(c, p), nil
+}
+
+// Pipe returns an in-process full-duplex connection pair, each
+// direction shaped with p.
+func Pipe(p Profile) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return Shape(a, p), Shape(b, p)
+}

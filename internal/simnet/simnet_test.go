@@ -1,0 +1,204 @@
+package simnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestShapeZeroProfilePassthrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if Shape(a, Unshaped) != a {
+		t.Fatal("zero profile must return the connection unchanged")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Unshaped.IsZero() {
+		t.Fatal("Unshaped.IsZero() = false")
+	}
+	if ClusterSAN.IsZero() || ClientEthernet.IsZero() {
+		t.Fatal("shaped profiles must not be zero")
+	}
+	if (Profile{Latency: time.Millisecond}).IsZero() {
+		t.Fatal("latency-only profile must not be zero")
+	}
+}
+
+func TestBandwidthLimitsThroughput(t *testing.T) {
+	// 1 MB/s with a small burst: sending 200 KB beyond the burst must
+	// take roughly 200ms (loose bounds to stay robust under CI noise).
+	const rate = 1e6
+	a, b := net.Pipe()
+	shaped := Shape(a, Profile{Bandwidth: rate, Burst: 4 << 10})
+	defer shaped.Close()
+	defer b.Close()
+
+	go io.Copy(io.Discard, b)
+	payload := make([]byte, 200<<10)
+	start := time.Now()
+	if _, err := shaped.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	min := 100 * time.Millisecond
+	if elapsed < min {
+		t.Fatalf("200KB at 1MB/s finished in %v, want at least %v", elapsed, min)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("transfer took %v, far beyond expected ~200ms", elapsed)
+	}
+}
+
+func TestLatencyDelaysWrites(t *testing.T) {
+	a, b := net.Pipe()
+	shaped := Shape(a, Profile{Latency: 20 * time.Millisecond})
+	defer shaped.Close()
+	defer b.Close()
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 5)
+		io.ReadFull(b, buf)
+		done <- buf
+	}()
+	start := time.Now()
+	if _, err := shaped.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatalf("write completed in %v, latency not applied", time.Since(start))
+	}
+	if !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+}
+
+func TestReadsUnshaped(t *testing.T) {
+	a, b := net.Pipe()
+	shaped := Shape(a, Profile{Latency: 50 * time.Millisecond})
+	defer shaped.Close()
+	defer b.Close()
+	go b.Write([]byte("x"))
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(shaped, buf); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 25*time.Millisecond {
+		t.Fatal("reads must not be delayed by the local write profile")
+	}
+}
+
+func TestBucketLargeWriteExceedingBurst(t *testing.T) {
+	b := newBucket(1e9, 1024)
+	start := time.Now()
+	b.wait(10 * 1024) // 10 KiB through a 1 KiB-burst bucket at 1 GB/s
+	if time.Since(start) > time.Second {
+		t.Fatal("bucket stalled on larger-than-burst request")
+	}
+}
+
+func TestShapedListenerAndDial(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ShapeListener(inner, Profile{Latency: 5 * time.Millisecond})
+	defer l.Close()
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := Dial(inner.Addr().String(), Profile{Latency: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srvConn := <-accepted
+	defer srvConn.Close()
+
+	if _, ok := srvConn.(*Conn); !ok {
+		t.Fatal("accepted connection must be shaped")
+	}
+	if _, ok := c.(*Conn); !ok {
+		t.Fatal("dialed connection must be shaped")
+	}
+	// Round trip still works through shaping.
+	go srvConn.Write([]byte("pong"))
+	buf := make([]byte, 4)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestShapeListenerZeroPassthrough(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	if ShapeListener(inner, Unshaped) != inner {
+		t.Fatal("zero profile must return listener unchanged")
+	}
+}
+
+func TestDialError(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", ClusterSAN); err == nil {
+		t.Fatal("Dial to closed port must fail")
+	}
+}
+
+func TestPipePair(t *testing.T) {
+	a, b := Pipe(Profile{Latency: time.Millisecond})
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte("hi"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hi" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestConcurrentShapedWrites(t *testing.T) {
+	a, b := net.Pipe()
+	shaped := Shape(a, Profile{Bandwidth: 100e6, Latency: time.Microsecond})
+	defer shaped.Close()
+	defer b.Close()
+	go io.Copy(io.Discard, b)
+	done := make(chan struct{}, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			buf := make([]byte, 1024)
+			for i := 0; i < 50; i++ {
+				if _, err := shaped.Write(buf); err != nil {
+					t.Error(err)
+					break
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("concurrent writes deadlocked")
+		}
+	}
+}

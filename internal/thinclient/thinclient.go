@@ -1,0 +1,154 @@
+// Package thinclient implements the paper's thin clients — airport
+// flight displays, gate-agent PCs — which "maintain their own local
+// views of the system's state, which they continuously update based on
+// events received from the OIS server". A View is initialized from an
+// initialization-state snapshot (served by any mirror site) and then
+// advanced by the state-update stream, so a client that re-initializes
+// after a failure converges back to the server's state.
+package thinclient
+
+import (
+	"fmt"
+	"sync"
+
+	"adaptmirror/internal/ede"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
+)
+
+// View is one thin client's local view of operational state.
+type View struct {
+	mu      sync.RWMutex
+	flights map[event.FlightID]ede.FlightState
+	lastVT  vclock.VC
+	padding int
+
+	inited  bool
+	applied uint64
+	stale   uint64
+	gap     bool
+}
+
+// New returns an uninitialized view; paddingPerFlight must match the
+// server's snapshot padding.
+func New(paddingPerFlight int) *View {
+	return &View{
+		flights: make(map[event.FlightID]ede.FlightState),
+		padding: paddingPerFlight,
+	}
+}
+
+// Initialize loads a server snapshot, replacing the current view.
+// Clients call it at startup, after recovering from failures (the
+// paper's power-failure scenario), and when NeedsReinit reports lost
+// updates.
+func (v *View) Initialize(snapshot []byte) error {
+	flights, err := ede.DecodeSnapshot(snapshot, v.padding)
+	if err != nil {
+		return fmt.Errorf("thinclient: %w", err)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.flights = flights
+	v.inited = true
+	v.lastVT = nil
+	v.gap = false
+	return nil
+}
+
+// NeedsReinit reports whether the view observed a gap in the update
+// stream and should re-request its initialization state.
+func (v *View) NeedsReinit() bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.gap
+}
+
+// Initialized reports whether the view has loaded a snapshot.
+func (v *View) Initialized() bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.inited
+}
+
+// Apply advances the view with one event from the server's output
+// stream: TypeStateUpdate events carry raw position/status changes;
+// derived events (all-boarded, flight-arrived) set their flags.
+// Events at or before the view's progress are counted stale and
+// ignored, making re-application after re-initialization harmless.
+func (v *View) Apply(e *event.Event) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	// Only strictly older events are stale: an update and the events
+	// derived from it legitimately share a timestamp. Re-applying an
+	// equal-stamped event is harmless (state assignment is
+	// idempotent; statuses and flags are monotone).
+	if e.VT != nil && v.lastVT != nil && e.VT.Compare(v.lastVT) == vclock.Before {
+		v.stale++
+		return
+	}
+	// Gap detection: the central site stamps one timestamp tick per
+	// admitted event, so a jump of more than one total tick between
+	// consecutively applied updates means updates were lost (e.g. a
+	// dropped stream connection). The paper's thin clients respond by
+	// re-requesting their initialization state.
+	if e.VT != nil && v.lastVT != nil && e.VT.Sum() > v.lastVT.Sum()+1 {
+		v.gap = true
+	}
+	fs := v.flights[e.Flight]
+	fs.ID = e.Flight
+	switch e.Type {
+	case event.TypeStateUpdate:
+		if lat, lon, alt, ok := e.Position(); ok {
+			fs.Lat, fs.Lon, fs.Alt = lat, lon, alt
+			fs.PositionUpdates += uint64(e.Weight())
+		}
+		if e.Status > fs.Status {
+			fs.Status = e.Status
+		}
+	case event.TypeAllBoarded:
+		fs.AllBoarded = true
+	case event.TypeFlightArrived:
+		fs.Arrived = true
+		if event.StatusArrived > fs.Status {
+			fs.Status = event.StatusArrived
+		}
+	default:
+		// Unknown output types are ignored: forward compatibility.
+		return
+	}
+	v.flights[e.Flight] = fs
+	if e.VT != nil {
+		v.lastVT = v.lastVT.Merge(e.VT)
+	}
+	v.applied++
+}
+
+// Flight returns the view's state for one flight.
+func (v *View) Flight(id event.FlightID) (ede.FlightState, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	fs, ok := v.flights[id]
+	return fs, ok
+}
+
+// Flights returns the number of tracked flights.
+func (v *View) Flights() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.flights)
+}
+
+// Stats returns (events applied, stale events ignored).
+func (v *View) Stats() (applied, stale uint64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.applied, v.stale
+}
+
+// Progress returns the view's update-stream progress timestamp.
+func (v *View) Progress() vclock.VC {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.lastVT.Clone()
+}

@@ -1,0 +1,227 @@
+package thinclient
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/ede"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
+)
+
+func update(flight event.FlightID, vt vclock.VC, lat, lon, alt float64) *event.Event {
+	src := event.NewPosition(flight, vt.Sum(), lat, lon, alt, 64)
+	return &event.Event{
+		Type: event.TypeStateUpdate, Flight: flight, Coalesced: 1,
+		VT: vt, Payload: src.Payload,
+	}
+}
+
+func statusUpdate(flight event.FlightID, vt vclock.VC, s event.Status) *event.Event {
+	return &event.Event{
+		Type: event.TypeStateUpdate, Flight: flight, Status: s, Coalesced: 1, VT: vt,
+	}
+}
+
+func TestInitializeFromSnapshot(t *testing.T) {
+	en := ede.New(ede.Config{StatePadding: 16})
+	en.Process(event.NewPosition(1, 1, 10, 20, 30000, 64))
+	en.Process(event.NewStatus(2, 1, event.StatusLanded, 32))
+
+	v := New(16)
+	if v.Initialized() {
+		t.Fatal("fresh view claims initialized")
+	}
+	if err := v.Initialize(en.State().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Initialized() || v.Flights() != 2 {
+		t.Fatalf("flights = %d", v.Flights())
+	}
+	f1, ok := v.Flight(1)
+	if !ok || f1.Lat != 10 {
+		t.Fatalf("flight 1 = %+v", f1)
+	}
+}
+
+func TestInitializeRejectsCorruptSnapshot(t *testing.T) {
+	v := New(0)
+	if err := v.Initialize([]byte{1, 2, 3}); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestApplyAdvancesView(t *testing.T) {
+	v := New(0)
+	v.Apply(update(7, vclock.VC{1}, 10, 20, 30000))
+	v.Apply(statusUpdate(7, vclock.VC{2}, event.StatusLanded))
+	v.Apply(&event.Event{Type: event.TypeFlightArrived, Flight: 7, VT: vclock.VC{3}, Coalesced: 1})
+
+	fs, ok := v.Flight(7)
+	if !ok {
+		t.Fatal("flight 7 missing")
+	}
+	if fs.Lat != 10 || fs.Status != event.StatusArrived || !fs.Arrived {
+		t.Fatalf("view = %+v", fs)
+	}
+	applied, stale := v.Stats()
+	if applied != 3 || stale != 0 {
+		t.Fatalf("stats = %d/%d", applied, stale)
+	}
+}
+
+func TestStaleUpdatesIgnored(t *testing.T) {
+	v := New(0)
+	v.Apply(update(1, vclock.VC{5}, 1, 2, 3))
+	v.Apply(update(1, vclock.VC{3}, 9, 9, 9)) // stale
+	fs, _ := v.Flight(1)
+	if fs.Lat != 1 {
+		t.Fatalf("stale update applied: %+v", fs)
+	}
+	if _, stale := v.Stats(); stale != 1 {
+		t.Fatalf("stale = %d, want 1", stale)
+	}
+}
+
+func TestUnknownOutputTypesIgnored(t *testing.T) {
+	v := New(0)
+	v.Apply(&event.Event{Type: event.TypeChkpt, Flight: 1, VT: vclock.VC{1}})
+	if v.Flights() != 0 {
+		t.Fatal("control event created view state")
+	}
+}
+
+// TestEndToEndConvergence is the OIS contract: a thin client that
+// initializes from a snapshot mid-stream and applies subsequent
+// updates converges to the server's final state.
+func TestEndToEndConvergence(t *testing.T) {
+	var mu sync.Mutex
+	var stream []*event.Event
+	out := senderFunc(func(e *event.Event) error {
+		mu.Lock()
+		stream = append(stream, e)
+		mu.Unlock()
+		return nil
+	})
+	central := core.NewCentral(core.CentralConfig{
+		Streams:  1,
+		NoMirror: true,
+		Main:     core.MainConfig{Out: out},
+	})
+	defer central.Close()
+
+	// First half of the day.
+	seq := uint64(0)
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			seq++
+			central.Ingest(event.NewPosition(event.FlightID(1+seq%4), seq, float64(seq), -float64(seq), 9000, 64))
+		}
+	}
+	feed(50)
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(stream) >= 50 })
+
+	// Client initializes from the current state (as served by a
+	// mirror), then applies the rest of the stream.
+	snapshot := central.Main().Engine().State().Snapshot()
+	v := New(0)
+	if err := v.Initialize(snapshot); err != nil {
+		t.Fatal(err)
+	}
+	markerLen := len(stream)
+
+	feed(50)
+	central.Ingest(event.NewStatus(1, seq+1, event.StatusAtGate, 32))
+	central.Drain()
+
+	mu.Lock()
+	tail := stream[markerLen:]
+	mu.Unlock()
+	for _, e := range tail {
+		v.Apply(e)
+	}
+
+	// The client's view must match the server's state for every
+	// flight on position and status.
+	for f := event.FlightID(1); f <= 4; f++ {
+		server, ok := central.Main().Engine().State().Get(f)
+		if !ok {
+			t.Fatalf("server missing flight %d", f)
+		}
+		client, ok := v.Flight(f)
+		if !ok {
+			t.Fatalf("client missing flight %d", f)
+		}
+		if client.Lat != server.Lat || client.Lon != server.Lon {
+			t.Fatalf("flight %d position diverged: client %v,%v server %v,%v",
+				f, client.Lat, client.Lon, server.Lat, server.Lon)
+		}
+		if client.Status != server.Status {
+			t.Fatalf("flight %d status diverged: %s vs %s", f, client.Status, server.Status)
+		}
+		if client.Arrived != server.Arrived {
+			t.Fatalf("flight %d arrived flag diverged", f)
+		}
+	}
+}
+
+type senderFunc func(*event.Event) error
+
+func (f senderFunc) Submit(e *event.Event) error { return f(e) }
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never met")
+}
+
+func TestGapDetection(t *testing.T) {
+	v := New(0)
+	v.Apply(update(1, vclock.VC{1}, 1, 2, 3))
+	v.Apply(update(1, vclock.VC{2}, 2, 3, 4))
+	if v.NeedsReinit() {
+		t.Fatal("contiguous stream flagged a gap")
+	}
+	// Derived events share the trigger's timestamp: no gap.
+	v.Apply(&event.Event{Type: event.TypeAllBoarded, Flight: 1, VT: vclock.VC{2}, Coalesced: 1})
+	if v.NeedsReinit() {
+		t.Fatal("equal-stamped derived event flagged a gap")
+	}
+	// Jumping from <2> to <5>: two updates lost.
+	v.Apply(update(1, vclock.VC{5}, 9, 9, 9))
+	if !v.NeedsReinit() {
+		t.Fatal("lost updates not detected")
+	}
+	// Re-initialization clears the flag.
+	en := ede.New(ede.Config{})
+	en.Process(event.NewPosition(1, 1, 0, 0, 0, 32))
+	if err := v.Initialize(en.State().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if v.NeedsReinit() {
+		t.Fatal("gap flag survives re-initialization")
+	}
+}
+
+func TestGapDetectionMultiStream(t *testing.T) {
+	v := New(0)
+	// Two streams interleaved: sums advance by one per event.
+	v.Apply(update(1, vclock.VC{1, 0}, 1, 2, 3))
+	v.Apply(update(2, vclock.VC{1, 1}, 1, 2, 3))
+	v.Apply(update(1, vclock.VC{2, 1}, 1, 2, 3))
+	if v.NeedsReinit() {
+		t.Fatal("contiguous multi-stream flow flagged a gap")
+	}
+	v.Apply(update(2, vclock.VC{2, 4}, 1, 2, 3))
+	if !v.NeedsReinit() {
+		t.Fatal("multi-stream gap not detected")
+	}
+}

@@ -1,0 +1,68 @@
+// Package trace records event streams to files and replays them, the
+// equivalent of the paper's "demo replay of original FAA streams":
+// experiments run against identical captured input regardless of
+// generator changes.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"adaptmirror/internal/event"
+)
+
+// Save writes events to path in framed binary form.
+func Save(path string, events []*event.Event) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("trace: close: %w", cerr)
+		}
+	}()
+	w := event.NewWriter(f)
+	for i, e := range events {
+		if err := w.WriteEvent(e); err != nil {
+			return fmt.Errorf("trace: writing event %d: %w", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Load reads every event from path.
+func Load(path string) ([]*event.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	r := event.NewReader(f)
+	var out []*event.Event
+	for {
+		e, err := r.ReadEvent()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}
+
+// Replay feeds events to submit in order, stopping at the first error.
+// It returns the number of events submitted.
+func Replay(events []*event.Event, submit func(*event.Event) error) (int, error) {
+	for i, e := range events {
+		if err := submit(e); err != nil {
+			return i, fmt.Errorf("trace: replay at %d/%d: %w", i, len(events), err)
+		}
+	}
+	return len(events), nil
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/faa"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faa.trace")
+	events := faa.New(faa.Config{Flights: 5, UpdatesPerFlight: 10, EventSize: 200, Seed: 4}).All()
+	if err := Save(path, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("loaded %d events, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i].Flight != events[i].Flight || got[i].Seq != events[i].Seq {
+			t.Fatalf("event %d mismatch", i)
+		}
+		if len(got[i].Payload) != len(events[i].Payload) {
+			t.Fatalf("event %d payload size mismatch", i)
+		}
+	}
+}
+
+func TestSaveEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.trace")
+	if err := Save(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("loaded %d events from empty trace", len(got))
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.trace")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestSaveBadPath(t *testing.T) {
+	if err := Save(filepath.Join(t.TempDir(), "no", "such", "dir", "x.trace"), nil); err == nil {
+		t.Fatal("bad path must fail")
+	}
+}
+
+func TestLoadCorruptTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.trace")
+	events := []*event.Event{event.NewPosition(1, 1, 0, 0, 0, 64)}
+	if err := Save(path, events); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the file mid-frame.
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path, data[:len(data)-10]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("corrupt trace must fail to load")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	events := faa.New(faa.Config{Flights: 2, UpdatesPerFlight: 3, Seed: 1}).All()
+	var got []*event.Event
+	n, err := Replay(events, func(e *event.Event) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil || n != 6 {
+		t.Fatalf("Replay = (%d, %v)", n, err)
+	}
+}
+
+func TestReplayStopsOnError(t *testing.T) {
+	events := faa.New(faa.Config{Flights: 1, UpdatesPerFlight: 5, Seed: 1}).All()
+	boom := errors.New("boom")
+	n, err := Replay(events, func(e *event.Event) error {
+		if e.Seq == 3 {
+			return boom
+		}
+		return nil
+	})
+	if n != 2 {
+		t.Fatalf("submitted %d before error, want 2", n)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func readFile(path string) ([]byte, error)  { return os.ReadFile(path) }
+func writeFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

@@ -1,0 +1,30 @@
+package vclock
+
+import "testing"
+
+// FuzzDecodeVC hardens the vector-clock decoder: no panics on
+// arbitrary bytes, no over-reads, and accepted clocks round-trip.
+func FuzzDecodeVC(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add(VC{1, 2, 3}.AppendBinary(nil))
+	f.Add([]byte{0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := DecodeVC(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := v.AppendBinary(nil)
+		v2, _, err := DecodeVC(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if v.Compare(v2) != Equal {
+			t.Fatalf("round trip mismatch: %v vs %v", v, v2)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+// Package vclock implements the vector timestamps used by the mirroring
+// framework to order update events arriving on multiple input streams.
+//
+// The paper (Section 3.3) timestamps every event as it enters the primary
+// site with a vector in which each component corresponds to a different
+// incoming stream; the order of events within one stream is captured by
+// per-stream sequence numbers. Vector timestamps give the checkpointing
+// protocol a consistent notion of "all events up to here" across streams.
+package vclock
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int8
+
+// Possible results of VC.Compare.
+const (
+	Before     Ordering = -1 // strictly happened-before
+	Equal      Ordering = 0
+	After      Ordering = 1 // strictly happened-after
+	Concurrent Ordering = 2 // incomparable
+)
+
+// String returns a human-readable name for the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Before:
+		return "before"
+	case Equal:
+		return "equal"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("ordering(%d)", int8(o))
+	}
+}
+
+// VC is a vector clock with one component per input stream. The zero
+// value (nil) behaves as a vector of all zeros of any width.
+type VC []uint64
+
+// New returns a zeroed vector clock with n components.
+func New(n int) VC { return make(VC, n) }
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	if v == nil {
+		return nil
+	}
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// At returns component i, treating components beyond len(v) as zero.
+func (v VC) At(i int) uint64 {
+	if i < 0 || i >= len(v) {
+		return 0
+	}
+	return v[i]
+}
+
+// Tick increments component stream, growing the vector if needed, and
+// returns the (possibly reallocated) clock.
+func (v VC) Tick(stream int) VC {
+	v = v.grow(stream + 1)
+	v[stream]++
+	return v
+}
+
+// Set assigns component stream to val, growing the vector if needed,
+// and returns the (possibly reallocated) clock.
+func (v VC) Set(stream int, val uint64) VC {
+	v = v.grow(stream + 1)
+	v[stream] = val
+	return v
+}
+
+func (v VC) grow(n int) VC {
+	if len(v) >= n {
+		return v
+	}
+	g := make(VC, n)
+	copy(g, v)
+	return g
+}
+
+// Merge returns the component-wise maximum of v and o.
+func (v VC) Merge(o VC) VC {
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	m := make(VC, n)
+	for i := range m {
+		a, b := v.At(i), o.At(i)
+		if a > b {
+			m[i] = a
+		} else {
+			m[i] = b
+		}
+	}
+	return m
+}
+
+// Min returns the component-wise minimum of v and o. The checkpoint
+// coordinator uses Min over participant replies to compute the highest
+// timestamp safely committable everywhere.
+func (v VC) Min(o VC) VC {
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	m := make(VC, n)
+	for i := range m {
+		a, b := v.At(i), o.At(i)
+		if a < b {
+			m[i] = a
+		} else {
+			m[i] = b
+		}
+	}
+	return m
+}
+
+// Compare reports the causal relation of v to o.
+func (v VC) Compare(o VC) Ordering {
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	var less, greater bool
+	for i := 0; i < n; i++ {
+		a, b := v.At(i), o.At(i)
+		switch {
+		case a < b:
+			less = true
+		case a > b:
+			greater = true
+		}
+	}
+	switch {
+	case less && greater:
+		return Concurrent
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// LessEq reports whether v happened-before-or-equal o (every component
+// of v is <= the corresponding component of o).
+func (v VC) LessEq(o VC) bool {
+	ord := v.Compare(o)
+	return ord == Before || ord == Equal
+}
+
+// Sum returns the sum of all components. It provides a cheap scalar
+// progress measure (total events admitted across all streams).
+func (v VC) Sum() uint64 {
+	var s uint64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// String renders the clock as "<a,b,c>".
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// EncodedSize returns the number of bytes AppendBinary will write.
+func (v VC) EncodedSize() int { return 2 + 8*len(v) }
+
+// AppendBinary appends a length-prefixed little-endian encoding of v.
+func (v VC) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(v)))
+	for _, x := range v {
+		b = binary.LittleEndian.AppendUint64(b, x)
+	}
+	return b
+}
+
+// DecodeVC decodes a clock encoded by AppendBinary from the front of b,
+// returning the clock and the number of bytes consumed.
+func DecodeVC(b []byte) (VC, int, error) {
+	if len(b) < 2 {
+		return nil, 0, fmt.Errorf("vclock: short buffer (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	need := 2 + 8*n
+	if len(b) < need {
+		return nil, 0, fmt.Errorf("vclock: truncated: need %d bytes, have %d", need, len(b))
+	}
+	if n == 0 {
+		return nil, 2, nil
+	}
+	v := make(VC, n)
+	for i := 0; i < n; i++ {
+		v[i] = binary.LittleEndian.Uint64(b[2+8*i:])
+	}
+	return v, need, nil
+}

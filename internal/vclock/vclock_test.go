@@ -1,0 +1,276 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTickGrowsAndIncrements(t *testing.T) {
+	var v VC
+	v = v.Tick(2)
+	if len(v) != 3 {
+		t.Fatalf("len = %d, want 3", len(v))
+	}
+	if v.At(2) != 1 || v.At(0) != 0 || v.At(1) != 0 {
+		t.Fatalf("unexpected components: %v", v)
+	}
+	v = v.Tick(2)
+	if v.At(2) != 2 {
+		t.Fatalf("At(2) = %d, want 2", v.At(2))
+	}
+}
+
+func TestSetGrows(t *testing.T) {
+	var v VC
+	v = v.Set(4, 99)
+	if got := v.At(4); got != 99 {
+		t.Fatalf("At(4) = %d, want 99", got)
+	}
+	if len(v) != 5 {
+		t.Fatalf("len = %d, want 5", len(v))
+	}
+}
+
+func TestAtOutOfRange(t *testing.T) {
+	v := VC{1, 2}
+	if v.At(-1) != 0 || v.At(5) != 0 {
+		t.Fatal("out-of-range components must read as zero")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b VC
+		want Ordering
+	}{
+		{VC{1, 2}, VC{1, 2}, Equal},
+		{VC{1, 2}, VC{2, 2}, Before},
+		{VC{3, 2}, VC{2, 2}, After},
+		{VC{1, 3}, VC{2, 2}, Concurrent},
+		{nil, VC{0, 0}, Equal},
+		{nil, VC{1}, Before},
+		{VC{1}, nil, After},
+		{VC{1, 0}, VC{1, 0, 0}, Equal}, // differing widths, trailing zeros
+		{VC{1}, VC{0, 1}, Concurrent},
+	}
+	for i, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("case %d: %v.Compare(%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		va, vb := VC(a), VC(b)
+		x, y := va.Compare(vb), vb.Compare(va)
+		switch x {
+		case Equal:
+			return y == Equal
+		case Before:
+			return y == After
+		case After:
+			return y == Before
+		case Concurrent:
+			return y == Concurrent
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeIsUpperBound(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		va, vb := VC(a), VC(b)
+		m := va.Merge(vb)
+		return va.LessEq(m) && vb.LessEq(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinIsLowerBound(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		va, vb := VC(a), VC(b)
+		m := va.Min(vb)
+		return m.LessEq(va) && m.LessEq(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeCommutative(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		m1 := VC(a).Merge(VC(b))
+		m2 := VC(b).Merge(VC(a))
+		return m1.Compare(m2) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := VC{1, 2, 3}
+	c := v.Clone()
+	c[0] = 100
+	if v[0] != 1 {
+		t.Fatal("Clone must not alias the original")
+	}
+	if VC(nil).Clone() != nil {
+		t.Fatal("Clone of nil must be nil")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := (VC{1, 2, 3}).Sum(); got != 6 {
+		t.Fatalf("Sum = %d, want 6", got)
+	}
+	if got := VC(nil).Sum(); got != 0 {
+		t.Fatalf("Sum(nil) = %d, want 0", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 2}).String(); got != "<1,2>" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := VC(nil).String(); got != "<>" {
+		t.Fatalf("String(nil) = %q", got)
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for _, c := range []struct {
+		o    Ordering
+		want string
+	}{{Before, "before"}, {Equal, "equal"}, {After, "after"}, {Concurrent, "concurrent"}, {Ordering(9), "ordering(9)"}} {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.o, got, c.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(a []uint64) bool {
+		v := VC(a)
+		if len(v) > 1000 {
+			v = v[:1000]
+		}
+		b := v.AppendBinary(nil)
+		if len(b) != v.EncodedSize() {
+			return false
+		}
+		got, n, err := DecodeVC(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		return got.Compare(v) == Equal && len(got) == len(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeVC(nil); err == nil {
+		t.Fatal("want error on empty buffer")
+	}
+	if _, _, err := DecodeVC([]byte{0x01}); err == nil {
+		t.Fatal("want error on 1-byte buffer")
+	}
+	// Declares 3 components but provides none.
+	if _, _, err := DecodeVC([]byte{0x03, 0x00}); err == nil {
+		t.Fatal("want error on truncated components")
+	}
+}
+
+func TestDecodeWithTrailingBytes(t *testing.T) {
+	v := VC{7, 8}
+	b := v.AppendBinary(nil)
+	b = append(b, 0xAA, 0xBB)
+	got, n, err := DecodeVC(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != v.EncodedSize() {
+		t.Fatalf("consumed %d, want %d", n, v.EncodedSize())
+	}
+	if got.Compare(v) != Equal {
+		t.Fatalf("decoded %v, want %v", got, v)
+	}
+}
+
+func BenchmarkTick(b *testing.B) {
+	v := New(4)
+	for i := 0; i < b.N; i++ {
+		v = v.Tick(i & 3)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	x, y := VC{1, 2, 3, 4}, VC{1, 2, 4, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Compare(y)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	v := VC{1, 2, 3, 4}
+	buf := make([]byte, 0, v.EncodedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = v.AppendBinary(buf[:0])
+		if _, _, err := DecodeVC(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMergeAssociativeAndIdempotent(t *testing.T) {
+	f := func(a, b, c []uint64) bool {
+		va, vb, vc := VC(a), VC(b), VC(c)
+		left := va.Merge(vb).Merge(vc)
+		right := va.Merge(vb.Merge(vc))
+		if left.Compare(right) != Equal {
+			return false
+		}
+		return va.Merge(va).Compare(va) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMergeAbsorption(t *testing.T) {
+	// Lattice absorption laws: a ∧ (a ∨ b) = a and a ∨ (a ∧ b) = a,
+	// modulo vector width (trailing zeros are equivalent).
+	f := func(a, b []uint64) bool {
+		va, vb := VC(a), VC(b)
+		if va.Min(va.Merge(vb)).Compare(va) != Equal {
+			return false
+		}
+		return va.Merge(va.Min(vb)).Compare(va) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareTransitivity(t *testing.T) {
+	f := func(a, b, c []uint64) bool {
+		va, vb, vc := VC(a), VC(b), VC(c)
+		if va.LessEq(vb) && vb.LessEq(vc) {
+			return va.LessEq(vc)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
