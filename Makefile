@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench bench-compare figures clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full gate: what CI runs and what every change must keep green.
+ci: build vet race
+
+# One fast pass over every figure and ablation benchmark.
+bench:
+	$(GO) test -run xxx -bench 'Fig|Ablation' -benchtime=1x .
+
+# Repeated runs of the fan-out-sensitive benchmarks, benchstat-ready.
+bench-compare:
+	./scripts/bench_compare.sh
+
+figures:
+	$(GO) run ./cmd/benchrunner -fig all
+
+clean:
+	rm -f adaptmirror.test bench_*.txt

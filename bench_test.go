@@ -14,16 +14,20 @@ package adaptmirror
 // iteration for slow benchmarks.)
 
 import (
+	"io"
 	"testing"
 	"time"
 
 	"adaptmirror/internal/adapt"
 	"adaptmirror/internal/cbcast"
 	"adaptmirror/internal/cluster"
+	"adaptmirror/internal/core"
 	"adaptmirror/internal/costmodel"
 	"adaptmirror/internal/ede"
+	"adaptmirror/internal/event"
 	"adaptmirror/internal/figures"
 	"adaptmirror/internal/loadbal"
+	"adaptmirror/internal/vclock"
 	"adaptmirror/internal/workload"
 )
 
@@ -38,6 +42,7 @@ var benchScale = func() figures.Scale {
 
 func runFigure(b *testing.B, f func() (figures.Figure, error)) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		fig, err := f()
 		if err != nil {
@@ -104,6 +109,7 @@ func ablationOpts() cluster.Options {
 
 func runAblation(b *testing.B, opts cluster.Options) {
 	b.Helper()
+	b.ReportAllocs()
 	var total time.Duration
 	for i := 0; i < b.N; i++ {
 		res, err := cluster.RunExperiment(opts)
@@ -183,6 +189,7 @@ func BenchmarkAblationTransport(b *testing.B) {
 func BenchmarkAblationLoadBalance(b *testing.B) {
 	run := func(b *testing.B, mkBal func(targets []*MainUnit) loadbal.Balancer) {
 		b.Helper()
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cl, err := NewCluster(ClusterConfig{Mirrors: 2})
 			if err != nil {
@@ -260,6 +267,7 @@ func BenchmarkAblationNICOffload(b *testing.B) {
 			name = "nic-offload"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var total time.Duration
 			for i := 0; i < b.N; i++ {
 				cl, err := cluster.New(cluster.Config{
@@ -305,6 +313,7 @@ func BenchmarkAblationCBCASTBaseline(b *testing.B) {
 	model := costmodel.Default
 
 	b.Run("cbcast-full-replication", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cpus := make([]*costmodel.CPU, members)
 			engines := make([]*ede.Engine, members)
@@ -345,6 +354,7 @@ func BenchmarkAblationCBCASTBaseline(b *testing.B) {
 	})
 
 	b.Run("selective-mirroring", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			opts := cluster.Options{
 				Mirrors: members - 1,
@@ -359,6 +369,102 @@ func BenchmarkAblationCBCASTBaseline(b *testing.B) {
 			b.ReportMetric(float64(res.Central.Mirrored*uint64(members-1)), "msgs")
 		}
 	})
+}
+
+// BenchmarkFanoutBatch isolates the central fan-out pipeline: a
+// zero-cost model and instant sinks leave only the pipeline's own
+// queueing, cloning, and per-link handoff. Events/op costs drop and
+// allocs/op amortize as the send batch grows; added mirrors cost a
+// per-link enqueue rather than a serial submission.
+func BenchmarkFanoutBatch(b *testing.B) {
+	discard := batchDiscard{}
+	for _, mirrors := range []int{1, 2, 4, 8} {
+		for _, batch := range []int{1, 16, 64} {
+			b.Run(nameInt("m", mirrors)+"/"+nameInt("batch", batch), func(b *testing.B) {
+				b.ReportAllocs()
+				links := make([]core.MirrorLink, mirrors)
+				for i := range links {
+					links[i] = core.MirrorLink{Data: discard, Ctrl: discard}
+				}
+				c := core.NewCentral(core.CentralConfig{
+					Streams:     1,
+					Params:      core.Params{CheckpointFreq: 1 << 30},
+					Mirrors:     links,
+					SendBatch:   batch,
+					OutboxDepth: 1 << 16,
+				})
+				c.InstallSimple()
+				events := make([]*event.Event, b.N)
+				for i := range events {
+					events[i] = &event.Event{
+						Type: event.TypeFAAPosition, Seq: uint64(i + 1),
+						Coalesced: 1, Payload: benchPayload,
+					}
+				}
+				b.ResetTimer()
+				for _, e := range events {
+					if err := c.Ingest(e); err != nil {
+						b.Fatal(err)
+					}
+				}
+				c.Drain()
+				b.StopTimer()
+				c.Close()
+			})
+		}
+	}
+}
+
+var benchPayload = make([]byte, 128)
+
+// batchDiscard is an instant native BatchSender sink.
+type batchDiscard struct{}
+
+func (batchDiscard) Submit(*event.Event) error        { return nil }
+func (batchDiscard) SubmitBatch([]*event.Event) error { return nil }
+
+// BenchmarkCodecBatchWrite compares per-event framing (WriteEvent +
+// Flush per event, the old wire path) against whole-batch framing
+// (one WriteBatch + one Flush).
+func BenchmarkCodecBatchWrite(b *testing.B) {
+	for _, n := range []int{1, 16, 64} {
+		batch := make([]*event.Event, n)
+		var bytes int64
+		for i := range batch {
+			e := event.NewPosition(event.FlightID(i+1), uint64(i+1), 1, 2, 3, 1024)
+			e.VT = vclock.VC{uint64(i + 1), 0}
+			batch[i] = e
+			bytes += int64(4 + e.EncodedSize())
+		}
+		b.Run(nameInt("per-event", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(bytes)
+			w := event.NewWriter(io.Discard)
+			for i := 0; i < b.N; i++ {
+				for _, e := range batch {
+					if err := w.WriteEvent(e); err != nil {
+						b.Fatal(err)
+					}
+					if err := w.Flush(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(nameInt("batch", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(bytes)
+			w := event.NewWriter(io.Discard)
+			for i := 0; i < b.N; i++ {
+				if err := w.WriteBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func nameInt(prefix string, v int) string {

@@ -234,18 +234,43 @@ type lazyUplink struct {
 	link *echo.SendLink
 }
 
+// ensureLocked dials the link if needed. Callers hold l.mu.
+func (l *lazyUplink) ensureLocked() error {
+	if l.link != nil {
+		return nil
+	}
+	link, err := echo.DialSend(l.addr, l.name)
+	if err != nil {
+		return err
+	}
+	l.link = link
+	return nil
+}
+
 // Submit implements core.Sender.
 func (l *lazyUplink) Submit(e *event.Event) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.link == nil {
-		link, err := echo.DialSend(l.addr, l.name)
-		if err != nil {
-			return err
-		}
-		l.link = link
+	if err := l.ensureLocked(); err != nil {
+		return err
 	}
 	if err := l.link.Submit(e); err != nil {
+		l.link.Close()
+		l.link = nil
+		return err
+	}
+	return nil
+}
+
+// SubmitBatch implements core.BatchSender: the whole batch rides one
+// framed write on the underlying link.
+func (l *lazyUplink) SubmitBatch(events []*event.Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.ensureLocked(); err != nil {
+		return err
+	}
+	if err := l.link.SubmitBatch(events); err != nil {
 		l.link.Close()
 		l.link = nil
 		return err

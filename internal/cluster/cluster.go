@@ -299,9 +299,14 @@ func stopCh(stop <-chan struct{}) <-chan struct{} {
 // last site finished.
 func (cl *Cluster) DrainAll() time.Time {
 	cl.Central.Drain()
-	want := cl.Central.Stats().Mirrored
-	for _, m := range cl.Mirrors {
-		for m.Received() < want {
+	// Drain() returning implies the per-link senders have flushed, so
+	// LinkStats carries each link's final Sent count. Waiting per link
+	// (rather than on the global Mirrored counter) stays correct when a
+	// link filtered or shed events: a mirror only ever receives what
+	// its own link actually sent.
+	stats := cl.Central.LinkStats()
+	for i, m := range cl.Mirrors {
+		for m.Received() < stats[i].Sent {
 			time.Sleep(200 * time.Microsecond)
 		}
 		m.Drain()
@@ -331,6 +336,16 @@ type senderFunc func(*event.Event) error
 
 func (f senderFunc) Submit(e *event.Event) error { return f(e) }
 
+// batchSenderFunc adds native whole-batch submission so the central
+// fan-out pipeline's batches survive the direct transport intact.
+type batchSenderFunc struct {
+	one  func(*event.Event) error
+	many func([]*event.Event) error
+}
+
+func (f batchSenderFunc) Submit(e *event.Event) error         { return f.one(e) }
+func (f batchSenderFunc) SubmitBatch(es []*event.Event) error { return f.many(es) }
+
 // wireDirect connects sites with synchronous calls. Mirrors are
 // created first; the central's links close over the slice.
 func (cl *Cluster) wireDirect(cfg Config) []core.MirrorLink {
@@ -349,7 +364,10 @@ func (cl *Cluster) wireDirect(cfg Config) []core.MirrorLink {
 		})
 		cl.Mirrors = append(cl.Mirrors, m)
 		links[i] = core.MirrorLink{
-			Data: senderFunc(func(e *event.Event) error { m.HandleData(e); return nil }),
+			Data: batchSenderFunc{
+				one:  func(e *event.Event) error { m.HandleData(e); return nil },
+				many: func(es []*event.Event) error { m.HandleDataBatch(es); return nil },
+			},
 			Ctrl: senderFunc(func(e *event.Event) error { m.HandleControl(e); return nil }),
 		}
 	}

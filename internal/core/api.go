@@ -48,9 +48,12 @@ func (c *Central) SetMirror(fn MirrorFunc) {
 	if fn == nil {
 		fn = DefaultMirrorFunc
 	}
-	c.fnMu.Lock()
-	c.mirrorFn = fn
-	c.fnMu.Unlock()
+	for {
+		old := c.fns.Load()
+		if c.fns.CompareAndSwap(old, &centralFns{mirror: fn, fwd: old.fwd}) {
+			return
+		}
+	}
 }
 
 // SetFwd is set_fwd(func): install a custom forwarding function.
@@ -58,9 +61,12 @@ func (c *Central) SetFwd(fn FwdFunc) {
 	if fn == nil {
 		fn = DefaultFwdFunc
 	}
-	c.fnMu.Lock()
-	c.fwdFn = fn
-	c.fnMu.Unlock()
+	for {
+		old := c.fns.Load()
+		if c.fns.CompareAndSwap(old, &centralFns{mirror: old.mirror, fwd: fn}) {
+			return
+		}
+	}
 }
 
 // AdjustParam is set_adapt(p_id, p)'s effect: modify parameter p_id by

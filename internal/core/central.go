@@ -79,6 +79,17 @@ type CentralConfig struct {
 	NoMirror bool
 	// IngestBuffer bounds the inbound raw-event buffer (default 8192).
 	IngestBuffer int
+	// SendBatch bounds how many ready events the sending task removes
+	// per iteration when coalescing is off (default DefaultSendBatch).
+	// When coalescing is on, MaxCoalesce bounds the batch instead, so
+	// a coalesced event never represents more raw events than the
+	// configured limit.
+	SendBatch int
+	// OutboxDepth bounds each mirror link's outbox ring in events
+	// (default DefaultOutboxDepth). When a link stalls long enough to
+	// fill its ring, the oldest queued events are shed and accounted
+	// in LinkStats — the slow site degrades alone.
+	OutboxDepth int
 	// OnMirrorSample, when non-nil, receives the monitored-variable
 	// samples mirror sites piggyback on their checkpoint replies.
 	OnMirrorSample func(Sample)
@@ -100,9 +111,15 @@ type Central struct {
 	in           chan *event.Event
 	ingestClosed bool
 
-	fnMu     sync.Mutex
-	mirrorFn MirrorFunc
-	fwdFn    FwdFunc
+	// fns holds the installed mirroring and forwarding functions; an
+	// atomic pointer lets the sending task load them without taking a
+	// lock on every batch.
+	fns atomic.Pointer[centralFns]
+
+	// senders are the per-mirror-link fan-out pipelines (nil when
+	// NoMirror is set).
+	senders  []*linkSender
+	senderWG sync.WaitGroup
 
 	piggyMu   sync.Mutex
 	piggyback func() []byte
@@ -136,6 +153,12 @@ func NewCentral(cfg CentralConfig) *Central {
 	if cfg.AuxCPU == nil {
 		cfg.AuxCPU = cfg.CPU
 	}
+	if cfg.SendBatch <= 0 {
+		cfg.SendBatch = DefaultSendBatch
+	}
+	if cfg.OutboxDepth <= 0 {
+		cfg.OutboxDepth = DefaultOutboxDepth
+	}
 	// The main unit shares the central node's processor, and its
 	// inbound queue back-pressures the sending task so the auxiliary
 	// unit cannot run unboundedly ahead of the EDE (on a real node
@@ -145,21 +168,30 @@ func NewCentral(cfg CentralConfig) *Central {
 		cfg.Main.QueueCap = 8
 	}
 	c := &Central{
-		cfg:      cfg,
-		sem:      NewSemantics(),
-		params:   newParamBox(cfg.Params),
-		ready:    queue.NewReady(0),
-		backup:   queue.NewBackup(),
-		main:     NewMainUnit(cfg.Main),
-		in:       make(chan *event.Event, cfg.IngestBuffer),
-		mirrorFn: DefaultMirrorFunc,
-		fwdFn:    DefaultFwdFunc,
+		cfg:    cfg,
+		sem:    NewSemantics(),
+		params: newParamBox(cfg.Params),
+		ready:  queue.NewReady(0),
+		backup: queue.NewBackup(),
+		main:   NewMainUnit(cfg.Main),
+		in:     make(chan *event.Event, cfg.IngestBuffer),
 		// Deep buffer: the sending task can mirror hundreds of events
 		// between scheduler yields, and every earned checkpoint round
 		// must eventually run (frequency is defined in events, not
 		// wall time).
 		chkptTrigger: make(chan struct{}, 4096),
 		ctrlStop:     make(chan struct{}),
+	}
+	c.fns.Store(&centralFns{mirror: DefaultMirrorFunc, fwd: DefaultFwdFunc})
+	if !cfg.NoMirror {
+		for i, m := range cfg.Mirrors {
+			c.senders = append(c.senders,
+				newLinkSender(i, m, cfg.OutboxDepth, cfg.AuxCPU, cfg.Model, c.mirrorAlive))
+		}
+		for _, s := range c.senders {
+			c.senderWG.Add(1)
+			go s.run(&c.senderWG)
+		}
 	}
 
 	// The central main unit participates in checkpointing directly:
@@ -231,27 +263,48 @@ func (c *Central) receivingTask() {
 	c.ready.Close()
 }
 
-// sendingTask removes events from the ready queue, forwards them to
-// the main unit, applies the mirroring function, sends surviving
-// events to every mirror site, stores them in the backup queue, and
-// triggers checkpoints at the configured frequency.
+// centralFns bundles the installed mirroring and forwarding
+// functions so both can be swapped atomically.
+type centralFns struct {
+	mirror MirrorFunc
+	fwd    FwdFunc
+}
+
+// sendingTask removes events from the ready queue in batches, forwards
+// them to the main unit, applies the mirroring function, hands each
+// surviving batch to every mirror link's outbox, stores it in the
+// backup queue, and triggers checkpoints at the configured frequency.
 func (c *Central) sendingTask() {
 	defer c.pipeWG.Done()
 	defer c.main.DrainEvents()
+	defer c.closeSenders()
+	if c.cfg.NoMirror {
+		// Baseline fast path: no mirroring parameters, no filter, no
+		// backup, no checkpoint accounting — the sending task is a
+		// pure batch forwarder to the local main unit.
+		c.forwardOnly()
+		return
+	}
+
+	batch := make([]*event.Event, 0, c.cfg.SendBatch)
+	clones := make([]*event.Event, 0, c.cfg.SendBatch)
+	filtered := make([]*event.Event, 0, c.cfg.SendBatch)
 	for {
 		p := c.params.get()
-		max := 1
-		if p.Coalesce && !c.cfg.NoMirror {
+		max := c.cfg.SendBatch
+		if p.Coalesce {
+			// The coalescing bound doubles as the batch bound so one
+			// coalesced event never represents more than MaxCoalesce
+			// raw events.
 			max = p.MaxCoalesce
 		}
-		batch, err := c.ready.GetBatch(max)
+		var err error
+		batch, err = c.ready.GetAppend(batch[:0], max)
 		if err != nil {
 			return
 		}
 
-		c.fnMu.Lock()
-		mirrorFn, fwdFn := c.mirrorFn, c.fwdFn
-		c.fnMu.Unlock()
+		fns := c.fns.Load()
 
 		// Forward the full stream to the local main unit: regular
 		// clients see unreduced state updates. Checkpointing runs at a
@@ -259,12 +312,12 @@ func (c *Central) sendingTask() {
 		// 50 processed events"), independent of how many survive the
 		// mirroring filter.
 		for _, e := range batch {
-			if fe := fwdFn(e); fe != nil {
+			if fe := fns.fwd(e); fe != nil {
 				if c.main.Deliver(fe) == nil {
 					c.forwarded.Add(1)
 				}
 			}
-			if !c.cfg.NoMirror && c.sinceCk.Add(1) >= uint64(p.CheckpointFreq) {
+			if c.sinceCk.Add(1) >= uint64(p.CheckpointFreq) {
 				c.sinceCk.Store(0)
 				select {
 				case c.chkptTrigger <- struct{}{}:
@@ -272,39 +325,83 @@ func (c *Central) sendingTask() {
 				}
 			}
 		}
-		if c.cfg.NoMirror {
-			continue
-		}
 
-		// Mirror path: filter, optionally coalesce, send, back up.
-		filtered := make([]*event.Event, 0, len(batch))
-		for _, e := range batch {
-			if me := mirrorFn(c.sem, e.Clone()); me != nil {
+		// Mirror path: filter, optionally coalesce, back up, then
+		// fan the whole batch out to every link's outbox. The batch
+		// boundary amortizes queue locking, clone allocation (one slab
+		// per batch instead of three allocations per event) and the
+		// serialization charge; per-link sender goroutines submit
+		// concurrently.
+		clones = event.CloneBatch(clones[:0], batch)
+		filtered = filtered[:0]
+		for _, e := range clones {
+			if me := fns.mirror(c.sem, e); me != nil {
 				filtered = append(filtered, me)
 			}
 		}
 		if p.Coalesce && len(filtered) > 1 {
 			filtered = c.sem.Coalesce(filtered)
 		}
+		if len(filtered) == 0 {
+			continue
+		}
+		c.backup.AppendBatch(filtered)
+		bytes := 0
+		var weight uint64
 		for _, me := range filtered {
-			c.backup.Append(me)
-			// Event resubmission, queue management and copying cost
-			// once per event, plus a per-mirror submission charge.
-			c.cfg.AuxCPU.Charge(c.cfg.Model.SerializeCost(len(me.Payload)))
-			for i, m := range c.cfg.Mirrors {
-				if !c.mirrorAlive(i) {
-					continue
+			bytes += len(me.Payload)
+			weight += uint64(me.Weight())
+		}
+		// Event resubmission, queue management and copying cost once
+		// per event; the batch is booked in one ledger operation.
+		c.cfg.AuxCPU.Charge(c.cfg.Model.SerializeBatchCost(len(filtered), bytes))
+		for _, s := range c.senders {
+			s.enqueue(filtered)
+		}
+		c.mirrored.Add(uint64(len(filtered)))
+		c.mirroredW.Add(weight)
+	}
+}
+
+// forwardOnly is the NoMirror sending loop: batch from the ready
+// queue straight into the main unit.
+func (c *Central) forwardOnly() {
+	batch := make([]*event.Event, 0, c.cfg.SendBatch)
+	for {
+		var err error
+		batch, err = c.ready.GetAppend(batch[:0], c.cfg.SendBatch)
+		if err != nil {
+			return
+		}
+		fwd := c.fns.Load().fwd
+		for _, e := range batch {
+			if fe := fwd(e); fe != nil {
+				if c.main.Deliver(fe) == nil {
+					c.forwarded.Add(1)
 				}
-				if m.Filter != nil && !m.Filter(me) {
-					continue
-				}
-				c.cfg.AuxCPU.Charge(c.cfg.Model.SubmitCost(len(me.Payload)))
-				_ = m.Data.Submit(me)
 			}
-			c.mirrored.Add(1)
-			c.mirroredW.Add(uint64(me.Weight()))
 		}
 	}
+}
+
+// closeSenders flushes and stops the per-link sender goroutines. It
+// runs when the sending task exits, so Drain returns only after every
+// queued event has been pushed onto its link.
+func (c *Central) closeSenders() {
+	for _, s := range c.senders {
+		s.close()
+	}
+	c.senderWG.Wait()
+}
+
+// LinkStats snapshots the per-mirror-link fan-out counters, indexed
+// like CentralConfig.Mirrors. With NoMirror set, all entries are zero.
+func (c *Central) LinkStats() []LinkStats {
+	out := make([]LinkStats, len(c.cfg.Mirrors))
+	for i, s := range c.senders {
+		out[i] = s.stats()
+	}
+	return out
 }
 
 // controlTask runs checkpoint rounds when the sending task signals

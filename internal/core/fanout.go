@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"adaptmirror/internal/costmodel"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/metrics"
+)
+
+// This file implements the central site's per-mirror fan-out pipeline.
+// The sending task hands each filtered batch to every link's bounded
+// outbox ring; a dedicated sender goroutine per link drains its ring
+// and submits batches on the wire. A slow or stalled link therefore
+// backs up only its own outbox — it can no longer head-of-line-block
+// the other mirrors or the local main unit, preserving the paper's
+// claim that mirroring does not perturb the central site's event
+// processing.
+
+// DefaultSendBatch is the sending task's default batch size (events
+// removed from the ready queue per iteration when coalescing is off).
+const DefaultSendBatch = 64
+
+// DefaultOutboxDepth is the default per-link outbox capacity in
+// events.
+const DefaultOutboxDepth = 8192
+
+// LinkStats is a snapshot of one mirror link's fan-out counters.
+type LinkStats struct {
+	// Enqueued counts events accepted into the link's outbox.
+	Enqueued uint64
+	// Sent counts events successfully submitted on the link (after
+	// the per-link filter).
+	Sent uint64
+	// Filtered counts events the per-link filter suppressed.
+	Filtered uint64
+	// Dropped counts events shed on outbox overflow (oldest first).
+	Dropped uint64
+	// Depth is the current outbox depth; MaxDepth its high-water mark.
+	Depth    int
+	MaxDepth int
+	// Stall is the cumulative wall-clock time the link's sender spent
+	// blocked inside transport submission.
+	Stall time.Duration
+}
+
+// linkSender owns one mirror link's data path: a bounded outbox ring
+// fed by the sending task and a goroutine that drains it.
+type linkSender struct {
+	idx   int
+	link  MirrorLink
+	data  BatchSender
+	aux   *costmodel.CPU
+	model costmodel.Model
+	alive func(int) bool
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []*event.Event // power-of-two ring
+	head   int
+	n      int
+	closed bool
+
+	enqueued metrics.Counter
+	sent     metrics.Counter
+	filtered metrics.Counter
+	dropped  metrics.Counter
+	depth    metrics.Gauge
+	stall    metrics.DurationCounter
+}
+
+// newLinkSender sizes the ring to the next power of two covering
+// depth events.
+func newLinkSender(idx int, link MirrorLink, depth int, aux *costmodel.CPU, model costmodel.Model, alive func(int) bool) *linkSender {
+	if depth <= 0 {
+		depth = DefaultOutboxDepth
+	}
+	size := 1
+	for size < depth {
+		size *= 2
+	}
+	s := &linkSender{
+		idx:   idx,
+		link:  link,
+		data:  AsBatchSender(link.Data),
+		aux:   aux,
+		model: model,
+		alive: alive,
+		ring:  make([]*event.Event, size),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue hands a batch to the link. It never blocks: when the ring is
+// full the oldest queued events are shed (and accounted as drops), so
+// a stalled link loses its own backlog instead of stalling the
+// sending task. Enqueue after close is a no-op.
+func (s *linkSender) enqueue(batch []*event.Event) {
+	if len(batch) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	mask := len(s.ring) - 1
+	dropped := 0
+	for _, e := range batch {
+		if s.n == len(s.ring) {
+			s.ring[s.head] = nil
+			s.head = (s.head + 1) & mask
+			s.n--
+			dropped++
+		}
+		s.ring[(s.head+s.n)&mask] = e
+		s.n++
+	}
+	depth := s.n
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	s.enqueued.Add(uint64(len(batch)))
+	if dropped > 0 {
+		s.dropped.Add(uint64(dropped))
+	}
+	s.depth.Set(int64(depth))
+}
+
+// close stops accepting events; the sender goroutine drains what is
+// already queued, then exits.
+func (s *linkSender) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// run is the link's sender goroutine: it drains everything queued in
+// one sweep — a link that fell behind catches up with one large batch
+// instead of many small ones — and submits it downstream.
+func (s *linkSender) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	scratch := make([]*event.Event, 0, DefaultSendBatch)
+	for {
+		s.mu.Lock()
+		for s.n == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.n == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		mask := len(s.ring) - 1
+		scratch = scratch[:0]
+		for s.n > 0 {
+			scratch = append(scratch, s.ring[s.head])
+			s.ring[s.head] = nil
+			s.head = (s.head + 1) & mask
+			s.n--
+		}
+		s.mu.Unlock()
+		s.depth.Set(0)
+		s.send(scratch)
+	}
+}
+
+// send filters, charges, and submits one drained batch.
+func (s *linkSender) send(batch []*event.Event) {
+	if s.alive != nil && !s.alive(s.idx) {
+		return
+	}
+	if f := s.link.Filter; f != nil {
+		kept := batch[:0]
+		for _, e := range batch {
+			if f(e) {
+				kept = append(kept, e)
+			}
+		}
+		s.filtered.Add(uint64(len(batch) - len(kept)))
+		batch = kept
+	}
+	if len(batch) == 0 {
+		return
+	}
+	bytes := 0
+	for _, e := range batch {
+		bytes += len(e.Payload)
+	}
+	// The submission charge lands on the auxiliary unit's processor:
+	// links contend for its ledger exactly as the per-event path did,
+	// but the fixed cost is now paid once per batch.
+	s.aux.Charge(s.model.SubmitBatchCost(len(batch), bytes))
+	start := time.Now()
+	err := s.data.SubmitBatch(batch)
+	s.stall.Add(time.Since(start))
+	if err == nil {
+		s.sent.Add(uint64(len(batch)))
+	}
+}
+
+// stats snapshots the link's counters.
+func (s *linkSender) stats() LinkStats {
+	return LinkStats{
+		Enqueued: s.enqueued.Value(),
+		Sent:     s.sent.Value(),
+		Filtered: s.filtered.Value(),
+		Dropped:  s.dropped.Value(),
+		Depth:    int(s.depth.Value()),
+		MaxDepth: int(s.depth.Max()),
+		Stall:    s.stall.Value(),
+	}
+}

@@ -100,6 +100,18 @@ func (m *MirrorSite) HandleData(e *event.Event) {
 	_ = m.ready.Put(e)
 }
 
+// HandleDataBatch accepts a batch of mirrored events, booking the
+// backup and ready queues once per batch. The site retains the events,
+// not the slice.
+func (m *MirrorSite) HandleDataBatch(events []*event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	m.received.Add(uint64(len(events)))
+	m.backup.AppendBatch(events)
+	_ = m.ready.PutBatch(events)
+}
+
 // HandleControl accepts one control event from the central site.
 // CHKPT and COMMIT handling scans the local backup queue (answering
 // the proposal, trimming on commit), so their cost grows with the

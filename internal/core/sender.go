@@ -1,0 +1,39 @@
+package core
+
+import "adaptmirror/internal/event"
+
+// BatchSender extends Sender with whole-batch submission. Transports
+// that can frame a batch into one buffered write (echo.SendLink), one
+// subscriber-queue append (echo.LocalChannel), or one handler call
+// implement it natively; everything else goes through the
+// AsBatchSender adapter, which degrades to per-event Submit.
+type BatchSender interface {
+	Sender
+	// SubmitBatch delivers every event of the batch in order. The
+	// receiver retains the events, never the slice, so callers may
+	// reuse the slice after the call returns.
+	SubmitBatch([]*event.Event) error
+}
+
+// AsBatchSender returns s itself when it natively implements
+// BatchSender, and otherwise wraps it in an adapter that submits the
+// batch one event at a time — semantically equivalent, just without
+// the amortization.
+func AsBatchSender(s Sender) BatchSender {
+	if bs, ok := s.(BatchSender); ok {
+		return bs
+	}
+	return submitEach{s}
+}
+
+// submitEach is the per-event fallback adapter.
+type submitEach struct{ Sender }
+
+func (a submitEach) SubmitBatch(events []*event.Event) error {
+	for _, e := range events {
+		if err := a.Sender.Submit(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

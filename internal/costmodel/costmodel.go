@@ -86,6 +86,31 @@ func (m Model) SubmitCost(n int) time.Duration {
 	return m.SubmitBase + scale(m.SubmitPerKB, n)
 }
 
+// SerializeBatchCost returns the mirroring preparation charge for a
+// batch of n events totalling bytes payload bytes. Resubmission,
+// queue management, and copying remain per-event work, so the base is
+// paid n times; the size-proportional term is paid on the batch's
+// bytes. The total equals the sum of per-event SerializeCost charges
+// but is booked with a single ledger operation.
+func (m Model) SerializeBatchCost(n, bytes int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(n)*m.SerializeBase + scale(m.SerializePerKB, bytes)
+}
+
+// SubmitBatchCost returns the per-mirror-site charge for submitting a
+// batch of n events totalling bytes payload bytes as one framed write
+// plus a single flush. The fixed submission cost is paid once per
+// batch — the batching win the fan-out pipeline is built around —
+// while the size-proportional term still covers every byte moved.
+func (m Model) SubmitBatchCost(n, bytes int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return m.SubmitBase + scale(m.SubmitPerKB, bytes)
+}
+
 // RequestCost returns the charge for serving an init-state request of
 // n bytes.
 func (m Model) RequestCost(n int) time.Duration {

@@ -212,3 +212,34 @@ func BenchmarkCharge(b *testing.B) {
 		cpu.Charge(0)
 	}
 }
+
+func TestBatchCosts(t *testing.T) {
+	m := Model{
+		SerializeBase:  2 * time.Microsecond,
+		SerializePerKB: 1 * time.Microsecond,
+		SubmitBase:     3 * time.Microsecond,
+		SubmitPerKB:    4 * time.Microsecond,
+	}
+	// Serialization is per-event work: the batch form must equal the sum
+	// of the per-event costs (one ledger operation, same total).
+	if got, want := m.SerializeBatchCost(5, 5*1024), 5*m.SerializeCost(1024); got != want {
+		t.Fatalf("SerializeBatchCost(5, 5KB) = %v, want %v", got, want)
+	}
+	// Submission pays the fixed cost once per batch: cheaper than the
+	// per-event sum for any batch larger than one, identical at one.
+	if got, want := m.SubmitBatchCost(1, 1024), m.SubmitCost(1024); got != want {
+		t.Fatalf("SubmitBatchCost(1, 1KB) = %v, want %v", got, want)
+	}
+	batched := m.SubmitBatchCost(8, 8*1024)
+	serial := 8 * m.SubmitCost(1024)
+	if batched >= serial {
+		t.Fatalf("SubmitBatchCost(8, 8KB) = %v, not below per-event sum %v", batched, serial)
+	}
+	if want := serial - 7*m.SubmitBase; batched != want {
+		t.Fatalf("SubmitBatchCost(8, 8KB) = %v, want %v (one base per batch)", batched, want)
+	}
+	// Empty batches are free.
+	if m.SerializeBatchCost(0, 0) != 0 || m.SubmitBatchCost(0, 0) != 0 {
+		t.Fatal("empty batch must cost nothing")
+	}
+}

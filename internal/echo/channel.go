@@ -88,6 +88,36 @@ func (c *LocalChannel) Submit(e *event.Event) error {
 	return nil
 }
 
+// SubmitBatch delivers a whole batch to all current subscribers with
+// one channel-lock acquisition and one queue append per subscriber.
+// Events must not be mutated after submission; the channel retains the
+// events, not the passed slice.
+func (c *LocalChannel) SubmitBatch(events []*event.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	subs := c.subs
+	c.mu.Unlock()
+
+	c.submitted.Add(uint64(len(events)))
+	var bytes uint64
+	for _, e := range events {
+		bytes += uint64(len(e.Payload))
+	}
+	c.bytes.Add(bytes)
+	for _, s := range subs {
+		if n := s.deliverBatch(events); n > 0 {
+			c.delivered.Add(uint64(n))
+		}
+	}
+	return nil
+}
+
 // Subscribe implements Channel.
 func (c *LocalChannel) Subscribe(h Handler) (*Subscription, error) {
 	c.mu.Lock()
@@ -175,6 +205,20 @@ func (s *Subscription) deliver(e *event.Event) bool {
 	s.cond.Signal()
 	s.mu.Unlock()
 	return true
+}
+
+// deliverBatch queues a whole batch under one lock acquisition and
+// returns the number of events accepted (0 when stopped).
+func (s *Subscription) deliverBatch(events []*event.Event) int {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return 0
+	}
+	s.queue = append(s.queue, events...)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return len(events)
 }
 
 func (s *Subscription) run() {

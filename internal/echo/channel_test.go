@@ -56,6 +56,52 @@ func TestLocalDeliveryOrder(t *testing.T) {
 	}
 }
 
+func TestLocalSubmitBatch(t *testing.T) {
+	c := NewLocal("data")
+	var mu sync.Mutex
+	var got []uint64
+	if _, err := c.Subscribe(func(e *event.Event) {
+		mu.Lock()
+		got = append(got, e.Seq)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]*event.Event, 40)
+	for i := range batch {
+		batch[i] = ev(uint64(i))
+	}
+	if err := c.SubmitBatch(batch[:20]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitBatch(batch[20:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "batch deliveries", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 40
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range got {
+		if s != uint64(i) {
+			t.Fatalf("delivery %d has seq %d: order violated", i, s)
+		}
+	}
+	st := c.Stats()
+	if st.Submitted != 40 || st.Delivered != 40 || st.Bytes != 40*3 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	c.Close()
+	if err := c.SubmitBatch(batch[:1]); err != ErrClosed {
+		t.Fatalf("SubmitBatch after Close = %v, want ErrClosed", err)
+	}
+}
+
 func TestLocalFanOut(t *testing.T) {
 	c := NewLocal("data")
 	const subs = 5

@@ -2,6 +2,7 @@ package echo
 
 import (
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -43,6 +44,51 @@ func TestSendLinkDeliversToBusChannel(t *testing.T) {
 	st := link.Stats()
 	if st.Submitted != 25 {
 		t.Fatalf("link Submitted = %d, want 25", st.Submitted)
+	}
+}
+
+func TestSendLinkSubmitBatch(t *testing.T) {
+	bus := NewBus()
+	ch, _ := bus.Open("ingress")
+	var mu sync.Mutex
+	var got []uint64
+	ch.Subscribe(func(e *event.Event) {
+		mu.Lock()
+		got = append(got, e.Seq)
+		mu.Unlock()
+	})
+	_, addr := startServer(t, bus)
+
+	link, err := DialSend(addr, "ingress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	batch := make([]*event.Event, 30)
+	for i := range batch {
+		batch[i] = ev(uint64(i))
+	}
+	if err := link.SubmitBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := link.SubmitBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "server-side batch deliveries", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 30
+	})
+	mu.Lock()
+	for i, s := range got {
+		if s != uint64(i) {
+			t.Fatalf("delivery %d has seq %d: order violated", i, s)
+		}
+	}
+	mu.Unlock()
+	st := link.Stats()
+	if st.Submitted != 30 || st.Bytes != 30*3 {
+		t.Fatalf("link Stats = %+v", st)
 	}
 }
 

@@ -124,6 +124,30 @@ func (w *Writer) WriteEvent(e *Event) error {
 	return err
 }
 
+// WriteBatch frames a whole batch into one contiguous buffer and
+// hands it to the underlying bufio writer with a single Write call,
+// so a batch costs one buffered write (plus the caller's single
+// Flush) instead of one write and flush per event.
+func (w *Writer) WriteBatch(events []*Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	total := 0
+	for _, e := range events {
+		total += 4 + e.EncodedSize()
+	}
+	if cap(w.buf) < total {
+		w.buf = make([]byte, 0, total)
+	}
+	w.buf = w.buf[:0]
+	for _, e := range events {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(e.EncodedSize()))
+		w.buf = e.Append(w.buf)
+	}
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
 // Flush flushes buffered frames.
 func (w *Writer) Flush() error { return w.w.Flush() }
 

@@ -66,6 +66,52 @@ func (e *Event) Clone() *Event {
 	return &c
 }
 
+// CloneBatch appends a deep copy of every event in src to dst and
+// returns the extended slice. It is equivalent to calling Clone per
+// event but amortizes allocation across the batch: one event slab, one
+// vector-timestamp slab and one payload slab back all the copies.
+// Every copied slice is capped at its own length, so growing one
+// clone's payload or timestamp can never reach into a neighbour's.
+func CloneBatch(dst []*Event, src []*Event) []*Event {
+	if len(src) == 0 {
+		return dst
+	}
+	var vtWords, payloadBytes int
+	for _, e := range src {
+		vtWords += len(e.VT)
+		payloadBytes += len(e.Payload)
+	}
+	events := make([]Event, len(src))
+	var vts []uint64
+	if vtWords > 0 {
+		vts = make([]uint64, vtWords)
+	}
+	var payloads []byte
+	if payloadBytes > 0 {
+		payloads = make([]byte, payloadBytes)
+	}
+	for i, e := range src {
+		c := &events[i]
+		*c = *e
+		if n := len(e.VT); n > 0 {
+			v := vts[:n:n]
+			vts = vts[n:]
+			copy(v, e.VT)
+			c.VT = vclock.VC(v)
+		}
+		if n := len(e.Payload); n > 0 {
+			p := payloads[:n:n]
+			payloads = payloads[n:]
+			copy(p, e.Payload)
+			c.Payload = p
+		} else if e.Payload != nil {
+			c.Payload = []byte{}
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
 // Weight returns how many raw source events e stands for (at least 1),
 // used when accounting for overwritten/coalesced traffic.
 func (e *Event) Weight() uint32 {

@@ -154,6 +154,74 @@ func TestCloneDeep(t *testing.T) {
 	}
 }
 
+func TestCloneBatchMatchesClone(t *testing.T) {
+	src := []*Event{
+		NewPosition(1, 1, 1, 2, 3, 64),
+		{Type: TypeChkpt},                          // nil payload, nil VT
+		{Type: TypeDeltaStatus, Payload: []byte{}}, // empty but non-nil payload
+		NewStatus(7, 9, StatusEnRoute, 32),
+	}
+	src[0].VT = vclock.VC{5, 6}
+	src[3].VT = vclock.VC{1}
+
+	if got := CloneBatch(nil, nil); got != nil {
+		t.Fatalf("CloneBatch of empty batch = %v, want nil", got)
+	}
+	clones := CloneBatch(nil, src)
+	if len(clones) != len(src) {
+		t.Fatalf("CloneBatch returned %d events, want %d", len(clones), len(src))
+	}
+	for i, c := range clones {
+		want := src[i].Clone()
+		if c.Type != want.Type || c.Flight != want.Flight || c.Seq != want.Seq ||
+			c.Status != want.Status || c.Coalesced != want.Coalesced {
+			t.Fatalf("clone %d mismatch: %s vs %s", i, c, want)
+		}
+		if !vtEqual(c.VT, src[i].VT) || string(c.Payload) != string(src[i].Payload) {
+			t.Fatalf("clone %d payload/VT mismatch", i)
+		}
+		if (c.Payload == nil) != (src[i].Payload == nil) {
+			t.Fatalf("clone %d payload nil-ness differs", i)
+		}
+	}
+
+	// Deep copy: mutating a clone leaves the source untouched.
+	clones[0].Payload[0] = ^clones[0].Payload[0]
+	clones[0].VT[0] = 99
+	if src[0].Payload[0] == clones[0].Payload[0] || src[0].VT[0] == 99 {
+		t.Fatal("CloneBatch must not alias payload or VT")
+	}
+
+	// Slab isolation: appending to one clone's payload/VT must not
+	// clobber its neighbour (slices are capped at their own length).
+	before := string(clones[3].Payload)
+	clones[0].Payload = append(clones[0].Payload, 0xAA, 0xBB)
+	clones[0].VT = append(clones[0].VT, 123)
+	if string(clones[3].Payload) != before || !vtEqual(clones[3].VT, vclock.VC{1}) {
+		t.Fatal("append to one clone corrupted a neighbour's slab slice")
+	}
+
+	// dst reuse appends after existing entries.
+	scratch := make([]*Event, 0, 8)
+	scratch = append(scratch, src[0])
+	out := CloneBatch(scratch, src[:1])
+	if len(out) != 2 || out[0] != src[0] || out[1] == src[0] {
+		t.Fatal("CloneBatch must append clones after existing dst entries")
+	}
+}
+
+func vtEqual(a, b vclock.VC) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestWeight(t *testing.T) {
 	e := &Event{}
 	if e.Weight() != 1 {

@@ -24,6 +24,67 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Gauge tracks an instantaneous level and its high-water mark. The
+// fan-out pipeline uses one per mirror link to expose outbox depth.
+type Gauge struct {
+	mu  sync.Mutex
+	v   int64
+	max int64
+}
+
+// Set records the current level.
+func (g *Gauge) Set(v int64) {
+	g.mu.Lock()
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+	g.mu.Unlock()
+}
+
+// Add adjusts the level by d and returns the new value.
+func (g *Gauge) Add(d int64) int64 {
+	g.mu.Lock()
+	g.v += d
+	if g.v > g.max {
+		g.max = g.v
+	}
+	v := g.v
+	g.mu.Unlock()
+	return v
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+// DurationCounter accumulates elapsed time atomically. The fan-out
+// pipeline uses one per mirror link to expose cumulative stall time
+// (wall clock spent blocked inside link submission).
+type DurationCounter struct{ ns atomic.Int64 }
+
+// Add accumulates d (negative values are ignored).
+func (c *DurationCounter) Add(d time.Duration) {
+	if d > 0 {
+		c.ns.Add(int64(d))
+	}
+}
+
+// Value returns the accumulated duration.
+func (c *DurationCounter) Value() time.Duration {
+	return time.Duration(c.ns.Load())
+}
+
 // Histogram accumulates durations. It retains raw samples (bounded by
 // maxSamples with reservoir-free head retention plus reservoir-style
 // statistics always exact for count/sum/min/max).

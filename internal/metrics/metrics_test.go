@@ -189,3 +189,63 @@ func BenchmarkSeriesObserve(b *testing.B) {
 		s.Observe(at, float64(i))
 	}
 }
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Fatal("zero gauge must report zeros")
+	}
+	g.Set(5)
+	g.Set(12)
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Fatalf("Value = %d, want 3", g.Value())
+	}
+	if g.Max() != 12 {
+		t.Fatalf("Max = %d, want 12", g.Max())
+	}
+	g.Add(4)
+	if g.Value() != 7 {
+		t.Fatalf("Value after Add = %d, want 7", g.Value())
+	}
+	if g.Max() != 12 {
+		t.Fatalf("Max after Add = %d, want 12", g.Max())
+	}
+	g.Add(10)
+	if g.Max() != 17 {
+		t.Fatalf("Max = %d, want 17", g.Max())
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("Value = %d, want 0", g.Value())
+	}
+	if g.Max() < 1 || g.Max() > 8 {
+		t.Fatalf("Max = %d, want within [1, 8]", g.Max())
+	}
+}
+
+func TestDurationCounter(t *testing.T) {
+	var d DurationCounter
+	d.Add(3 * time.Millisecond)
+	d.Add(2 * time.Millisecond)
+	d.Add(0)
+	d.Add(-time.Second) // ignored
+	if d.Value() != 5*time.Millisecond {
+		t.Fatalf("Value = %v, want 5ms", d.Value())
+	}
+}

@@ -37,6 +37,22 @@ func (b *Backup) Append(e *event.Event) {
 	}
 }
 
+// AppendBatch stores a batch of sent events until commit with a single
+// lock acquisition. Events must be in non-decreasing timestamp order,
+// both within the batch and relative to earlier appends. The queue
+// retains the events, not the passed slice, so callers may reuse it.
+func (b *Backup) AppendBatch(batch []*event.Event) {
+	if len(batch) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, batch...)
+	if len(b.buf) > b.hwm {
+		b.hwm = len(b.buf)
+	}
+}
+
 // Last returns the timestamp of the most recently appended event, or
 // nil when the queue is empty. The checkpoint coordinator proposes this
 // value in its CHKPT message.

@@ -156,6 +156,62 @@ func TestBackupVectorTimestamps(t *testing.T) {
 	}
 }
 
+func TestBackupAppendBatchMatchesAppend(t *testing.T) {
+	one, many := NewBackup(), NewBackup()
+	var batch []*event.Event
+	for i := uint64(1); i <= 6; i++ {
+		one.Append(stamped(i))
+		batch = append(batch, stamped(i))
+	}
+	many.AppendBatch(batch)
+	many.AppendBatch(nil) // no-op
+	if one.Len() != many.Len() {
+		t.Fatalf("Len: %d vs %d", one.Len(), many.Len())
+	}
+	if one.Last().Compare(many.Last()) != vclock.Equal {
+		t.Fatalf("Last: %v vs %v", one.Last(), many.Last())
+	}
+	a, b := one.Snapshot(), many.Snapshot()
+	for i := range a {
+		if a[i].Seq != b[i].Seq {
+			t.Fatalf("Snapshot[%d]: %d vs %d", i, a[i].Seq, b[i].Seq)
+		}
+	}
+}
+
+func TestBackupAppendBatchCommitInterleaving(t *testing.T) {
+	b := NewBackup()
+	mk := func(lo, hi uint64) []*event.Event {
+		var out []*event.Event
+		for i := lo; i <= hi; i++ {
+			out = append(out, stamped(i))
+		}
+		return out
+	}
+	b.AppendBatch(mk(1, 5))
+	if n := b.Commit(vclock.VC{3}); n != 3 {
+		t.Fatalf("Commit(<3>) released %d, want 3", n)
+	}
+	b.AppendBatch(mk(6, 8))
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", b.Len())
+	}
+	// A stale commit between batches must stay a no-op.
+	if n := b.Commit(vclock.VC{2}); n != 0 {
+		t.Fatalf("stale commit released %d, want 0", n)
+	}
+	if n := b.Commit(vclock.VC{7}); n != 4 {
+		t.Fatalf("Commit(<7>) released %d, want 4", n)
+	}
+	snap := b.Snapshot()
+	if len(snap) != 1 || snap[0].Seq != 8 {
+		t.Fatalf("Snapshot = %v, want [seq 8]", snap)
+	}
+	if b.HighWater() != 5 {
+		t.Fatalf("HighWater = %d, want 5", b.HighWater())
+	}
+}
+
 func BenchmarkBackupAppendCommit(b *testing.B) {
 	bk := NewBackup()
 	for i := 0; i < b.N; i++ {

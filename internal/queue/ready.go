@@ -16,17 +16,25 @@ import (
 var ErrClosed = errors.New("queue: closed")
 
 // Ready is the blocking FIFO between the receiving task (producer) and
-// the sending task (consumer). Its length is one of the monitored
-// variables driving adaptation, so Len is cheap and safe to call from
-// other goroutines.
+// the sending task (consumer). Events live in a power-of-two ring
+// buffer, so sustained load recirculates one allocation instead of
+// repeatedly re-slicing a head-trimmed slice. Its length is one of the
+// monitored variables driving adaptation, so Len is cheap and safe to
+// call from other goroutines.
 type Ready struct {
 	mu     sync.Mutex
 	nonEmp *sync.Cond
 	notFul *sync.Cond
-	buf    []*event.Event
-	head   int
-	cap    int // 0 = unbounded
+	buf    []*event.Event // ring storage; len(buf) is a power of two
+	head   int            // index of the oldest event
+	n      int            // queued events
+	cap    int            // 0 = unbounded
 	closed bool
+
+	// Waiter counts let Put/Get signal only when a blocked goroutine
+	// can actually make progress, instead of unconditionally.
+	putWaiters int
+	getWaiters int
 
 	// hwm tracks the high-water mark of the queue length, reported by
 	// experiment harnesses to characterize backlog behaviour.
@@ -43,22 +51,106 @@ func NewReady(capacity int) *Ready {
 	return q
 }
 
+// push appends e to the ring; caller holds q.mu.
+func (q *Ready) push(e *event.Event) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = e
+	q.n++
+	if q.n > q.hwm {
+		q.hwm = q.n
+	}
+}
+
+// grow doubles the ring, unwrapping the queued events to the front;
+// caller holds q.mu.
+func (q *Ready) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 64
+	}
+	buf := make([]*event.Event, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+// take pops one event; caller holds q.mu and guarantees non-empty.
+func (q *Ready) take() *event.Event {
+	e := q.buf[q.head]
+	q.buf[q.head] = nil // release for GC
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return e
+}
+
+// full reports whether a bounded queue has no free slot; caller holds
+// q.mu.
+func (q *Ready) full() bool { return q.cap > 0 && q.n >= q.cap }
+
+// signalNonEmpty wakes one consumer if one is blocked and an event is
+// queued for it; caller holds q.mu.
+func (q *Ready) signalNonEmpty() {
+	if q.getWaiters > 0 && q.n > 0 {
+		q.nonEmp.Signal()
+	}
+}
+
+// signalNotFull wakes one producer if any is blocked and a slot is
+// free; caller holds q.mu.
+func (q *Ready) signalNotFull() {
+	if q.putWaiters > 0 && !q.full() {
+		q.notFul.Signal()
+	}
+}
+
 // Put appends e, blocking while the queue is full. It returns ErrClosed
 // if the queue was closed before the event could be enqueued.
 func (q *Ready) Put(e *event.Event) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for q.cap > 0 && len(q.buf)-q.head >= q.cap && !q.closed {
+	for q.full() && !q.closed {
+		q.putWaiters++
 		q.notFul.Wait()
+		q.putWaiters--
 	}
 	if q.closed {
 		return ErrClosed
 	}
-	q.buf = append(q.buf, e)
-	if n := len(q.buf) - q.head; n > q.hwm {
-		q.hwm = n
+	q.push(e)
+	q.signalNonEmpty()
+	// A freed slot may admit more than one producer: chain the wakeup
+	// so each admitted producer passes the baton while space remains.
+	q.signalNotFull()
+	return nil
+}
+
+// PutBatch appends every event of batch in order, blocking as needed
+// while the queue is full. It returns ErrClosed if the queue closes
+// before the whole batch is enqueued (events already enqueued remain
+// for consumers to drain).
+func (q *Ready) PutBatch(batch []*event.Event) error {
+	if len(batch) == 0 {
+		return nil
 	}
-	q.nonEmp.Signal()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, e := range batch {
+		for q.full() && !q.closed {
+			q.putWaiters++
+			q.notFul.Wait()
+			q.putWaiters--
+		}
+		if q.closed {
+			return ErrClosed
+		}
+		q.push(e)
+		q.signalNonEmpty()
+	}
+	q.signalNotFull()
 	return nil
 }
 
@@ -68,14 +160,18 @@ func (q *Ready) Put(e *event.Event) error {
 func (q *Ready) Get() (*event.Event, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.buf) == q.head && !q.closed {
+	for q.n == 0 && !q.closed {
+		q.getWaiters++
 		q.nonEmp.Wait()
+		q.getWaiters--
 	}
-	if len(q.buf) == q.head {
+	if q.n == 0 {
 		return nil, ErrClosed
 	}
 	e := q.take()
-	q.notFul.Signal()
+	q.signalNotFull()
+	// Events may remain for other blocked consumers.
+	q.signalNonEmpty()
 	return e, nil
 }
 
@@ -83,46 +179,49 @@ func (q *Ready) Get() (*event.Event, error) {
 // blocks while empty). The sending task uses it to coalesce runs of
 // events. After Close, remaining events are drained before ErrClosed.
 func (q *Ready) GetBatch(max int) ([]*event.Event, error) {
+	out, err := q.GetAppend(nil, max)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetAppend removes up to max events (at least one; it blocks while
+// empty) and appends them to dst, returning the extended slice. The
+// sending task passes a reused scratch slice so a draining loop
+// allocates nothing in steady state. After Close, remaining events are
+// drained before ErrClosed.
+func (q *Ready) GetAppend(dst []*event.Event, max int) ([]*event.Event, error) {
 	if max < 1 {
 		max = 1
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.buf) == q.head && !q.closed {
+	for q.n == 0 && !q.closed {
+		q.getWaiters++
 		q.nonEmp.Wait()
+		q.getWaiters--
 	}
-	if len(q.buf) == q.head {
-		return nil, ErrClosed
+	if q.n == 0 {
+		return dst, ErrClosed
 	}
-	n := len(q.buf) - q.head
+	n := q.n
 	if n > max {
 		n = max
 	}
-	out := make([]*event.Event, n)
-	for i := range out {
-		out[i] = q.take()
+	for i := 0; i < n; i++ {
+		dst = append(dst, q.take())
 	}
-	q.notFul.Broadcast()
-	return out, nil
-}
-
-// take pops one event; caller holds q.mu and guarantees non-empty.
-func (q *Ready) take() *event.Event {
-	e := q.buf[q.head]
-	q.buf[q.head] = nil // release for GC
-	q.head++
-	if q.head > 1024 && q.head*2 >= len(q.buf) {
-		q.buf = append(q.buf[:0], q.buf[q.head:]...)
-		q.head = 0
-	}
-	return e
+	q.signalNotFull()
+	q.signalNonEmpty()
+	return dst, nil
 }
 
 // Len returns the current number of queued events.
 func (q *Ready) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.buf) - q.head
+	return q.n
 }
 
 // HighWater returns the maximum length the queue has reached.

@@ -3,6 +3,7 @@ package queue
 import (
 	"sync"
 	"testing"
+	"testing/quick"
 	"time"
 
 	"adaptmirror/internal/event"
@@ -262,6 +263,161 @@ func TestReadyCompaction(t *testing.T) {
 			if err != nil || e.Seq != i {
 				t.Fatalf("round %d: got (%v, %v), want seq %d", round, e, err, i)
 			}
+		}
+	}
+}
+
+func TestReadyPutBatchFIFO(t *testing.T) {
+	q := NewReady(0)
+	batch := make([]*event.Event, 5)
+	for i := range batch {
+		batch[i] = ev(uint64(i))
+	}
+	if err := q.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	for i := uint64(0); i < 5; i++ {
+		e, err := q.Get()
+		if err != nil || e.Seq != i {
+			t.Fatalf("got (%v, %v), want seq %d", e, err, i)
+		}
+	}
+}
+
+func TestReadyPutBatchBlocksWhenFull(t *testing.T) {
+	q := NewReady(2)
+	batch := make([]*event.Event, 5)
+	for i := range batch {
+		batch[i] = ev(uint64(i))
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.PutBatch(batch) }()
+	select {
+	case <-done:
+		t.Fatal("PutBatch must block when the batch exceeds capacity")
+	case <-time.After(10 * time.Millisecond):
+	}
+	// Draining lets the producer finish; order is preserved end to end.
+	for i := uint64(0); i < 5; i++ {
+		e, err := q.Get()
+		if err != nil || e.Seq != i {
+			t.Fatalf("got (%v, %v), want seq %d", e, err, i)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PutBatch did not finish after drain")
+	}
+}
+
+func TestReadyCloseWakesAllBlocked(t *testing.T) {
+	// Regression test for the Signal-only-on-progress discipline: Close
+	// must still wake every blocked producer and consumer, not just one.
+	full := NewReady(1)
+	full.Put(ev(0))
+	putErrs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() { putErrs <- full.Put(ev(1)) }()
+	}
+	empty := NewReady(0)
+	getErrs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := empty.Get()
+			getErrs <- err
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	full.Close()
+	empty.Close()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-putErrs:
+			if err != ErrClosed {
+				t.Fatalf("blocked Put = %v, want ErrClosed", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("blocked Put not woken by Close")
+		}
+		select {
+		case err := <-getErrs:
+			if err != ErrClosed {
+				t.Fatalf("blocked Get = %v, want ErrClosed", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("blocked Get not woken by Close")
+		}
+	}
+}
+
+func TestReadyRingWraparoundQuick(t *testing.T) {
+	// Property: any interleaving of batch puts and batch gets is FIFO,
+	// across ring wraparounds and growth.
+	prop := func(sizes []uint8) bool {
+		q := NewReady(0)
+		var put, got uint64
+		for _, s := range sizes {
+			n := int(s%7) + 1
+			batch := make([]*event.Event, n)
+			for i := range batch {
+				batch[i] = ev(put)
+				put++
+			}
+			if err := q.PutBatch(batch); err != nil {
+				return false
+			}
+			out, err := q.GetAppend(nil, int(s%5)+1)
+			if err != nil {
+				return false
+			}
+			for _, e := range out {
+				if e.Seq != got {
+					return false
+				}
+				got++
+			}
+		}
+		q.Close()
+		for {
+			e, err := q.Get()
+			if err != nil {
+				break
+			}
+			if e.Seq != got {
+				return false
+			}
+			got++
+		}
+		return got == put
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadyGetAppendReusesScratch(t *testing.T) {
+	q := NewReady(0)
+	for i := uint64(0); i < 4; i++ {
+		q.Put(ev(i))
+	}
+	scratch := make([]*event.Event, 0, 8)
+	out, err := q.GetAppend(scratch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 || cap(out) != cap(scratch) {
+		t.Fatalf("GetAppend did not fill the provided scratch: len %d cap %d", len(out), cap(out))
+	}
+	for i, e := range out {
+		if e.Seq != uint64(i) {
+			t.Fatalf("out[%d].Seq = %d, want %d", i, e.Seq, i)
 		}
 	}
 }

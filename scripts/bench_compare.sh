@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench_compare.sh — run the benchmarks the fan-out pipeline affects,
+# repeated -count=5, into benchstat-compatible output.
+#
+# Usage:
+#   scripts/bench_compare.sh [output-file]
+#
+# Typical comparison workflow:
+#   git checkout main   && scripts/bench_compare.sh bench_old.txt
+#   git checkout branch && scripts/bench_compare.sh bench_new.txt
+#   benchstat bench_old.txt bench_new.txt   # if benchstat is installed
+#
+# The output is plain `go test -bench` text, which benchstat consumes
+# directly; without benchstat the raw per-run lines are still usable.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-bench_compare_$(git rev-parse --short HEAD 2>/dev/null || echo wip).txt}"
+count="${COUNT:-5}"
+
+# Fig5/Fig6 sweep the mirror fan-out directly; FanoutBatch and
+# CodecBatchWrite isolate the batch pipeline and the wire framing.
+pattern='BenchmarkFig5MirrorCountOverhead|BenchmarkFig6MirrorsUnderLoad|BenchmarkFanoutBatch|BenchmarkCodecBatchWrite'
+
+echo "running: -bench '$pattern' -count=$count -> $out" >&2
+go test -run xxx -bench "$pattern" -benchmem -count="$count" -timeout 60m . | tee "$out"
+
+echo "wrote $out (feed two such files to benchstat to compare)" >&2
