@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-compare figures clean
+.PHONY: all build vet test race ci bench bench-compare bench-serve figures clean
 
 all: ci
 
@@ -26,6 +26,11 @@ bench:
 # Repeated runs of the fan-out-sensitive benchmarks, benchstat-ready.
 bench-compare:
 	./scripts/bench_compare.sh
+
+# The init-state serving-path benchmarks (storm throughput and
+# snapshot-cache rebuild cost).
+bench-serve:
+	$(GO) test -run xxx -bench 'ServeInitStorm|SnapshotRebuild' -benchmem .
 
 figures:
 	$(GO) run ./cmd/benchrunner -fig all

@@ -14,7 +14,10 @@ package adaptmirror
 // iteration for slow benchmarks.)
 
 import (
+	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -461,6 +464,95 @@ func BenchmarkCodecBatchWrite(b *testing.B) {
 				}
 				if err := w.Flush(); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeInitStorm measures the init-state serving path under
+// concurrent thin-client storms (the paper's airport power-failure
+// scenario): one main unit holding 1000 flights, hammered by 1/8/64
+// synchronous clients. Zero cost model and no virtual CPU, so the
+// numbers isolate the real serve path — snapshot construction, request
+// queueing, and response delivery.
+func BenchmarkServeInitStorm(b *testing.B) {
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(nameInt("clients", clients), func(b *testing.B) {
+			m := core.NewMainUnit(core.MainConfig{
+				EDE:           ede.Config{StatePadding: 64},
+				RequestBuffer: 1 << 16,
+			})
+			defer m.Close()
+			const flights = 1000
+			for f := 0; f < flights; f++ {
+				if err := m.Deliver(event.NewPosition(event.FlightID(f), 1, 1, 2, 3, 64)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for m.Processed() < flights {
+				time.Sleep(time.Millisecond)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						state, err := m.RequestInitState()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if len(state) == 0 {
+							errs <- errEmptyState
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/s")
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+		})
+	}
+}
+
+var errEmptyState = fmt.Errorf("empty init state")
+
+// BenchmarkSnapshotRebuild measures one snapshot serve at 1000 flights
+// in the two regimes the epoch cache distinguishes: "warm" (no state
+// mutation since the last serve) and "one-dirty-flight" (a single
+// position update applied between serves).
+func BenchmarkSnapshotRebuild(b *testing.B) {
+	for _, mode := range []string{"warm", "one-dirty-flight"} {
+		b.Run(mode, func(b *testing.B) {
+			en := ede.New(ede.Config{StatePadding: 64})
+			const flights = 1000
+			for f := 0; f < flights; f++ {
+				en.Process(event.NewPosition(event.FlightID(f), 1, 1, 2, 3, 64))
+			}
+			en.ServeInitState() // prime
+			dirty := mode == "one-dirty-flight"
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dirty {
+					b.StopTimer()
+					en.Process(event.NewPosition(event.FlightID(i%flights), uint64(i), 4, 5, 6, 64))
+					b.StartTimer()
+				}
+				if len(en.ServeInitState()) == 0 {
+					b.Fatal("empty snapshot")
 				}
 			}
 		})

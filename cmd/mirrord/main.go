@@ -33,6 +33,8 @@ func main() {
 		coalesce  = flag.Int("coalesce", 0, "coalesce up to N events before mirroring (0 = off)")
 		chkpt     = flag.Int("chkpt", 50, "checkpoint once per N processed events")
 		padding   = flag.Int("padding", 64, "per-flight init-state padding bytes")
+		shards    = flag.Int("shards", 0, "EDE state shard count, rounded up to a power of two (0 = default)")
+		workers   = flag.Int("reqworkers", 0, "init-state serving pool size (0 = default)")
 		adaptOn   = flag.Bool("adapt", false, "central role: enable runtime adaptation between mirroring functions")
 		adaptPri  = flag.Int("adapt-primary", 100, "pending-request primary threshold for adaptation")
 		adaptSec  = flag.Int("adapt-secondary", 50, "hysteresis below primary for reverting")
@@ -58,6 +60,8 @@ func main() {
 			Coalesce:       *coalesce,
 			ChkptFreq:      *chkpt,
 			StatePad:       *padding,
+			Shards:         *shards,
+			ReqWorkers:     *workers,
 			Adapt:          *adaptOn,
 			AdaptPrimary:   *adaptPri,
 			AdaptSecondary: *adaptSec,
@@ -69,10 +73,12 @@ func main() {
 			os.Exit(2)
 		}
 		site, err = startMirror(mirrorOptions{
-			Listen:   *listen,
-			HTTP:     *httpAddr,
-			Central:  *central,
-			StatePad: *padding,
+			Listen:     *listen,
+			HTTP:       *httpAddr,
+			Central:    *central,
+			StatePad:   *padding,
+			Shards:     *shards,
+			ReqWorkers: *workers,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "mirrord: -role must be central or mirror")

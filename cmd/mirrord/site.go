@@ -37,6 +37,10 @@ type centralOptions struct {
 	Coalesce  int
 	ChkptFreq int
 	StatePad  int
+	// Shards/ReqWorkers tune the init-state serving path (0 = the
+	// ede/core defaults).
+	Shards     int
+	ReqWorkers int
 	// LogDir, when non-empty, durably records every client state
 	// update in a segmented operations log (the paper's logging
 	// database consumer).
@@ -100,8 +104,9 @@ func startCentral(opts centralOptions) (*centralSite, error) {
 		return nil, err
 	}
 	mainCfg := core.MainConfig{
-		EDE: ede.Config{Model: costmodel.Default, StatePadding: opts.StatePad},
-		Out: updatesCh,
+		EDE:            ede.Config{Model: costmodel.Default, StatePadding: opts.StatePad, Shards: opts.Shards},
+		RequestWorkers: opts.ReqWorkers,
+		Out:            updatesCh,
 	}
 	if opts.LogDir != "" {
 		logOut, err := oislog.Open(opts.LogDir, oislog.Options{})
@@ -221,6 +226,10 @@ type mirrorOptions struct {
 	HTTP     string
 	Central  string
 	StatePad int
+	// Shards/ReqWorkers tune the init-state serving path (0 = the
+	// ede/core defaults).
+	Shards     int
+	ReqWorkers int
 }
 
 // lazyUplink dials the central site's control channel on first use
@@ -311,7 +320,10 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 	s.uplink = uplink
 
 	s.Mirror = core.NewMirrorSite(core.MirrorSiteConfig{
-		Main:   core.MainConfig{EDE: ede.Config{Model: costmodel.Default, StatePadding: opts.StatePad}},
+		Main: core.MainConfig{
+			EDE:            ede.Config{Model: costmodel.Default, StatePadding: opts.StatePad, Shards: opts.Shards},
+			RequestWorkers: opts.ReqWorkers,
+		},
 		Model:  costmodel.Default,
 		CPU:    &costmodel.CPU{},
 		CtrlUp: uplink,

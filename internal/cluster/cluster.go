@@ -66,6 +66,12 @@ type Config struct {
 	Model costmodel.Model
 	// StatePadding inflates per-flight init-state size.
 	StatePadding int
+	// StateShards is each site's EDE flight-table stripe count
+	// (0 = ede.DefaultShards).
+	StateShards int
+	// RequestWorkers bounds each site's init-state serving pool
+	// (0 = core.DefaultRequestWorkers).
+	RequestWorkers int
 	// Streams is the input stream count (default 2: FAA + Delta).
 	Streams int
 	// NoMirror disables the mirroring path (baseline).
@@ -95,6 +101,9 @@ type Cluster struct {
 
 	// DelayHist records central update delays (Figures 7-9 metrics).
 	DelayHist *metrics.Histogram
+	// RequestHist records init-state request latencies (enqueue →
+	// response ready) across every site's serving pool.
+	RequestHist *metrics.Histogram
 	// DelaySeries is non-nil when Config.SeriesBin was set.
 	DelaySeries *metrics.Series
 
@@ -151,9 +160,10 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Streams = 2
 	}
 	cl := &Cluster{
-		DelayHist: metrics.NewHistogram(0),
-		Updates:   &metrics.Counter{},
-		start:     time.Now(),
+		DelayHist:   metrics.NewHistogram(0),
+		RequestHist: metrics.NewHistogram(0),
+		Updates:     &metrics.Counter{},
+		start:       time.Now(),
 	}
 	if cfg.SeriesBin > 0 {
 		cl.DelaySeries = metrics.NewSeries(cl.start, cfg.SeriesBin)
@@ -162,12 +172,10 @@ func New(cfg Config) (*Cluster, error) {
 		cl.CPUs = append(cl.CPUs, &costmodel.CPU{})
 	}
 
-	mainCfg := core.MainConfig{
-		EDE:         edeConfig(cfg),
-		Out:         counterSink{c: cl.Updates, next: cfg.ClientOut},
-		DelayHist:   cl.DelayHist,
-		DelaySeries: cl.DelaySeries,
-	}
+	mainCfg := cl.siteMainCfg(cfg)
+	mainCfg.Out = counterSink{c: cl.Updates, next: cfg.ClientOut}
+	mainCfg.DelayHist = cl.DelayHist
+	mainCfg.DelaySeries = cl.DelaySeries
 
 	var links []core.MirrorLink
 	var err error
@@ -210,7 +218,18 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 func edeConfig(cfg Config) ede.Config {
-	return ede.Config{Model: cfg.Model, StatePadding: cfg.StatePadding}
+	return ede.Config{Model: cfg.Model, StatePadding: cfg.StatePadding, Shards: cfg.StateShards}
+}
+
+// siteMainCfg is the main-unit configuration shared by every site:
+// the EDE, the bounded request-serving pool, and the cluster-wide
+// request-latency histogram.
+func (cl *Cluster) siteMainCfg(cfg Config) core.MainConfig {
+	return core.MainConfig{
+		EDE:            edeConfig(cfg),
+		RequestWorkers: cfg.RequestWorkers,
+		RequestHist:    cl.RequestHist,
+	}
 }
 
 // Start returns the cluster construction instant (experiment t=0).
@@ -353,7 +372,7 @@ func (cl *Cluster) wireDirect(cfg Config) []core.MirrorLink {
 	for i := 0; i < cfg.Mirrors; i++ {
 		i := i
 		m := core.NewMirrorSite(core.MirrorSiteConfig{
-			Main:   core.MainConfig{EDE: edeConfig(cfg)},
+			Main:   cl.siteMainCfg(cfg),
 			Model:  cfg.Model,
 			CPU:    cl.CPUs[i+1],
 			SiteID: uint8(i),
@@ -382,7 +401,7 @@ func (cl *Cluster) wireChannels(cfg Config) []core.MirrorLink {
 	ctrlUp.Subscribe(func(e *event.Event) { cl.Central.HandleControl(e) })
 	for i := 0; i < cfg.Mirrors; i++ {
 		m := core.NewMirrorSite(core.MirrorSiteConfig{
-			Main:   core.MainConfig{EDE: edeConfig(cfg)},
+			Main:   cl.siteMainCfg(cfg),
 			Model:  cfg.Model,
 			CPU:    cl.CPUs[i+1],
 			SiteID: uint8(i),
@@ -441,7 +460,7 @@ func (cl *Cluster) wireTCP(cfg Config) ([]core.MirrorLink, error) {
 		cl.closers = append(cl.closers, func() { upLink.Close() })
 
 		m := core.NewMirrorSite(core.MirrorSiteConfig{
-			Main:   core.MainConfig{EDE: edeConfig(cfg)},
+			Main:   cl.siteMainCfg(cfg),
 			Model:  cfg.Model,
 			CPU:    cl.CPUs[i+1],
 			SiteID: uint8(i),

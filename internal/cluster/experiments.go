@@ -64,9 +64,13 @@ type Options struct {
 
 	// Misc.
 	StatePadding int
-	SeriesBin    time.Duration
-	Seed         int64
-	Model        costmodel.Model // zero value → costmodel.Default
+	// StateShards/RequestWorkers tune the serving path (0 = defaults:
+	// ede.DefaultShards stripes, core.DefaultRequestWorkers workers).
+	StateShards    int
+	RequestWorkers int
+	SeriesBin      time.Duration
+	Seed           int64
+	Model          costmodel.Model // zero value → costmodel.Default
 }
 
 // Result reports one experiment run.
@@ -83,6 +87,15 @@ type Result struct {
 	// DelayBins is the per-bin mean update delay in microseconds when
 	// Options.SeriesBin was set.
 	DelayBins []float64
+	// MeanReqLat/P95ReqLat summarize init-state request latencies
+	// (enqueue → response ready) across every site's serving pool.
+	MeanReqLat time.Duration
+	P95ReqLat  time.Duration
+	// SnapshotHits/SnapshotMisses aggregate the sites' init-state
+	// snapshot-cache counters: hits served from cached segments, misses
+	// rebuilt at least one shard.
+	SnapshotHits   uint64
+	SnapshotMisses uint64
 	// Central are the central site's traffic counters.
 	Central core.CentralStats
 	// Requests summarizes the client load run.
@@ -150,13 +163,15 @@ func RunExperiment(opts Options) (Result, error) {
 	}
 	var controller *adapt.Controller
 	cfg := Config{
-		Mirrors:      opts.Mirrors,
-		Transport:    opts.Transport,
-		Shaping:      opts.Shaping,
-		Model:        model,
-		StatePadding: opts.StatePadding,
-		NoMirror:     opts.NoMirror,
-		SeriesBin:    opts.SeriesBin,
+		Mirrors:        opts.Mirrors,
+		Transport:      opts.Transport,
+		Shaping:        opts.Shaping,
+		Model:          model,
+		StatePadding:   opts.StatePadding,
+		StateShards:    opts.StateShards,
+		RequestWorkers: opts.RequestWorkers,
+		NoMirror:       opts.NoMirror,
+		SeriesBin:      opts.SeriesBin,
 		Params: core.Params{
 			Coalesce:       opts.Coalesce,
 			MaxCoalesce:    opts.MaxCoalesce,
@@ -250,12 +265,19 @@ func RunExperiment(opts Options) (Result, error) {
 	costmodel.WaitIdle(cl.CPUs...)
 
 	res := Result{
-		TotalTime: time.Since(start),
-		MeanDelay: cl.DelayHist.Mean(),
-		P95Delay:  cl.DelayHist.Percentile(95),
-		MaxDelay:  cl.DelayHist.Max(),
-		Central:   cl.Central.Stats(),
-		Requests:  reqResult,
+		TotalTime:  time.Since(start),
+		MeanDelay:  cl.DelayHist.Mean(),
+		P95Delay:   cl.DelayHist.Percentile(95),
+		MaxDelay:   cl.DelayHist.Max(),
+		MeanReqLat: cl.RequestHist.Mean(),
+		P95ReqLat:  cl.RequestHist.Percentile(95),
+		Central:    cl.Central.Stats(),
+		Requests:   reqResult,
+	}
+	for _, m := range cl.AllTargets() {
+		hits, misses := m.SnapshotCacheStats()
+		res.SnapshotHits += hits
+		res.SnapshotMisses += misses
 	}
 	if cl.DelaySeries != nil {
 		res.DelayBins = cl.DelaySeries.Bins()

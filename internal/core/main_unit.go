@@ -41,9 +41,16 @@ type MainConfig struct {
 	// RequestBuffer bounds the pending client request buffer; the
 	// buffer's length is one of the adaptation-monitored variables.
 	RequestBuffer int
-	// RequestWorkers is the number of goroutines serving client
-	// requests (default 1).
+	// RequestWorkers bounds the pool of goroutines serving client
+	// requests from the buffer (default DefaultRequestWorkers). With
+	// the EDE's sharded state and epoch-cached snapshots, concurrent
+	// workers serve warm-cache requests in parallel; the pool bound
+	// keeps a storm from spawning unbounded goroutines.
 	RequestWorkers int
+	// RequestHist, when non-nil, records per-request latencies
+	// (enqueue → response ready), the serve-path analogue of
+	// DelayHist.
+	RequestHist *metrics.Histogram
 	// QueueCap bounds the inbound event queue; Deliver blocks when it
 	// is full, back-pressuring the feeding task to the EDE's pace.
 	// 0 leaves the queue unbounded.
@@ -82,6 +89,12 @@ type MainUnit struct {
 	closeOnce sync.Once
 }
 
+// DefaultRequestWorkers is the request worker-pool size when
+// MainConfig.RequestWorkers is unset. A warm snapshot-cache hit is a
+// shared-buffer handout, so a small pool saturates the serving path;
+// more workers only add scheduling churn.
+const DefaultRequestWorkers = 4
+
 // NewMainUnit starts a main unit's processing and request-serving
 // goroutines.
 func NewMainUnit(cfg MainConfig) *MainUnit {
@@ -89,7 +102,7 @@ func NewMainUnit(cfg MainConfig) *MainUnit {
 		cfg.RequestBuffer = 4096
 	}
 	if cfg.RequestWorkers <= 0 {
-		cfg.RequestWorkers = 1
+		cfg.RequestWorkers = DefaultRequestWorkers
 	}
 	m := &MainUnit{
 		engine: ede.New(cfg.EDE),
@@ -180,12 +193,16 @@ func (m *MainUnit) processLoop() {
 // ErrUnitClosed after Close and ErrBusy when the pending buffer is
 // full.
 func (m *MainUnit) Request(r *InitRequest) error {
+	// Stamp before taking the lock: the enqueue instant should not
+	// include time spent waiting behind Close, and keeping the
+	// critical section to the closed-check plus the non-blocking send
+	// keeps concurrent requesters off each other's backs.
+	r.EnqueuedAt = time.Now()
 	m.reqMu.RLock()
 	defer m.reqMu.RUnlock()
 	if m.reqClosed {
 		return ErrUnitClosed
 	}
-	r.EnqueuedAt = time.Now()
 	select {
 	case m.reqQ <- r:
 		m.pendingReqs.Add(1)
@@ -208,12 +225,19 @@ func (m *MainUnit) RequestInitState() ([]byte, error) {
 	return state, nil
 }
 
+// requestLoop is one worker of the bounded serving pool: every worker
+// feeds from the shared reqQ, so a storm drains through
+// RequestWorkers concurrent ServeInitState calls (warm cache hits run
+// fully in parallel; cold ones single-flight on the cache rebuild).
 func (m *MainUnit) requestLoop() {
 	defer m.reqWG.Done()
 	for r := range m.reqQ {
 		state := m.engine.ServeInitState()
 		m.pendingReqs.Add(-1)
 		m.servedReqs.Add(1)
+		if m.cfg.RequestHist != nil && !r.EnqueuedAt.IsZero() {
+			m.cfg.RequestHist.Record(time.Since(r.EnqueuedAt))
+		}
 		if r.Resp != nil {
 			r.Resp <- state
 		}
@@ -232,6 +256,13 @@ func (m *MainUnit) PendingRequests() int {
 
 // ServedRequests returns the number of requests answered.
 func (m *MainUnit) ServedRequests() uint64 { return m.servedReqs.Load() }
+
+// SnapshotCacheStats reports the EDE snapshot cache's hit and miss
+// counts for the init-state serving path.
+func (m *MainUnit) SnapshotCacheStats() (hits, misses uint64) {
+	hits, misses, _, _ = m.engine.State().CacheStats()
+	return hits, misses
+}
 
 // EmittedUpdates returns the number of output events sent to clients.
 func (m *MainUnit) EmittedUpdates() uint64 { return m.emitted.Load() }

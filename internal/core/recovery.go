@@ -27,9 +27,16 @@ type RecoverySnapshot struct {
 }
 
 // BuildRecovery assembles a recovery snapshot for a rejoining mirror.
+// The state transfer rides the same epoch-cached snapshot path that
+// serves thin-client storms: CachedSnapshot rebuilds any shard
+// mutated since the last serve, so the result is as fresh as a direct
+// serialization, and a recovery arriving during an init-state storm
+// reuses the storm's cached segments instead of re-serializing the
+// table.
 func (c *Central) BuildRecovery() RecoverySnapshot {
+	state, _ := c.main.Engine().State().CachedSnapshot()
 	return RecoverySnapshot{
-		State:  c.main.Engine().State().Snapshot(),
+		State:  state,
 		Events: c.backup.Snapshot(),
 	}
 }

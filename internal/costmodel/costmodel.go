@@ -117,6 +117,21 @@ func (m Model) RequestCost(n int) time.Duration {
 	return m.RequestBase + scale(m.RequestPerKB, n)
 }
 
+// InitStateCost returns the charge for serving one init-state request
+// from the epoch-cached snapshot path: the full response of copied
+// bytes is booked as request work (the copy out of the cache), and
+// only the rebuilt segment bytes — 0 on a warm cache hit — are
+// additionally booked as serialization work. This keeps the Figure
+// 6/7 virtual-CPU numbers honest: a storm against a quiet state pays
+// the request copy per request but the serialization once.
+func (m Model) InitStateCost(copied, rebuilt int) time.Duration {
+	d := m.RequestCost(copied)
+	if rebuilt > 0 {
+		d += m.SerializeCost(rebuilt)
+	}
+	return d
+}
+
 // CheckpointCost returns the coordinator charge for one round with the
 // given backup-queue backlog.
 func (m Model) CheckpointCost(backlog int) time.Duration {

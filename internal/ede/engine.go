@@ -15,8 +15,10 @@ func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
 
 // Rule is one unit of business logic: it inspects an incoming event
 // against the current state (already updated by earlier rules) and may
-// derive new events. Rules run under the engine's state lock and must
-// not block.
+// derive new events. Rules run under the write lock of the shard
+// owning the event's flight and must not block; they may only touch
+// state keyed by the event's flight (all the OIS rules are per-flight,
+// which is what makes the flight table lock-stripable).
 type Rule interface {
 	// Name identifies the rule in diagnostics.
 	Name() string
@@ -36,6 +38,9 @@ type Config struct {
 	Rules []Rule
 	// StatePadding inflates per-flight snapshot size.
 	StatePadding int
+	// Shards is the flight-table lock-stripe count, rounded up to a
+	// power of two (0 uses ede.DefaultShards).
+	Shards int
 }
 
 // Engine applies business rules to incoming events, maintains
@@ -62,7 +67,7 @@ func New(cfg Config) *Engine {
 		model: cfg.Model,
 		cpu:   cfg.CPU,
 		rules: rules,
-		state: NewState(cfg.StatePadding),
+		state: NewStateSharded(cfg.StatePadding, cfg.Shards),
 	}
 }
 
@@ -77,15 +82,20 @@ func (en *Engine) State() *State { return en.state }
 func (en *Engine) Process(e *event.Event) ([]*event.Event, time.Time) {
 	done := en.cpu.Charge(en.model.EventCost(len(e.Payload)))
 
-	en.state.mu.Lock()
-	en.state.processed += uint64(e.Weight())
+	// Lock only the shard owning the event's flight: applies to other
+	// flights, point reads, and snapshot rebuilds of other shards all
+	// proceed concurrently.
+	sh := en.state.shardOf(e.Flight)
+	sh.mu.Lock()
 	var derived []*event.Event
 	for _, r := range en.rules {
 		if out := r.Apply(en.state, e); len(out) > 0 {
 			derived = append(derived, out...)
 		}
 	}
-	en.state.mu.Unlock()
+	sh.epoch.Add(1)
+	sh.mu.Unlock()
+	en.state.processed.Add(uint64(e.Weight()))
 
 	if e.VT != nil {
 		en.mu.Lock()
@@ -102,12 +112,16 @@ func (en *Engine) LastProcessed() vclock.VC {
 	return en.lastProcessed.Clone()
 }
 
-// ServeInitState computes a fresh initialization state for a thin
-// client, charging the request's CPU cost. This is the expensive
-// operation whose bursts the mirroring framework offloads.
+// ServeInitState serves an initialization state for a thin client
+// from the epoch-cached snapshot, charging the request's CPU cost.
+// This is the expensive operation whose bursts the mirroring
+// framework offloads; the cache turns a storm of such requests into
+// one rebuild plus per-request copies, and the cost charge follows
+// suit — copied bytes are booked as request work, freshly rebuilt
+// segment bytes as serialization work (costmodel.Model.InitStateCost).
 func (en *Engine) ServeInitState() []byte {
-	snap := en.state.Snapshot()
-	en.cpu.Charge(en.model.RequestCost(len(snap)))
+	snap, rebuilt := en.state.CachedSnapshot()
+	en.cpu.Charge(en.model.InitStateCost(len(snap), rebuilt))
 	return snap
 }
 

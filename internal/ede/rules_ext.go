@@ -38,15 +38,17 @@ type WeatherState struct {
 }
 
 // extended returns (creating if needed) the extended state attached to
-// a flight. Caller holds the state write lock.
+// a flight. The map lives in the flight's shard; caller holds that
+// shard's write lock.
 func (s *State) extended(f event.FlightID) *extState {
-	if s.ext == nil {
-		s.ext = make(map[event.FlightID]*extState)
+	sh := s.shardOf(f)
+	if sh.ext == nil {
+		sh.ext = make(map[event.FlightID]*extState)
 	}
-	e := s.ext[f]
+	e := sh.ext[f]
 	if e == nil {
 		e = &extState{}
-		s.ext[f] = e
+		sh.ext[f] = e
 	}
 	return e
 }
@@ -59,9 +61,10 @@ type extState struct {
 
 // Crew returns the crew state for a flight.
 func (s *State) Crew(f event.FlightID) (CrewState, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if e, ok := s.ext[f]; ok {
+	sh := s.shardOf(f)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if e, ok := sh.ext[f]; ok {
 		return e.crew, true
 	}
 	return CrewState{}, false
@@ -69,9 +72,10 @@ func (s *State) Crew(f event.FlightID) (CrewState, bool) {
 
 // Baggage returns the baggage state for a flight.
 func (s *State) Baggage(f event.FlightID) (BaggageState, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if e, ok := s.ext[f]; ok {
+	sh := s.shardOf(f)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if e, ok := sh.ext[f]; ok {
 		return e.baggage, true
 	}
 	return BaggageState{}, false
@@ -79,9 +83,10 @@ func (s *State) Baggage(f event.FlightID) (BaggageState, bool) {
 
 // Weather returns the weather state for a flight.
 func (s *State) Weather(f event.FlightID) (WeatherState, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if e, ok := s.ext[f]; ok {
+	sh := s.shardOf(f)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if e, ok := sh.ext[f]; ok {
 		return e.weather, true
 	}
 	return WeatherState{}, false

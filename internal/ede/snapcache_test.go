@@ -1,0 +1,197 @@
+package ede
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"adaptmirror/internal/event"
+)
+
+func TestNewStateShardedRoundsToPowerOfTwo(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, DefaultShards},
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{16, 16},
+		{17, 32},
+	}
+	for _, c := range cases {
+		if got := NewStateSharded(0, c.in).Shards(); got != c.want {
+			t.Errorf("NewStateSharded(0, %d).Shards() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCachedSnapshotMatchesSnapshot(t *testing.T) {
+	en := New(Config{StatePadding: 16})
+	for f := 0; f < 100; f++ {
+		en.Process(event.NewPosition(event.FlightID(f), 1, float64(f), float64(-f), 1000, 32))
+	}
+	direct := en.State().Snapshot()
+	cached, rebuilt := en.State().CachedSnapshot()
+	if !bytes.Equal(direct, cached) {
+		t.Fatal("cached snapshot differs from direct serialization")
+	}
+	if rebuilt == 0 {
+		t.Fatal("first cached snapshot reported 0 rebuilt bytes")
+	}
+	// Mutate one flight: the cache must fold it in.
+	en.Process(event.NewStatus(7, 2, event.StatusLanded, 16))
+	direct = en.State().Snapshot()
+	cached, _ = en.State().CachedSnapshot()
+	if !bytes.Equal(direct, cached) {
+		t.Fatal("cached snapshot stale after mutation")
+	}
+}
+
+func TestCachedSnapshotHitMissCounters(t *testing.T) {
+	en := New(Config{})
+	en.Process(event.NewPosition(1, 1, 0, 0, 0, 32))
+
+	if _, rebuilt := en.State().CachedSnapshot(); rebuilt == 0 {
+		t.Fatal("cold request must rebuild")
+	}
+	if _, rebuilt := en.State().CachedSnapshot(); rebuilt != 0 {
+		t.Fatalf("warm request rebuilt %d bytes, want 0", rebuilt)
+	}
+	hits, misses, rebuilds, _ := en.State().CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	// A cold build encodes every shard, even empty ones.
+	if rebuilds != uint64(en.State().Shards()) {
+		t.Fatalf("rebuilds = %d, want %d", rebuilds, en.State().Shards())
+	}
+
+	// Dirtying one flight must rebuild only that flight's shard.
+	en.Process(event.NewPosition(1, 2, 1, 1, 1, 32))
+	if _, rebuilt := en.State().CachedSnapshot(); rebuilt == 0 {
+		t.Fatal("mutation must dirty the cache")
+	}
+	_, _, rebuilds2, _ := en.State().CacheStats()
+	if rebuilds2 != rebuilds+1 {
+		t.Fatalf("rebuilds after one dirty flight = %d, want %d", rebuilds2, rebuilds+1)
+	}
+}
+
+// TestSnapshotByteStable checks the wire-format guarantee the cache
+// depends on: the same set of flights serializes to the same bytes
+// regardless of insertion order (flights are sorted by ID within each
+// shard), and repeated snapshots are identical.
+func TestSnapshotByteStable(t *testing.T) {
+	f := func(raw []uint16) bool {
+		forward := New(Config{StatePadding: 8})
+		backward := New(Config{StatePadding: 8})
+		for _, id := range raw {
+			forward.Process(event.NewPosition(event.FlightID(id), 1, float64(id), 2, 3, 32))
+		}
+		for i := len(raw) - 1; i >= 0; i-- {
+			id := raw[i]
+			backward.Process(event.NewPosition(event.FlightID(id), 1, float64(id), 2, 3, 32))
+		}
+		a := forward.State().Snapshot()
+		if !bytes.Equal(a, forward.State().Snapshot()) {
+			return false
+		}
+		// Duplicate IDs collapse to one flight with a higher update
+		// count, and position updates overwrite Lat/Lon/Alt, so the two
+		// insertion orders only agree when each ID appears once.
+		seen := map[uint16]bool{}
+		for _, id := range raw {
+			if seen[id] {
+				return true
+			}
+			seen[id] = true
+		}
+		return bytes.Equal(a, backward.State().Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotQuickRoundTrip(t *testing.T) {
+	const padding = 8
+	f := func(raw []uint16) bool {
+		en := New(Config{StatePadding: padding})
+		want := map[event.FlightID]bool{}
+		for _, id := range raw {
+			en.Process(event.NewPosition(event.FlightID(id), 1, 1, 2, 3, 32))
+			want[event.FlightID(id)] = true
+		}
+		snap, _ := en.State().CachedSnapshot()
+		got, err := DecodeSnapshot(snap, padding)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for id := range want {
+			if _, ok := got[id]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentStormDecodes races an init-state storm against the
+// apply path: every snapshot served mid-mutation must decode cleanly
+// and hold a plausible flight count. Run under -race this also checks
+// the shard/cache locking.
+func TestConcurrentStormDecodes(t *testing.T) {
+	const (
+		readers    = 8
+		perReader  = 50
+		maxFlights = 400
+	)
+	en := New(Config{StatePadding: 16})
+	en.Process(event.NewPosition(0, 1, 0, 0, 0, 32))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for f := 1; f < maxFlights; f++ {
+			en.Process(event.NewPosition(event.FlightID(f), uint64(f), float64(f), 2, 3, 32))
+		}
+	}()
+
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perReader; i++ {
+				snap := en.ServeInitState()
+				got, err := DecodeSnapshot(snap, 16)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) < 1 || len(got) > maxFlights {
+					errs <- errFlightCount(len(got))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errFlightCount int
+
+func (e errFlightCount) Error() string {
+	return "snapshot flight count out of range"
+}

@@ -12,7 +12,9 @@ package ede
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"adaptmirror/internal/event"
 )
@@ -42,43 +44,101 @@ type FlightState struct {
 // flightRecordSize is the per-flight size of a state snapshot.
 const flightRecordSize = 4 + 1 + 24 + 8 + 8 + 2
 
-// State is the full operational state of one site.
+// DefaultShards is the shard count of a State when Config.Shards is
+// unset. Sixteen stripes keep rule application, point reads, and
+// snapshot building from contending on one lock while staying small
+// enough that per-shard snapshot segments amortize well.
+const DefaultShards = 16
+
+// shard is one lock stripe of the flight table. Rule application for
+// an event locks only its flight's shard, so concurrent point reads,
+// snapshot rebuilds of other shards, and applies to other flights
+// proceed in parallel.
+type shard struct {
+	mu      sync.RWMutex
+	flights map[event.FlightID]*FlightState
+	ext     map[event.FlightID]*extState // crew/baggage/weather
+
+	// epoch counts mutations under mu's write lock; the snapshot cache
+	// compares it against the epoch its cached segment was built at to
+	// decide whether the shard is dirty. Atomic so the cache's warm
+	// path can check cleanliness without touching the shard lock.
+	epoch atomic.Uint64
+
+	// Padding out to a cache line would be overkill here: shards are
+	// accessed through pointer-chasing maps whose buckets dominate any
+	// false sharing of the shard headers.
+}
+
+// State is the full operational state of one site, striped into
+// hash-partitioned shards (hash on FlightID).
 type State struct {
-	mu        sync.RWMutex
-	flights   map[event.FlightID]*FlightState
-	ext       map[event.FlightID]*extState // crew/baggage/weather
-	processed uint64
+	shards    []shard
+	mask      uint32
+	processed atomic.Uint64
 
 	// padding is appended per flight in snapshots to model richer
 	// per-flight state than this reproduction tracks explicitly.
 	padding int
+
+	cache snapCache
 }
 
-// NewState returns an empty state; paddingPerFlight inflates snapshot
-// sizes to model the paper's multi-gigabyte operational state.
+// NewState returns an empty state with DefaultShards lock stripes;
+// paddingPerFlight inflates snapshot sizes to model the paper's
+// multi-gigabyte operational state.
 func NewState(paddingPerFlight int) *State {
+	return NewStateSharded(paddingPerFlight, 0)
+}
+
+// NewStateSharded returns an empty state with the given shard count,
+// rounded up to a power of two (0 uses DefaultShards).
+func NewStateSharded(paddingPerFlight, shards int) *State {
 	if paddingPerFlight < 0 {
 		paddingPerFlight = 0
 	}
-	return &State{flights: make(map[event.FlightID]*FlightState), padding: paddingPerFlight}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &State{shards: make([]shard, n), mask: uint32(n - 1), padding: paddingPerFlight}
+	for i := range s.shards {
+		s.shards[i].flights = make(map[event.FlightID]*FlightState)
+	}
+	s.cache.init(n)
+	return s
+}
+
+// Shards returns the number of lock stripes.
+func (s *State) Shards() int { return len(s.shards) }
+
+// shardOf returns the stripe owning flight f. Flight IDs are typically
+// small and dense, so the low bits alone distribute them evenly.
+func (s *State) shardOf(f event.FlightID) *shard {
+	return &s.shards[uint32(f)&s.mask]
 }
 
 // flight returns (creating if needed) the record for f. Caller must
-// hold the write lock.
+// hold the write lock of f's shard.
 func (s *State) flight(f event.FlightID) *FlightState {
-	fs := s.flights[f]
+	sh := s.shardOf(f)
+	fs := sh.flights[f]
 	if fs == nil {
 		fs = &FlightState{ID: f}
-		s.flights[f] = fs
+		sh.flights[f] = fs
 	}
 	return fs
 }
 
 // Get returns a copy of the flight's state and whether it exists.
 func (s *State) Get(f event.FlightID) (FlightState, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	fs, ok := s.flights[f]
+	sh := s.shardOf(f)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	fs, ok := sh.flights[f]
 	if !ok {
 		return FlightState{}, false
 	}
@@ -87,51 +147,86 @@ func (s *State) Get(f event.FlightID) (FlightState, bool) {
 
 // Flights returns the number of tracked flights.
 func (s *State) Flights() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.flights)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.flights)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Processed returns the weighted number of events applied.
-func (s *State) Processed() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.processed
-}
+func (s *State) Processed() uint64 { return s.processed.Load() }
 
 // SnapshotSize returns the size in bytes of a full snapshot.
 func (s *State) SnapshotSize() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return 8 + len(s.flights)*(flightRecordSize+s.padding)
+	return 8 + s.Flights()*(flightRecordSize+s.padding)
+}
+
+// appendFlight encodes one flight record (plus padding) onto buf.
+func appendFlight(buf []byte, fs *FlightState, pad []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(fs.ID))
+	buf = append(buf, byte(fs.Status))
+	for _, v := range []float64{fs.Lat, fs.Lon, fs.Alt} {
+		buf = binary.LittleEndian.AppendUint64(buf, floatBits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, fs.PaxExpected)
+	buf = binary.LittleEndian.AppendUint32(buf, fs.PaxBoarded)
+	buf = binary.LittleEndian.AppendUint64(buf, fs.PositionUpdates)
+	flags := uint16(0)
+	if fs.AllBoarded {
+		flags |= 1
+	}
+	if fs.Arrived {
+		flags |= 2
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, flags)
+	return append(buf, pad...)
+}
+
+// encodeShard serializes one shard's flights, sorted by flight ID so
+// the output is byte-stable for a given state (order-normalized wire
+// bytes are what makes cached segments and fresh builds comparable).
+// Caller must hold at least the shard's read lock. The segment carries
+// no header; the full-snapshot header is prepended at assembly.
+func (s *State) encodeShard(sh *shard) ([]byte, int) {
+	ids := make([]event.FlightID, 0, len(sh.flights))
+	for id := range sh.flights {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := make([]byte, 0, len(ids)*(flightRecordSize+s.padding))
+	pad := make([]byte, s.padding)
+	for _, id := range ids {
+		buf = appendFlight(buf, sh.flights[id], pad)
+	}
+	return buf, len(ids)
 }
 
 // Snapshot serializes the full state: the initialization view sent to
-// thin clients so they can interpret subsequent update events.
+// thin clients so they can interpret subsequent update events. The
+// snapshot is assembled shard by shard (each under its read lock), so
+// it is per-shard consistent; concurrent applies to other shards are
+// not blocked. Within each shard flights are encoded in ID order, so
+// the bytes are deterministic for a given state and shard count.
 func (s *State) Snapshot() []byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	buf := make([]byte, 0, 8+len(s.flights)*(flightRecordSize+s.padding))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.flights)))
-	pad := make([]byte, s.padding)
-	for _, fs := range s.flights {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(fs.ID))
-		buf = append(buf, byte(fs.Status))
-		for _, v := range []float64{fs.Lat, fs.Lon, fs.Alt} {
-			buf = binary.LittleEndian.AppendUint64(buf, floatBits(v))
-		}
-		buf = binary.LittleEndian.AppendUint32(buf, fs.PaxExpected)
-		buf = binary.LittleEndian.AppendUint32(buf, fs.PaxBoarded)
-		buf = binary.LittleEndian.AppendUint64(buf, fs.PositionUpdates)
-		flags := uint16(0)
-		if fs.AllBoarded {
-			flags |= 1
-		}
-		if fs.Arrived {
-			flags |= 2
-		}
-		buf = binary.LittleEndian.AppendUint16(buf, flags)
-		buf = append(buf, pad...)
+	segs := make([][]byte, len(s.shards))
+	total, flights := 0, 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		seg, n := s.encodeShard(sh)
+		sh.mu.RUnlock()
+		segs[i] = seg
+		total += len(seg)
+		flights += n
+	}
+	buf := make([]byte, 0, 8+total)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(flights))
+	for _, seg := range segs {
+		buf = append(buf, seg...)
 	}
 	return buf
 }

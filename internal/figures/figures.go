@@ -14,6 +14,11 @@
 //	Fig. 8 — mean update delay vs request load, simple vs selective
 //	Fig. 9 — update-delay time series under bursty requests,
 //	          adaptation on vs off
+//
+// FigServe is a reproduction-only addition (no paper counterpart): it
+// characterizes the init-state serving path — the sharded EDE state
+// plus epoch-cached snapshots — by sweeping the serving pool size
+// under storm-level request load.
 package figures
 
 import (
@@ -428,6 +433,41 @@ func Fig9(s Scale, p Fig9Params) (Figure, error) {
 	return fig, nil
 }
 
+// FigServe sweeps the init-state serving pool size under sustained
+// request storms and reports the mean request latency (enqueue →
+// response ready). With the epoch-cached snapshot, warm requests are
+// pure cache copies, so latency drops as workers are added until the
+// copy bandwidth saturates; the old single-worker serializing path
+// was flat and far slower.
+func FigServe(s Scale) (Figure, error) {
+	const size = 1000
+	fig := Figure{
+		ID:     "figserve",
+		Title:  "Init-state serving pool under request storms",
+		XLabel: "request workers per site",
+		YLabel: "mean request latency (ms)",
+	}
+	for _, load := range []float64{100, 400} {
+		series := Series{Name: fmt.Sprintf("%.0f-req/s", load)}
+		for _, w := range []int{1, 2, 4, 8} {
+			opts := s.base(size)
+			opts.Mirrors = 1
+			opts.RequestRate = load * s.RateScale
+			opts.RequestsToAllSites = true
+			opts.RequestsUntilDrained = true
+			opts.RequestWorkers = w
+			res, err := s.runMedian(opts)
+			if err != nil {
+				return Figure{}, fmt.Errorf("figserve load %v workers %d: %w", load, w, err)
+			}
+			series.X = append(series.X, float64(w))
+			series.Y = append(series.Y, float64(res.MeanReqLat)/float64(time.Millisecond))
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
 // All regenerates every figure at the given scale.
 func All(s Scale) ([]Figure, error) {
 	var out []Figure
@@ -438,6 +478,7 @@ func All(s Scale) ([]Figure, error) {
 		func() (Figure, error) { return Fig7(s) },
 		func() (Figure, error) { return Fig8(s) },
 		func() (Figure, error) { return Fig9(s, DefaultFig9) },
+		func() (Figure, error) { return FigServe(s) },
 	} {
 		fig, err := f()
 		if err != nil {

@@ -13,7 +13,7 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"adaptmirror/internal/core"
@@ -28,21 +28,27 @@ type Stats struct {
 	Bytes     uint64 `json:"bytes"`
 	UptimeSec int64  `json:"uptime_sec"`
 	Pending   int    `json:"pending"`
+	// SnapshotHits/SnapshotMisses are the main unit's init-state
+	// snapshot-cache counters: hits were served by concatenating
+	// cached segments, misses rebuilt at least one.
+	SnapshotHits   uint64 `json:"snapshot_hits"`
+	SnapshotMisses uint64 `json:"snapshot_misses"`
 }
 
-// Front serves one site's client requests over HTTP.
+// Front serves one site's client requests over HTTP. Counters are
+// atomics so stats accounting never serializes concurrent /init
+// handlers.
 type Front struct {
 	main   *core.MainUnit
-	ingest func(*event.Event) error
+	ingest atomic.Pointer[func(*event.Event) error]
 	srv    *http.Server
 	ln     net.Listener
 	start  time.Time
 
-	mu       sync.Mutex
-	requests uint64
-	busy     uint64
-	bytes    uint64
-	updates  uint64
+	requests atomic.Uint64
+	busy     atomic.Uint64
+	bytes    atomic.Uint64
+	updates  atomic.Uint64
 }
 
 // New builds a front for the given main unit (not yet listening).
@@ -63,9 +69,7 @@ func New(main *core.MainUnit) *Front {
 // site's front should enable this — events enter the OIS through the
 // central receiving task, which assigns their timestamps.
 func (f *Front) EnableUpdates(ingest func(*event.Event) error) {
-	f.mu.Lock()
-	f.ingest = ingest
-	f.mu.Unlock()
+	f.ingest.Store(&ingest)
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts serving in the
@@ -89,14 +93,15 @@ func (f *Front) handleInit(w http.ResponseWriter, r *http.Request) {
 	state, err := f.main.RequestInitState()
 	switch {
 	case errors.Is(err, core.ErrBusy):
-		f.count(func() { f.busy++ })
+		f.busy.Add(1)
 		http.Error(w, "request buffer full", http.StatusServiceUnavailable)
 		return
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	f.count(func() { f.requests++; f.bytes += uint64(len(state)) })
+	f.requests.Add(1)
+	f.bytes.Add(uint64(len(state)))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(state)
 }
@@ -108,9 +113,7 @@ func (f *Front) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	f.mu.Lock()
-	ingest := f.ingest
-	f.mu.Unlock()
+	ingest := f.ingest.Load()
 	if ingest == nil {
 		http.Error(w, "updates not accepted at this site", http.StatusForbidden)
 		return
@@ -129,11 +132,11 @@ func (f *Front) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "control events not accepted", http.StatusBadRequest)
 		return
 	}
-	if err := ingest(e); err != nil {
+	if err := (*ingest)(e); err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	f.count(func() { f.updates++ })
+	f.updates.Add(1)
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -143,37 +146,22 @@ func (f *Front) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (f *Front) handleStats(w http.ResponseWriter, _ *http.Request) {
-	f.mu.Lock()
-	st := Stats{
-		Requests:  f.requests,
-		Updates:   f.updates,
-		Busy:      f.busy,
-		Bytes:     f.bytes,
-		UptimeSec: int64(time.Since(f.start).Seconds()),
-		Pending:   f.main.PendingRequests(),
-	}
-	f.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(st)
-}
-
-func (f *Front) count(fn func()) {
-	f.mu.Lock()
-	fn()
-	f.mu.Unlock()
+	json.NewEncoder(w).Encode(f.Stats())
 }
 
 // Stats returns a snapshot of the front's counters.
 func (f *Front) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	hits, misses := f.main.SnapshotCacheStats()
 	return Stats{
-		Requests:  f.requests,
-		Updates:   f.updates,
-		Busy:      f.busy,
-		Bytes:     f.bytes,
-		UptimeSec: int64(time.Since(f.start).Seconds()),
-		Pending:   f.main.PendingRequests(),
+		Requests:       f.requests.Load(),
+		Updates:        f.updates.Load(),
+		Busy:           f.busy.Load(),
+		Bytes:          f.bytes.Load(),
+		UptimeSec:      int64(time.Since(f.start).Seconds()),
+		Pending:        f.main.PendingRequests(),
+		SnapshotHits:   hits,
+		SnapshotMisses: misses,
 	}
 }
 

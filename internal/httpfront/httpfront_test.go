@@ -102,6 +102,12 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Bytes == 0 {
 		t.Fatal("stats bytes = 0")
 	}
+	if st.SnapshotHits+st.SnapshotMisses != 3 {
+		t.Fatalf("snapshot hits+misses = %d+%d, want 3", st.SnapshotHits, st.SnapshotMisses)
+	}
+	if st.SnapshotMisses == 0 {
+		t.Fatal("first /init against fresh state must be a cache miss")
+	}
 }
 
 func TestClosedMainUnitReturns503(t *testing.T) {

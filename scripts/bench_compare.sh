@@ -20,8 +20,10 @@ out="${1:-bench_compare_$(git rev-parse --short HEAD 2>/dev/null || echo wip).tx
 count="${COUNT:-5}"
 
 # Fig5/Fig6 sweep the mirror fan-out directly; FanoutBatch and
-# CodecBatchWrite isolate the batch pipeline and the wire framing.
-pattern='BenchmarkFig5MirrorCountOverhead|BenchmarkFig6MirrorsUnderLoad|BenchmarkFanoutBatch|BenchmarkCodecBatchWrite'
+# CodecBatchWrite isolate the batch pipeline and the wire framing;
+# ServeInitStorm and SnapshotRebuild isolate the sharded/epoch-cached
+# init-state serving path.
+pattern='BenchmarkFig5MirrorCountOverhead|BenchmarkFig6MirrorsUnderLoad|BenchmarkFanoutBatch|BenchmarkCodecBatchWrite|BenchmarkServeInitStorm|BenchmarkSnapshotRebuild'
 
 echo "running: -bench '$pattern' -count=$count -> $out" >&2
 go test -run xxx -bench "$pattern" -benchmem -count="$count" -timeout 60m . | tee "$out"
