@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-compare bench-serve figures clean
+.PHONY: all build vet test race ci metrics-lint bench bench-compare bench-serve figures clean
 
 all: ci
 
@@ -16,8 +16,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Boots a cluster, serves its registry over HTTP, scrapes /metrics,
+# and validates Prometheus-text conformance plus required coverage.
+metrics-lint:
+	$(GO) run ./cmd/metricslint
+
 # Full gate: what CI runs and what every change must keep green.
-ci: build vet race
+ci: build vet race metrics-lint
 
 # One fast pass over every figure and ablation benchmark.
 bench:

@@ -28,7 +28,7 @@ func (f *figList) Set(v string) error {
 
 func main() {
 	var figs figList
-	flag.Var(&figs, "fig", "figure to regenerate: 4,5,6,7,8,9,serve or all (repeatable)")
+	flag.Var(&figs, "fig", "figure to regenerate: 4,5,6,7,8,9,serve,stages or all (repeatable)")
 	quick := flag.Bool("quick", false, "use the reduced smoke-test scale")
 	plot := flag.Bool("plot", false, "render ASCII charts in addition to tables")
 	flag.Parse()
@@ -54,12 +54,23 @@ func main() {
 	var selected []string
 	for _, f := range figs {
 		if f == "all" {
-			selected = []string{"4", "5", "6", "7", "8", "9", "serve"}
+			selected = []string{"4", "5", "6", "7", "8", "9", "serve", "stages"}
 			break
 		}
 		selected = append(selected, f)
 	}
 	for _, id := range selected {
+		// "stages" is a table, not an X/Y figure: the Fig5@8 run's
+		// per-stage update-delay decomposition.
+		if id == "stages" {
+			res, err := figures.StageBreakdown(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: stages: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(figures.StageTable(res))
+			continue
+		}
 		run, ok := runners[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchrunner: unknown figure %q\n", id)

@@ -20,6 +20,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
+
+	"adaptmirror/internal/obs"
 )
 
 func main() {
@@ -39,11 +42,14 @@ func main() {
 		adaptPri  = flag.Int("adapt-primary", 100, "pending-request primary threshold for adaptation")
 		adaptSec  = flag.Int("adapt-secondary", 50, "hysteresis below primary for reverting")
 		logDir    = flag.String("log", "", "central role: directory for the durable operations log (empty = disabled)")
+		dumpEvery = flag.Duration("metricsdump", 0, "dump the metrics registry to stdout this often, in the Prometheus text format (0 = off)")
+		auditPath = flag.String("auditlog", "", "central role with -adapt: durable JSONL file recording every adaptation transition")
 	)
 	flag.Parse()
 
 	var (
 		site interface{ Close() error }
+		reg  *obs.Registry
 		err  error
 	)
 	switch *role {
@@ -52,7 +58,8 @@ func main() {
 		if *mirrors != "" {
 			addrs = strings.Split(*mirrors, ",")
 		}
-		site, err = startCentral(centralOptions{
+		var c *centralSite
+		c, err = startCentral(centralOptions{
 			Listen:         *listen,
 			HTTP:           *httpAddr,
 			Mirrors:        addrs,
@@ -66,13 +73,18 @@ func main() {
 			AdaptPrimary:   *adaptPri,
 			AdaptSecondary: *adaptSec,
 			LogDir:         *logDir,
+			AuditPath:      *auditPath,
 		})
+		if err == nil {
+			site, reg = c, c.Obs
+		}
 	case "mirror":
 		if *central == "" {
 			fmt.Fprintln(os.Stderr, "mirrord: -central is required for the mirror role")
 			os.Exit(2)
 		}
-		site, err = startMirror(mirrorOptions{
+		var m *mirrorSite
+		m, err = startMirror(mirrorOptions{
 			Listen:     *listen,
 			HTTP:       *httpAddr,
 			Central:    *central,
@@ -80,6 +92,9 @@ func main() {
 			Shards:     *shards,
 			ReqWorkers: *workers,
 		})
+		if err == nil {
+			site, reg = m, m.Obs
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "mirrord: -role must be central or mirror")
 		os.Exit(2)
@@ -89,6 +104,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("mirrord: %s site up (events %s, http %s)\n", *role, *listen, *httpAddr)
+
+	if *dumpEvery > 0 {
+		go func() {
+			t := time.NewTicker(*dumpEvery)
+			defer t.Stop()
+			for now := range t.C {
+				fmt.Printf("# mirrord %s metrics %s\n", *role, now.Format(time.RFC3339))
+				_ = reg.WritePrometheus(os.Stdout)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -13,6 +13,7 @@ import (
 	"adaptmirror/internal/ede"
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/httpfront"
+	"adaptmirror/internal/obs"
 	"adaptmirror/internal/oislog"
 )
 
@@ -52,14 +53,23 @@ type centralOptions struct {
 	Adapt          bool
 	AdaptPrimary   int
 	AdaptSecondary int
+	// AuditPath, when non-empty (and Adapt is on), durably records
+	// every adaptation transition as JSONL at this path.
+	AuditPath string
 }
 
 // centralSite bundles everything a running central site owns.
 type centralSite struct {
 	Central *core.Central
 	Front   *httpfront.Front
-	// Controller is non-nil when runtime adaptation is enabled.
+	// Obs is the site-wide metrics registry, served at /metrics and
+	// dumped by -metricsdump; Tracer feeds its lifecycle histograms.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
+	// Controller is non-nil when runtime adaptation is enabled; Audit
+	// is its transition log (durable when -auditlog was configured).
 	Controller *adapt.Controller
+	Audit      *obs.AuditLog
 	// Log is non-nil when -log was configured.
 	Log *oislog.Log
 	// Addr and HTTPAddr are the bound listen addresses.
@@ -74,7 +84,8 @@ type centralSite struct {
 // ingress and control-up traffic, send links to every mirror, and an
 // HTTP front for client requests.
 func startCentral(opts centralOptions) (*centralSite, error) {
-	s := &centralSite{bus: echo.NewBus()}
+	s := &centralSite{bus: echo.NewBus(), Obs: obs.NewRegistry()}
+	s.Tracer = obs.NewTracer(s.Obs)
 
 	// Dial every mirror before constructing the central so its
 	// sending task has live links from the first event.
@@ -129,6 +140,8 @@ func startCentral(opts centralOptions) (*centralSite, error) {
 		Main:     mainCfg,
 		Mirrors:  mirrorLinks,
 		NoMirror: len(mirrorLinks) == 0,
+		Obs:      s.Obs,
+		Tracer:   s.Tracer,
 		OnMirrorSample: func(sample core.Sample) {
 			s.observeSample(sample)
 		},
@@ -148,6 +161,15 @@ func startCentral(opts centralOptions) (*centralSite, error) {
 			secondary = primary / 2
 		}
 		s.Controller.SetMonitorValues(adapt.VarPending, primary, secondary)
+		s.Controller.RegisterMetrics(s.Obs)
+		s.Audit = obs.NewAuditLog(0)
+		if opts.AuditPath != "" {
+			if err := s.Audit.OpenDurable(opts.AuditPath); err != nil {
+				s.Close()
+				return nil, fmt.Errorf("opening audit log: %w", err)
+			}
+		}
+		s.Controller.SetAudit(s.Audit)
 		s.Central.SetPiggyback(func() []byte {
 			s.Controller.Observe(s.Central.Sample())
 			return adapt.EncodeRegime(s.Controller.Current())
@@ -177,7 +199,7 @@ func startCentral(opts centralOptions) (*centralSite, error) {
 	s.srv = echo.NewServer(s.bus)
 	go s.srv.Serve(ln)
 
-	s.Front = httpfront.New(s.Central.Main())
+	s.Front = httpfront.NewWithRegistry(s.Central.Main(), s.Obs)
 	// Gate agents and similar clients may generate state updates;
 	// they enter through the central site's receiving task.
 	s.Front.EnableUpdates(s.Central.Ingest)
@@ -211,6 +233,9 @@ func (s *centralSite) Close() error {
 	}
 	if s.Log != nil {
 		s.Log.Close()
+	}
+	if s.Audit != nil {
+		s.Audit.Close()
 	}
 	for _, l := range s.links {
 		l.Close()
@@ -303,6 +328,10 @@ func (l *lazyUplink) Close() error {
 type mirrorSite struct {
 	Mirror *core.MirrorSite
 	Front  *httpfront.Front
+	// Obs is the site-wide metrics registry, served at /metrics and
+	// dumped by -metricsdump; Tracer feeds its lifecycle histograms.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 	// Addr and HTTPAddr are the bound listen addresses.
 	Addr     string
 	HTTPAddr string
@@ -315,7 +344,8 @@ type mirrorSite struct {
 // exporting its data and control channels, a (lazily dialed) uplink
 // to the central site, and an HTTP front.
 func startMirror(opts mirrorOptions) (*mirrorSite, error) {
-	s := &mirrorSite{bus: echo.NewBus()}
+	s := &mirrorSite{bus: echo.NewBus(), Obs: obs.NewRegistry()}
+	s.Tracer = obs.NewTracer(s.Obs)
 	uplink := &lazyUplink{addr: opts.Central, name: chanCtrlUp}
 	s.uplink = uplink
 
@@ -326,6 +356,8 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 		},
 		Model:  costmodel.Default,
 		CPU:    &costmodel.CPU{},
+		Obs:    s.Obs,
+		Tracer: s.Tracer,
 		CtrlUp: uplink,
 	})
 
@@ -351,7 +383,7 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 	s.srv = echo.NewServer(s.bus)
 	go s.srv.Serve(ln)
 
-	s.Front = httpfront.New(s.Mirror.Main())
+	s.Front = httpfront.NewWithRegistry(s.Mirror.Main(), s.Obs)
 	httpAddr, err := s.Front.Listen(opts.HTTP)
 	if err != nil {
 		s.Close()

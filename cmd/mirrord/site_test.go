@@ -1,14 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
 	"adaptmirror/internal/core"
 	"adaptmirror/internal/echo"
 	"adaptmirror/internal/event"
+	"adaptmirror/internal/obs"
 	"adaptmirror/internal/oislog"
 	"adaptmirror/internal/thinclient"
 )
@@ -304,5 +307,125 @@ func TestRemoteThinClientFollowsUpdates(t *testing.T) {
 	fresh := thinclient.New(64)
 	if err := fresh.Initialize(body); err != nil {
 		t.Fatalf("snapshot from mirror not loadable: %v", err)
+	}
+}
+
+// scrapeMetrics fetches one site's /metrics and checks conformance.
+func scrapeMetrics(t *testing.T, httpAddr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics failed: %d %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	if err := obs.LintPrometheus(bytes.NewReader(body)); err != nil {
+		t.Fatalf("/metrics on %s not conformant: %v\n%s", httpAddr, err, body)
+	}
+	return string(body)
+}
+
+// TestDeployedMetricsEndpoints brings up a real 1+1 deployment, runs
+// traffic, and scrapes /metrics on both sites: the central exposition
+// must cover ingest, fan-out, checkpointing, and the lifecycle stages;
+// the mirror's must cover its receive path and serving counters. With
+// -adapt on and an -auditlog path, the transition trail lands on disk.
+func TestDeployedMetricsEndpoints(t *testing.T) {
+	auditPath := t.TempDir() + "/audit.jsonl"
+	m, err := startMirror(mirrorOptions{Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", Central: "pending"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	central, err := startCentral(centralOptions{
+		Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0",
+		Mirrors:   []string{m.Addr},
+		ChkptFreq: 10,
+		Adapt:     true, AdaptPrimary: 1, AdaptSecondary: 1,
+		AuditPath: auditPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer central.Close()
+	m.uplink.addr = central.Addr
+
+	// Pending requests above the primary threshold while events flow,
+	// so a checkpoint round engages adaptation (as in
+	// TestCentralWithAdaptation).
+	for i := 0; i < 3000; i++ {
+		m.Mirror.Main().Request(&core.InitRequest{})
+	}
+	src, err := echo.DialSend(central.Addr, chanIngress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	const total = 200
+	for i := uint64(1); i <= total; i++ {
+		src.Submit(event.NewPosition(event.FlightID(1+i%4), i, float64(i), 0, 9000, 128))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		e, _ := central.Controller.Transitions()
+		if central.Central.Main().Processed() >= total && e > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := http.Get("http://" + m.HTTPAddr + "/init"); err != nil {
+		t.Fatal(err)
+	}
+
+	centralText := scrapeMetrics(t, central.HTTPAddr)
+	for _, want := range []string{
+		`central_received_total{site="central"} 200`,
+		`link_sent_total{mirror="0"}`,
+		`checkpoint_rounds_total{site="central"}`,
+		`pipeline_stage_seconds_count{stage="ready_wait"}`,
+		`pipeline_stage_seconds_count{stage="link_send"}`,
+		`adapt_engages_total`,
+		`adapt_engaged 1`,
+		`http_requests_total`,
+	} {
+		if !strings.Contains(centralText, want) {
+			t.Errorf("central /metrics missing %q", want)
+		}
+	}
+	mirrorText := scrapeMetrics(t, m.HTTPAddr)
+	for _, want := range []string{
+		`mirror_received_total{site="mirror0"}`,
+		`queue_ready_depth{site="mirror0"}`,
+		`requests_served_total{site="mirror0"}`,
+		`snapshot_cache_hits_total{site="mirror0"}`,
+		`pipeline_stage_seconds_count{stage="mirror_apply"}`,
+		`http_requests_total 1`,
+	} {
+		if !strings.Contains(mirrorText, want) {
+			t.Errorf("mirror /metrics missing %q", want)
+		}
+	}
+
+	// The durable audit trail recorded the engage with the sample that
+	// triggered it.
+	central.Close()
+	entries, err := obs.ReadAuditLog(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no audit entries on disk after an engaged run")
+	}
+	if entries[0].Action != "engage" {
+		t.Fatalf("first audit action = %q, want engage", entries[0].Action)
+	}
+	if entries[0].Value < entries[0].Primary {
+		t.Fatalf("engage value %d below primary %d", entries[0].Value, entries[0].Primary)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"adaptmirror/internal/core"
+	"adaptmirror/internal/obs"
 )
 
 // Var identifies a monitored variable (the index argument of
@@ -88,6 +89,12 @@ type Controller struct {
 	engages    uint64
 	reverts    uint64
 
+	// audit, when set, receives one entry per transition; engagedVar
+	// remembers which variable triggered the current engagement so the
+	// revert entry can name it.
+	audit      *obs.AuditLog
+	engagedVar Var
+
 	// revertAfter debounces reverts: samples arrive per site, so one
 	// idle site's report must not reinstall the baseline while another
 	// site is still overloaded. The controller reverts only after this
@@ -113,6 +120,60 @@ func NewController(baseline, degraded Regime, apply func(Regime)) *Controller {
 		apply(baseline)
 	}
 	return c
+}
+
+// SetAudit attaches an audit log: every engage and revert decision is
+// recorded with the observed sample and the thresholds that drove it.
+func (c *Controller) SetAudit(a *obs.AuditLog) {
+	c.mu.Lock()
+	c.audit = a
+	c.mu.Unlock()
+}
+
+// RegisterMetrics exposes the controller's transition counters and
+// engagement state on r.
+func (c *Controller) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Describe("adapt_engages_total", "Transitions into the degraded regime.")
+	r.CounterFunc("adapt_engages_total", func() float64 {
+		e, _ := c.Transitions()
+		return float64(e)
+	})
+	r.Describe("adapt_reverts_total", "Transitions back to the baseline regime.")
+	r.CounterFunc("adapt_reverts_total", func() float64 {
+		_, rv := c.Transitions()
+		return float64(rv)
+	})
+	r.Describe("adapt_engaged", "1 while the degraded regime is installed.")
+	r.GaugeFunc("adapt_engaged", func() float64 {
+		if c.Engaged() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// auditLocked appends one transition entry. Caller holds c.mu.
+func (c *Controller) auditLocked(action string, reg Regime, v Var, s core.Sample) {
+	if c.audit == nil {
+		return
+	}
+	vals := [numVars]int{s.Ready, s.Backup, s.Pending}
+	th := c.thresholds[v]
+	c.audit.Append(obs.AuditEntry{
+		Action:    action,
+		RegimeID:  reg.ID,
+		Regime:    reg.Name,
+		Var:       v.String(),
+		Value:     vals[v],
+		Primary:   th.Primary,
+		Secondary: th.Secondary,
+		Ready:     s.Ready,
+		Backup:    s.Backup,
+		Pending:   s.Pending,
+	})
 }
 
 // SetRevertAfter tunes the revert debounce (minimum 1).
@@ -151,8 +212,10 @@ func (c *Controller) Observe(s core.Sample) bool {
 			th := c.thresholds[v]
 			if th.enabled() && vals[v] >= th.Primary {
 				c.engaged = true
+				c.engagedVar = v
 				c.engages++
 				c.calmStreak = 0
+				c.auditLocked("engage", c.degraded, v, s)
 				if c.apply != nil {
 					c.apply(c.degraded)
 				}
@@ -176,6 +239,7 @@ func (c *Controller) Observe(s core.Sample) bool {
 	c.engaged = false
 	c.reverts++
 	c.calmStreak = 0
+	c.auditLocked("revert", c.baseline, c.engagedVar, s)
 	if c.apply != nil {
 		c.apply(c.baseline)
 	}

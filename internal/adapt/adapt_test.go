@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"adaptmirror/internal/core"
+	"adaptmirror/internal/obs"
 )
 
 var (
@@ -247,5 +248,87 @@ func BenchmarkObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Observe(core.Sample{Pending: i & 127})
+	}
+}
+
+// TestAuditRampStraddlesThresholds drives the controller through a
+// Fig-8-style load ramp — pending requests climb past the primary
+// threshold, plateau, then fall back through the hysteresis band —
+// twice, and checks the audit trail: engage/revert entries alternate,
+// every engage logged a value at or above primary, and every revert a
+// value strictly below primary - secondary. The trail is written
+// through a durable JSONL log and read back, covering the on-disk
+// round trip.
+func TestAuditRampStraddlesThresholds(t *testing.T) {
+	path := t.TempDir() + "/audit.jsonl"
+	audit := obs.NewAuditLog(4)
+	if err := audit.OpenDurable(path); err != nil {
+		t.Fatal(err)
+	}
+	c := NewController(base, degr, func(Regime) {})
+	c.SetMonitorValues(VarPending, 100, 40)
+	c.SetRevertAfter(2)
+	c.SetAudit(audit)
+
+	// Two ramps: 0 → 160 → 0 in steps of 20. Each up-slope crosses the
+	// primary threshold (100) once; each down-slope spends two
+	// consecutive samples below the band floor (60) to pass the
+	// debounce.
+	ramp := []int{0, 20, 40, 60, 80, 100, 120, 140, 160, 140, 120, 100, 80, 50, 30, 10, 0}
+	for round := 0; round < 2; round++ {
+		for _, p := range ramp {
+			c.Observe(core.Sample{Pending: p, Ready: p / 4})
+		}
+	}
+	engages, reverts := c.Transitions()
+	if engages != 2 || reverts != 2 {
+		t.Fatalf("engages/reverts = %d/%d, want 2/2", engages, reverts)
+	}
+	if err := audit.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The durable file retains the full trail even past the ring cap.
+	entries, err := obs.ReadAuditLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("audit entries = %d, want 4", len(entries))
+	}
+	for i, e := range entries {
+		wantAction := "engage"
+		if i%2 == 1 {
+			wantAction = "revert"
+		}
+		if e.Action != wantAction {
+			t.Fatalf("entry %d action = %q, want %q (trail %+v)", i, e.Action, wantAction, entries)
+		}
+		if e.Var != VarPending.String() {
+			t.Errorf("entry %d var = %q, want %q", i, e.Var, VarPending)
+		}
+		if e.Primary != 100 || e.Secondary != 40 {
+			t.Errorf("entry %d thresholds = %d/%d, want 100/40", i, e.Primary, e.Secondary)
+		}
+		switch e.Action {
+		case "engage":
+			if e.Value < e.Primary {
+				t.Errorf("entry %d: engage value %d below primary %d", i, e.Value, e.Primary)
+			}
+			if e.RegimeID != degr.ID || e.Regime != degr.Name {
+				t.Errorf("entry %d: engage installed %d/%q, want the degraded regime", i, e.RegimeID, e.Regime)
+			}
+		case "revert":
+			if e.Value >= e.Primary-e.Secondary {
+				t.Errorf("entry %d: revert value %d inside hysteresis band (floor %d)",
+					i, e.Value, e.Primary-e.Secondary)
+			}
+			if e.RegimeID != base.ID || e.Regime != base.Name {
+				t.Errorf("entry %d: revert installed %d/%q, want the baseline regime", i, e.RegimeID, e.Regime)
+			}
+		}
+		if e.Pending != e.Value {
+			t.Errorf("entry %d: Value %d != Pending %d for the pending-requests variable", i, e.Value, e.Pending)
+		}
 	}
 }

@@ -23,6 +23,7 @@ package checkpoint
 
 import (
 	"sync"
+	"time"
 
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/vclock"
@@ -48,13 +49,18 @@ type Coordinator struct {
 	// Piggyback, when non-nil, returns bytes to attach to outgoing
 	// CHKPT events (adaptation directives ride along here).
 	Piggyback func() []byte
+	// RoundLatency, when non-nil, receives each committed round's
+	// CHKPT→COMMIT latency. Abandoned rounds report nothing — their
+	// time is folded into the subsuming round.
+	RoundLatency func(time.Duration)
 
-	mu      sync.Mutex
-	round   uint64
-	pending int
-	min     vclock.VC
-	commits uint64
-	rounds  uint64
+	mu        sync.Mutex
+	round     uint64
+	pending   int
+	min       vclock.VC
+	commits   uint64
+	rounds    uint64
+	startedAt time.Time
 }
 
 // Init starts a new checkpoint round. If a previous round is still
@@ -72,6 +78,7 @@ func (c *Coordinator) Init() bool {
 	participants := c.Participants
 	c.min = nil
 	c.rounds++
+	c.startedAt = time.Now()
 	c.mu.Unlock()
 
 	ev := event.NewControl(event.TypeChkpt, proposal)
@@ -117,7 +124,11 @@ func (c *Coordinator) OnReply(e *event.Event) {
 func (c *Coordinator) finish(round uint64, commit vclock.VC) {
 	c.mu.Lock()
 	c.commits++
+	started := c.startedAt
 	c.mu.Unlock()
+	if c.RoundLatency != nil && !started.IsZero() {
+		c.RoundLatency(time.Since(started))
+	}
 	ev := event.NewControl(event.TypeCommit, commit)
 	ev.Seq = round
 	c.Broadcast(ev)

@@ -17,6 +17,7 @@ import (
 	"adaptmirror/internal/ede"
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/metrics"
+	"adaptmirror/internal/obs"
 	"adaptmirror/internal/simnet"
 )
 
@@ -110,6 +111,15 @@ type Cluster struct {
 	// Updates counts state updates emitted to regular clients.
 	Updates *metrics.Counter
 
+	// Obs is the cluster-wide metrics registry: every site registers
+	// its instruments here under a site label, so one scrape (or one
+	// WritePrometheus dump) covers the whole cluster.
+	Obs *obs.Registry
+	// Tracer decomposes the end-to-end update delay into lifecycle
+	// stages (ready-wait, forward, apply, fan-out enqueue, link send,
+	// mirror apply, checkpoint commit) shared by every site.
+	Tracer *obs.Tracer
+
 	start     time.Time
 	closers   []func()
 	closeOnce sync.Once
@@ -163,8 +173,16 @@ func New(cfg Config) (*Cluster, error) {
 		DelayHist:   metrics.NewHistogram(0),
 		RequestHist: metrics.NewHistogram(0),
 		Updates:     &metrics.Counter{},
+		Obs:         obs.NewRegistry(),
 		start:       time.Now(),
 	}
+	cl.Tracer = obs.NewTracer(cl.Obs)
+	cl.Obs.Describe("update_delay_seconds", "Central update delay, ingress to EDE emission.")
+	cl.Obs.RegisterHistogram("update_delay_seconds", cl.DelayHist)
+	cl.Obs.Describe("request_latency_seconds", "Init-state request latency, enqueue to response, all sites.")
+	cl.Obs.RegisterHistogram("request_latency_seconds", cl.RequestHist)
+	cl.Obs.Describe("client_updates_total", "State updates emitted to regular clients.")
+	cl.Obs.RegisterCounter("client_updates_total", cl.Updates)
 	if cfg.SeriesBin > 0 {
 		cl.DelaySeries = metrics.NewSeries(cl.start, cfg.SeriesBin)
 	}
@@ -209,6 +227,8 @@ func New(cfg Config) (*Cluster, error) {
 		Main:     mainCfg,
 		Mirrors:  links,
 		NoMirror: cfg.NoMirror,
+		Obs:      cl.Obs,
+		Tracer:   cl.Tracer,
 		OnMirrorSample: func(s core.Sample) {
 			cl.dispatchSample(s, configured)
 		},
@@ -376,6 +396,8 @@ func (cl *Cluster) wireDirect(cfg Config) []core.MirrorLink {
 			Model:  cfg.Model,
 			CPU:    cl.CPUs[i+1],
 			SiteID: uint8(i),
+			Obs:    cl.Obs,
+			Tracer: cl.Tracer,
 			CtrlUp: senderFunc(func(e *event.Event) error {
 				cl.Central.HandleControl(e)
 				return nil
@@ -405,6 +427,8 @@ func (cl *Cluster) wireChannels(cfg Config) []core.MirrorLink {
 			Model:  cfg.Model,
 			CPU:    cl.CPUs[i+1],
 			SiteID: uint8(i),
+			Obs:    cl.Obs,
+			Tracer: cl.Tracer,
 			CtrlUp: ctrlUp,
 		})
 		cl.Mirrors = append(cl.Mirrors, m)
@@ -464,6 +488,8 @@ func (cl *Cluster) wireTCP(cfg Config) ([]core.MirrorLink, error) {
 			Model:  cfg.Model,
 			CPU:    cl.CPUs[i+1],
 			SiteID: uint8(i),
+			Obs:    cl.Obs,
+			Tracer: cl.Tracer,
 			CtrlUp: upLink,
 		})
 		cl.Mirrors = append(cl.Mirrors, m)

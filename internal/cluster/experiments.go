@@ -9,6 +9,7 @@ import (
 	"adaptmirror/internal/delta"
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/faa"
+	"adaptmirror/internal/obs"
 	"adaptmirror/internal/simnet"
 	"adaptmirror/internal/workload"
 )
@@ -103,6 +104,15 @@ type Result struct {
 	// Engages/Reverts count adaptation transitions.
 	Engages uint64
 	Reverts uint64
+	// Stages is the lifecycle tracer's per-stage latency breakdown
+	// (ingest → emission decomposed; empty stages omitted).
+	Stages []obs.StageStat
+	// StageSum is the sum of the central-path stage means — it should
+	// telescope to MeanDelay (the tracer's consistency invariant).
+	StageSum time.Duration
+	// Audit holds the adaptation audit trail (Adaptive runs only): one
+	// entry per engage/revert with the sample and thresholds behind it.
+	Audit []obs.AuditEntry
 }
 
 // zeroModel reports whether m is entirely unset.
@@ -201,8 +211,12 @@ func RunExperiment(opts Options) (Result, error) {
 			[]event.Status{event.StatusLanded, event.StatusAtRunway, event.StatusAtGate},
 			event.TypeFlightArrived)
 	}
+	var audit *obs.AuditLog
 	if opts.Adaptive {
 		controller = adapt.NewController(opts.Baseline, opts.Degraded, adapt.InstallRegime(cl.Central))
+		audit = obs.NewAuditLog(0)
+		controller.SetAudit(audit)
+		controller.RegisterMetrics(cl.Obs)
 		if opts.PendingPrimary > 0 {
 			controller.SetMonitorValues(adapt.VarPending, opts.PendingPrimary, opts.PendingSecondary)
 		}
@@ -282,8 +296,11 @@ func RunExperiment(opts Options) (Result, error) {
 	if cl.DelaySeries != nil {
 		res.DelayBins = cl.DelaySeries.Bins()
 	}
+	res.Stages = cl.Tracer.Breakdown()
+	res.StageSum = cl.Tracer.CentralStageSum()
 	if controller != nil {
 		res.Engages, res.Reverts = controller.Transitions()
+		res.Audit = audit.Entries()
 	}
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"adaptmirror/internal/checkpoint"
 	"adaptmirror/internal/costmodel"
 	"adaptmirror/internal/event"
+	"adaptmirror/internal/obs"
 	"adaptmirror/internal/queue"
 	"adaptmirror/internal/vclock"
 )
@@ -93,6 +94,17 @@ type CentralConfig struct {
 	// OnMirrorSample, when non-nil, receives the monitored-variable
 	// samples mirror sites piggyback on their checkpoint replies.
 	OnMirrorSample func(Sample)
+	// Obs, when non-nil, is the registry the site's instruments are
+	// exported through (queue depths, fan-out counters, checkpoint
+	// rounds). Site labels every series.
+	Obs *obs.Registry
+	// Site is the label value identifying this site on Obs (default
+	// "central").
+	Site string
+	// Tracer, when non-nil, receives event-lifecycle stage latencies:
+	// the sending task stamps ready/forward instants on each event and
+	// the fan-out and checkpoint paths record their stages.
+	Tracer *obs.Tracer
 }
 
 // Central is the central site: the primary mirror. Its auxiliary unit
@@ -167,6 +179,14 @@ func NewCentral(cfg CentralConfig) *Central {
 	if cfg.Main.QueueCap == 0 {
 		cfg.Main.QueueCap = 8
 	}
+	if cfg.Site == "" {
+		cfg.Site = "central"
+	}
+	cfg.Main.Obs = cfg.Obs
+	cfg.Main.Site = cfg.Site
+	cfg.Main.Tracer = cfg.Tracer
+	cfg.Main.EDE.Obs = cfg.Obs
+	cfg.Main.EDE.Site = cfg.Site
 	c := &Central{
 		cfg:    cfg,
 		sem:    NewSemantics(),
@@ -186,7 +206,7 @@ func NewCentral(cfg CentralConfig) *Central {
 	if !cfg.NoMirror {
 		for i, m := range cfg.Mirrors {
 			c.senders = append(c.senders,
-				newLinkSender(i, m, cfg.OutboxDepth, cfg.AuxCPU, cfg.Model, c.mirrorAlive))
+				newLinkSender(i, m, cfg.OutboxDepth, cfg.AuxCPU, cfg.Model, c.mirrorAlive, cfg.Obs, cfg.Tracer))
 		}
 		for _, s := range c.senders {
 			c.senderWG.Add(1)
@@ -216,6 +236,7 @@ func NewCentral(cfg CentralConfig) *Central {
 		Participants: len(cfg.Mirrors) + 1,
 		Piggyback:    c.takePiggyback,
 	}
+	c.registerMetrics()
 
 	c.pipeWG.Add(2)
 	go c.receivingTask()
@@ -223,6 +244,59 @@ func NewCentral(cfg CentralConfig) *Central {
 	c.ctrlWG.Add(1)
 	go c.controlTask()
 	return c
+}
+
+// registerMetrics exposes the site's counters, queue depths, and
+// checkpoint instrumentation on the configured registry. With no
+// registry the only cost is a nil RoundLatency hook.
+func (c *Central) registerMetrics() {
+	r := c.cfg.Obs
+	tracer := c.cfg.Tracer
+	if r != nil {
+		site := obs.L("site", c.cfg.Site)
+		r.Describe("central_received_total", "Raw events admitted by the receiving task.")
+		r.CounterFunc("central_received_total", func() float64 { return float64(c.received.Load()) }, site)
+		r.Describe("central_forwarded_total", "Events delivered to the central main unit.")
+		r.CounterFunc("central_forwarded_total", func() float64 { return float64(c.forwarded.Load()) }, site)
+		r.Describe("central_mirrored_total", "Events handed to the mirror fan-out.")
+		r.CounterFunc("central_mirrored_total", func() float64 { return float64(c.mirrored.Load()) }, site)
+		r.Describe("central_mirrored_weight_total", "Raw events represented by mirrored ones.")
+		r.CounterFunc("central_mirrored_weight_total", func() float64 { return float64(c.mirroredW.Load()) }, site)
+		r.Describe("queue_ready_depth", "Ready-queue depth (adaptation-monitored).")
+		r.GaugeFunc("queue_ready_depth", func() float64 { return float64(c.ready.Len()) }, site)
+		r.Describe("queue_backup_depth", "Backup-queue depth (adaptation-monitored).")
+		r.GaugeFunc("queue_backup_depth", func() float64 { return float64(c.backup.Len()) }, site)
+		r.Describe("checkpoint_rounds_total", "Checkpoint rounds initiated.")
+		r.CounterFunc("checkpoint_rounds_total", func() float64 {
+			rounds, _ := c.coord.Stats()
+			return float64(rounds)
+		}, site)
+		r.Describe("checkpoint_commits_total", "Checkpoint rounds committed.")
+		r.CounterFunc("checkpoint_commits_total", func() float64 {
+			_, commits := c.coord.Stats()
+			return float64(commits)
+		}, site)
+		r.Describe("checkpoint_trimmed_events_total", "Backup-queue events released by checkpoint commits.")
+		r.CounterFunc("checkpoint_trimmed_events_total", func() float64 {
+			n, _ := c.backup.Trimmed()
+			return float64(n)
+		}, site)
+		r.Describe("checkpoint_trimmed_bytes_total", "Backup-queue payload bytes released by checkpoint commits.")
+		r.CounterFunc("checkpoint_trimmed_bytes_total", func() float64 {
+			_, n := c.backup.Trimmed()
+			return float64(n)
+		}, site)
+	}
+	roundHist := r.Histogram("checkpoint_round_seconds", obs.L("site", c.cfg.Site))
+	if r != nil {
+		r.Describe("checkpoint_round_seconds", "CHKPT to COMMIT latency per checkpoint round.")
+	}
+	if r != nil || tracer != nil {
+		c.coord.RoundLatency = func(d time.Duration) {
+			roundHist.Record(d)
+			tracer.Observe(obs.StageChkptCommit, d)
+		}
+	}
 }
 
 // Main exposes the central main unit.
@@ -305,6 +379,16 @@ func (c *Central) sendingTask() {
 		}
 
 		fns := c.fns.Load()
+		tracer := c.cfg.Tracer
+		if tracer != nil {
+			// Stamp ready-queue removal before any handoff: the stamps
+			// must be written while this task still owns the events
+			// exclusively (CloneBatch later copies them along).
+			now := time.Now().UnixNano()
+			for _, e := range batch {
+				e.ReadyAt = now
+			}
+		}
 
 		// Forward the full stream to the local main unit: regular
 		// clients see unreduced state updates. Checkpointing runs at a
@@ -313,6 +397,9 @@ func (c *Central) sendingTask() {
 		// mirroring filter.
 		for _, e := range batch {
 			if fe := fns.fwd(e); fe != nil {
+				if tracer != nil {
+					fe.ForwardAt = time.Now().UnixNano()
+				}
 				if c.main.Deliver(fe) == nil {
 					c.forwarded.Add(1)
 				}
@@ -358,6 +445,12 @@ func (c *Central) sendingTask() {
 		for _, s := range c.senders {
 			s.enqueue(filtered)
 		}
+		if tracer != nil {
+			// One fan-out sample per batch: ready-queue removal until
+			// every link's outbox holds the filtered batch.
+			tracer.Observe(obs.StageFanoutEnqueue,
+				time.Duration(time.Now().UnixNano()-filtered[0].ReadyAt))
+		}
 		c.mirrored.Add(uint64(len(filtered)))
 		c.mirroredW.Add(weight)
 	}
@@ -373,9 +466,19 @@ func (c *Central) forwardOnly() {
 		if err != nil {
 			return
 		}
+		tracer := c.cfg.Tracer
+		if tracer != nil {
+			now := time.Now().UnixNano()
+			for _, e := range batch {
+				e.ReadyAt = now
+			}
+		}
 		fwd := c.fns.Load().fwd
 		for _, e := range batch {
 			if fe := fwd(e); fe != nil {
+				if tracer != nil {
+					fe.ForwardAt = time.Now().UnixNano()
+				}
 				if c.main.Deliver(fe) == nil {
 					c.forwarded.Add(1)
 				}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
 	"adaptmirror/internal/costmodel"
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/metrics"
+	"adaptmirror/internal/obs"
 )
 
 // This file implements the central site's per-mirror fan-out pipeline.
@@ -62,17 +64,20 @@ type linkSender struct {
 	n      int
 	closed bool
 
-	enqueued metrics.Counter
-	sent     metrics.Counter
-	filtered metrics.Counter
-	dropped  metrics.Counter
-	depth    metrics.Gauge
+	tracer *obs.Tracer
+
+	enqueued *metrics.Counter
+	sent     *metrics.Counter
+	filtered *metrics.Counter
+	dropped  *metrics.Counter
+	depth    *metrics.Gauge
 	stall    metrics.DurationCounter
 }
 
 // newLinkSender sizes the ring to the next power of two covering
-// depth events.
-func newLinkSender(idx int, link MirrorLink, depth int, aux *costmodel.CPU, model costmodel.Model, alive func(int) bool) *linkSender {
+// depth events. Its counters live on reg under link_* families labeled
+// by mirror index (a nil reg keeps them as private instruments).
+func newLinkSender(idx int, link MirrorLink, depth int, aux *costmodel.CPU, model costmodel.Model, alive func(int) bool, reg *obs.Registry, tracer *obs.Tracer) *linkSender {
 	if depth <= 0 {
 		depth = DefaultOutboxDepth
 	}
@@ -81,13 +86,31 @@ func newLinkSender(idx int, link MirrorLink, depth int, aux *costmodel.CPU, mode
 		size *= 2
 	}
 	s := &linkSender{
-		idx:   idx,
-		link:  link,
-		data:  AsBatchSender(link.Data),
-		aux:   aux,
-		model: model,
-		alive: alive,
-		ring:  make([]*event.Event, size),
+		idx:    idx,
+		link:   link,
+		data:   AsBatchSender(link.Data),
+		aux:    aux,
+		model:  model,
+		alive:  alive,
+		ring:   make([]*event.Event, size),
+		tracer: tracer,
+	}
+	mirror := obs.L("mirror", strconv.Itoa(idx))
+	s.enqueued = reg.Counter("link_enqueued_total", mirror)
+	s.sent = reg.Counter("link_sent_total", mirror)
+	s.filtered = reg.Counter("link_filtered_total", mirror)
+	s.dropped = reg.Counter("link_dropped_total", mirror)
+	s.depth = reg.Gauge("link_outbox_depth", mirror)
+	if reg != nil {
+		reg.Describe("link_enqueued_total", "Events accepted into the link outbox.")
+		reg.Describe("link_sent_total", "Events submitted on the mirror link.")
+		reg.Describe("link_filtered_total", "Events suppressed by the per-link filter.")
+		reg.Describe("link_dropped_total", "Events shed on outbox overflow.")
+		reg.Describe("link_outbox_depth", "Current outbox depth per mirror link.")
+		reg.Describe("link_outbox_depth_max", "Outbox depth high-water mark per mirror link.")
+		reg.GaugeFunc("link_outbox_depth_max", func() float64 { return float64(s.depth.Max()) }, mirror)
+		reg.Describe("link_stall_seconds_total", "Wall-clock time the link sender spent blocked in submission.")
+		reg.RegisterDurationCounter("link_stall_seconds_total", &s.stall, mirror)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -195,7 +218,9 @@ func (s *linkSender) send(batch []*event.Event) {
 	s.aux.Charge(s.model.SubmitBatchCost(len(batch), bytes))
 	start := time.Now()
 	err := s.data.SubmitBatch(batch)
-	s.stall.Add(time.Since(start))
+	elapsed := time.Since(start)
+	s.stall.Add(elapsed)
+	s.tracer.Observe(obs.StageLinkSend, elapsed)
 	if err == nil {
 		s.sent.Add(uint64(len(batch)))
 	}

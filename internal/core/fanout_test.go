@@ -105,7 +105,7 @@ func TestLinkSenderOverflowAccounting(t *testing.T) {
 		<-release
 		return nil
 	})
-	s := newLinkSender(0, MirrorLink{Data: blocking}, 4, nil, costmodel.Model{}, nil)
+	s := newLinkSender(0, MirrorLink{Data: blocking}, 4, nil, costmodel.Model{}, nil, nil, nil)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go s.run(&wg)
@@ -153,7 +153,7 @@ func TestLinkSenderFilterAccounting(t *testing.T) {
 		Data:   sink,
 		Filter: func(e *event.Event) bool { return e.Seq%2 == 0 },
 	}
-	s := newLinkSender(0, link, 16, nil, costmodel.Model{}, nil)
+	s := newLinkSender(0, link, 16, nil, costmodel.Model{}, nil, nil, nil)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go s.run(&wg)

@@ -9,6 +9,7 @@ import (
 	"adaptmirror/internal/ede"
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/metrics"
+	"adaptmirror/internal/obs"
 	"adaptmirror/internal/queue"
 	"adaptmirror/internal/vclock"
 )
@@ -55,6 +56,17 @@ type MainConfig struct {
 	// is full, back-pressuring the feeding task to the EDE's pace.
 	// 0 leaves the queue unbounded.
 	QueueCap int
+	// Obs, when non-nil, exports the unit's queue depth and serving
+	// counters, labeled with Site.
+	Obs  *obs.Registry
+	Site string
+	// Tracer, when non-nil, receives lifecycle stage latencies: the
+	// central path decomposed from event stamps, or (TraceMirror) the
+	// replica-freshness lag of a mirror's EDE.
+	Tracer *obs.Tracer
+	// TraceMirror selects the mirror-apply stage instead of the
+	// central-path decomposition.
+	TraceMirror bool
 }
 
 // InitRequest is one thin-client request for a fresh initialization
@@ -104,11 +116,32 @@ func NewMainUnit(cfg MainConfig) *MainUnit {
 	if cfg.RequestWorkers <= 0 {
 		cfg.RequestWorkers = DefaultRequestWorkers
 	}
+	if cfg.EDE.Obs == nil {
+		cfg.EDE.Obs = cfg.Obs
+		cfg.EDE.Site = cfg.Site
+	}
 	m := &MainUnit{
 		engine: ede.New(cfg.EDE),
 		cfg:    cfg,
 		in:     queue.NewReady(cfg.QueueCap),
 		reqQ:   make(chan *InitRequest, cfg.RequestBuffer),
+	}
+	if r := cfg.Obs; r != nil {
+		site := obs.L("site", cfg.Site)
+		r.Describe("main_queue_depth", "Main-unit inbound event queue depth.")
+		r.GaugeFunc("main_queue_depth", func() float64 { return float64(m.in.Len()) }, site)
+		r.Describe("pending_requests", "Client init-state requests buffered (adaptation-monitored).")
+		r.GaugeFunc("pending_requests", func() float64 { return float64(m.PendingRequests()) }, site)
+		r.Describe("requests_served_total", "Client init-state requests answered.")
+		r.CounterFunc("requests_served_total", func() float64 { return float64(m.servedReqs.Load()) }, site)
+		r.Describe("events_processed_total", "Weighted events applied by the EDE.")
+		r.CounterFunc("events_processed_total", func() float64 { return float64(m.Processed()) }, site)
+		r.Describe("updates_emitted_total", "State updates emitted to clients.")
+		r.CounterFunc("updates_emitted_total", func() float64 { return float64(m.emitted.Load()) }, site)
+		if m.cfg.RequestHist == nil {
+			r.Describe("request_latency_seconds", "Init-state request latency, enqueue to response.")
+			m.cfg.RequestHist = r.Histogram("request_latency_seconds", site)
+		}
 	}
 	m.procWG.Add(1)
 	go m.processLoop()
@@ -141,7 +174,7 @@ func (m *MainUnit) processLoop() {
 		// virtual-CPU charge), so update delays reflect the node's
 		// booked processing, not the host's scheduling.
 		derived, done := m.engine.Process(e)
-		if e.Ingress != 0 && (m.cfg.DelayHist != nil || m.cfg.DelaySeries != nil) {
+		if e.Ingress != 0 && (m.cfg.DelayHist != nil || m.cfg.DelaySeries != nil || m.cfg.Tracer != nil) {
 			delay := e.Age(done)
 			if delay < 0 {
 				// The virtual CPU's catch-up window can book work
@@ -154,6 +187,13 @@ func (m *MainUnit) processLoop() {
 			}
 			if m.cfg.DelaySeries != nil {
 				m.cfg.DelaySeries.Observe(done, float64(delay)/float64(time.Microsecond))
+			}
+			if t := m.cfg.Tracer; t != nil {
+				if m.cfg.TraceMirror {
+					t.Observe(obs.StageMirrorApply, delay)
+				} else {
+					t.ObserveCentralPath(e.Ingress, e.ReadyAt, e.ForwardAt, done)
+				}
 			}
 		}
 		if m.cfg.Out != nil {

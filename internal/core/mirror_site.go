@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"adaptmirror/internal/checkpoint"
 	"adaptmirror/internal/costmodel"
 	"adaptmirror/internal/event"
+	"adaptmirror/internal/obs"
 	"adaptmirror/internal/queue"
 	"adaptmirror/internal/vclock"
 )
@@ -31,6 +33,13 @@ type MirrorSiteConfig struct {
 	// OnPiggyback, when non-nil, receives adaptation bytes attached to
 	// CHKPT events by the central site.
 	OnPiggyback func([]byte)
+	// Obs, when non-nil, exports the site's queue depths and counters,
+	// labeled with Site (default "mirror<SiteID>").
+	Obs  *obs.Registry
+	Site string
+	// Tracer, when non-nil, receives the site's mirror-apply latencies
+	// (central ingress → replica EDE emission).
+	Tracer *obs.Tracer
 }
 
 // MirrorSite is a secondary mirror: its auxiliary unit receives
@@ -53,11 +62,39 @@ type MirrorSite struct {
 // NewMirrorSite builds and starts a mirror site.
 func NewMirrorSite(cfg MirrorSiteConfig) *MirrorSite {
 	cfg.Main.EDE.CPU = cfg.CPU
+	if cfg.Site == "" {
+		cfg.Site = fmt.Sprintf("mirror%d", cfg.SiteID)
+	}
+	cfg.Main.Obs = cfg.Obs
+	cfg.Main.Site = cfg.Site
+	cfg.Main.Tracer = cfg.Tracer
+	cfg.Main.TraceMirror = true
+	cfg.Main.EDE.Obs = cfg.Obs
+	cfg.Main.EDE.Site = cfg.Site
 	m := &MirrorSite{
 		cfg:    cfg,
 		ready:  queue.NewReady(0),
 		backup: queue.NewBackup(),
 		main:   NewMainUnit(cfg.Main),
+	}
+	if r := cfg.Obs; r != nil {
+		site := obs.L("site", cfg.Site)
+		r.Describe("queue_ready_depth", "Ready-queue depth (adaptation-monitored).")
+		r.GaugeFunc("queue_ready_depth", func() float64 { return float64(m.ready.Len()) }, site)
+		r.Describe("queue_backup_depth", "Backup-queue depth (adaptation-monitored).")
+		r.GaugeFunc("queue_backup_depth", func() float64 { return float64(m.backup.Len()) }, site)
+		r.Describe("mirror_received_total", "Mirrored events accepted from the central site.")
+		r.CounterFunc("mirror_received_total", func() float64 { return float64(m.received.Load()) }, site)
+		r.Describe("checkpoint_trimmed_events_total", "Backup-queue events released by checkpoint commits.")
+		r.CounterFunc("checkpoint_trimmed_events_total", func() float64 {
+			n, _ := m.backup.Trimmed()
+			return float64(n)
+		}, site)
+		r.Describe("checkpoint_trimmed_bytes_total", "Backup-queue payload bytes released by checkpoint commits.")
+		r.CounterFunc("checkpoint_trimmed_bytes_total", func() float64 {
+			_, n := m.backup.Trimmed()
+			return float64(n)
+		}, site)
 	}
 	mainPart := &checkpoint.Main{
 		LastProcessed: m.main.LastProcessed,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"adaptmirror/internal/metrics"
+	"adaptmirror/internal/obs"
 )
 
 // snapCache is the epoch-versioned snapshot cache behind the serving
@@ -144,4 +145,23 @@ func (s *State) CachedSnapshot() (buf []byte, rebuiltBytes int) {
 func (s *State) CacheStats() (hits, misses, rebuilds uint64, rebuildTime time.Duration) {
 	c := &s.cache
 	return c.hits.Value(), c.misses.Value(), c.rebuilds.Value(), c.rebuildNs.Value()
+}
+
+// RegisterMetrics exposes the snapshot cache's counters on r under the
+// snapshot_cache_* families, labeled with site. A nil registry is a
+// no-op — the counters keep working privately.
+func (s *State) RegisterMetrics(r *obs.Registry, site string) {
+	if r == nil {
+		return
+	}
+	c := &s.cache
+	l := obs.L("site", site)
+	r.Describe("snapshot_cache_hits_total", "Init-state snapshots served from the warm cache.")
+	r.RegisterCounter("snapshot_cache_hits_total", &c.hits, l)
+	r.Describe("snapshot_cache_misses_total", "Init-state snapshots that rebuilt at least one segment.")
+	r.RegisterCounter("snapshot_cache_misses_total", &c.misses, l)
+	r.Describe("snapshot_cache_rebuilds_total", "Snapshot segments rebuilt.")
+	r.RegisterCounter("snapshot_cache_rebuilds_total", &c.rebuilds, l)
+	r.Describe("snapshot_cache_rebuild_seconds_total", "Cumulative snapshot segment rebuild time.")
+	r.RegisterDurationCounter("snapshot_cache_rebuild_seconds_total", &c.rebuildNs, l)
 }

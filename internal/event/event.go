@@ -48,6 +48,14 @@ type Event struct {
 	// here to EDE emission.
 	Ingress int64
 
+	// ReadyAt and ForwardAt are lifecycle trace stamps (UnixNano, 0
+	// when tracing is off): the instants the sending task removed the
+	// event from the ready queue and handed it to the local main unit.
+	// They are central-site bookkeeping only — the wire codec does not
+	// carry them.
+	ReadyAt   int64
+	ForwardAt int64
+
 	// Payload is the opaque application body. Its size drives
 	// serialization, transmission and processing cost, matching the
 	// "size of data events" axis of Figures 4 and 6.

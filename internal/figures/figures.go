@@ -532,3 +532,32 @@ func Table(f Figure) string {
 	}
 	return b.String()
 }
+
+// StageBreakdown reruns the Fig5 point at its highest mirror count (8)
+// and returns the run with the lifecycle tracer's per-stage latency
+// decomposition populated (Result.Stages/StageSum) — the data behind
+// EXPERIMENTS.md's "Per-stage breakdown at 8 mirrors" table.
+func StageBreakdown(s Scale) (cluster.Result, error) {
+	opts := s.base(1000)
+	opts.Mirrors = 8
+	return s.runMedian(opts)
+}
+
+// StageTable formats a run's per-stage breakdown as a text table,
+// headed by the end-to-end numbers the stages must account for.
+func StageTable(res cluster.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "STAGES — update-delay decomposition (total %v, mean delay %v, stage sum %v)\n",
+		res.TotalTime.Round(time.Microsecond),
+		res.MeanDelay.Round(time.Microsecond),
+		res.StageSum.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-16s %8s %14s %14s %14s\n", "stage", "samples", "mean", "p95", "max")
+	for _, st := range res.Stages {
+		fmt.Fprintf(&b, "%-16s %8d %14v %14v %14v\n",
+			st.Stage, st.Count,
+			st.Mean.Round(time.Nanosecond),
+			st.P95.Round(time.Nanosecond),
+			st.Max.Round(time.Nanosecond))
+	}
+	return b.String()
+}

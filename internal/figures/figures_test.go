@@ -205,3 +205,26 @@ func TestPlotEmptyAndDegenerate(t *testing.T) {
 		t.Fatalf("NaN plot = %q", out)
 	}
 }
+
+func TestStageBreakdownSmoke(t *testing.T) {
+	res, err := StageBreakdown(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) == 0 {
+		t.Fatal("no stages recorded")
+	}
+	diff := res.StageSum - res.MeanDelay
+	if diff < 0 {
+		diff = -diff
+	}
+	if tol := res.MeanDelay / 20; diff > tol {
+		t.Fatalf("stage sum %v vs mean delay %v: differ by %v (> 5%%)", res.StageSum, res.MeanDelay, diff)
+	}
+	table := StageTable(res)
+	for _, want := range []string{"ready_wait", "apply", "mirror_apply"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("stage table missing %q:\n%s", want, table)
+		}
+	}
+}

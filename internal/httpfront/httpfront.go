@@ -18,6 +18,7 @@ import (
 
 	"adaptmirror/internal/core"
 	"adaptmirror/internal/event"
+	"adaptmirror/internal/obs"
 )
 
 // Stats summarizes a front's request handling.
@@ -40,6 +41,7 @@ type Stats struct {
 // handlers.
 type Front struct {
 	main   *core.MainUnit
+	reg    *obs.Registry
 	ingest atomic.Pointer[func(*event.Event) error]
 	srv    *http.Server
 	ln     net.Listener
@@ -51,17 +53,41 @@ type Front struct {
 	updates  atomic.Uint64
 }
 
-// New builds a front for the given main unit (not yet listening).
+// New builds a front for the given main unit (not yet listening) with
+// a private metrics registry serving only the front's own counters.
 func New(main *core.MainUnit) *Front {
-	f := &Front{main: main, start: time.Now()}
+	return NewWithRegistry(main, obs.NewRegistry())
+}
+
+// NewWithRegistry builds a front exporting reg at /metrics in the
+// Prometheus text format, alongside the front's own http_* counters.
+// Pass the site's shared registry so one scrape covers the whole site.
+func NewWithRegistry(main *core.MainUnit, reg *obs.Registry) *Front {
+	f := &Front{main: main, reg: reg, start: time.Now()}
+	if reg != nil {
+		reg.Describe("http_requests_total", "Init-state requests answered over HTTP.")
+		reg.CounterFunc("http_requests_total", func() float64 { return float64(f.requests.Load()) })
+		reg.Describe("http_updates_total", "Client-generated updates accepted over HTTP.")
+		reg.CounterFunc("http_updates_total", func() float64 { return float64(f.updates.Load()) })
+		reg.Describe("http_busy_total", "Init-state requests rejected with the buffer full.")
+		reg.CounterFunc("http_busy_total", func() float64 { return float64(f.busy.Load()) })
+		reg.Describe("http_bytes_total", "Init-state bytes served over HTTP.")
+		reg.CounterFunc("http_bytes_total", func() float64 { return float64(f.bytes.Load()) })
+		reg.Describe("http_uptime_seconds", "Seconds since the front started.")
+		reg.GaugeFunc("http_uptime_seconds", func() float64 { return time.Since(f.start).Seconds() })
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/init", f.handleInit)
 	mux.HandleFunc("/update", f.handleUpdate)
 	mux.HandleFunc("/healthz", f.handleHealth)
 	mux.HandleFunc("/stats", f.handleStats)
+	mux.HandleFunc("/metrics", f.handleMetrics)
 	f.srv = &http.Server{Handler: mux}
 	return f
 }
+
+// Registry exposes the registry served at /metrics.
+func (f *Front) Registry() *obs.Registry { return f.reg }
 
 // EnableUpdates accepts client-generated state updates at POST /update
 // (the paper: "certain clients may generate additional state updates,
@@ -148,6 +174,13 @@ func (f *Front) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (f *Front) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(f.Stats())
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format.
+func (f *Front) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = f.reg.WritePrometheus(w)
 }
 
 // Stats returns a snapshot of the front's counters.

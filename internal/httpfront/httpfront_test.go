@@ -6,10 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync"
 	"testing"
 
 	"adaptmirror/internal/core"
 	"adaptmirror/internal/event"
+	"adaptmirror/internal/obs"
 )
 
 func front(t *testing.T, cfg core.MainConfig) (*Front, string, *core.MainUnit) {
@@ -239,4 +243,171 @@ func TestUpdateRejectsGarbageAndControl(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
 	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := core.NewMainUnit(core.MainConfig{Obs: reg, Site: "central"})
+	f := NewWithRegistry(m, reg)
+	addr, err := f.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	defer m.Close()
+	if f.Registry() != reg {
+		t.Fatal("Registry() must expose the shared registry")
+	}
+
+	m.Deliver(event.NewPosition(1, 1, 0, 0, 0, 32))
+	if _, err := m.RequestInitState(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"http_requests_total 0",
+		`pending_requests{site="central"} 0`,
+		`snapshot_cache_misses_total{site="central"} 1`,
+		`requests_served_total{site="central"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	if err := obs.LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("scrape fails lint: %v\n%s", err, out)
+	}
+}
+
+// TestConcurrentScrapesDuringStorm drives an update storm plus /init
+// traffic while hammering /stats and /metrics: the handlers must stay
+// race-clean and the counters monotone across scrapes.
+func TestConcurrentScrapesDuringStorm(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := core.NewMainUnit(core.MainConfig{Obs: reg, Site: "central", RequestWorkers: 2})
+	f := NewWithRegistry(m, reg)
+	addr, err := f.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	defer m.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Update storm straight into the main unit.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Deliver(event.NewPosition(event.FlightID(i%64), i, 1, 2, 3, 64))
+		}
+	}()
+	// Client init requests, so the serving counters move too.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get("http://" + addr + "/init")
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	scrape := func(path string) (string, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+	metricValue := func(exposition, name string) float64 {
+		for _, line := range strings.Split(exposition, "\n") {
+			if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
+				fields := strings.Fields(line)
+				v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+				if err != nil {
+					t.Fatalf("bad value in %q: %v", line, err)
+				}
+				return v
+			}
+		}
+		return -1
+	}
+
+	var scrapeWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			var lastServed, lastProcessed float64
+			var lastStats Stats
+			for i := 0; i < 25; i++ {
+				out, err := scrape("/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := obs.LintPrometheus(strings.NewReader(out)); err != nil {
+					t.Errorf("mid-storm scrape fails lint: %v", err)
+					return
+				}
+				served := metricValue(out, "requests_served_total")
+				processed := metricValue(out, "events_processed_total")
+				if served < lastServed || processed < lastProcessed {
+					t.Errorf("counter went backwards: served %v→%v, processed %v→%v",
+						lastServed, served, lastProcessed, processed)
+					return
+				}
+				lastServed, lastProcessed = served, processed
+
+				raw, err := scrape("/stats")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var st Stats
+				if err := json.Unmarshal([]byte(raw), &st); err != nil {
+					t.Errorf("bad /stats payload %q: %v", raw, err)
+					return
+				}
+				if st.Requests < lastStats.Requests || st.Bytes < lastStats.Bytes {
+					t.Errorf("/stats went backwards: %+v after %+v", st, lastStats)
+					return
+				}
+				lastStats = st
+			}
+		}()
+	}
+	scrapeWG.Wait()
+	close(stop)
+	wg.Wait()
 }

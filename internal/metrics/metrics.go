@@ -25,48 +25,44 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Gauge tracks an instantaneous level and its high-water mark. The
-// fan-out pipeline uses one per mirror link to expose outbox depth.
+// fan-out pipeline uses one per mirror link to expose outbox depth, so
+// both fields are atomics: Set sits on the per-link hot path and must
+// not serialize against concurrent readers.
 type Gauge struct {
-	mu  sync.Mutex
-	v   int64
-	max int64
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// raiseMax lifts the high-water mark to at least v. The CAS loop races
+// only with other raisers, and each retry observes a strictly larger
+// mark, so it terminates.
+func (g *Gauge) raiseMax(v int64) {
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
 }
 
 // Set records the current level.
 func (g *Gauge) Set(v int64) {
-	g.mu.Lock()
-	g.v = v
-	if v > g.max {
-		g.max = v
-	}
-	g.mu.Unlock()
+	g.v.Store(v)
+	g.raiseMax(v)
 }
 
 // Add adjusts the level by d and returns the new value.
 func (g *Gauge) Add(d int64) int64 {
-	g.mu.Lock()
-	g.v += d
-	if g.v > g.max {
-		g.max = g.v
-	}
-	v := g.v
-	g.mu.Unlock()
+	v := g.v.Add(d)
+	g.raiseMax(v)
 	return v
 }
 
 // Value returns the current level.
-func (g *Gauge) Value() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
-}
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Max returns the high-water mark.
-func (g *Gauge) Max() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.max
-}
+func (g *Gauge) Max() int64 { return g.max.Load() }
 
 // DurationCounter accumulates elapsed time atomically. The fan-out
 // pipeline uses one per mirror link to expose cumulative stall time
@@ -85,17 +81,24 @@ func (c *DurationCounter) Value() time.Duration {
 	return time.Duration(c.ns.Load())
 }
 
-// Histogram accumulates durations. It retains raw samples (bounded by
-// maxSamples with reservoir-free head retention plus reservoir-style
-// statistics always exact for count/sum/min/max).
+// Histogram accumulates durations. Count, sum, min and max are always
+// exact; percentiles come from retained raw samples, bounded by the
+// configured cap. Past the cap, retention switches to uniform
+// reservoir sampling (Vitter's Algorithm R), so percentiles stay
+// unbiased over the whole run instead of describing only its head.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
-	count   uint64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
-	cap     int
+	// sorted marks samples as sorted; Record clears it and percentile
+	// reads re-sort at most once per batch of mutations, instead of
+	// copying and sorting the full slice on every call.
+	sorted bool
+	rng    uint64
+	count  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+	cap    int
 }
 
 // DefaultHistogramCap bounds retained samples per histogram.
@@ -124,6 +127,20 @@ func (h *Histogram) Record(d time.Duration) {
 	}
 	if len(h.samples) < h.cap {
 		h.samples = append(h.samples, d)
+		h.sorted = false
+		return
+	}
+	// Reservoir step: keep the new sample with probability cap/count,
+	// evicting a uniformly random retained one.
+	if h.rng == 0 {
+		h.rng = 0x9e3779b97f4a7c15
+	}
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if j := h.rng % h.count; j < uint64(len(h.samples)) {
+		h.samples[j] = d
+		h.sorted = false
 	}
 }
 
@@ -161,6 +178,39 @@ func (h *Histogram) Max() time.Duration {
 	return h.max
 }
 
+// Sum returns the total of all recorded durations.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// sortLocked sorts the retained samples in place if a mutation dirtied
+// them. Caller holds h.mu.
+func (h *Histogram) sortLocked() {
+	if h.sorted {
+		return
+	}
+	sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+	h.sorted = true
+}
+
+// percentileLocked is the nearest-rank percentile over the (sorted)
+// retained samples. Caller holds h.mu and has called sortLocked.
+func (h *Histogram) percentileLocked(p float64) time.Duration {
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
 // Percentile returns the p-th percentile (0 < p <= 100) over retained
 // samples, 0 when empty.
 func (h *Histogram) Percentile(p float64) time.Duration {
@@ -169,26 +219,41 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	sorted := make([]time.Duration, len(h.samples))
-	copy(sorted, h.samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	if p <= 0 {
-		return sorted[0]
+	h.sortLocked()
+	return h.percentileLocked(p)
+}
+
+// Quantiles returns the requested percentiles in one pass — a single
+// lock acquisition and at most one sort (all zeros when empty).
+func (h *Histogram) Quantiles(ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return out
 	}
-	if p >= 100 {
-		return sorted[len(sorted)-1]
+	h.sortLocked()
+	for i, p := range ps {
+		out[i] = h.percentileLocked(p)
 	}
-	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return sorted[idx]
+	return out
 }
 
 // Summary formats count/mean/p50/p95/max on one line.
 func (h *Histogram) Summary() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v max=%v",
-		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Max())
+	h.mu.Lock()
+	count, sum, max := h.count, h.sum, h.max
+	var p50, p95 time.Duration
+	if len(h.samples) > 0 {
+		h.sortLocked()
+		p50, p95 = h.percentileLocked(50), h.percentileLocked(95)
+	}
+	h.mu.Unlock()
+	mean := time.Duration(0)
+	if count > 0 {
+		mean = sum / time.Duration(count)
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v max=%v", count, mean, p50, p95, max)
 }
 
 // Series bins (time, value) observations into fixed-width wall-clock

@@ -249,3 +249,101 @@ func TestDurationCounter(t *testing.T) {
 		t.Fatalf("Value = %v, want 5ms", d.Value())
 	}
 }
+
+func TestHistogramReservoirSampling(t *testing.T) {
+	h := NewHistogram(100)
+	n := 100_000
+	for i := 0; i < n; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != uint64(n) {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	// Exact aggregates survive sampling.
+	if want := time.Duration(n-1) * time.Microsecond; h.Max() != want {
+		t.Fatalf("Max = %v, want %v", h.Max(), want)
+	}
+	if h.Min() != 0 {
+		t.Fatalf("Min = %v, want 0", h.Min())
+	}
+	if want := time.Duration(n) * time.Duration(n-1) / 2 * time.Microsecond; h.Sum() != want {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), want)
+	}
+	// A uniform ramp sampled uniformly keeps the median near the middle;
+	// without reservoir eviction the retained samples would all be from
+	// the first 100 recordings and p50 would be ~50µs.
+	p50 := h.Percentile(50)
+	mid := time.Duration(n/2) * time.Microsecond
+	if p50 < mid/4 || p50 > mid*7/4 {
+		t.Fatalf("p50 = %v, want near %v (reservoir not uniform)", p50, mid)
+	}
+	if p100 := h.Percentile(100); p100 < mid {
+		t.Fatalf("p100 over retained samples = %v, want tail coverage past %v", p100, mid)
+	}
+}
+
+func TestHistogramQuantilesSinglePass(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	qs := h.Quantiles(50, 90, 99)
+	want := []time.Duration{50 * time.Millisecond, 90 * time.Millisecond, 99 * time.Millisecond}
+	for i := range qs {
+		if qs[i] != want[i] {
+			t.Fatalf("Quantiles[%d] = %v, want %v", i, qs[i], want[i])
+		}
+	}
+	if got := NewHistogram(0).Quantiles(50, 95); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty histogram Quantiles = %v, want zeros", got)
+	}
+}
+
+func TestHistogramDirtySortInterleaved(t *testing.T) {
+	// Percentile reads interleaved with writes must stay correct: each
+	// read sorts at most once, and a following Record dirties the order
+	// again.
+	h := NewHistogram(0)
+	h.Record(30 * time.Millisecond)
+	h.Record(10 * time.Millisecond)
+	if got := h.Percentile(100); got != 30*time.Millisecond {
+		t.Fatalf("p100 = %v, want 30ms", got)
+	}
+	h.Record(20 * time.Millisecond)
+	if got := h.Percentile(50); got != 20*time.Millisecond {
+		t.Fatalf("p50 after new sample = %v, want 20ms", got)
+	}
+	h.Record(5 * time.Millisecond)
+	if got := h.Percentile(0); got != 5*time.Millisecond {
+		t.Fatalf("p0 = %v, want 5ms", got)
+	}
+}
+
+func TestHistogramConcurrentReadWrite(t *testing.T) {
+	h := NewHistogram(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				h.Record(time.Duration(seed*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Percentile(95)
+				h.Quantiles(50, 90, 99)
+				h.Summary()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates a Prometheus text-format (version 0.0.4)
+// exposition: metric and label naming, HELP/TYPE placement, sample
+// syntax (including label-value escaping), family grouping, and
+// duplicate-series detection. It returns nil for a conforming
+// exposition, or an error listing every violation found — the
+// `make metrics-lint` gate scrapes a live /metrics endpoint through
+// this.
+func LintPrometheus(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("obs: lint: reading exposition: %w", err)
+	}
+	var errs []string
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	if len(data) == 0 {
+		return fmt.Errorf("obs: lint: empty exposition")
+	}
+	if data[len(data)-1] != '\n' {
+		errs = append(errs, "exposition must end with a newline")
+	}
+
+	types := make(map[string]string) // family → TYPE
+	closed := make(map[string]bool)  // families whose sample block ended
+	series := make(map[string]bool)  // name+labels seen
+	sampled := make(map[string]bool) // families with at least one sample
+	current := ""                    // family currently emitting samples
+
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				fail(ln, "invalid metric name %q in %s line", name, fields[1])
+				continue
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					fail(ln, "TYPE line for %s missing type", name)
+					continue
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail(ln, "invalid type %q for %s", fields[3], name)
+				}
+				if _, dup := types[name]; dup {
+					fail(ln, "second TYPE line for %s", name)
+				}
+				if sampled[name] {
+					fail(ln, "TYPE line for %s after its samples", name)
+				}
+				types[name] = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, ok := parseSample(line, ln, fail)
+		if !ok {
+			continue
+		}
+		if !validMetricName(name) {
+			fail(ln, "invalid metric name %q", name)
+			continue
+		}
+		fam := familyOf(name, types)
+		sampled[fam] = true
+		if fam != current {
+			if closed[fam] {
+				fail(ln, "samples of %s are not contiguous", fam)
+			}
+			if current != "" {
+				closed[current] = true
+			}
+			current = fam
+		}
+		key := name + "{" + strings.Join(labels, ",") + "}"
+		if series[key] {
+			fail(ln, "duplicate series %s", key)
+		}
+		series[key] = true
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			switch value {
+			case "+Inf", "-Inf", "NaN", "Nan":
+			default:
+				fail(ln, "invalid sample value %q for %s", value, name)
+			}
+		}
+	}
+
+	if len(errs) > 0 {
+		return fmt.Errorf("obs: lint: %d violation(s):\n  %s", len(errs), strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its metric family: summary and
+// histogram samples use the base name plus _sum/_count/_bucket.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := types[base]; ok && (t == "summary" || t == "histogram") {
+			return base
+		}
+	}
+	return name
+}
+
+// validMetricName checks [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName checks [a-zA-Z_][a-zA-Z0-9_]* and rejects the
+// reserved __ prefix.
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample parses `name[{labels}] value [timestamp]`, reporting
+// violations through fail. labels come back as rendered k="v" pairs
+// for series identity.
+func parseSample(line string, ln int, fail func(int, string, ...any)) (name string, labels []string, value string, ok bool) {
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		fail(ln, "sample %q has no value", line)
+		return "", nil, "", false
+	}
+	name = rest[:end]
+	rest = rest[end:]
+
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, ",")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				fail(ln, "unterminated label set in %q", line)
+				return "", nil, "", false
+			}
+			lname := rest[:eq]
+			if !validLabelName(lname) {
+				fail(ln, "invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				fail(ln, "label %s value is not quoted", lname)
+				return "", nil, "", false
+			}
+			lval, remain, verr := scanLabelValue(rest[1:])
+			if verr != "" {
+				fail(ln, "label %s: %s", lname, verr)
+				return "", nil, "", false
+			}
+			labels = append(labels, lname+`="`+lval+`"`)
+			rest = remain
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		fail(ln, "sample %q must be 'value [timestamp]' after the name, got %q", line, rest)
+		return "", nil, "", false
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			fail(ln, "invalid timestamp %q", fields[1])
+		}
+	}
+	return name, labels, fields[0], true
+}
+
+// scanLabelValue consumes a quoted label value body (after the opening
+// quote), validating the \\, \", \n escapes. It returns the raw
+// (still-escaped) value and the remainder after the closing quote.
+func scanLabelValue(s string) (val, rest, errMsg string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", "dangling escape"
+			}
+			switch s[i+1] {
+			case '\\', '"', 'n':
+				i++
+			default:
+				return "", "", fmt.Sprintf("invalid escape \\%c", s[i+1])
+			}
+		case '"':
+			return s[:i], s[i+1:], ""
+		}
+	}
+	return "", "", "unterminated label value"
+}

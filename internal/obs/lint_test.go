@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintErr(t *testing.T, exposition string) error {
+	t.Helper()
+	return LintPrometheus(strings.NewReader(exposition))
+}
+
+func TestLintAcceptsValid(t *testing.T) {
+	valid := `# HELP http_requests_total Total requests.
+# TYPE http_requests_total counter
+http_requests_total{method="get",code="200"} 1027
+http_requests_total{method="post",code="200"} 3
+
+# TYPE queue_depth gauge
+queue_depth 7
+
+# TYPE rpc_duration_seconds summary
+rpc_duration_seconds{quantile="0.5"} 0.05
+rpc_duration_seconds{quantile="0.99"} 0.1
+rpc_duration_seconds_sum 17.5
+rpc_duration_seconds_count 2693
+untyped_metric 3.14 1395066363000
+escaped{path="C:\\DIR\\",msg="say \"hi\"\n"} 1
+`
+	if err := lintErr(t, valid); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"empty", "", "empty exposition"},
+		{"no trailing newline", "a 1", "end with a newline"},
+		{"bad metric name", "9bad 1\n", "invalid metric name"},
+		{"bad label name", `m{9x="1"} 1` + "\n", "invalid label name"},
+		{"reserved label", `m{__name="1"} 1` + "\n", "invalid label name"},
+		{"unquoted label", "m{x=1} 1\n", "not quoted"},
+		{"bad escape", `m{x="a\t"} 1` + "\n", `invalid escape`},
+		{"unterminated value", `m{x="a} 1` + "\n", "unterminated label value"},
+		{"missing value", "m{}\n", "must be 'value [timestamp]'"},
+		{"bad value", "m notanumber\n", "invalid sample value"},
+		{"bad timestamp", "m 1 12.5\n", "invalid timestamp"},
+		{"bad type", "# TYPE m frobnitz\nm 1\n", `invalid type "frobnitz"`},
+		{"duplicate TYPE", "# TYPE m counter\n# TYPE m counter\nm 1\n", "second TYPE line"},
+		{"TYPE after samples", "m 1\n# TYPE m counter\n", "after its samples"},
+		{"duplicate series", "m 1\nm 2\n", "duplicate series"},
+		{
+			"interleaved families",
+			"# TYPE a counter\na 1\n# TYPE b counter\nb 1\na{x=\"1\"} 2\n",
+			"not contiguous",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := lintErr(t, tc.in)
+			if err == nil {
+				t.Fatalf("lint accepted invalid exposition:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestLintSummarySuffixesAreSameFamily(t *testing.T) {
+	// _sum/_count of a summary must not be flagged as interleaving or as
+	// separate families.
+	in := `# TYPE s summary
+s{quantile="0.5"} 1
+s_sum 2
+s_count 3
+# TYPE other counter
+other 1
+`
+	if err := lintErr(t, in); err != nil {
+		t.Fatalf("summary suffix handling broken: %v", err)
+	}
+}
+
+func TestLintReportsAllViolations(t *testing.T) {
+	in := "9bad 1\nm notanumber\n"
+	err := lintErr(t, in)
+	if err == nil {
+		t.Fatal("expected violations")
+	}
+	if !strings.Contains(err.Error(), "2 violation(s)") {
+		t.Fatalf("expected both violations reported, got: %v", err)
+	}
+}

@@ -18,6 +18,12 @@ type Backup struct {
 	buf []*event.Event
 	hwm int
 
+	// trimmedEvents/trimmedBytes account everything Commit has ever
+	// released — the per-checkpoint-round reclamation the observability
+	// layer exports.
+	trimmedEvents uint64
+	trimmedBytes  uint64
+
 	// committed is the highest timestamp trimmed so far; commits at or
 	// below it are ignored (the "commit no longer in backup" rule).
 	committed vclock.VC
@@ -105,14 +111,24 @@ func (b *Backup) Commit(ts vclock.VC) int {
 	}
 	n := 0
 	for n < len(b.buf) && b.buf[n].VT.LessEq(ts) {
+		b.trimmedBytes += uint64(len(b.buf[n].Payload))
 		b.buf[n] = nil
 		n++
 	}
 	if n > 0 {
 		b.buf = append(b.buf[:0], b.buf[n:]...)
 	}
+	b.trimmedEvents += uint64(n)
 	b.committed = b.committed.Merge(ts)
 	return n
+}
+
+// Trimmed returns the cumulative number of events and payload bytes
+// Commit has released since the queue was created.
+func (b *Backup) Trimmed() (events, bytes uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trimmedEvents, b.trimmedBytes
 }
 
 // Committed returns the highest committed timestamp (nil before the
