@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci metrics-lint bench bench-compare bench-serve figures clean
+.PHONY: all build vet test race ci metrics-lint chaos fuzz bench bench-compare bench-serve figures clean
 
 all: ci
 
@@ -23,6 +23,19 @@ metrics-lint:
 
 # Full gate: what CI runs and what every change must keep green.
 ci: build vet race metrics-lint
+
+# Deterministic fault-injection sweep: 32 seeded chaos runs under the
+# race detector, each crash-restarting a mirror while machine-checking
+# the mirroring invariants. A failing seed replays with
+# scripts/chaos_repro.sh <seed>.
+chaos:
+	$(GO) run -race ./cmd/chaosrunner -seeds 32
+
+# Short fuzz pass over the wire codec and the checkpoint control
+# plane (the checked-in corpora always run as regular tests).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzCodecCorrupt -fuzztime 20s ./internal/event
+	$(GO) test -run xxx -fuzz FuzzCheckpointControl -fuzztime 20s ./internal/checkpoint
 
 # One fast pass over every figure and ablation benchmark.
 bench:

@@ -1,0 +1,61 @@
+// Command chaosrunner drives the deterministic chaos suite from the
+// shell: each seed fully determines a fault schedule (mirror
+// crash-restart, link partitions, probabilistic control-link faults, a
+// slow mirror) and a workload, runs them against an in-process
+// cluster, and machine-checks the mirroring invariants. A failing seed
+// prints its schedule and replays exactly with -seed (see
+// scripts/chaos_repro.sh).
+//
+//	chaosrunner -seeds 32           # seeds 1..32
+//	chaosrunner -seed 1337          # one seed, verbose schedule
+//	chaosrunner -seeds 8 -mirrors 5 # wider cluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptmirror/internal/cluster"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 32, "run seeds 1..N")
+	seed := flag.Int64("seed", 0, "run exactly this seed (overrides -seeds)")
+	mirrors := flag.Int("mirrors", 3, "mirror sites per run")
+	flights := flag.Int("flights", 0, "workload flights (0 = default)")
+	verbose := flag.Bool("v", false, "print every run, not just failures")
+	flag.Parse()
+
+	var list []int64
+	if *seed != 0 {
+		list = []int64{*seed}
+		*verbose = true
+	} else {
+		for s := int64(1); s <= int64(*seeds); s++ {
+			list = append(list, s)
+		}
+	}
+
+	failed := 0
+	for _, s := range list {
+		res := cluster.RunChaos(cluster.ChaosConfig{
+			Seed:    s,
+			Mirrors: *mirrors,
+			Flights: *flights,
+		})
+		if res.Failed() {
+			failed++
+			fmt.Println(res.Report())
+			continue
+		}
+		if *verbose {
+			fmt.Println(res.Report())
+		}
+	}
+
+	fmt.Printf("chaos: %d/%d seeds passed\n", len(list)-failed, len(list))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -3,8 +3,8 @@
 // A deployment runs one central site and any number of mirror sites,
 // mirrors first:
 //
-//	mirrord -role mirror  -listen :7001 -central host0:7000 -http :8001
-//	mirrord -role mirror  -listen :7002 -central host0:7000 -http :8002
+//	mirrord -role mirror  -listen :7001 -central host0:7000 -http :8001 -site 0
+//	mirrord -role mirror  -listen :7002 -central host0:7000 -http :8002 -site 1
 //	mirrord -role central -listen :7000 -mirrors host1:7001,host2:7002 -http :8000 \
 //	        -selective 10 -chkpt 50
 //
@@ -31,6 +31,7 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:7000", "event-channel listen address")
 		httpAddr  = flag.String("http", "127.0.0.1:8000", "HTTP front listen address (client requests)")
 		central   = flag.String("central", "", "mirror role: central site's event-channel address")
+		siteID    = flag.Int("site", 0, "mirror role: this mirror's index in the central site's -mirrors list")
 		mirrors   = flag.String("mirrors", "", "central role: comma-separated mirror event-channel addresses")
 		selective = flag.Int("selective", 0, "overwrite run length for FAA positions (0 = simple mirroring)")
 		coalesce  = flag.Int("coalesce", 0, "coalesce up to N events before mirroring (0 = off)")
@@ -88,6 +89,7 @@ func main() {
 			Listen:     *listen,
 			HTTP:       *httpAddr,
 			Central:    *central,
+			SiteID:     *siteID,
 			StatePad:   *padding,
 			Shards:     *shards,
 			ReqWorkers: *workers,

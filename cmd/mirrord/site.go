@@ -247,9 +247,14 @@ func (s *centralSite) Close() error {
 }
 
 type mirrorOptions struct {
-	Listen   string
-	HTTP     string
-	Central  string
+	Listen  string
+	HTTP    string
+	Central string
+	// SiteID is this mirror's index in the central site's -mirrors
+	// list. It is stamped on checkpoint replies so the coordinator's
+	// per-site reply accounting and the failure detector can tell the
+	// mirrors apart.
+	SiteID   int
 	StatePad int
 	// Shards/ReqWorkers tune the init-state serving path (0 = the
 	// ede/core defaults).
@@ -356,6 +361,7 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 		},
 		Model:  costmodel.Default,
 		CPU:    &costmodel.CPU{},
+		SiteID: uint8(opts.SiteID),
 		Obs:    s.Obs,
 		Tracer: s.Tracer,
 		CtrlUp: uplink,

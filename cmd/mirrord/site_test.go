@@ -31,6 +31,7 @@ func TestFullDeployment(t *testing.T) {
 	defer m1.Close()
 	m2, err := startMirror(mirrorOptions{
 		Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", Central: "unused-until-dialed",
+		SiteID: 1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -29,6 +29,13 @@ import (
 	"adaptmirror/internal/vclock"
 )
 
+// CentralParticipant is the Stream value the central main unit stamps
+// on its own checkpoint replies. Mirror sites stamp their 0-based
+// SiteID; 0xFF is reserved so the coordinator's per-site reply
+// accounting can tell the central vote apart from mirror 0's (a
+// cluster is limited to 255 mirrors, far beyond the paper's eight).
+const CentralParticipant uint8 = 0xFF
+
 // Coordinator runs at the central site's auxiliary unit. It initiates
 // rounds, collects CHKPT_REP replies, computes their minimum, and
 // issues COMMIT.
@@ -58,6 +65,7 @@ type Coordinator struct {
 	round     uint64
 	pending   int
 	min       vclock.VC
+	replied   [4]uint64 // per-site reply bitset for the open round, keyed by Stream
 	commits   uint64
 	rounds    uint64
 	startedAt time.Time
@@ -77,6 +85,7 @@ func (c *Coordinator) Init() bool {
 	c.pending = c.Participants
 	participants := c.Participants
 	c.min = nil
+	c.replied = [4]uint64{}
 	c.rounds++
 	c.startedAt = time.Now()
 	c.mu.Unlock()
@@ -95,7 +104,12 @@ func (c *Coordinator) Init() bool {
 }
 
 // OnReply handles a CHKPT_REP. Replies for abandoned rounds are
-// ignored. When the round's last reply arrives, the minimum timestamp
+// ignored, and so is a second reply from a site that already voted
+// this round (Stream carries the site identity): a control link that
+// duplicates messages must not complete the round before every
+// distinct participant has replied, or the commit would be the
+// minimum over a subset and could run ahead of a silent site.
+// When the round's last distinct reply arrives, the minimum timestamp
 // is committed and broadcast.
 func (c *Coordinator) OnReply(e *event.Event) {
 	if e.Type != event.TypeChkptReply {
@@ -106,6 +120,12 @@ func (c *Coordinator) OnReply(e *event.Event) {
 		c.mu.Unlock()
 		return
 	}
+	bit := uint(e.Stream)
+	if c.replied[bit>>6]&(1<<(bit&63)) != 0 {
+		c.mu.Unlock()
+		return
+	}
+	c.replied[bit>>6] |= 1 << (bit & 63)
 	if c.min == nil {
 		c.min = e.VT.Clone()
 	} else {
@@ -139,11 +159,43 @@ func (c *Coordinator) finish(round uint64, commit vclock.VC) {
 
 // SetParticipants changes the number of replies that complete a round
 // (membership changes: failed mirrors leave the quorum, recovered ones
-// rejoin). It takes effect at the next Init.
+// rejoin).
+//
+// A growth takes effect at the next Init: a mirror admitted mid-round
+// never received the open round's CHKPT, so waiting for its reply
+// would block the round forever. A shrink, however, applies to the
+// open round immediately — the departed participant will never reply,
+// and without the adjustment the round would hang until subsumed (or,
+// with no further rounds, forever). If the shrink satisfies the open
+// round's remaining quorum, the round commits with the minimum of the
+// replies already received.
 func (c *Coordinator) SetParticipants(n int) {
 	c.mu.Lock()
+	delta := n - c.Participants
 	c.Participants = n
+	var (
+		finishRound  uint64
+		finishCommit vclock.VC
+		finishNow    bool
+	)
+	if delta < 0 && c.pending > 0 {
+		c.pending += delta
+		if c.pending <= 0 {
+			c.pending = 0
+			if c.min != nil {
+				finishNow = true
+				finishRound = c.round
+				finishCommit = c.min.Clone()
+			}
+			// With no replies received there is nothing to commit:
+			// the round simply closes (pending == 0 makes OnReply
+			// ignore any stragglers) and the next Init subsumes it.
+		}
+	}
 	c.mu.Unlock()
+	if finishNow {
+		c.finish(finishRound, finishCommit)
+	}
 }
 
 // Stats returns the number of rounds initiated and commits issued.

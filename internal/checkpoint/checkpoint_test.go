@@ -37,14 +37,18 @@ func newHarness(nMirrors int) *harness {
 		h.mu.Unlock()
 	}
 
-	// Central main unit replies directly to the coordinator.
+	// Central main unit replies directly to the coordinator, stamped
+	// with the reserved participant identity.
 	centralMain := &Main{
 		LastProcessed: func() vclock.VC {
 			h.mu.Lock()
 			defer h.mu.Unlock()
 			return h.centralRep.Clone()
 		},
-		Reply: func(e *event.Event) { h.coord.OnReply(e) },
+		Reply: func(e *event.Event) {
+			e.Stream = CentralParticipant
+			h.coord.OnReply(e)
+		},
 	}
 
 	h.mirrorBk = make([]*queue.Backup, nMirrors)
@@ -62,9 +66,12 @@ func newHarness(nMirrors int) *harness {
 			},
 		}
 		h.mirrors[i] = &Mirror{
-			ToMain:    func(e *event.Event) { h.mains[i].OnControl(e) },
-			ToCentral: func(e *event.Event) { h.coord.OnReply(e) },
-			Commit:    func(ts vclock.VC) { h.mirrorBk[i].Commit(ts) },
+			ToMain: func(e *event.Event) { h.mains[i].OnControl(e) },
+			ToCentral: func(e *event.Event) {
+				e.Stream = uint8(i) // site identity, as the core wiring stamps it
+				h.coord.OnReply(e)
+			},
+			Commit: func(ts vclock.VC) { h.mirrorBk[i].Commit(ts) },
 		}
 		h.mains[i].Reply = func(e *event.Event) { h.mirrors[i].OnControl(e) }
 	}
@@ -185,6 +192,24 @@ func TestDuplicateAndExtraRepliesIgnored(t *testing.T) {
 	}
 }
 
+func TestDuplicatedReplyDoesNotCompleteRoundEarly(t *testing.T) {
+	// A control link that duplicates messages delivers the same site's
+	// CHKPT_REP twice mid-round. The duplicate must not count toward
+	// the quorum: committing on {site0, site0} would take the minimum
+	// over a subset and could trim past site1's actual progress.
+	c, _, committed := directCoord(2)
+	c.Init()
+	reply(c, 1, 0, 9)
+	reply(c, 1, 0, 9) // duplicated delivery of the same vote
+	if len(*committed) != 0 {
+		t.Fatalf("duplicate reply completed the round: %v", *committed)
+	}
+	reply(c, 1, 1, 4)
+	if len(*committed) != 1 || (*committed)[0].Compare(vclock.VC{4}) != vclock.Equal {
+		t.Fatalf("committed = %v, want [<4>]", *committed)
+	}
+}
+
 func TestNonReplyEventIgnoredByCoordinator(t *testing.T) {
 	h := newHarness(1)
 	h.feed(3)
@@ -212,6 +237,7 @@ func TestLaterRoundSubsumesAbandoned(t *testing.T) {
 	c.Init() // round 2 abandons round 1
 	rep := event.NewControl(event.TypeChkptReply, vclock.VC{7})
 	rep.Seq = 2
+	rep.Stream = CentralParticipant
 	c.OnReply(rep)
 	if len(committed) != 1 || committed[0].Compare(vclock.VC{7}) != vclock.Equal {
 		t.Fatalf("committed = %v, want [<7>]", committed)
@@ -352,12 +378,156 @@ func TestConcurrentRepliesSafe(t *testing.T) {
 			defer wg.Done()
 			rep := event.NewControl(event.TypeChkptReply, vclock.VC{uint64(10 + i)})
 			rep.Seq = 1
+			rep.Stream = uint8(i)
 			c.OnReply(rep)
 		}(i)
 	}
 	wg.Wait()
 	if _, commits := c.Stats(); commits != 1 {
 		t.Fatalf("commits = %d, want 1", commits)
+	}
+}
+
+// directCoord builds a coordinator whose broadcasts and commits are
+// recorded; participants are driven by hand via OnReply.
+func directCoord(participants int) (*Coordinator, *[]*event.Event, *[]vclock.VC) {
+	var (
+		mu        sync.Mutex
+		sent      []*event.Event
+		committed []vclock.VC
+	)
+	c := &Coordinator{
+		Propose: func() vclock.VC { return vclock.VC{100} },
+		Broadcast: func(e *event.Event) {
+			mu.Lock()
+			sent = append(sent, e)
+			mu.Unlock()
+		},
+		OnCommit: func(ts vclock.VC) {
+			mu.Lock()
+			committed = append(committed, ts)
+			mu.Unlock()
+		},
+		Participants: participants,
+	}
+	return c, &sent, &committed
+}
+
+func reply(c *Coordinator, round uint64, site uint8, ts uint64) {
+	rep := event.NewControl(event.TypeChkptReply, vclock.VC{ts})
+	rep.Seq = round
+	rep.Stream = site
+	c.OnReply(rep)
+}
+
+func TestShrinkMidRoundCompletesWithReceivedMin(t *testing.T) {
+	// Three participants; two reply, the third dies. Shrinking to two
+	// must commit the round with the minimum of the two received
+	// replies instead of blocking forever.
+	c, _, committed := directCoord(3)
+	c.Init()
+	reply(c, 1, 0, 7)
+	reply(c, 1, 1, 9)
+	c.SetParticipants(2)
+	if len(*committed) != 1 || (*committed)[0].Compare(vclock.VC{7}) != vclock.Equal {
+		t.Fatalf("committed = %v, want [<7>]", *committed)
+	}
+	// A late reply from the departed participant must not re-commit.
+	reply(c, 1, 2, 3)
+	if len(*committed) != 1 {
+		t.Fatalf("late reply from departed participant re-committed: %v", *committed)
+	}
+}
+
+func TestShrinkWithNoRepliesClosesRoundWithoutCommit(t *testing.T) {
+	// The only participant dies before replying. The shrink closes the
+	// round with nothing to commit; the next Init proceeds normally.
+	c, _, committed := directCoord(1)
+	c.Init()
+	c.SetParticipants(0)
+	if len(*committed) != 0 {
+		t.Fatalf("commit with zero replies: %v", *committed)
+	}
+	// Straggler reply for the closed round is ignored.
+	reply(c, 1, 0, 5)
+	if len(*committed) != 0 {
+		t.Fatalf("straggler reply committed closed round: %v", *committed)
+	}
+	// Zero participants now: the next round commits immediately.
+	c.Init()
+	if len(*committed) != 1 {
+		t.Fatalf("commits after Init = %d, want 1", len(*committed))
+	}
+}
+
+func TestShrinkBelowRepliesReceived(t *testing.T) {
+	// Shrink by more than the outstanding count: pending clamps at zero
+	// and the round commits exactly once.
+	c, _, committed := directCoord(4)
+	c.Init()
+	reply(c, 1, 0, 12)
+	c.SetParticipants(1) // delta -3 > pending 3 remaining after one reply
+	if len(*committed) != 1 || (*committed)[0].Compare(vclock.VC{12}) != vclock.Equal {
+		t.Fatalf("committed = %v, want [<12>]", *committed)
+	}
+}
+
+func TestGrowthMidRoundDefersToNextInit(t *testing.T) {
+	// A participant rejoining mid-round never saw the open round's
+	// CHKPT, so growth must not raise the open round's quorum.
+	c, _, committed := directCoord(2)
+	c.Init()
+	reply(c, 1, 0, 4)
+	c.SetParticipants(3)
+	reply(c, 1, 1, 6)
+	if len(*committed) != 1 || (*committed)[0].Compare(vclock.VC{4}) != vclock.Equal {
+		t.Fatalf("committed = %v, want [<4>]", *committed)
+	}
+	// The next round requires all three.
+	c.Init()
+	reply(c, 2, 0, 8)
+	reply(c, 2, 1, 9)
+	if len(*committed) != 1 {
+		t.Fatalf("round 2 committed early: %v", *committed)
+	}
+	reply(c, 2, 2, 10)
+	if len(*committed) != 2 {
+		t.Fatalf("round 2 did not commit after 3 replies: %v", *committed)
+	}
+}
+
+func TestShrinkIdleCoordinatorNoEffect(t *testing.T) {
+	// Shrinking with no open round (pending == 0) must not commit.
+	c, _, committed := directCoord(3)
+	c.SetParticipants(2)
+	if len(*committed) != 0 {
+		t.Fatalf("idle shrink committed: %v", *committed)
+	}
+}
+
+func TestConcurrentShrinkAndReplies(t *testing.T) {
+	// The mid-round shrink racing OnReply must produce exactly one
+	// commit (either path may deliver it) and never deadlock.
+	for iter := 0; iter < 50; iter++ {
+		c, _, committed := directCoord(8)
+		c.Init()
+		var wg sync.WaitGroup
+		for i := 0; i < 7; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				reply(c, 1, uint8(i), uint64(10+i))
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.SetParticipants(7)
+		}()
+		wg.Wait()
+		if len(*committed) != 1 {
+			t.Fatalf("iter %d: commits = %d, want 1", iter, len(*committed))
+		}
 	}
 }
 

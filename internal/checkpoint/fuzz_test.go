@@ -1,0 +1,194 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/queue"
+	"adaptmirror/internal/vclock"
+)
+
+// FuzzCheckpointControl drives the full checkpoint control plane — a
+// coordinator, the central main unit, and two mirror sites with real
+// backup queues — with a fuzzer-chosen interleaving of feeds,
+// processing steps, round initiations, and control-link faults (drop,
+// duplicate, reorder, corrupt) on the reply path. The protocol's
+// written-down safety properties are asserted after every delivery:
+// no panic, committed cuts monotone, every commit at or below every
+// participant's processed progress (a violation is a silent
+// mis-commit — exactly what a duplicated reply used to cause), and
+// backup-queue invariants intact at all times.
+//
+// Op bytes, interpreted modulo 8:
+//
+//	0 feed one event to all backup queues
+//	1 site 0 processes one pending event
+//	2 site 1 processes one pending event
+//	3 coordinator initiates a round (replies go to the pending queue)
+//	4 deliver the oldest pending reply
+//	5 drop the oldest pending reply
+//	6 duplicate the oldest pending reply (deliver twice)
+//	7 corrupt the oldest pending reply's payload, then deliver it
+func FuzzCheckpointControl(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 3, 4, 4, 4})          // clean round, everyone replies
+	f.Add([]byte{0, 1, 3, 6, 6, 6, 0, 2, 3, 4, 4}) // duplicated replies must not commit early
+	f.Add([]byte{0, 1, 3, 6, 5, 4})                // dup fast site + drop slow site = subset commit if dedup breaks
+	f.Add([]byte{0, 0, 0, 1, 1, 2, 3, 5, 3, 4, 4, 4, 4}) // dropped reply, subsuming round
+	f.Add([]byte{0, 1, 2, 3, 7, 7, 7, 0, 3, 4, 4, 4})    // corrupted payloads
+	f.Add([]byte{3, 3, 3, 0, 3, 4, 1, 4, 2, 4, 4, 0, 0, 3, 4, 4, 4, 6, 5})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const sites = 2
+		var (
+			history []vclock.VC // VTs fed so far, in order
+			applied [sites]int  // events each mirror has processed
+			central = queue.NewBackup()
+			backups [sites]*queue.Backup
+			pending []*event.Event // in-flight CHKPT_REP queue
+			prev    vclock.VC      // last committed cut
+		)
+		for i := range backups {
+			backups[i] = queue.NewBackup()
+		}
+		lastProcessed := func(site int) vclock.VC {
+			if applied[site] == 0 {
+				return nil
+			}
+			return history[applied[site]-1].Clone()
+		}
+
+		coord := &Coordinator{Participants: sites + 1}
+		coord.Propose = central.Last
+		checkCommit := func(cut vclock.VC) {
+			if prev != nil && !prev.LessEq(cut) {
+				t.Fatalf("committed cut regressed: %v after %v", cut, prev)
+			}
+			prev = cut.Clone()
+			// The mis-commit detector: a commit is the min over every
+			// distinct participant's vote, and votes never exceed the
+			// voter's progress, so a commit past any site's progress
+			// means the round completed without that site.
+			for s := 0; s < sites; s++ {
+				if lp := lastProcessed(s); !cut.LessEq(lp) {
+					t.Fatalf("commit %v beyond site %d progress %v", cut, s, lp)
+				}
+			}
+			if lp := central.Last(); lp != nil && !cut.LessEq(lp) {
+				t.Fatalf("commit %v beyond central high water %v", cut, lp)
+			}
+		}
+		coord.OnCommit = func(cut vclock.VC) {
+			checkCommit(cut)
+			central.Commit(cut)
+		}
+
+		mirrors := make([]*Mirror, sites)
+		mains := make([]*Main, sites)
+		for i := 0; i < sites; i++ {
+			i := i
+			mains[i] = &Main{
+				LastProcessed: func() vclock.VC { return lastProcessed(i) },
+				Reply: func(e *event.Event) {
+					e.Stream = uint8(i)
+					// Deployed replies carry a piggybacked monitor
+					// sample; give the corrupt op something to damage.
+					e.Payload = []byte{byte(i), 0xAB, 0xCD}
+					pending = append(pending, e)
+				},
+			}
+			mirrors[i] = &Mirror{
+				ToMain:    func(e *event.Event) { mains[i].OnControl(e) },
+				ToCentral: func(e *event.Event) { pending = append(pending, e) },
+				Commit:    func(cut vclock.VC) { backups[i].Commit(cut) },
+			}
+		}
+		centralMain := &Main{
+			LastProcessed: central.Last,
+			Reply: func(e *event.Event) {
+				e.Stream = CentralParticipant
+				pending = append(pending, e)
+			},
+		}
+		coord.Broadcast = func(e *event.Event) {
+			for i := range mirrors {
+				mirrors[i].OnControl(e.Clone())
+			}
+			centralMain.OnControl(e.Clone())
+		}
+
+		checkQueues := func() {
+			if err := central.CheckInvariants(); err != nil {
+				t.Fatalf("central backup: %v", err)
+			}
+			for i := range backups {
+				if err := backups[i].CheckInvariants(); err != nil {
+					t.Fatalf("mirror %d backup: %v", i, err)
+				}
+			}
+		}
+
+		seq := uint64(0)
+		for _, op := range ops {
+			switch op % 8 {
+			case 0: // feed
+				seq++
+				vt := vclock.VC{seq}
+				e := event.NewPosition(event.FlightID(1+seq%3), seq, 0, 0, 0, 16)
+				e.VT = vt
+				history = append(history, vt)
+				central.Append(e)
+				for i := range backups {
+					backups[i].Append(e.Clone())
+				}
+			case 1, 2: // a mirror processes one event
+				s := int(op%8) - 1
+				if applied[s] < len(history) {
+					applied[s]++
+				}
+			case 3:
+				coord.Init()
+			case 4, 5, 6, 7:
+				if len(pending) == 0 {
+					continue
+				}
+				e := pending[0]
+				pending = pending[1:]
+				switch op % 8 {
+				case 5: // drop
+				case 6: // duplicate
+					coord.OnReply(e.Clone())
+					coord.OnReply(e)
+				case 7: // corrupt payload only (framing survives)
+					if len(e.Payload) > 0 {
+						e.Payload[0] ^= 0xFF
+					}
+					coord.OnReply(e)
+				default:
+					coord.OnReply(e)
+				}
+			}
+			checkQueues()
+		}
+
+		// Whatever interleaving the fuzzer chose, a clean final round
+		// with full delivery must still commit: faults never wedge the
+		// protocol permanently.
+		if central.Last() != nil {
+			for i := range applied {
+				applied[i] = len(history)
+			}
+			pending = nil
+			_, before := coord.Stats()
+			coord.Init()
+			for len(pending) > 0 {
+				e := pending[0]
+				pending = pending[1:]
+				coord.OnReply(e)
+			}
+			if _, after := coord.Stats(); after != before+1 {
+				t.Fatalf("clean final round did not commit (%d -> %d)", before, after)
+			}
+			checkQueues()
+		}
+	})
+}

@@ -1,0 +1,517 @@
+// Chaos harness: runs a Figure-5-style workload through a manually
+// wired cluster whose links pass through a seeded fault plane, executes
+// the seed's fault schedule (mirror crash-restart with volatile-state
+// loss, link partitions, probabilistic control-link faults, a slow
+// mirror), and machine-checks the mirroring framework's safety
+// invariants the whole way:
+//
+//  1. committed checkpoint cuts are monotone — a later commit subsumes
+//     an earlier one, never regresses it (per backup-queue incarnation);
+//  2. backup queues never retain anything at or below their committed
+//     cut, never reorder, and the central cut never runs ahead of the
+//     central EDE's progress;
+//  3. a crash-restarted mirror recovered through the snapshot +
+//     backup-replay path converges to the central EDE state
+//     byte-for-byte once the stream drains;
+//  4. central update-delay percentiles stay inside a latency envelope
+//     even while a mirror is down — a dead site degrades alone.
+//
+// Everything observable about a run derives from the seed: the
+// workload, the fault schedule, and each link's per-submission fault
+// decisions. Goroutine interleaving still varies between runs, so the
+// invariants are stated to hold under every interleaving; a violation
+// report prints the seed and schedule for one-command replay
+// (scripts/chaos_repro.sh).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/costmodel"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/faultinject"
+	"adaptmirror/internal/metrics"
+	"adaptmirror/internal/obs"
+	"adaptmirror/internal/vclock"
+)
+
+// chaosModel is a light cost model for chaos runs: heavy enough to
+// exercise the virtual CPUs, light enough for 32 seeds under -race.
+// (The cluster tests' lightModel is test-only; cmd/chaosrunner links
+// this file, so the chaos harness carries its own.)
+var chaosModel = costmodel.Model{
+	EventBase:      2 * time.Microsecond,
+	SerializeBase:  500 * time.Nanosecond,
+	SubmitBase:     200 * time.Nanosecond,
+	RequestBase:    5 * time.Microsecond,
+	CheckpointBase: time.Microsecond,
+	ControlCost:    200 * time.Nanosecond,
+}
+
+// ChaosConfig parameterizes one chaos run. The zero value of every
+// field selects a sensible default, so ChaosConfig{Seed: n} is a
+// complete configuration.
+type ChaosConfig struct {
+	// Seed drives the workload, the fault schedule, and every link's
+	// fault decision stream.
+	Seed int64
+	// Mirrors is the mirror-site count (default 3).
+	Mirrors int
+	// Flights/UpdatesPerFlight/EventSize shape the FAA position stream
+	// (defaults 24/40/96 — ~960 events).
+	Flights          int
+	UpdatesPerFlight int
+	EventSize        int
+	// CheckpointEvery runs a checkpoint round after every N fed events
+	// (default 64). Rounds are driver-sequenced so the schedule is
+	// expressed in stream positions, not wall time.
+	CheckpointEvery int
+	// MissedRounds is the failure detector's miss budget (default 3).
+	MissedRounds int
+	// EnvelopeP95 bounds the central update-delay 95th percentile
+	// (invariant 4; default 250ms).
+	EnvelopeP95 time.Duration
+}
+
+func (c *ChaosConfig) defaults() {
+	if c.Mirrors <= 0 {
+		c.Mirrors = 3
+	}
+	if c.Flights <= 0 {
+		c.Flights = 24
+	}
+	if c.UpdatesPerFlight <= 0 {
+		c.UpdatesPerFlight = 40
+	}
+	if c.EventSize <= 0 {
+		c.EventSize = 96
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.MissedRounds <= 0 {
+		c.MissedRounds = 3
+	}
+	if c.EnvelopeP95 <= 0 {
+		c.EnvelopeP95 = 250 * time.Millisecond
+	}
+}
+
+// ChaosResult reports one chaos run.
+type ChaosResult struct {
+	// Schedule is the fault plan the run executed.
+	Schedule faultinject.Schedule
+	// Violations are the invariant failures observed (empty = pass).
+	Violations []string
+	// Replayed is the number of backup events replayed to the
+	// crash-restarted mirror at rejoin.
+	Replayed int
+	// Rounds/Commits are the checkpoint protocol's final counters.
+	Rounds, Commits uint64
+	// P95 is the central update-delay 95th percentile.
+	P95 time.Duration
+	// StateDigest is an FNV-64a hash of the final central EDE snapshot
+	// (seed-deterministic: the replay test compares it across runs).
+	StateDigest uint64
+	// Faults counts fault-plane injections across all links.
+	Faults uint64
+}
+
+// Failed reports whether any invariant was violated.
+func (r ChaosResult) Failed() bool { return len(r.Violations) > 0 }
+
+// Report renders the run for humans: schedule, verdict, and the repro
+// seed on failure.
+func (r ChaosResult) Report() string {
+	s := fmt.Sprintf("%s replayed=%d rounds=%d commits=%d p95=%s faults=%d digest=%016x",
+		r.Schedule, r.Replayed, r.Rounds, r.Commits, r.P95, r.Faults, r.StateDigest)
+	if !r.Failed() {
+		return "PASS " + s
+	}
+	s = "FAIL " + s
+	for _, v := range r.Violations {
+		s += "\n  violation: " + v
+	}
+	s += fmt.Sprintf("\n  replay: scripts/chaos_repro.sh %d", r.Schedule.Seed)
+	return s
+}
+
+// chaosRig is the manually wired cluster under fault injection. It
+// mirrors the direct transport's wiring, but each mirror site lives in
+// an atomic slot so a crash-restart can swap in a fresh site (volatile
+// queues lost) while the central's links keep pointing at "mirror i".
+type chaosRig struct {
+	cfg   ChaosConfig
+	sched faultinject.Schedule
+	plane *faultinject.Plane
+	reg   *obs.Registry
+
+	central *core.Central
+	member  *core.Membership
+	slots   []atomic.Pointer[core.MirrorSite]
+	cpus    []*costmodel.CPU // [0] central, [1..] mirrors
+	hist    *metrics.Histogram
+
+	data     []*faultinject.Link // central → mirror data (partition only)
+	ctrlDown []*faultinject.Link // central → mirror control (probabilistic faults)
+	ctrlUp   []*faultinject.Link // mirror → central control (probabilistic faults)
+
+	violations []string
+	// prevCommitted tracks the last observed cut per backup-queue
+	// incarnation: [0] central, [1..] mirrors (reset on crash-restart).
+	prevCommitted []vclock.VC
+}
+
+func (r *chaosRig) violatef(format string, args ...interface{}) {
+	r.violations = append(r.violations, fmt.Sprintf(format, args...))
+}
+
+// newMirror builds one mirror-site incarnation. The control uplink is
+// the plane's per-mirror Link, shared across incarnations so the fault
+// decision stream continues over a restart, exactly like a network
+// path that outlives the host behind it.
+func (r *chaosRig) newMirror(i int) *core.MirrorSite {
+	return core.NewMirrorSite(core.MirrorSiteConfig{
+		Model:  chaosModel,
+		CPU:    r.cpus[i+1],
+		SiteID: uint8(i),
+		CtrlUp: r.ctrlUp[i],
+	})
+}
+
+// slowCharge books the slow-mirror skew: the victim's CPU pays an
+// extra (factor-1)× cost per handled event, the paper's "slow mirror
+// site" disturbance without touching wall-clock sleeps.
+func (r *chaosRig) slowCharge(i int, base time.Duration, n int) {
+	if i != r.sched.SlowMirror {
+		return
+	}
+	r.cpus[i+1].ChargeAsync(time.Duration(r.sched.SlowFactor-1) * base * time.Duration(n))
+}
+
+func newChaosRig(cfg ChaosConfig) *chaosRig {
+	sched := faultinject.NewSchedule(cfg.Seed, cfg.Mirrors)
+	r := &chaosRig{
+		cfg:           cfg,
+		sched:         sched,
+		reg:           obs.NewRegistry(),
+		slots:         make([]atomic.Pointer[core.MirrorSite], cfg.Mirrors),
+		hist:          metrics.NewHistogram(0),
+		prevCommitted: make([]vclock.VC, cfg.Mirrors+1),
+	}
+	r.plane = faultinject.NewPlane(cfg.Seed, r.reg)
+	for i := 0; i <= cfg.Mirrors; i++ {
+		r.cpus = append(r.cpus, &costmodel.CPU{})
+	}
+
+	links := make([]core.MirrorLink, cfg.Mirrors)
+	for i := 0; i < cfg.Mirrors; i++ {
+		i := i
+		// Data links carry the mirrored stream the framework assumes is
+		// delivered in order, exactly once, to live mirrors — so they
+		// only ever fail whole (partition/crash), never probabilistically.
+		r.data = append(r.data, r.plane.Wrap(fmt.Sprintf("data.%d", i), batchSenderFunc{
+			one: func(e *event.Event) error {
+				r.slowCharge(i, chaosModel.EventBase, 1)
+				r.slots[i].Load().HandleData(e)
+				return nil
+			},
+			many: func(es []*event.Event) error {
+				r.slowCharge(i, chaosModel.EventBase, len(es))
+				r.slots[i].Load().HandleDataBatch(es)
+				return nil
+			},
+		}, faultinject.Faults{}))
+		// Control links tolerate loss, duplication, reordering, and
+		// payload damage by protocol design — the schedule's
+		// probabilistic faults apply here, in both directions.
+		r.ctrlDown = append(r.ctrlDown, r.plane.Wrap(fmt.Sprintf("ctrl.down.%d", i),
+			senderFunc(func(e *event.Event) error {
+				r.slowCharge(i, chaosModel.ControlCost, 1)
+				r.slots[i].Load().HandleControl(e)
+				return nil
+			}), sched.CtrlFaults))
+		r.ctrlUp = append(r.ctrlUp, r.plane.Wrap(fmt.Sprintf("ctrl.up.%d", i),
+			senderFunc(func(e *event.Event) error {
+				r.central.HandleControl(e)
+				return nil
+			}), sched.CtrlFaults))
+		links[i] = core.MirrorLink{Data: r.data[i], Ctrl: r.ctrlDown[i]}
+	}
+
+	r.central = core.NewCentral(core.CentralConfig{
+		Streams: 1,
+		Model:   chaosModel,
+		CPU:     r.cpus[0],
+		Main:    core.MainConfig{DelayHist: r.hist},
+		Mirrors: links,
+	})
+	// Manual rounds only: the driver sequences checkpoints against
+	// stream positions so the schedule is machine-speed independent.
+	r.central.SetParams(false, 1, 1<<30)
+	for i := 0; i < cfg.Mirrors; i++ {
+		r.slots[i].Store(r.newMirror(i))
+	}
+	r.member = core.NewMembership(r.central, core.MembershipConfig{MissedRounds: cfg.MissedRounds})
+	return r
+}
+
+// check samples the continuously checkable invariants (1 and the
+// structural half of 2). It runs from the driver goroutine only.
+func (r *chaosRig) check(stage string) {
+	com := r.central.Backup().Committed()
+	if prev := r.prevCommitted[0]; prev != nil && !prev.LessEq(com) {
+		r.violatef("%s: central committed cut regressed: %v after %v", stage, com, prev)
+	}
+	r.prevCommitted[0] = com
+	if lp := r.central.Main().LastProcessed(); com != nil && !com.LessEq(lp) {
+		r.violatef("%s: central committed %v beyond its own progress %v", stage, com, lp)
+	}
+	if err := r.central.Backup().CheckInvariants(); err != nil {
+		r.violatef("%s: central backup: %v", stage, err)
+	}
+	for i := range r.slots {
+		m := r.slots[i].Load()
+		mcom := m.Backup().Committed()
+		if prev := r.prevCommitted[i+1]; prev != nil && !prev.LessEq(mcom) {
+			r.violatef("%s: mirror %d committed cut regressed: %v after %v", stage, i, mcom, prev)
+		}
+		r.prevCommitted[i+1] = mcom
+		if err := m.Backup().CheckInvariants(); err != nil {
+			r.violatef("%s: mirror %d backup: %v", stage, i, err)
+		}
+	}
+}
+
+// round runs one checkpoint round and samples the invariants. The
+// control loop — broadcast, replies, commit — is synchronous through
+// the direct links, so the sample right after sees its effect.
+func (r *chaosRig) round(stage string) {
+	r.central.Checkpoint()
+	r.check(stage)
+}
+
+// flushCtrl releases reorder holdbacks on every control link so a held
+// reply or commit cannot outlive the run.
+func (r *chaosRig) flushCtrl() {
+	for i := range r.ctrlDown {
+		_ = r.ctrlDown[i].Flush()
+		_ = r.ctrlUp[i].Flush()
+	}
+}
+
+// RunChaos executes one seeded chaos run and reports the verdict.
+func RunChaos(cfg ChaosConfig) ChaosResult {
+	cfg.defaults()
+	r := newChaosRig(cfg)
+	sched := r.sched
+	res := ChaosResult{Schedule: sched}
+	defer func() {
+		for i := range r.slots {
+			r.slots[i].Load().Close()
+		}
+		r.central.Close()
+	}()
+
+	events := BuildEvents(Options{
+		Flights:          cfg.Flights,
+		UpdatesPerFlight: cfg.UpdatesPerFlight,
+		EventSize:        cfg.EventSize,
+		Seed:             cfg.Seed,
+	})
+	n := len(events)
+	crashAt := int(sched.CrashAfterFrac * float64(n))
+	restartAt := crashAt + int(sched.DownFrac*float64(n))
+	victim := sched.CrashMirror
+
+	for i, e := range events {
+		if i == crashAt {
+			// The mirror dies: every link to and from it partitions, and
+			// whatever its volatile queues held is gone with it.
+			r.data[victim].SetDown(true)
+			r.ctrlDown[victim].SetDown(true)
+			r.ctrlUp[victim].SetDown(true)
+		}
+		if i == restartAt {
+			r.waitMirrored(uint64(i))
+			r.excludeVictim()
+			res.Replayed = r.restartAndRejoin()
+		}
+		if err := r.central.Ingest(e); err != nil {
+			r.violatef("feed: event %d/%d rejected: %v", i, n, err)
+			break
+		}
+		if (i+1)%cfg.CheckpointEvery == 0 {
+			// Let the pipeline catch up to the feed before the round:
+			// a checkpoint against a not-yet-populated backup is a
+			// no-op and would starve the failure detector of rounds.
+			r.waitMirrored(uint64(i + 1))
+			r.round("round")
+		}
+	}
+
+	r.finish(&res)
+	res.Violations = r.violations
+	res.Rounds, res.Commits = r.central.Stats().ChkptRounds, r.central.Stats().ChkptCommits
+	res.P95 = r.hist.Percentile(95)
+	res.Faults = r.faultCount()
+	return res
+}
+
+// waitMirrored blocks until the sending task has fanned out (and
+// backup-appended) n events, i.e. the async pipeline has caught up to
+// the driver's feed position.
+func (r *chaosRig) waitMirrored(n uint64) {
+	deadline := time.Now().Add(20 * time.Second)
+	for r.central.Stats().Mirrored < n {
+		if time.Now().After(deadline) {
+			r.violatef("feed: pipeline stuck at %d/%d mirrored events",
+				r.central.Stats().Mirrored, n)
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// excludeVictim drives checkpoint rounds until the failure detector
+// removes the silent mirror from the quorum, unblocking commits for
+// the healthy sites.
+func (r *chaosRig) excludeVictim() {
+	// The victim misses one round per attempt; the detector fires after
+	// MissedRounds consecutive misses. A couple of extra attempts cover
+	// rounds skipped on an empty backup. Checking for the victim
+	// specifically matters: control-link faults may have spuriously
+	// excluded a healthy mirror already, so a bare "anyone failed?"
+	// check could pass without the victim ever leaving the quorum.
+	victimOut := func() bool {
+		for _, i := range r.member.Failed() {
+			if i == r.sched.CrashMirror {
+				return true
+			}
+		}
+		return false
+	}
+	for attempt := 0; !victimOut() && attempt < r.cfg.MissedRounds+8; attempt++ {
+		r.round("exclusion")
+	}
+	if !victimOut() {
+		r.violatef("exclusion: failure detector reported %v, missing victim %d",
+			r.member.Failed(), r.sched.CrashMirror)
+	}
+}
+
+// rejoinAll re-admits every currently excluded site. Control-link
+// faults can spuriously exclude a live mirror (a dropped reply is
+// indistinguishable from a dead site — that's the point of a miss
+// budget), and the restarted victim can be excluded again before the
+// faults quiesce; the end-state invariants are stated over the
+// converged cluster, so everyone gets re-admitted first.
+func (r *chaosRig) rejoinAll(stage string) {
+	for _, i := range r.member.Failed() {
+		if _, err := r.member.Rejoin(i); err != nil {
+			r.violatef("%s: rejoin mirror %d: %v", stage, i, err)
+		}
+	}
+}
+
+// restartAndRejoin replaces the dead site with a fresh one (its
+// volatile state is lost — this is a crash-restart, not a resume),
+// heals its links, and re-admits it through the recovery transfer.
+func (r *chaosRig) restartAndRejoin() int {
+	victim := r.sched.CrashMirror
+	old := r.slots[victim].Swap(r.newMirror(victim))
+	old.Close()
+	// A fresh incarnation starts a fresh backup queue: the monotonicity
+	// baseline resets with it.
+	r.prevCommitted[victim+1] = nil
+	r.data[victim].SetDown(false)
+	r.ctrlDown[victim].SetDown(false)
+	r.ctrlUp[victim].SetDown(false)
+	replayed, err := r.member.Rejoin(victim)
+	if err != nil {
+		r.violatef("rejoin: %v", err)
+		return 0
+	}
+	r.rejoinAll("restart")
+	r.check("rejoin")
+	return replayed
+}
+
+// finish drains the pipeline, waits for every mirror to converge on
+// the central progress, runs final checkpoint rounds until the central
+// backup is fully trimmed, and evaluates the end-state invariants.
+func (r *chaosRig) finish(res *ChaosResult) {
+	r.central.Drain()
+	// Whoever the detector excluded along the way comes back now: the
+	// rejoin transfer (snapshot + retained backup) covers everything an
+	// excluded site missed, so convergence is still byte-exact.
+	r.rejoinAll("final")
+	centralLP := r.central.Main().LastProcessed()
+	deadline := time.Now().Add(20 * time.Second)
+	for i := range r.slots {
+		for !centralLP.LessEq(r.slots[i].Load().Main().LastProcessed()) {
+			if time.Now().After(deadline) {
+				r.violatef("drain: mirror %d stuck at %v, central at %v",
+					i, r.slots[i].Load().Main().LastProcessed(), centralLP)
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		r.slots[i].Load().Drain()
+	}
+
+	// Final rounds: control faults can drop a reply or a commit, so one
+	// round is not guaranteed to land — later rounds subsume earlier
+	// ones until the backup trims through the last event. The bound is
+	// far beyond any plausible unlucky streak at ≤10% per-class rates.
+	for attempt := 0; attempt < 200 && r.central.Backup().Len() > 0; attempt++ {
+		r.round("final")
+		r.flushCtrl()
+	}
+	if got := r.central.Backup().Len(); got > 0 {
+		r.violatef("final: central backup retains %d events after 200 rounds", got)
+	}
+	costmodel.WaitIdle(r.cpus...)
+
+	// Invariant 3: every replica — including the crash-restarted one —
+	// has converged to the central EDE state byte-for-byte.
+	want := r.central.Main().Engine().State().Snapshot()
+	h := fnv.New64a()
+	_, _ = h.Write(want)
+	res.StateDigest = h.Sum64()
+	for i := range r.slots {
+		m := r.slots[i].Load()
+		got := m.Main().Engine().State().Snapshot()
+		if string(got) != string(want) {
+			r.violatef("convergence: mirror %d snapshot differs from central (%d vs %d bytes)",
+				i, len(got), len(want))
+		}
+		// End-state half of invariant 2: with the stream drained, no
+		// mirror's committed cut may exceed what it actually processed.
+		if com := m.Backup().Committed(); com != nil && !com.LessEq(m.Main().LastProcessed()) {
+			r.violatef("final: mirror %d committed %v beyond its progress %v",
+				i, com, m.Main().LastProcessed())
+		}
+	}
+
+	// Invariant 4: the central path never stalled on the dead mirror.
+	if r.hist.Count() == 0 {
+		r.violatef("latency: no update-delay samples recorded (envelope check vacuous)")
+	}
+	if p95 := r.hist.Percentile(95); p95 > r.cfg.EnvelopeP95 {
+		r.violatef("latency: central update-delay p95 %s exceeds envelope %s", p95, r.cfg.EnvelopeP95)
+	}
+}
+
+// faultCount sums the plane's injection counters across all links.
+func (r *chaosRig) faultCount() uint64 {
+	var total uint64
+	for i := range r.data {
+		total += r.data[i].Injected() + r.ctrlDown[i].Injected() + r.ctrlUp[i].Injected()
+	}
+	return total
+}

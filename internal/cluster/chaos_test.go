@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+
+	"adaptmirror/internal/faultinject"
+)
+
+// TestChaosSeeds runs the chaos harness over a spread of seeds: each
+// run crashes and restarts a mirror, partitions its links, injects
+// probabilistic control-link faults, and skews one mirror's CPU, then
+// machine-checks the four safety invariants (monotone commits, backup
+// integrity, byte-for-byte convergence, latency envelope).
+func TestChaosSeeds(t *testing.T) {
+	seeds := []int64{1, 2, 3, 7, 11, 42, 1337, 99991}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(ChaosConfig{Seed: seed}.name(), func(t *testing.T) {
+			res := RunChaos(ChaosConfig{Seed: seed})
+			if res.Failed() {
+				t.Fatal(res.Report())
+			}
+			if res.Commits == 0 {
+				t.Fatalf("no commits landed: %s", res.Report())
+			}
+			if res.Replayed < 0 {
+				t.Fatalf("bad replay count: %s", res.Report())
+			}
+		})
+	}
+}
+
+func (c ChaosConfig) name() string {
+	return "seed=" + itoa(c.Seed)
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [24]byte
+	i := len(b)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// TestChaosDeterministicReplay is the repro contract: the same seed
+// produces the same fault schedule, the same verdict, and the same
+// final central state digest, so a failing seed from CI replays
+// exactly via scripts/chaos_repro.sh.
+func TestChaosDeterministicReplay(t *testing.T) {
+	const seed = 4242
+	a := RunChaos(ChaosConfig{Seed: seed})
+	b := RunChaos(ChaosConfig{Seed: seed})
+	if a.Schedule.String() != b.Schedule.String() {
+		t.Fatalf("schedule not deterministic:\n  %s\n  %s", a.Schedule, b.Schedule)
+	}
+	if a.Failed() != b.Failed() {
+		t.Fatalf("verdict not deterministic:\n  %s\n  %s", a.Report(), b.Report())
+	}
+	if a.StateDigest != b.StateDigest {
+		t.Fatalf("final state digest not deterministic: %016x vs %016x",
+			a.StateDigest, b.StateDigest)
+	}
+	if a.Failed() {
+		t.Fatal(a.Report())
+	}
+}
+
+// TestChaosScheduleCoversFaultClasses spot-checks that schedules over
+// a seed range actually exercise every probabilistic fault class and
+// pick distinct crash/slow victims — the suite is only as good as the
+// schedules it draws.
+func TestChaosScheduleCoversFaultClasses(t *testing.T) {
+	victims := map[int]bool{}
+	slow := map[int]bool{}
+	var anyDrop, anyDup, anyReorder, anyCorrupt bool
+	for seed := int64(0); seed < 64; seed++ {
+		sched := faultinject.NewSchedule(seed, 3)
+		victims[sched.CrashMirror] = true
+		if sched.SlowMirror >= 0 {
+			slow[sched.SlowMirror] = true
+		}
+		if sched.CtrlFaults.Drop > 0 {
+			anyDrop = true
+		}
+		if sched.CtrlFaults.Duplicate > 0 {
+			anyDup = true
+		}
+		if sched.CtrlFaults.Reorder > 0 {
+			anyReorder = true
+		}
+		if sched.CtrlFaults.Corrupt > 0 {
+			anyCorrupt = true
+		}
+	}
+	if len(victims) < 3 {
+		t.Errorf("crash victims not spread across mirrors: %v", victims)
+	}
+	if len(slow) == 0 {
+		t.Error("no schedule ever picked a slow mirror")
+	}
+	if !anyDrop || !anyDup || !anyReorder || !anyCorrupt {
+		t.Errorf("fault classes not covered: drop=%v dup=%v reorder=%v corrupt=%v",
+			anyDrop, anyDup, anyReorder, anyCorrupt)
+	}
+}

@@ -133,6 +133,13 @@ type Central struct {
 	senders  []*linkSender
 	senderWG sync.WaitGroup
 
+	// sendMu makes the backup-queue append and the outbox fan-out of a
+	// batch atomic with respect to mirror recovery: a recovery snapshot
+	// taken under sendMu sees either none or all of a batch, so the
+	// snapshot + backup replay + post-readmit fan-out covers every
+	// mirrored event exactly once.
+	sendMu sync.Mutex
+
 	piggyMu   sync.Mutex
 	piggyback func() []byte
 
@@ -219,7 +226,13 @@ func NewCentral(cfg CentralConfig) *Central {
 	// straight back to the coordinator.
 	mainPart := &checkpoint.Main{
 		LastProcessed: c.main.LastProcessed,
-		Reply:         func(e *event.Event) { c.coord.OnReply(e) },
+		Reply: func(e *event.Event) {
+			// The reserved participant identity keeps the central vote
+			// distinct from mirror 0's in the coordinator's per-site
+			// reply accounting (mirrors stamp their SiteID).
+			e.Stream = checkpoint.CentralParticipant
+			c.coord.OnReply(e)
+		},
 	}
 	c.coord = &checkpoint.Coordinator{
 		Propose: func() vclock.VC { return c.backup.Last() },
@@ -432,19 +445,21 @@ func (c *Central) sendingTask() {
 		if len(filtered) == 0 {
 			continue
 		}
-		c.backup.AppendBatch(filtered)
 		bytes := 0
 		var weight uint64
 		for _, me := range filtered {
 			bytes += len(me.Payload)
 			weight += uint64(me.Weight())
 		}
+		c.sendMu.Lock()
+		c.backup.AppendBatch(filtered)
 		// Event resubmission, queue management and copying cost once
 		// per event; the batch is booked in one ledger operation.
 		c.cfg.AuxCPU.Charge(c.cfg.Model.SerializeBatchCost(len(filtered), bytes))
 		for _, s := range c.senders {
 			s.enqueue(filtered)
 		}
+		c.sendMu.Unlock()
 		if tracer != nil {
 			// One fan-out sample per batch: ready-queue removal until
 			// every link's outbox holds the filtered batch.

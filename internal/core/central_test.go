@@ -48,6 +48,7 @@ func newRig(t *testing.T, nMirrors int, mutate func(*CentralConfig)) *rig {
 	r.central = NewCentral(cfg)
 	for i := 0; i < nMirrors; i++ {
 		r.mirrors = append(r.mirrors, NewMirrorSite(MirrorSiteConfig{
+			SiteID: uint8(i),
 			CtrlUp: senderFunc(func(e *event.Event) error {
 				r.central.HandleControl(e)
 				return nil
@@ -365,14 +366,17 @@ func TestRecoveryReplay(t *testing.T) {
 	r.feedPositions(t, 3, 10, 64)
 	r.drainAll()
 
-	// A fresh mirror joins and is recovered from the central site.
+	// A fresh mirror joins and is recovered from the central site: the
+	// TypeRecoveryState event installs the snapshot at its cut and the
+	// replay covers anything past it (here nothing — the cut already
+	// covers every drained event, and the arrival watermark drops the
+	// overlap instead of double-applying it).
 	fresh := NewMirrorSite(MirrorSiteConfig{})
 	defer fresh.Close()
+	var sawState bool
 	n, err := r.central.RecoverMirror(senderFunc(func(e *event.Event) error {
-		if e.Type == event.TypeStateUpdate {
-			// State snapshot event: a real implementation would load
-			// it; the replayed events alone rebuild state here.
-			return nil
+		if e.Type == event.TypeRecoveryState {
+			sawState = true
 		}
 		fresh.HandleData(e)
 		return nil
@@ -380,18 +384,25 @@ func TestRecoveryReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !sawState {
+		t.Fatal("no TypeRecoveryState event in the recovery transfer")
+	}
 	if n != 30 {
 		t.Fatalf("replayed %d events, want 30", n)
 	}
-	for fresh.Processed() < 30 {
-		time.Sleep(200 * time.Microsecond)
-	}
+	fresh.Drain()
 	for f := event.FlightID(1); f <= 3; f++ {
 		cf, _ := r.central.Main().Engine().State().Get(f)
 		mf, ok := fresh.Main().Engine().State().Get(f)
-		if !ok || cf.Lat != mf.Lat {
+		if !ok || cf.Lat != mf.Lat || cf.PositionUpdates != mf.PositionUpdates {
 			t.Fatalf("recovered mirror diverged on flight %d", f)
 		}
+	}
+	// Byte-for-byte convergence, the chaos suite's invariant 3.
+	cs := r.central.Main().Engine().State().Snapshot()
+	ms := fresh.Main().Engine().State().Snapshot()
+	if string(cs) != string(ms) {
+		t.Fatalf("recovered snapshot differs: %d vs %d bytes", len(cs), len(ms))
 	}
 }
 

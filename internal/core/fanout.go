@@ -64,6 +64,13 @@ type linkSender struct {
 	n      int
 	closed bool
 
+	// ioMu serializes wire submission (send and recoverySend) so a
+	// recovery block — state snapshot plus backup replay — cannot
+	// interleave with a regular drained batch, and so the liveness flip
+	// that readmits a recovered mirror happens atomically with the
+	// recovery submission.
+	ioMu sync.Mutex
+
 	tracer *obs.Tracer
 
 	enqueued *metrics.Counter
@@ -190,8 +197,14 @@ func (s *linkSender) run(wg *sync.WaitGroup) {
 	}
 }
 
-// send filters, charges, and submits one drained batch.
+// send filters, charges, and submits one drained batch. The liveness
+// check happens under ioMu so a batch drained while the mirror was
+// dead cannot slip onto the wire mid-recovery: either it is dropped
+// before the recovery block, or it follows the block entirely (and the
+// mirror's arrival watermark discards the stale prefix).
 func (s *linkSender) send(batch []*event.Event) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
 	if s.alive != nil && !s.alive(s.idx) {
 		return
 	}
@@ -224,6 +237,43 @@ func (s *linkSender) send(batch []*event.Event) {
 	if err == nil {
 		s.sent.Add(uint64(len(batch)))
 	}
+}
+
+// recoverySend submits a recovery block — the state-snapshot event
+// followed by the backup-queue replay — bypassing the outbox ring, the
+// liveness gate, and the per-link filter (a recovering mirror needs
+// the full unfiltered history to converge byte-for-byte). readmit,
+// when non-nil, runs while ioMu is still held, after a successful
+// submission: flipping the mirror alive inside the same critical
+// section guarantees no regular batch is dropped between the recovery
+// block and the first post-recovery drain.
+func (s *linkSender) recoverySend(events []*event.Event, readmit func()) error {
+	if len(events) == 0 {
+		if readmit != nil {
+			s.ioMu.Lock()
+			readmit()
+			s.ioMu.Unlock()
+		}
+		return nil
+	}
+	bytes := 0
+	for _, e := range events {
+		bytes += len(e.Payload)
+	}
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.aux.Charge(s.model.SubmitBatchCost(len(events), bytes))
+	start := time.Now()
+	err := s.data.SubmitBatch(events)
+	s.stall.Add(time.Since(start))
+	if err != nil {
+		return err
+	}
+	s.sent.Add(uint64(len(events)))
+	if readmit != nil {
+		readmit()
+	}
+	return nil
 }
 
 // stats snapshots the link's counters.

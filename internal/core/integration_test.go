@@ -69,6 +69,7 @@ func newRigStandalone(nMirrors int) *standaloneRig {
 	r.central = NewCentral(CentralConfig{Streams: 1, Mirrors: links})
 	for i := 0; i < nMirrors; i++ {
 		r.mirrors = append(r.mirrors, NewMirrorSite(MirrorSiteConfig{
+			SiteID: uint8(i),
 			CtrlUp: senderFunc(func(e *event.Event) error {
 				r.central.HandleControl(e)
 				return nil

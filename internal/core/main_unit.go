@@ -96,6 +96,9 @@ type MainUnit struct {
 	servedReqs  atomic.Uint64
 	emitted     atomic.Uint64
 
+	barrierMu sync.Mutex
+	barriers  []func()
+
 	procWG    sync.WaitGroup
 	reqWG     sync.WaitGroup
 	closeOnce sync.Once
@@ -163,12 +166,48 @@ func (m *MainUnit) Deliver(e *event.Event) error {
 	return nil
 }
 
+// Barrier enqueues a sentinel into the unit's inbound event queue and
+// runs fn from the processing goroutine when the sentinel is reached.
+// Because the processing goroutine is the only writer of EDE state,
+// fn observes the state produced by exactly the events delivered
+// before the Barrier call — an exact (state, progress) cut, which is
+// what mirror recovery snapshots require. Barrier returns once fn has
+// run; it returns ErrUnitClosed (without running fn) if the unit shut
+// down first. fn must not call Deliver or Barrier on the same unit.
+func (m *MainUnit) Barrier(fn func()) error {
+	done := make(chan struct{})
+	m.barrierMu.Lock()
+	m.barriers = append(m.barriers, func() {
+		fn()
+		close(done)
+	})
+	// Pairing the append and the Put under barrierMu keeps concurrent
+	// Barrier calls FIFO-matched with their sentinels.
+	err := m.in.Put(&event.Event{Type: event.TypeBarrier})
+	if err != nil {
+		m.barriers = m.barriers[:len(m.barriers)-1]
+		m.barrierMu.Unlock()
+		return ErrUnitClosed
+	}
+	m.barrierMu.Unlock()
+	<-done
+	return nil
+}
+
 func (m *MainUnit) processLoop() {
 	defer m.procWG.Done()
 	for {
 		e, err := m.in.Get()
 		if err != nil {
 			return
+		}
+		if e.Type == event.TypeBarrier {
+			m.barrierMu.Lock()
+			fn := m.barriers[0]
+			m.barriers = m.barriers[1:]
+			m.barrierMu.Unlock()
+			fn()
+			continue
 		}
 		// The emission instant comes from the node's timeline (the
 		// virtual-CPU charge), so update delays reflect the node's

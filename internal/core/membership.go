@@ -130,8 +130,13 @@ func (m *Membership) Live() int {
 }
 
 // Rejoin re-admits mirror i after transferring the central state
-// snapshot and the retained backup events over its data link. The
-// site rejoins the commit quorum immediately after the transfer.
+// snapshot (with its consistency cut) and the retained backup events
+// through the mirror's fan-out sender. The transfer and the liveness
+// flip happen atomically with respect to the live fan-out — no batch
+// can slip between the replayed history and the first post-rejoin
+// drain — so the recovered replica converges to the central state
+// byte-for-byte even while traffic is flowing. The site rejoins the
+// commit quorum at the next checkpoint round.
 func (m *Membership) Rejoin(i int) (replayed int, err error) {
 	m.mu.Lock()
 	if i < 0 || i >= len(m.failed) {
@@ -144,15 +149,18 @@ func (m *Membership) Rejoin(i int) (replayed int, err error) {
 	}
 	m.mu.Unlock()
 
-	n, err := m.central.RecoverMirror(m.central.cfg.Mirrors[i].Data)
+	n, err := m.central.recoverMirrorAndReadmit(i, func() {
+		m.mu.Lock()
+		m.failed[i] = false
+		m.missed[i] = 0
+		m.live++
+		m.mu.Unlock()
+	})
 	if err != nil {
 		return n, err
 	}
 
 	m.mu.Lock()
-	m.failed[i] = false
-	m.missed[i] = 0
-	m.live++
 	live := m.live
 	m.mu.Unlock()
 	m.central.coord.SetParticipants(live + 1)

@@ -55,6 +55,19 @@ type MirrorSite struct {
 
 	received atomic.Uint64
 
+	// arrivalHigh is the highest event timestamp ever admitted on the
+	// data path. The central receiving task stamps a totally ordered
+	// timestamp sequence, so anything at or below the watermark has
+	// already been seen: re-deliveries — the overlap between a recovery
+	// snapshot's cut and its backup replay, or stale fan-out batches
+	// drained after a recovery block — are dropped before they touch
+	// the backup queue or the EDE. That keeps the backup queue
+	// append-ordered and event application exactly-once, which the
+	// non-idempotent counting rules (position updates, boardings) need
+	// for replicas to converge byte-for-byte.
+	dedupMu     sync.Mutex
+	arrivalHigh vclock.VC
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -130,10 +143,35 @@ func (m *MirrorSite) Main() *MainUnit { return m.main }
 // Backup exposes the site's backup queue.
 func (m *MirrorSite) Backup() *queue.Backup { return m.backup }
 
+// admit checks one arriving event against the arrival watermark,
+// advancing it on acceptance. Caller holds dedupMu. Unstamped events
+// (nil VT — unit tests, out-of-band traffic) bypass the watermark.
+func (m *MirrorSite) admit(e *event.Event) bool {
+	if e.VT == nil {
+		return true
+	}
+	if e.VT.LessEq(m.arrivalHigh) {
+		return false
+	}
+	m.arrivalHigh = m.arrivalHigh.Merge(e.VT)
+	return true
+}
+
 // HandleData accepts one mirrored event from the central site.
+// Re-delivered events (at or below the arrival watermark) count as
+// received but are otherwise dropped; recovery-state events skip the
+// backup queue (they are not mirrored history, they replace it).
 func (m *MirrorSite) HandleData(e *event.Event) {
 	m.received.Add(1)
-	m.backup.Append(e)
+	m.dedupMu.Lock()
+	ok := m.admit(e)
+	m.dedupMu.Unlock()
+	if !ok {
+		return
+	}
+	if e.Type != event.TypeRecoveryState {
+		m.backup.Append(e)
+	}
 	_ = m.ready.Put(e)
 }
 
@@ -145,8 +183,36 @@ func (m *MirrorSite) HandleDataBatch(events []*event.Event) {
 		return
 	}
 	m.received.Add(uint64(len(events)))
-	m.backup.AppendBatch(events)
-	_ = m.ready.PutBatch(events)
+	// Common case first: every event admitted, none of them recovery
+	// state — the original slice feeds both queues with no copying.
+	// On the first exception, fall back to filtered copies.
+	toBackup, toReady := events, events
+	plain := true
+	m.dedupMu.Lock()
+	for i, e := range events {
+		ok := m.admit(e)
+		if plain && ok && e.Type != event.TypeRecoveryState {
+			continue
+		}
+		if plain {
+			toBackup = append(make([]*event.Event, 0, len(events)), events[:i]...)
+			toReady = append(make([]*event.Event, 0, len(events)), events[:i]...)
+			plain = false
+		}
+		if ok {
+			toReady = append(toReady, e)
+			if e.Type != event.TypeRecoveryState {
+				toBackup = append(toBackup, e)
+			}
+		}
+	}
+	m.dedupMu.Unlock()
+	if len(toBackup) > 0 {
+		m.backup.AppendBatch(toBackup)
+	}
+	if len(toReady) > 0 {
+		_ = m.ready.PutBatch(toReady)
+	}
 }
 
 // HandleControl accepts one control event from the central site.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
 )
 
 // Recovery support is listed as future work in the paper ("extending
@@ -16,49 +17,97 @@ import (
 // covering the committed prefix.
 
 // RecoverySnapshot is what a rejoining mirror needs: the central EDE
-// state as of now plus the uncommitted backup events. Replaying the
-// snapshot then the events (idempotent rules make replay of the
-// overlap harmless) reconstructs a mirror replica.
+// state, the consistency cut that state corresponds to, and the
+// retained backup events. Installing the snapshot and applying only
+// events past the cut reconstructs a mirror replica exactly.
 type RecoverySnapshot struct {
 	// State is the serialized central EDE state (ede.Snapshot format).
 	State []byte
+	// Cut is the highest event timestamp reflected in State; events at
+	// or before Cut must not be re-applied on top of it.
+	Cut vclock.VC
 	// Events are the retained backup-queue events in timestamp order.
+	// The range may overlap Cut; the receiving site's arrival
+	// watermark discards the overlap.
 	Events []*event.Event
 }
 
 // BuildRecovery assembles a recovery snapshot for a rejoining mirror.
-// The state transfer rides the same epoch-cached snapshot path that
-// serves thin-client storms: CachedSnapshot rebuilds any shard
-// mutated since the last serve, so the result is as fresh as a direct
-// serialization, and a recovery arriving during an init-state storm
-// reuses the storm's cached segments instead of re-serializing the
-// table.
+// The (State, Cut) pair is captured through a main-unit barrier, so
+// it is exactly consistent — the state of precisely the events the
+// EDE applied before the barrier, stamped with their merged
+// timestamp — even while events are flowing. If the main unit has
+// already shut down, the pair is read directly (the EDE is quiescent
+// then, so the direct read is just as consistent).
 func (c *Central) BuildRecovery() RecoverySnapshot {
-	state, _ := c.main.Engine().State().CachedSnapshot()
-	return RecoverySnapshot{
-		State:  state,
-		Events: c.backup.Snapshot(),
+	var snap RecoverySnapshot
+	capture := func() {
+		snap.State = c.main.Engine().State().Snapshot()
+		snap.Cut = c.main.Engine().LastProcessed()
 	}
+	if err := c.main.Barrier(capture); err != nil {
+		capture()
+	}
+	snap.Events = c.backup.Snapshot()
+	return snap
+}
+
+// recoveryEvents flattens a snapshot into the wire sequence pushed to
+// a recovering mirror: one TypeRecoveryState event carrying the
+// serialized state at the cut, followed by the backup replay.
+func recoveryEvents(snap RecoverySnapshot) []*event.Event {
+	events := make([]*event.Event, 0, len(snap.Events)+1)
+	events = append(events, &event.Event{
+		Type:      event.TypeRecoveryState,
+		Coalesced: 1,
+		VT:        snap.Cut,
+		Payload:   snap.State,
+	})
+	return append(events, snap.Events...)
 }
 
 // RecoverMirror pushes a recovery snapshot to a mirror site's data
-// link: the state snapshot travels as a single TypeStateUpdate event
-// whose payload is the serialized state, followed by the backup
-// events. It returns the number of events replayed.
+// link: the state snapshot travels as a single TypeRecoveryState event
+// whose payload is the serialized state and whose VT is the
+// consistency cut, followed by the backup events. It returns the
+// number of events replayed.
+//
+// This entry point serves external links (a site outside the
+// configured mirror set, tests, tooling); re-admitting a configured
+// mirror goes through Membership.Rejoin, which additionally serializes
+// the transfer against the live fan-out.
 func (c *Central) RecoverMirror(link Sender) (int, error) {
 	snap := c.BuildRecovery()
-	stateEv := &event.Event{
-		Type:      event.TypeStateUpdate,
-		Coalesced: 1,
-		Payload:   snap.State,
-	}
-	if err := link.Submit(stateEv); err != nil {
+	events := recoveryEvents(snap)
+	if err := link.Submit(events[0]); err != nil {
 		return 0, fmt.Errorf("core: recovery state transfer: %w", err)
 	}
-	for i, e := range snap.Events {
+	for i, e := range events[1:] {
 		if err := link.Submit(e); err != nil {
 			return i, fmt.Errorf("core: recovery replay at %d/%d: %w", i, len(snap.Events), err)
 		}
+	}
+	return len(snap.Events), nil
+}
+
+// recoverMirrorAndReadmit transfers a recovery snapshot to configured
+// mirror i through its fan-out sender and atomically re-admits it.
+// Holding sendMu across the build + transfer pins the backup queue and
+// the outboxes: every event is either inside the snapshot (VT at or
+// before the cut), in the backup replay, or fanned out after the
+// readmit flip — exactly one of the three, which is what byte-for-byte
+// convergence of the recovered replica requires. readmit runs on the
+// sender's submission mutex after a successful transfer, before any
+// subsequent drained batch can be liveness-checked.
+func (c *Central) recoverMirrorAndReadmit(i int, readmit func()) (int, error) {
+	if i < 0 || i >= len(c.senders) {
+		return 0, fmt.Errorf("core: no fan-out sender for mirror %d", i)
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	snap := c.BuildRecovery()
+	if err := c.senders[i].recoverySend(recoveryEvents(snap), readmit); err != nil {
+		return 0, fmt.Errorf("core: recovery transfer to mirror %d: %w", i, err)
 	}
 	return len(snap.Events), nil
 }

@@ -89,6 +89,25 @@ func (en *Engine) State() *State { return en.state }
 func (en *Engine) Process(e *event.Event) ([]*event.Event, time.Time) {
 	done := en.cpu.Charge(en.model.EventCost(len(e.Payload)))
 
+	// Recovery snapshots replace the whole state rather than passing
+	// through the rules: the payload is a serialized snapshot and the
+	// VT is its consistency cut. Rules and the processed counter are
+	// skipped — the snapshot's events were already counted where the
+	// snapshot was built.
+	if e.Type == event.TypeRecoveryState {
+		if len(e.Payload) > 0 {
+			if err := en.state.Install(e.Payload); err != nil {
+				return nil, done
+			}
+		}
+		if e.VT != nil {
+			en.mu.Lock()
+			en.lastProcessed = en.lastProcessed.Merge(e.VT)
+			en.mu.Unlock()
+		}
+		return nil, done
+	}
+
 	// Lock only the shard owning the event's flight: applies to other
 	// flights, point reads, and snapshot rebuilds of other shards all
 	// proceed concurrently.

@@ -231,6 +231,37 @@ func (s *State) Snapshot() []byte {
 	return buf
 }
 
+// Install replaces the full operational state with the contents of a
+// snapshot produced by Snapshot on a state with the same padding. It
+// is the receiving half of mirror recovery: the rejoining site
+// installs the central site's snapshot, then applies only events past
+// the snapshot's consistency cut. Each shard is swapped under its
+// write lock and has its epoch bumped, so concurrent point reads stay
+// shard-consistent and cached snapshot segments are invalidated.
+func (s *State) Install(buf []byte) error {
+	flights, err := DecodeSnapshot(buf, s.padding)
+	if err != nil {
+		return err
+	}
+	fresh := make([]map[event.FlightID]*FlightState, len(s.shards))
+	for i := range fresh {
+		fresh[i] = make(map[event.FlightID]*FlightState)
+	}
+	for id, fs := range flights {
+		rec := fs
+		fresh[uint32(id)&s.mask][id] = &rec
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.flights = fresh[i]
+		sh.ext = nil
+		sh.epoch.Add(1)
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
 // DecodeSnapshot parses a snapshot produced by Snapshot, returning the
 // flight states keyed by ID. paddingPerFlight must match the encoder's.
 func DecodeSnapshot(buf []byte, paddingPerFlight int) (map[event.FlightID]FlightState, error) {

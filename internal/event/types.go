@@ -63,6 +63,18 @@ const (
 	// TypeStateUpdate is an output event carrying an operational-state
 	// update from a main unit (EDE) to its clients.
 	TypeStateUpdate
+
+	// TypeRecoveryState carries a serialized EDE state snapshot from the
+	// central site to a recovering mirror. Its VT is the consistency cut
+	// the snapshot corresponds to: every event with VT at or before the
+	// cut is reflected in the payload, so the mirror installs the
+	// snapshot and applies only later events.
+	TypeRecoveryState
+
+	// TypeBarrier is a process-local sentinel used by a main unit to run
+	// a closure at an exact point of its event stream. It never crosses
+	// a link and is never serialized.
+	TypeBarrier
 )
 
 // Control event types (exchanged on control channels).
@@ -115,6 +127,10 @@ func (t Type) String() string {
 		return "coalesced"
 	case TypeStateUpdate:
 		return "state-update"
+	case TypeRecoveryState:
+		return "recovery-state"
+	case TypeBarrier:
+		return "barrier"
 	case TypeChkpt:
 		return "CHKPT"
 	case TypeChkptReply:

@@ -1,6 +1,7 @@
 package queue
 
 import (
+	"fmt"
 	"sync"
 
 	"adaptmirror/internal/event"
@@ -151,6 +152,31 @@ func (b *Backup) HighWater() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.hwm
+}
+
+// CheckInvariants verifies the queue's structural safety properties:
+// retained events are in non-decreasing timestamp order, and no
+// retained event is covered by the committed timestamp (Commit must
+// never leave behind an event it should have trimmed, and must never
+// trim past what was committed — the chaos suite's "no over-trim"
+// property). It returns the first violation found, or nil.
+func (b *Backup) CheckInvariants() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var prev vclock.VC
+	for i, e := range b.buf {
+		if e.VT == nil {
+			return fmt.Errorf("queue: retained event %d has no timestamp", i)
+		}
+		if prev != nil && !prev.LessEq(e.VT) {
+			return fmt.Errorf("queue: retained events out of order at %d: %v then %v", i, prev, e.VT)
+		}
+		prev = e.VT
+		if b.committed != nil && e.VT.LessEq(b.committed) {
+			return fmt.Errorf("queue: retained event %d (%v) is at or below committed %v", i, e.VT, b.committed)
+		}
+	}
+	return nil
 }
 
 // Snapshot returns the retained events in order. The recovery extension

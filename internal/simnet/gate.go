@@ -1,0 +1,71 @@
+package simnet
+
+import (
+	"net"
+	"sync"
+)
+
+// Gate is a runtime-switchable stall point on a net.Conn: while down,
+// writes block (the TCP picture of a partitioned or wedged peer —
+// data neither flows nor errors) until the gate reopens or the
+// connection is closed. It composes with Shape, giving chaos
+// schedules link stall/partition windows on real transports without
+// tearing the connection down.
+type Gate struct {
+	net.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	down   bool
+	closed bool
+}
+
+// NewGate wraps c with an open gate.
+func NewGate(c net.Conn) *Gate {
+	g := &Gate{Conn: c}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// SetDown closes (true) or opens (false) the gate. Opening releases
+// every writer blocked on it, in arrival order of the scheduler.
+func (g *Gate) SetDown(down bool) {
+	g.mu.Lock()
+	g.down = down
+	if !down {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Down reports the gate state.
+func (g *Gate) Down() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.down
+}
+
+// Write blocks while the gate is down, then writes through. A Close
+// during the stall unblocks the writer with net.ErrClosed.
+func (g *Gate) Write(p []byte) (int, error) {
+	g.mu.Lock()
+	for g.down && !g.closed {
+		g.cond.Wait()
+	}
+	closed := g.closed
+	g.mu.Unlock()
+	if closed {
+		return 0, net.ErrClosed
+	}
+	return g.Conn.Write(p)
+}
+
+// Close releases stalled writers and closes the underlying
+// connection.
+func (g *Gate) Close() error {
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	return g.Conn.Close()
+}

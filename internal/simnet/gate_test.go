@@ -1,0 +1,75 @@
+package simnet
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGatePassesWhenOpen(t *testing.T) {
+	a, b := net.Pipe()
+	g := NewGate(a)
+	defer g.Close()
+	defer b.Close()
+	go func() { _, _ = g.Write([]byte("hello")) }()
+	buf := make([]byte, 5)
+	if _, err := b.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestGateStallsAndReleases(t *testing.T) {
+	a, b := net.Pipe()
+	g := NewGate(a)
+	defer g.Close()
+	defer b.Close()
+
+	g.SetDown(true)
+	var wrote atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Write([]byte("x"))
+		wrote.Store(true)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if wrote.Load() {
+		t.Fatal("write completed through a down gate")
+	}
+	go func() {
+		buf := make([]byte, 1)
+		_, _ = b.Read(buf)
+	}()
+	g.SetDown(false)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateCloseUnblocksStalledWriter(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	g := NewGate(a)
+	g.SetDown(true)
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Write([]byte("x"))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled write succeeded after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled writer never released by Close")
+	}
+}

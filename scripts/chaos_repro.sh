@@ -1,0 +1,17 @@
+#!/bin/sh
+# Replay one chaos seed exactly: same workload, same fault schedule,
+# same per-link fault decision streams, same verdict.
+#
+#   scripts/chaos_repro.sh 1337
+#   scripts/chaos_repro.sh 1337 -mirrors 5
+set -eu
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 <seed> [extra chaosrunner flags]" >&2
+    exit 2
+fi
+seed=$1
+shift
+
+cd "$(dirname "$0")/.."
+exec go run -race ./cmd/chaosrunner -seed "$seed" "$@"
