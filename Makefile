@@ -36,6 +36,7 @@ chaos:
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzCodecCorrupt -fuzztime 20s ./internal/event
 	$(GO) test -run xxx -fuzz FuzzCheckpointControl -fuzztime 20s ./internal/checkpoint
+	$(GO) test -run xxx -fuzz FuzzRegimeDirective -fuzztime 20s ./internal/adapt
 
 # One fast pass over every figure and ablation benchmark.
 bench:

@@ -210,7 +210,7 @@ func (c *Cluster) Close() { c.inner.Close() }
 func (c *Cluster) NewAdaptation(baseline, degraded Regime, primary, secondary int) *Controller {
 	ctl := adapt.NewController(baseline, degraded, adapt.InstallRegime(c.inner.Central))
 	ctl.SetMonitorValues(adapt.VarPending, primary, secondary)
-	c.inner.SetOnMirrorSample(func(s core.Sample) { ctl.Observe(s) })
+	c.inner.SetOnMirrorSample(func(site int, s core.Sample) { ctl.ObserveSite(site, s) })
 	c.inner.Central.SetPiggyback(func() []byte {
 		ctl.Observe(c.inner.Central.Sample())
 		return adapt.EncodeRegime(ctl.Current())

@@ -47,6 +47,12 @@ var requiredSeries = []string{
 	`requests_served_total{site="mirror0"}`,
 	`snapshot_cache_hits_total{site="mirror0"}`,
 	`snapshot_cache_misses_total{site="mirror0"}`,
+	// Adaptation control plane: the mirror-side directive applier is
+	// wired unconditionally, so even a non-adaptive cluster exports the
+	// installed-regime gauge and the discard counters.
+	`adapt_regime_id{site="mirror0"}`,
+	`adapt_directive_stale_total{site="mirror0"}`,
+	`adapt_directive_invalid_total{site="mirror1"}`,
 	// Checkpointing.
 	`checkpoint_rounds_total{site="central"}`,
 	`checkpoint_commits_total{site="central"}`,

@@ -88,16 +88,20 @@ func startCentral(opts centralOptions) (*centralSite, error) {
 	s.Tracer = obs.NewTracer(s.Obs)
 
 	// Dial every mirror before constructing the central so its
-	// sending task has live links from the first event.
+	// sending task has live links from the first event (and a bad
+	// mirror address fails site startup immediately). The links redial
+	// on the next submit after a failure, so a mirror that crashes and
+	// restarts on the same address can be recovered over the same
+	// MirrorLink by Membership.Rejoin.
 	var mirrorLinks []core.MirrorLink
 	for _, addr := range opts.Mirrors {
-		data, err := echo.DialSend(addr, chanData)
+		data, err := dialReconnecting(addr, chanData)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("dialing mirror %s data channel: %w", addr, err)
 		}
 		s.links = append(s.links, data)
-		ctrl, err := echo.DialSend(addr, chanCtrlDown)
+		ctrl, err := dialReconnecting(addr, chanCtrlDown)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("dialing mirror %s control channel: %w", addr, err)
@@ -142,8 +146,8 @@ func startCentral(opts centralOptions) (*centralSite, error) {
 		NoMirror: len(mirrorLinks) == 0,
 		Obs:      s.Obs,
 		Tracer:   s.Tracer,
-		OnMirrorSample: func(sample core.Sample) {
-			s.observeSample(sample)
+		OnMirrorSample: func(site int, sample core.Sample) {
+			s.observeSample(site, sample)
 		},
 	})
 	if opts.Selective > 0 {
@@ -213,10 +217,11 @@ func startCentral(opts centralOptions) (*centralSite, error) {
 }
 
 // observeSample forwards piggybacked mirror monitor samples to the
-// adaptation controller, when one is installed.
-func (s *centralSite) observeSample(sample core.Sample) {
+// adaptation controller, when one is installed, keyed by the
+// reporting site.
+func (s *centralSite) observeSample(site int, sample core.Sample) {
 	if s.Controller != nil {
-		s.Controller.Observe(sample)
+		s.Controller.ObserveSite(site, sample)
 	}
 }
 
@@ -262,9 +267,13 @@ type mirrorOptions struct {
 	ReqWorkers int
 }
 
-// lazyUplink dials the central site's control channel on first use
-// and redials after failures, so mirrors can start before the central
-// site exists (the documented startup order).
+// lazyUplink is a self-healing send link to one channel of a peer
+// site: it dials on first use and redials after failures. Mirrors use
+// it for the control uplink so they can start before the central site
+// exists (the documented startup order); the central uses it (via
+// dialReconnecting, which dials eagerly) for its per-mirror data and
+// control downlinks so a restarted mirror can be re-admitted over the
+// same link.
 type lazyUplink struct {
 	addr string
 	name string
@@ -317,6 +326,19 @@ func (l *lazyUplink) SubmitBatch(events []*event.Event) error {
 	return nil
 }
 
+// dialReconnecting returns a lazyUplink whose first dial has already
+// succeeded, so an unreachable address still fails fast at startup.
+func dialReconnecting(addr, name string) (*lazyUplink, error) {
+	l := &lazyUplink{addr: addr, name: name}
+	l.mu.Lock()
+	err := l.ensureLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
 // Close shuts the current link down.
 func (l *lazyUplink) Close() error {
 	l.mu.Lock()
@@ -337,6 +359,11 @@ type mirrorSite struct {
 	// dumped by -metricsdump; Tracer feeds its lifecycle histograms.
 	Obs    *obs.Registry
 	Tracer *obs.Tracer
+	// Applier consumes the adaptation directives the central
+	// piggybacks on checkpoint traffic (and delivers via recovery
+	// snapshots), installing them on Mirror with round-watermark
+	// dedup; it backs the site's adapt_regime_id gauge.
+	Applier *adapt.Applier
 	// Addr and HTTPAddr are the bound listen addresses.
 	Addr     string
 	HTTPAddr string
@@ -353,6 +380,8 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 	s.Tracer = obs.NewTracer(s.Obs)
 	uplink := &lazyUplink{addr: opts.Central, name: chanCtrlUp}
 	s.uplink = uplink
+	s.Applier = adapt.NewApplier(nil)
+	s.Applier.RegisterMetrics(s.Obs, fmt.Sprintf("mirror%d", opts.SiteID))
 
 	s.Mirror = core.NewMirrorSite(core.MirrorSiteConfig{
 		Main: core.MainConfig{
@@ -364,8 +393,12 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 		SiteID: uint8(opts.SiteID),
 		Obs:    s.Obs,
 		Tracer: s.Tracer,
+		OnPiggyback: func(round uint64, b []byte) {
+			s.Applier.Apply(round, b)
+		},
 		CtrlUp: uplink,
 	})
+	s.Applier.SetInstall(adapt.InstallMirrorRegime(s.Mirror))
 
 	data, err := s.bus.Open(chanData)
 	if err != nil {

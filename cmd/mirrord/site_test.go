@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -428,5 +429,136 @@ func TestDeployedMetricsEndpoints(t *testing.T) {
 	}
 	if entries[0].Value < entries[0].Primary {
 		t.Fatalf("engage value %d below primary %d", entries[0].Value, entries[0].Primary)
+	}
+}
+
+// TestMirrorRestartConvergesRegime is the deployed-site version of the
+// chaos suite's regime-convergence invariant: engage adaptation, crash
+// the mirror process, let the failure detector exclude it, restart it
+// on the same address, re-admit it through recovery, and assert the
+// fresh incarnation — whose applier watermark restarted from zero —
+// reports the central's current adapt_regime_id, both through the
+// applier API and on its /metrics endpoint.
+func TestMirrorRestartConvergesRegime(t *testing.T) {
+	m, err := startMirror(mirrorOptions{Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0", Central: "pending"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := startCentral(centralOptions{
+		Listen: "127.0.0.1:0", HTTP: "127.0.0.1:0",
+		Mirrors:   []string{m.Addr},
+		ChkptFreq: 10,
+		Adapt:     true, AdaptPrimary: 1, AdaptSecondary: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer central.Close()
+	m.uplink.addr = central.Addr
+	// Pin the degraded regime once engaged so the crash/restart below
+	// races against a stable target, not a reverting controller.
+	central.Controller.SetRevertAfter(1 << 30)
+
+	// Engage exactly as TestCentralWithAdaptation does: deep pending
+	// buffer on the mirror while events drive checkpoint rounds.
+	for i := 0; i < 3000; i++ {
+		m.Mirror.Main().Request(&core.InitRequest{})
+	}
+	src, err := echo.DialSend(central.Addr, chanIngress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	seq := uint64(0)
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			seq++
+			src.Submit(event.NewPosition(event.FlightID(1+seq%4), seq, float64(seq), 0, 9000, 64))
+		}
+	}
+	feed(200)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if e, _ := central.Controller.Transitions(); e > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want := central.Controller.Current()
+	if e, _ := central.Controller.Transitions(); e == 0 {
+		t.Fatal("adaptation never engaged; cannot exercise regime convergence")
+	}
+
+	// Crash the mirror and let the failure detector exclude it: keep the
+	// backup queue non-empty and initiate rounds the dead site cannot
+	// answer.
+	member := core.NewMembership(central.Central, core.MembershipConfig{MissedRounds: 2})
+	addr := m.Addr
+	m.Close()
+	feed(100)
+	deadline = time.Now().Add(10 * time.Second)
+	for len(member.Failed()) == 0 && time.Now().Before(deadline) {
+		central.Central.Checkpoint()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(member.Failed()) == 0 {
+		t.Fatal("failure detector never excluded the crashed mirror")
+	}
+
+	// Restart on the same listen address (the OS may hold the port
+	// briefly) — a brand-new process image: empty state, applier
+	// watermark back at zero.
+	var m2 *mirrorSite
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m2, err = startMirror(mirrorOptions{Listen: addr, HTTP: "127.0.0.1:0", Central: central.Addr}); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if m2 == nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer m2.Close()
+
+	// Re-admit through recovery. The central's data link still holds the
+	// connection the crash killed; the reconnecting dialer replaces it
+	// on the next attempt, so retry until the transfer lands.
+	var rerr error
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, rerr = member.Rejoin(0); rerr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if rerr != nil {
+		t.Fatalf("rejoin after restart: %v", rerr)
+	}
+
+	// The recovery block carried the current directive; the standalone
+	// broadcast covers a regime decided after the snapshot was built.
+	deadline = time.Now().Add(10 * time.Second)
+	converged := false
+	for time.Now().Before(deadline) {
+		if reg, _, have := m2.Applier.Current(); have && reg.ID == want.ID {
+			converged = true
+			break
+		}
+		central.Central.PublishDirective()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !converged {
+		reg, round, have := m2.Applier.Current()
+		t.Fatalf("restarted mirror regime = %d (round %d, have %v), want central's %d",
+			reg.ID, round, have, want.ID)
+	}
+
+	// The satellite's literal claim: the restarted site exports the
+	// central's regime as its adapt_regime_id gauge.
+	text := scrapeMetrics(t, m2.HTTPAddr)
+	wantSeries := fmt.Sprintf(`adapt_regime_id{site="mirror0"} %d`, want.ID)
+	if !strings.Contains(text, wantSeries) {
+		t.Fatalf("restarted mirror /metrics missing %q", wantSeries)
 	}
 }

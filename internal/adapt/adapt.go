@@ -7,12 +7,15 @@
 // set is installed); the original mechanism is reinstalled when the
 // value falls below primary - secondary. Decisions are made at the
 // central site so all mirrors adapt identically, and directives travel
-// piggybacked on checkpoint messages.
+// piggybacked on checkpoint messages, stamped with the checkpoint
+// round so duplicated or reordered deliveries cannot roll a site back
+// to a stale regime.
 package adapt
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"adaptmirror/internal/core"
@@ -56,6 +59,18 @@ type Thresholds struct {
 // enabled reports whether the thresholds are active.
 func (t Thresholds) enabled() bool { return t.Primary > 0 }
 
+// calmFloor is the below-band boundary: a value is calm when it is
+// strictly below Primary - Secondary. The floor is clamped to 1 so
+// that a band configured with Secondary >= Primary still reverts once
+// the variable drains to zero instead of never reverting.
+func (t Thresholds) calmFloor() int {
+	f := t.Primary - t.Secondary
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
 // Regime is one complete mirroring configuration the controller can
 // install: the paper's experiment alternates between a regime that
 // coalesces up to 10 events with checkpointing every 50 and one that
@@ -75,6 +90,20 @@ type Regime struct {
 	CheckpointFreq int
 }
 
+// SiteCentral keys the central site's own samples in the controller's
+// per-site table. Mirror sites are keyed by their non-negative site
+// index (the event Stream their checkpoint replies carry).
+const SiteCentral = -1
+
+// SiteLabel renders a site key the way metrics and audit entries name
+// sites.
+func SiteLabel(site int) string {
+	if site == SiteCentral {
+		return "central"
+	}
+	return fmt.Sprintf("mirror%d", site)
+}
+
 // Controller makes adaptation decisions at the central site. It is
 // fed Samples — the central site's own and those piggybacked on
 // mirror checkpoint replies — and switches between the baseline and
@@ -84,10 +113,16 @@ type Controller struct {
 	thresholds [numVars]Thresholds
 	baseline   Regime
 	degraded   Regime
-	apply      func(Regime)
 	engaged    bool
 	engages    uint64
 	reverts    uint64
+
+	// last holds the most recent sample reported by each live site.
+	// Engagement triggers on any one site crossing primary; reverting
+	// requires every tracked site's latest sample below the band, so
+	// N-1 idle mirrors cannot reinstall the baseline while one site is
+	// still overloaded.
+	last map[int]core.Sample
 
 	// audit, when set, receives one entry per transition; engagedVar
 	// remembers which variable triggered the current engagement so the
@@ -95,12 +130,21 @@ type Controller struct {
 	audit      *obs.AuditLog
 	engagedVar Var
 
-	// revertAfter debounces reverts: samples arrive per site, so one
-	// idle site's report must not reinstall the baseline while another
-	// site is still overloaded. The controller reverts only after this
-	// many consecutive below-band samples.
+	// revertAfter debounces reverts: the controller reverts only after
+	// this many consecutive observations during which every live
+	// site's latest sample sits below the band.
 	revertAfter int
 	calmStreak  int
+
+	// apply is invoked outside mu (a callback that re-enters
+	// Engaged()/Current()/Observe() must not deadlock). applySeq
+	// numbers transitions as they are decided under mu; appliedSeq,
+	// under applyMu, ensures a stale transition never overwrites a
+	// newer one when observers race to the callback.
+	applyMu    sync.Mutex
+	apply      func(Regime)
+	applySeq   uint64
+	appliedSeq uint64
 }
 
 // DefaultRevertAfter is the revert debounce in consecutive samples.
@@ -115,11 +159,45 @@ func NewController(baseline, degraded Regime, apply func(Regime)) *Controller {
 		degraded:    degraded,
 		apply:       apply,
 		revertAfter: DefaultRevertAfter,
+		last:        make(map[int]core.Sample),
 	}
 	if apply != nil {
 		apply(baseline)
 	}
 	return c
+}
+
+// SetApply installs (or replaces) the apply callback and immediately
+// applies the current regime through it, so a controller constructed
+// before its cluster exists (to avoid publishing the pointer to
+// transport goroutines mid-construction) can be wired up afterwards.
+func (c *Controller) SetApply(f func(Regime)) {
+	c.applyMu.Lock()
+	defer c.applyMu.Unlock()
+	c.apply = f
+	if f == nil {
+		return
+	}
+	c.mu.Lock()
+	c.appliedSeq = c.applySeq
+	reg := c.currentLocked()
+	c.mu.Unlock()
+	f(reg)
+}
+
+// runApply invokes the apply callback for the transition numbered seq,
+// outside c.mu. Out-of-order arrivals (an observer that decided an
+// older transition but reached the callback late) are dropped.
+func (c *Controller) runApply(seq uint64, reg Regime) {
+	c.applyMu.Lock()
+	defer c.applyMu.Unlock()
+	if seq <= c.appliedSeq {
+		return
+	}
+	c.appliedSeq = seq
+	if c.apply != nil {
+		c.apply(reg)
+	}
 }
 
 // SetAudit attaches an audit log: every engage and revert decision is
@@ -130,8 +208,8 @@ func (c *Controller) SetAudit(a *obs.AuditLog) {
 	c.mu.Unlock()
 }
 
-// RegisterMetrics exposes the controller's transition counters and
-// engagement state on r.
+// RegisterMetrics exposes the controller's transition counters,
+// engagement state, and installed regime ID on r.
 func (c *Controller) RegisterMetrics(r *obs.Registry) {
 	if r == nil {
 		return
@@ -153,10 +231,14 @@ func (c *Controller) RegisterMetrics(r *obs.Registry) {
 		}
 		return 0
 	})
+	r.Describe("adapt_regime_id", "ID of the mirroring regime installed at this site.")
+	r.GaugeFunc("adapt_regime_id", func() float64 {
+		return float64(c.Current().ID)
+	}, obs.L("site", "central"))
 }
 
 // auditLocked appends one transition entry. Caller holds c.mu.
-func (c *Controller) auditLocked(action string, reg Regime, v Var, s core.Sample) {
+func (c *Controller) auditLocked(action string, reg Regime, v Var, s core.Sample, site int) {
 	if c.audit == nil {
 		return
 	}
@@ -168,6 +250,7 @@ func (c *Controller) auditLocked(action string, reg Regime, v Var, s core.Sample
 		Regime:    reg.Name,
 		Var:       v.String(),
 		Value:     vals[v],
+		Site:      SiteLabel(site),
 		Primary:   th.Primary,
 		Secondary: th.Secondary,
 		Ready:     s.Ready,
@@ -187,25 +270,42 @@ func (c *Controller) SetRevertAfter(n int) {
 }
 
 // SetMonitorValues is set_monitor_values(index, p, s): configure the
-// primary and secondary thresholds for one monitored variable.
+// primary and secondary thresholds for one monitored variable. The
+// secondary (hysteresis) value is clamped into [0, primary]: a
+// secondary at or above primary would drive the below-band test
+// negative and make the degraded regime permanent.
 func (c *Controller) SetMonitorValues(v Var, primary, secondary int) {
 	if v >= numVars {
 		return
+	}
+	if secondary < 0 {
+		secondary = 0
+	}
+	if secondary > primary {
+		secondary = primary
 	}
 	c.mu.Lock()
 	c.thresholds[v] = Thresholds{Primary: primary, Secondary: secondary}
 	c.mu.Unlock()
 }
 
-// Observe feeds one sample (the central site's own, or one reported
-// by a mirror). It returns true when the observation caused a regime
-// transition. Any single site crossing a primary threshold engages the
-// degraded regime; a site observed fully below the hysteresis band
-// (primary - secondary on every enabled variable) reverts it.
+// Observe feeds one of the central site's own samples. It is
+// ObserveSite(SiteCentral, s).
 func (c *Controller) Observe(s core.Sample) bool {
+	return c.ObserveSite(SiteCentral, s)
+}
+
+// ObserveSite feeds one sample reported by the given site (SiteCentral
+// for the central site's own, a mirror index for piggybacked
+// checkpoint-reply samples). It returns true when the observation
+// caused a regime transition. Any single site crossing a primary
+// threshold engages the degraded regime; the controller reverts only
+// once every tracked live site's latest sample sits fully below the
+// hysteresis band for revertAfter consecutive observations.
+func (c *Controller) ObserveSite(site int, s core.Sample) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	vals := [numVars]int{s.Ready, s.Backup, s.Pending}
+	c.last[site] = s
 
 	if !c.engaged {
 		for v := Var(0); v < numVars; v++ {
@@ -215,35 +315,92 @@ func (c *Controller) Observe(s core.Sample) bool {
 				c.engagedVar = v
 				c.engages++
 				c.calmStreak = 0
-				c.auditLocked("engage", c.degraded, v, s)
-				if c.apply != nil {
-					c.apply(c.degraded)
-				}
+				c.auditLocked("engage", c.degraded, v, s, site)
+				seq := c.nextSeqLocked()
+				reg := c.degraded
+				c.mu.Unlock()
+				c.runApply(seq, reg)
 				return true
 			}
 		}
+		c.mu.Unlock()
 		return false
 	}
 
-	for v := Var(0); v < numVars; v++ {
-		th := c.thresholds[v]
-		if th.enabled() && vals[v] >= th.Primary-th.Secondary {
-			c.calmStreak = 0
-			return false
-		}
+	if !c.calmLocked(s) || !c.allCalmLocked() {
+		c.calmStreak = 0
+		c.mu.Unlock()
+		return false
 	}
 	c.calmStreak++
 	if c.calmStreak < c.revertAfter {
+		c.mu.Unlock()
 		return false
 	}
 	c.engaged = false
 	c.reverts++
 	c.calmStreak = 0
-	c.auditLocked("revert", c.baseline, c.engagedVar, s)
-	if c.apply != nil {
-		c.apply(c.baseline)
+	c.auditLocked("revert", c.baseline, c.engagedVar, s, site)
+	seq := c.nextSeqLocked()
+	reg := c.baseline
+	c.mu.Unlock()
+	c.runApply(seq, reg)
+	return true
+}
+
+// EvictSite drops a site's row from the last-sample table, typically
+// on membership departure: a failed site's stale overload report must
+// not pin the degraded regime forever, and conversely its stale calm
+// report must not count toward reverting.
+func (c *Controller) EvictSite(site int) {
+	c.mu.Lock()
+	delete(c.last, site)
+	c.mu.Unlock()
+}
+
+// Sites returns the number of sites with a tracked sample.
+func (c *Controller) Sites() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.last)
+}
+
+// calmLocked reports whether s sits strictly below the hysteresis band
+// on every enabled variable. Caller holds c.mu.
+func (c *Controller) calmLocked(s core.Sample) bool {
+	vals := [numVars]int{s.Ready, s.Backup, s.Pending}
+	for v := Var(0); v < numVars; v++ {
+		th := c.thresholds[v]
+		if th.enabled() && vals[v] >= th.calmFloor() {
+			return false
+		}
 	}
 	return true
+}
+
+// allCalmLocked reports whether every tracked site's latest sample is
+// calm. Caller holds c.mu.
+func (c *Controller) allCalmLocked() bool {
+	for _, s := range c.last {
+		if !c.calmLocked(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// nextSeqLocked numbers a decided transition. Caller holds c.mu.
+func (c *Controller) nextSeqLocked() uint64 {
+	c.applySeq++
+	return c.applySeq
+}
+
+// currentLocked returns the installed regime. Caller holds c.mu.
+func (c *Controller) currentLocked() Regime {
+	if c.engaged {
+		return c.degraded
+	}
+	return c.baseline
 }
 
 // Engaged reports whether the degraded regime is installed.
@@ -257,10 +414,7 @@ func (c *Controller) Engaged() bool {
 func (c *Controller) Current() Regime {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.engaged {
-		return c.degraded
-	}
-	return c.baseline
+	return c.currentLocked()
 }
 
 // Transitions returns the number of engage and revert transitions.
@@ -270,8 +424,10 @@ func (c *Controller) Transitions() (engages, reverts uint64) {
 	return c.engages, c.reverts
 }
 
-// regimeWire is the encoded size of a Regime directive.
-const regimeWire = 1 + 1 + 4 + 4 + 4
+// regimeWire is the encoded size of a Regime directive: the regime
+// settings followed by a CRC32 so a corrupted directive is rejected
+// rather than installed.
+const regimeWire = 1 + 1 + 4 + 4 + 4 + 4
 
 // EncodeRegime serializes the settings of r for piggybacking on CHKPT
 // control events (the name is not transmitted).
@@ -284,13 +440,18 @@ func EncodeRegime(r Regime) []byte {
 	binary.LittleEndian.PutUint32(b[2:], uint32(r.MaxCoalesce))
 	binary.LittleEndian.PutUint32(b[6:], uint32(r.OverwriteLen))
 	binary.LittleEndian.PutUint32(b[10:], uint32(r.CheckpointFreq))
+	binary.LittleEndian.PutUint32(b[14:], crc32.ChecksumIEEE(b[:14]))
 	return b
 }
 
-// DecodeRegime parses a directive encoded by EncodeRegime.
+// DecodeRegime parses a directive encoded by EncodeRegime, rejecting
+// truncated or corrupted payloads.
 func DecodeRegime(b []byte) (Regime, error) {
 	if len(b) < regimeWire {
 		return Regime{}, fmt.Errorf("adapt: regime directive too short: %d bytes", len(b))
+	}
+	if got, want := crc32.ChecksumIEEE(b[:14]), binary.LittleEndian.Uint32(b[14:]); got != want {
+		return Regime{}, fmt.Errorf("adapt: regime directive checksum mismatch")
 	}
 	return Regime{
 		ID:             b[0],

@@ -1,0 +1,111 @@
+package adapt
+
+import (
+	"testing"
+
+	"adaptmirror/internal/core"
+)
+
+func validDirective() []byte { return EncodeRegime(degr) }
+
+func TestApplierWatermark(t *testing.T) {
+	var installs []uint64
+	a := NewApplier(func(round uint64, _ Regime) { installs = append(installs, round) })
+
+	if !a.Apply(3, validDirective()) {
+		t.Fatal("first directive at round 3 must install")
+	}
+	if a.Apply(3, validDirective()) {
+		t.Fatal("duplicate round must be rejected")
+	}
+	if a.Apply(2, validDirective()) {
+		t.Fatal("reordered earlier round must be rejected")
+	}
+	if !a.Apply(4, EncodeRegime(base)) {
+		t.Fatal("later round must install")
+	}
+	if len(installs) != 2 || installs[0] != 3 || installs[1] != 4 {
+		t.Fatalf("install rounds = %v, want [3 4]", installs)
+	}
+	reg, round, have := a.Current()
+	if !have || round != 4 || reg.ID != base.ID {
+		t.Fatalf("Current = %+v round %d have %v, want baseline at 4", reg, round, have)
+	}
+	installed, stale, invalid := a.Stats()
+	if installed != 2 || stale != 2 || invalid != 0 {
+		t.Fatalf("stats = %d/%d/%d, want 2/2/0", installed, stale, invalid)
+	}
+}
+
+func TestApplierRoundZeroNeverInstalls(t *testing.T) {
+	a := NewApplier(nil)
+	if a.Apply(0, validDirective()) {
+		t.Fatal("round 0 must never install: coordinator rounds start at 1")
+	}
+	if _, _, have := a.Current(); have {
+		t.Fatal("round-0 delivery left a directive behind")
+	}
+}
+
+func TestApplierRejectsCorruptAndTruncated(t *testing.T) {
+	a := NewApplier(func(uint64, Regime) { t.Fatal("corrupt directive installed") })
+	b := validDirective()
+	for i := range b {
+		flipped := append([]byte(nil), b...)
+		flipped[i] ^= 0x10
+		if a.Apply(1, flipped) {
+			t.Fatalf("byte %d bit-flip survived the checksum", i)
+		}
+	}
+	for n := 0; n < len(b); n++ {
+		if a.Apply(1, b[:n]) {
+			t.Fatalf("truncation to %d bytes installed", n)
+		}
+	}
+	_, _, invalid := a.Stats()
+	if invalid != uint64(len(b)+len(b)) {
+		t.Fatalf("invalid = %d, want %d", invalid, len(b)*2)
+	}
+}
+
+// TestApplierSetInstallReplays: the applier can accept a directive
+// before the object it installs into exists (cluster wiring builds the
+// applier first, the mirror site second); SetInstall replays the
+// current directive so the late-wired target converges.
+func TestApplierSetInstallReplays(t *testing.T) {
+	a := NewApplier(nil)
+	if !a.Apply(5, validDirective()) {
+		t.Fatal("install-less apply must still accept")
+	}
+	var got []uint64
+	a.SetInstall(func(round uint64, r Regime) {
+		if r.ID != degr.ID {
+			t.Fatalf("replayed regime %d, want %d", r.ID, degr.ID)
+		}
+		got = append(got, round)
+	})
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("SetInstall replays = %v, want [5]", got)
+	}
+	// A stale delivery after wiring must not re-invoke the callback.
+	a.Apply(5, validDirective())
+	if len(got) != 1 {
+		t.Fatalf("stale delivery reached the install callback: %v", got)
+	}
+}
+
+// TestInstallMirrorRegime wires a real mirror site and checks the
+// directive lands as the site's recorded regime and parameters.
+func TestInstallMirrorRegime(t *testing.T) {
+	m := core.NewMirrorSite(core.MirrorSiteConfig{})
+	defer m.Close()
+	a := NewApplier(InstallMirrorRegime(m))
+	if !a.Apply(2, EncodeRegime(degr)) {
+		t.Fatal("directive rejected")
+	}
+	id, p, overwrite := m.Regime()
+	if id != degr.ID || p.MaxCoalesce != degr.MaxCoalesce ||
+		p.CheckpointFreq != degr.CheckpointFreq || overwrite != degr.OverwriteLen {
+		t.Fatalf("site regime = %d %+v overwrite %d, want %+v", id, p, overwrite, degr)
+	}
+}

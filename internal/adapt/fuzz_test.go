@@ -1,0 +1,74 @@
+package adapt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRegimeDirective throws arbitrary byte strings and round stamps —
+// including bit-flipped and truncated encodings of real directives,
+// and out-of-order replays — at the mirror-side applier. Whatever the
+// input, the applier must hold its contract: malformed payloads never
+// install, round 0 never installs, a duplicate or earlier round never
+// installs (and never re-invokes the install callback), and anything
+// that does install round-trips through the codec canonically.
+func FuzzRegimeDirective(f *testing.F) {
+	valid := EncodeRegime(Regime{ID: 2, Coalesce: true, MaxCoalesce: 20, OverwriteLen: 20, CheckpointFreq: 100})
+	f.Add(uint64(1), valid)
+	f.Add(uint64(0), valid)
+	f.Add(uint64(7), []byte{})
+	f.Add(uint64(3), valid[:len(valid)-1])
+	flipped := append([]byte(nil), valid...)
+	flipped[2] ^= 0x40
+	f.Add(uint64(9), flipped)
+
+	f.Fuzz(func(t *testing.T, round uint64, data []byte) {
+		var installs []uint64
+		a := NewApplier(func(r uint64, _ Regime) { installs = append(installs, r) })
+
+		ok := a.Apply(round, data)
+		if a.Apply(round, data) {
+			t.Fatalf("duplicate delivery of round %d installed", round)
+		}
+		if round > 0 && a.Apply(round-1, data) {
+			t.Fatalf("out-of-order round %d installed after %d", round-1, round)
+		}
+
+		installed, _, _ := a.Stats()
+		if installed != uint64(len(installs)) {
+			t.Fatalf("installed counter %d != callback invocations %d", installed, len(installs))
+		}
+		if !ok {
+			if installed != 0 {
+				t.Fatalf("rejected delivery installed %d directives", installed)
+			}
+			if _, _, have := a.Current(); have {
+				t.Fatal("rejected delivery left a directive behind")
+			}
+			return
+		}
+		if round == 0 {
+			t.Fatal("round 0 installed")
+		}
+		if installed != 1 || installs[0] != round {
+			t.Fatalf("install rounds = %v, want [%d]", installs, round)
+		}
+		reg, wm, have := a.Current()
+		if !have || wm != round {
+			t.Fatalf("Current watermark %d have=%v, want %d", wm, have, round)
+		}
+		// Canonical round-trip: an accepted directive re-encodes to a
+		// decodable image of the same regime.
+		enc := EncodeRegime(reg)
+		dec, err := DecodeRegime(enc)
+		if err != nil {
+			t.Fatalf("re-encoded accepted directive rejected: %v", err)
+		}
+		if dec != reg {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", dec, reg)
+		}
+		if !bytes.Equal(enc, EncodeRegime(dec)) {
+			t.Fatal("encoding not canonical")
+		}
+	})
+}

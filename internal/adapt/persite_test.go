@@ -1,0 +1,215 @@
+package adapt
+
+import (
+	"testing"
+
+	"adaptmirror/internal/core"
+)
+
+// TestNeverRevertHysteresisRegression pins the hysteresis clamp: a
+// configuration with Secondary >= Primary used to push the below-band
+// floor to zero or negative, which no sample can ever be strictly
+// below — the degraded regime became permanent. The secondary is now
+// clamped into [0, primary] and the floor to at least 1, so the
+// regime reverts once the variable drains to zero.
+func TestNeverRevertHysteresisRegression(t *testing.T) {
+	c := NewController(base, degr, nil)
+	c.SetRevertAfter(1)
+	c.SetMonitorValues(VarPending, 10, 50) // secondary clamps to 10, floor to 1
+	if !c.Observe(core.Sample{Pending: 10}) {
+		t.Fatal("primary threshold must engage")
+	}
+	if c.Observe(core.Sample{Pending: 1}) {
+		t.Fatal("value at the clamped floor must not revert")
+	}
+	if !c.Observe(core.Sample{Pending: 0}) {
+		t.Fatal("fully drained variable must revert even with secondary >= primary")
+	}
+	if c.Engaged() {
+		t.Fatal("still engaged after drain")
+	}
+}
+
+// TestReentrantApplyCallback pins the deadlock fix: the apply
+// callback used to run with c.mu held, so a callback that consulted
+// the controller — the natural thing for an apply hook that logs or
+// exports state — deadlocked. Apply now runs outside the lock.
+func TestReentrantApplyCallback(t *testing.T) {
+	var c *Controller
+	var seen []uint8
+	done := make(chan struct{}, 8)
+	c = NewController(base, degr, func(r Regime) {
+		if c == nil {
+			// Constructor-time baseline install: controller not yet
+			// published to this closure.
+			return
+		}
+		// Re-enter the controller from inside the callback.
+		_ = c.Engaged()
+		_, _ = c.Transitions()
+		seen = append(seen, c.Current().ID)
+		// A non-transitioning observation must also be safe.
+		c.Observe(core.Sample{Pending: 70})
+		done <- struct{}{}
+	})
+	c.SetMonitorValues(VarPending, 100, 40)
+	c.SetRevertAfter(1)
+
+	c.Observe(core.Sample{Pending: 150}) // engage → callback re-enters
+	c.Observe(core.Sample{Pending: 0})   // revert → callback re-enters
+	if len(done) != 2 {
+		t.Fatalf("apply callback ran %d times, want 2", len(done))
+	}
+	if len(seen) != 2 || seen[0] != degr.ID || seen[1] != base.ID {
+		t.Fatalf("callback observed regimes %v, want [2 1]", seen)
+	}
+}
+
+// TestPerSiteRevertRequiresAllCalm is the tentpole's revert rule: any
+// single site crossing primary engages, but reverting requires every
+// tracked live site's latest sample to sit below the band — a calm
+// central must not revert the cluster while a mirror still reports
+// overload.
+func TestPerSiteRevertRequiresAllCalm(t *testing.T) {
+	c := NewController(base, degr, nil)
+	c.SetMonitorValues(VarPending, 100, 40)
+	c.SetRevertAfter(2)
+
+	if !c.ObserveSite(2, core.Sample{Pending: 150}) {
+		t.Fatal("hot mirror must engage")
+	}
+	// The central reports calm over and over; mirror 2's latest sample
+	// is still hot, so the streak never starts.
+	for i := 0; i < 10; i++ {
+		if c.Observe(core.Sample{Pending: 0}) {
+			t.Fatal("reverted while a mirror's latest sample is over the band")
+		}
+	}
+	// Mirror 2 calms down: now calm observations count.
+	if c.ObserveSite(2, core.Sample{Pending: 0}) {
+		t.Fatal("reverted before the debounce elapsed")
+	}
+	if !c.Observe(core.Sample{Pending: 0}) {
+		t.Fatal("all sites calm for revertAfter observations must revert")
+	}
+	if c.Engaged() {
+		t.Fatal("still engaged after per-site revert")
+	}
+}
+
+// TestEvictSiteUnpinsRevert: a departed mirror's stale overload report
+// must not hold the degraded regime forever — membership eviction
+// drops its row from the revert decision.
+func TestEvictSiteUnpinsRevert(t *testing.T) {
+	c := NewController(base, degr, nil)
+	c.SetMonitorValues(VarPending, 100, 40)
+	c.SetRevertAfter(1)
+
+	c.ObserveSite(0, core.Sample{Pending: 150}) // engage
+	if c.Observe(core.Sample{Pending: 0}) {
+		t.Fatal("reverted over a live hot site")
+	}
+	c.EvictSite(0)
+	if got := c.Sites(); got != 1 {
+		t.Fatalf("Sites = %d after eviction, want 1 (central)", got)
+	}
+	if !c.Observe(core.Sample{Pending: 0}) {
+		t.Fatal("eviction must unpin the revert decision")
+	}
+}
+
+// globalStreakTransitions replays the pre-fix revert rule — one global
+// calm streak over the interleaved sample stream, with no per-site
+// table — against the same Figure-8-style ramp the per-site test
+// drives. It exists to document, with machine-checked numbers, the
+// flapping the per-site rule eliminates (see EXPERIMENTS.md).
+func globalStreakTransitions(rounds, sites, revertAfter int, hot func(round, site int) bool) (engages, reverts int) {
+	engaged, streak := false, 0
+	for r := 0; r < rounds; r++ {
+		for s := 0; s < sites; s++ {
+			if hot(r, s) {
+				if !engaged {
+					engaged = true
+					engages++
+				}
+				streak = 0
+				continue
+			}
+			if !engaged {
+				continue
+			}
+			streak++
+			if streak >= revertAfter {
+				engaged = false
+				reverts++
+				streak = 0
+			}
+		}
+	}
+	return engages, reverts
+}
+
+// TestFig8RampNoFlapping drives the paper's Figure-8 shape — one site
+// pinned over primary for a sustained overload window, everyone else
+// calm — through the per-site controller and asserts the degraded
+// regime holds for the whole window with exactly one engage, then
+// reverts within revertAfter observations of the overload ending. The
+// old global-streak rule flaps once per round on the same input; the
+// reference replay quantifies it.
+func TestFig8RampNoFlapping(t *testing.T) {
+	const (
+		sites         = 9 // central + 8 mirrors, one of them hot
+		overloadRound = 30
+		calmRounds    = 4
+		revertAfter   = 8
+	)
+	hot := func(round, site int) bool { return round < overloadRound && site == 0 }
+
+	c := NewController(base, degr, nil)
+	c.SetMonitorValues(VarPending, 100, 40)
+	c.SetRevertAfter(revertAfter)
+
+	observe := func(round int) {
+		for s := 0; s < sites; s++ {
+			p := 0
+			if hot(round, s) {
+				p = 150
+			}
+			c.ObserveSite(s, core.Sample{Pending: p})
+		}
+	}
+
+	for r := 0; r < overloadRound; r++ {
+		observe(r)
+		if !c.Engaged() {
+			t.Fatalf("round %d: degraded regime not held through the overload window", r)
+		}
+	}
+	eng, rev := c.Transitions()
+	if eng != 1 || rev != 0 {
+		t.Fatalf("overload window transitions = %d/%d, want 1/0", eng, rev)
+	}
+
+	// Overload ends: all sites calm. The hot site's row updates on its
+	// first calm report, so the very first all-calm round accumulates
+	// sites-1 >= revertAfter calm observations and reverts.
+	for r := overloadRound; r < overloadRound+calmRounds; r++ {
+		observe(r)
+	}
+	eng, rev = c.Transitions()
+	if eng != 1 || rev != 1 {
+		t.Fatalf("post-calm transitions = %d/%d, want 1/1", eng, rev)
+	}
+	if c.Engaged() {
+		t.Fatal("still engaged after the ramp")
+	}
+
+	// The pre-fix rule on the identical stream: one revert per overload
+	// round (8 calm samples follow each hot one), one re-engage per
+	// round — the flapping EXPERIMENTS.md tabulates.
+	gEng, gRev := globalStreakTransitions(overloadRound+calmRounds, sites, revertAfter, hot)
+	if gEng != overloadRound || gRev != overloadRound {
+		t.Fatalf("global-streak replay = %d/%d transitions, want %d/%d (update EXPERIMENTS.md if the ramp changed)",
+			gEng, gRev, overloadRound, overloadRound)
+	}
+}

@@ -54,8 +54,11 @@ type Coordinator struct {
 	// round (mirror sites + the central main unit).
 	Participants int
 	// Piggyback, when non-nil, returns bytes to attach to outgoing
-	// CHKPT events (adaptation directives ride along here).
-	Piggyback func() []byte
+	// CHKPT events (adaptation directives ride along here). It is
+	// passed the round number stamped on the CHKPT so directives carry
+	// a version: receivers discard deliveries for rounds at or below
+	// their watermark.
+	Piggyback func(round uint64) []byte
 	// RoundLatency, when non-nil, receives each committed round's
 	// CHKPT→COMMIT latency. Abandoned rounds report nothing — their
 	// time is folded into the subsuming round.
@@ -93,7 +96,7 @@ func (c *Coordinator) Init() bool {
 	ev := event.NewControl(event.TypeChkpt, proposal)
 	ev.Seq = round
 	if c.Piggyback != nil {
-		ev.Payload = c.Piggyback()
+		ev.Payload = c.Piggyback(round)
 	}
 	c.Broadcast(ev)
 	if participants == 0 {
@@ -157,6 +160,21 @@ func (c *Coordinator) finish(round uint64, commit vclock.VC) {
 	}
 }
 
+// NextRound allocates and returns a fresh round number for an
+// out-of-band control broadcast (a standalone adaptation directive
+// whose content changed after the last checkpoint stamped one). Any
+// open checkpoint round is abandoned exactly as a new Init would
+// abandon it — its late replies are ignored and a later round's
+// commit subsumes it — so round numbers stay globally monotone
+// across CHKPTs and directive re-broadcasts, which is what receiver
+// watermarks rely on.
+func (c *Coordinator) NextRound() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.round++
+	return c.round
+}
+
 // SetParticipants changes the number of replies that complete a round
 // (membership changes: failed mirrors leave the quorum, recovered ones
 // rejoin).
@@ -218,8 +236,10 @@ type Mirror struct {
 	// Commit trims the local backup queue through the timestamp.
 	Commit func(vclock.VC)
 	// OnPiggyback, when non-nil, receives the adaptation bytes
-	// attached to CHKPT events.
-	OnPiggyback func([]byte)
+	// attached to CHKPT events (and carried by standalone TypeAdapt
+	// control events), together with the checkpoint round that stamped
+	// them.
+	OnPiggyback func(round uint64, payload []byte)
 }
 
 // OnControl dispatches one control event through the mirror-aux state
@@ -228,9 +248,16 @@ func (m *Mirror) OnControl(e *event.Event) {
 	switch e.Type {
 	case event.TypeChkpt:
 		if m.OnPiggyback != nil && len(e.Payload) > 0 {
-			m.OnPiggyback(e.Payload)
+			m.OnPiggyback(e.Seq, e.Payload)
 		}
 		m.ToMain(e)
+	case event.TypeAdapt:
+		// A standalone adaptation directive (re-broadcast outside a
+		// checkpoint round, e.g. after the backup queue drains). Not a
+		// round message, so it is not forwarded to the main unit.
+		if m.OnPiggyback != nil && len(e.Payload) > 0 {
+			m.OnPiggyback(e.Seq, e.Payload)
+		}
 	case event.TypeChkptReply:
 		// From our main unit: forward to the coordinator. The paper's
 		// "if chkpt_rep in backup queue" guard is subsumed by the

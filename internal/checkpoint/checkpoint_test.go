@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -324,20 +325,59 @@ func TestMainCommitCallback(t *testing.T) {
 
 func TestPiggybackDelivery(t *testing.T) {
 	var delivered [][]byte
+	var rounds []uint64
 	coord := &Coordinator{
 		Propose:      func() vclock.VC { return vclock.VC{1} },
 		Participants: 1,
-		Piggyback:    func() []byte { return []byte("adapt:coalesce=20") },
+		Piggyback: func(round uint64) []byte {
+			return []byte(fmt.Sprintf("adapt:coalesce=20@%d", round))
+		},
 	}
 	mirror := &Mirror{
-		ToMain:      func(*event.Event) {},
-		ToCentral:   func(*event.Event) {},
-		OnPiggyback: func(b []byte) { delivered = append(delivered, b) },
+		ToMain:    func(*event.Event) {},
+		ToCentral: func(*event.Event) {},
+		OnPiggyback: func(round uint64, b []byte) {
+			rounds = append(rounds, round)
+			delivered = append(delivered, b)
+		},
 	}
 	coord.Broadcast = func(e *event.Event) { mirror.OnControl(e) }
 	coord.Init()
-	if len(delivered) != 1 || string(delivered[0]) != "adapt:coalesce=20" {
+	if len(delivered) != 1 || string(delivered[0]) != "adapt:coalesce=20@1" {
 		t.Fatalf("delivered = %q", delivered)
+	}
+	if len(rounds) != 1 || rounds[0] != 1 {
+		t.Fatalf("piggyback rounds = %v, want [1]", rounds)
+	}
+}
+
+func TestStandaloneAdaptDirectiveDelivery(t *testing.T) {
+	// A TypeAdapt control event (a directive re-broadcast outside any
+	// checkpoint round) reaches the piggyback hook with its round stamp
+	// and is not forwarded to the main unit.
+	var delivered [][]byte
+	var rounds []uint64
+	toMain := 0
+	mirror := &Mirror{
+		ToMain:    func(*event.Event) { toMain++ },
+		ToCentral: func(*event.Event) {},
+		OnPiggyback: func(round uint64, b []byte) {
+			rounds = append(rounds, round)
+			delivered = append(delivered, b)
+		},
+	}
+	ev := event.NewControl(event.TypeAdapt, nil)
+	ev.Seq = 7
+	ev.Payload = []byte("regime")
+	mirror.OnControl(ev)
+	if len(delivered) != 1 || string(delivered[0]) != "regime" {
+		t.Fatalf("delivered = %q", delivered)
+	}
+	if len(rounds) != 1 || rounds[0] != 7 {
+		t.Fatalf("rounds = %v, want [7]", rounds)
+	}
+	if toMain != 0 {
+		t.Fatalf("standalone directive forwarded to main %d times", toMain)
 	}
 }
 

@@ -14,7 +14,21 @@
 //     backup-replay path converges to the central EDE state
 //     byte-for-byte once the stream drains;
 //  4. central update-delay percentiles stay inside a latency envelope
-//     even while a mirror is down — a dead site degrades alone.
+//     even while a mirror is down — a dead site degrades alone;
+//  5. adaptation converges: regime directives piggybacked on the
+//     faulty control links install in strictly increasing round order
+//     at every mirror incarnation (a stale or duplicate delivery never
+//     installs), and after drain every site's installed regime ID
+//     equals the central controller's.
+//
+// The adaptation scenario runs in every chaos run: the workload's
+// checkpoint cadence pushes the central backup queue over the primary
+// threshold (a Figure-8-style overload ramp), a fixed-length calm tail
+// lets the per-site revert rule bring the cluster back to baseline,
+// and the regimes themselves are state-neutral so transitions never
+// perturb the mirrored stream — what the scenario stresses is the
+// directive control plane under dup/drop/reorder/corrupt faults,
+// crash-restart, and recovery.
 //
 // Everything observable about a run derives from the seed: the
 // workload, the fault schedule, and each link's per-submission fault
@@ -27,9 +41,11 @@ package cluster
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"adaptmirror/internal/adapt"
 	"adaptmirror/internal/core"
 	"adaptmirror/internal/costmodel"
 	"adaptmirror/internal/event"
@@ -51,6 +67,30 @@ var chaosModel = costmodel.Model{
 	CheckpointBase: time.Microsecond,
 	ControlCost:    200 * time.Nanosecond,
 }
+
+// Adaptation scenario parameters. The backup-queue thresholds sit
+// below the checkpoint cadence (CheckpointEvery events accumulate
+// between rounds), so the first round of every run observes an
+// over-primary central sample and engages deterministically; the calm
+// floor (primary − secondary) is 8, low enough that the trickle-fed
+// calm tail reads calm at every site once a commit has trimmed the
+// backlog. The tail length leaves a wide margin over the revert
+// debounce even when control faults abort several commits in a row.
+const (
+	chaosAdaptPrimary   = 48
+	chaosAdaptSecondary = 40
+	chaosCalmTail       = 24
+)
+
+// The chaos regimes are deliberately state-neutral: both leave
+// coalescing and overwriting off and keep checkpointing
+// driver-sequenced, so a regime transition never perturbs the
+// mirrored stream and the seed-exact StateDigest replay check stays
+// valid. What distinguishes them is the ID the directive carries.
+var (
+	chaosBaselineRegime = adapt.Regime{ID: 1, Name: "chaos-baseline", MaxCoalesce: 1, CheckpointFreq: 1 << 30}
+	chaosDegradedRegime = adapt.Regime{ID: 2, Name: "chaos-degraded", MaxCoalesce: 1, CheckpointFreq: 1 << 30}
+)
 
 // ChaosConfig parameterizes one chaos run. The zero value of every
 // field selects a sensible default, so ChaosConfig{Seed: n} is a
@@ -119,6 +159,17 @@ type ChaosResult struct {
 	StateDigest uint64
 	// Faults counts fault-plane injections across all links.
 	Faults uint64
+	// Engages/Reverts count the adaptation controller's transitions
+	// (the overload ramp guarantees at least one engage per run).
+	Engages, Reverts uint64
+	// StaleDirectives counts regime deliveries the mirrors' appliers
+	// rejected at the round watermark (duplicated or reordered
+	// control-link deliveries, summed across incarnations).
+	StaleDirectives uint64
+	// InvalidDirectives counts regime deliveries rejected by the
+	// directive checksum (corrupted control-link deliveries, summed
+	// across incarnations).
+	InvalidDirectives uint64
 }
 
 // Failed reports whether any invariant was violated.
@@ -127,8 +178,9 @@ func (r ChaosResult) Failed() bool { return len(r.Violations) > 0 }
 // Report renders the run for humans: schedule, verdict, and the repro
 // seed on failure.
 func (r ChaosResult) Report() string {
-	s := fmt.Sprintf("%s replayed=%d rounds=%d commits=%d p95=%s faults=%d digest=%016x",
-		r.Schedule, r.Replayed, r.Rounds, r.Commits, r.P95, r.Faults, r.StateDigest)
+	s := fmt.Sprintf("%s replayed=%d rounds=%d commits=%d p95=%s faults=%d adapt=%d/%d stale=%d invalid=%d digest=%016x",
+		r.Schedule, r.Replayed, r.Rounds, r.Commits, r.P95, r.Faults,
+		r.Engages, r.Reverts, r.StaleDirectives, r.InvalidDirectives, r.StateDigest)
 	if !r.Failed() {
 		return "PASS " + s
 	}
@@ -164,6 +216,21 @@ type chaosRig struct {
 	// prevCommitted tracks the last observed cut per backup-queue
 	// incarnation: [0] central, [1..] mirrors (reset on crash-restart).
 	prevCommitted []vclock.VC
+
+	// controller is the central adaptation decision-maker; appliers
+	// hold each mirror slot's current directive applier (swapped with
+	// the site on crash-restart — the watermark is volatile state).
+	controller *adapt.Controller
+	appliers   []atomic.Pointer[adapt.Applier]
+
+	// adaptMu guards the install watermarks and violations recorded
+	// from applier install callbacks, plus the counters retired from
+	// dead incarnations.
+	adaptMu        sync.Mutex
+	lastInstall    []uint64 // per-slot install-round high-water mark
+	adaptViol      []string
+	staleRetired   uint64
+	invalidRetired uint64
 }
 
 func (r *chaosRig) violatef(format string, args ...interface{}) {
@@ -175,12 +242,75 @@ func (r *chaosRig) violatef(format string, args ...interface{}) {
 // decision stream continues over a restart, exactly like a network
 // path that outlives the host behind it.
 func (r *chaosRig) newMirror(i int) *core.MirrorSite {
-	return core.NewMirrorSite(core.MirrorSiteConfig{
+	// Each incarnation gets a fresh applier: a crash loses the
+	// directive watermark with the rest of volatile state, and the
+	// recovery transfer re-delivers the current regime.
+	ap := adapt.NewApplier(nil)
+	m := core.NewMirrorSite(core.MirrorSiteConfig{
 		Model:  chaosModel,
 		CPU:    r.cpus[i+1],
 		SiteID: uint8(i),
 		CtrlUp: r.ctrlUp[i],
+		OnPiggyback: func(round uint64, b []byte) {
+			ap.Apply(round, b)
+		},
 	})
+	install := adapt.InstallMirrorRegime(m)
+	ap.SetInstall(func(round uint64, reg adapt.Regime) {
+		install(round, reg)
+		r.noteInstall(i, round)
+	})
+	r.appliers[i].Store(ap)
+	return m
+}
+
+// noteInstall machine-checks directive versioning end to end: the
+// rounds a mirror incarnation actually installs must be strictly
+// increasing. A stale or duplicate delivery that makes it past the
+// applier's watermark is an invariant violation, not just a counter.
+func (r *chaosRig) noteInstall(i int, round uint64) {
+	r.adaptMu.Lock()
+	defer r.adaptMu.Unlock()
+	if round <= r.lastInstall[i] {
+		r.adaptViol = append(r.adaptViol, fmt.Sprintf(
+			"adapt: mirror %d installed directive round %d at or below watermark %d",
+			i, round, r.lastInstall[i]))
+		return
+	}
+	r.lastInstall[i] = round
+}
+
+// retireApplier folds a dead incarnation's directive counters into
+// the run totals and resets its install watermark: the replacement
+// incarnation restarts the monotonicity baseline (its regime arrives
+// again through the recovery transfer).
+func (r *chaosRig) retireApplier(i int) {
+	ap := r.appliers[i].Load()
+	if ap == nil {
+		return
+	}
+	_, stale, invalid := ap.Stats()
+	r.adaptMu.Lock()
+	r.staleRetired += stale
+	r.invalidRetired += invalid
+	r.lastInstall[i] = 0
+	r.adaptMu.Unlock()
+}
+
+// directiveStats sums the applier counters across every incarnation,
+// dead and live.
+func (r *chaosRig) directiveStats() (stale, invalid uint64) {
+	r.adaptMu.Lock()
+	stale, invalid = r.staleRetired, r.invalidRetired
+	r.adaptMu.Unlock()
+	for i := range r.appliers {
+		if ap := r.appliers[i].Load(); ap != nil {
+			_, s, inv := ap.Stats()
+			stale += s
+			invalid += inv
+		}
+	}
+	return stale, invalid
 }
 
 // slowCharge books the slow-mirror skew: the victim's CPU pays an
@@ -202,7 +332,13 @@ func newChaosRig(cfg ChaosConfig) *chaosRig {
 		slots:         make([]atomic.Pointer[core.MirrorSite], cfg.Mirrors),
 		hist:          metrics.NewHistogram(0),
 		prevCommitted: make([]vclock.VC, cfg.Mirrors+1),
+		appliers:      make([]atomic.Pointer[adapt.Applier], cfg.Mirrors),
+		lastInstall:   make([]uint64, cfg.Mirrors),
 	}
+	// The controller is fully constructed before the central exists:
+	// its ObserveSite closure runs on control-handling paths.
+	r.controller = adapt.NewController(chaosBaselineRegime, chaosDegradedRegime, nil)
+	r.controller.SetMonitorValues(adapt.VarBackup, chaosAdaptPrimary, chaosAdaptSecondary)
 	r.plane = faultinject.NewPlane(cfg.Seed, r.reg)
 	for i := 0; i <= cfg.Mirrors; i++ {
 		r.cpus = append(r.cpus, &costmodel.CPU{})
@@ -249,14 +385,29 @@ func newChaosRig(cfg ChaosConfig) *chaosRig {
 		CPU:     r.cpus[0],
 		Main:    core.MainConfig{DelayHist: r.hist},
 		Mirrors: links,
+		OnMirrorSample: func(site int, s core.Sample) {
+			r.controller.ObserveSite(site, s)
+		},
 	})
 	// Manual rounds only: the driver sequences checkpoints against
 	// stream positions so the schedule is machine-speed independent.
 	r.central.SetParams(false, 1, 1<<30)
+	// Decision point: each round's CHKPT observes the central's own
+	// queues and piggybacks whatever regime is current, stamped with
+	// the round.
+	r.central.SetPiggyback(func() []byte {
+		r.controller.Observe(r.central.Sample())
+		return adapt.EncodeRegime(r.controller.Current())
+	})
 	for i := 0; i < cfg.Mirrors; i++ {
 		r.slots[i].Store(r.newMirror(i))
 	}
-	r.member = core.NewMembership(r.central, core.MembershipConfig{MissedRounds: cfg.MissedRounds})
+	r.member = core.NewMembership(r.central, core.MembershipConfig{
+		MissedRounds: cfg.MissedRounds,
+		// An excluded site's last sample row must not pin the regime:
+		// the per-site revert rule considers live sites only.
+		OnFailure: func(site int) { r.controller.EvictSite(site) },
+	})
 	return r
 }
 
@@ -328,6 +479,7 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 	restartAt := crashAt + int(sched.DownFrac*float64(n))
 	victim := sched.CrashMirror
 
+	fed := 0
 	for i, e := range events {
 		if i == crashAt {
 			// The mirror dies: every link to and from it partitions, and
@@ -345,21 +497,60 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 			r.violatef("feed: event %d/%d rejected: %v", i, n, err)
 			break
 		}
+		fed++
 		if (i+1)%cfg.CheckpointEvery == 0 {
 			// Let the pipeline catch up to the feed before the round:
 			// a checkpoint against a not-yet-populated backup is a
 			// no-op and would starve the failure detector of rounds.
-			r.waitMirrored(uint64(i + 1))
+			r.waitMirrored(uint64(fed))
 			r.round("round")
 		}
 	}
 
+	r.calmTail(fed)
 	r.finish(&res)
+	r.adaptMu.Lock()
+	r.violations = append(r.violations, r.adaptViol...)
+	r.adaptMu.Unlock()
 	res.Violations = r.violations
 	res.Rounds, res.Commits = r.central.Stats().ChkptRounds, r.central.Stats().ChkptCommits
 	res.P95 = r.hist.Percentile(95)
 	res.Faults = r.faultCount()
+	res.Engages, res.Reverts = r.controller.Transitions()
+	res.StaleDirectives, res.InvalidDirectives = r.directiveStats()
 	return res
+}
+
+// calmTail is the downslope of the Figure-8-style load ramp: the
+// overload subsides and a fixed trickle of small events keeps
+// checkpoint rounds running (a round against an empty backup queue is
+// a no-op) while every site reports calm samples, driving the
+// controller's per-site revert rule. The tail length is fixed so the
+// ingested-event count — and with it the replayed StateDigest — stays
+// a pure function of the seed.
+func (r *chaosRig) calmTail(fed int) {
+	tail := BuildEvents(Options{
+		Flights:          chaosCalmTail,
+		UpdatesPerFlight: 1,
+		EventSize:        32,
+		Seed:             r.cfg.Seed + 101,
+	})
+	for i, e := range tail {
+		if err := r.central.Ingest(e); err != nil {
+			r.violatef("calm: event %d/%d rejected: %v", i, len(tail), err)
+			return
+		}
+		fed++
+		r.waitMirrored(uint64(fed))
+		r.round("calm")
+		r.flushCtrl()
+	}
+	// The ramp itself is deterministic: the first checkpoint round of
+	// every run observes CheckpointEvery backed-up events at the
+	// central, which is over the primary threshold.
+	if eng, _ := r.controller.Transitions(); eng == 0 {
+		r.violatef("adapt: overload ramp never engaged the degraded regime")
+	}
 }
 
 // waitMirrored blocks until the sending task has fanned out (and
@@ -423,6 +614,7 @@ func (r *chaosRig) rejoinAll(stage string) {
 // heals its links, and re-admits it through the recovery transfer.
 func (r *chaosRig) restartAndRejoin() int {
 	victim := r.sched.CrashMirror
+	r.retireApplier(victim)
 	old := r.slots[victim].Swap(r.newMirror(victim))
 	old.Close()
 	// A fresh incarnation starts a fresh backup queue: the monotonicity
@@ -505,6 +697,46 @@ func (r *chaosRig) finish(res *ChaosResult) {
 	if p95 := r.hist.Percentile(95); p95 > r.cfg.EnvelopeP95 {
 		r.violatef("latency: central update-delay p95 %s exceeds envelope %s", p95, r.cfg.EnvelopeP95)
 	}
+
+	// Invariant 5: regime convergence. Control faults can have dropped
+	// the last piggybacked delivery to any site, and a transition can
+	// have been decided on a reply that arrived after the final round's
+	// CHKPT went out — PublishDirective refreshes the directive
+	// (allocating a new round when it changed) and re-broadcasts until
+	// every applier converges; the round watermark makes the redundant
+	// deliveries harmless.
+	for attempt := 0; attempt < 200 && !r.regimesConverged(); attempt++ {
+		r.central.PublishDirective()
+		r.flushCtrl()
+	}
+	if !r.regimesConverged() {
+		want := r.controller.Current()
+		for i := range r.appliers {
+			reg, round, ok := r.appliers[i].Load().Current()
+			id, _, _ := r.slots[i].Load().Regime()
+			if !ok || reg.ID != want.ID || id != want.ID {
+				r.violatef("adapt: mirror %d regime applier=%d site=%d (round %d, have=%v) != central %d after drain",
+					i, reg.ID, id, round, ok, want.ID)
+			}
+		}
+	}
+}
+
+// regimesConverged reports whether every mirror's applier — and the
+// site it installs into — carries the central controller's current
+// regime ID.
+func (r *chaosRig) regimesConverged() bool {
+	want := r.controller.Current().ID
+	for i := range r.appliers {
+		reg, _, ok := r.appliers[i].Load().Current()
+		if !ok || reg.ID != want {
+			return false
+		}
+		if id, _, _ := r.slots[i].Load().Regime(); id != want {
+			return false
+		}
+	}
+	return true
 }
 
 // faultCount sums the plane's injection counters across all links.

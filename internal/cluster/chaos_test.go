@@ -82,6 +82,38 @@ func TestChaosDeterministicReplay(t *testing.T) {
 	}
 }
 
+// TestChaosAdaptationScenario pins the adaptation leg of the chaos
+// run: the overload ramp engages the degraded regime, the calm tail's
+// per-site revert rule brings the cluster back to baseline (so the
+// run ends with the controller on regime 1), and the convergence
+// invariant holds with the dup/reorder-heavy control links having
+// produced at least one watermark rejection somewhere in the seed
+// range — proving the stale-directive path is actually exercised, not
+// just tolerated.
+func TestChaosAdaptationScenario(t *testing.T) {
+	seeds := []int64{1, 2, 3, 7, 11}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	var stale uint64
+	for _, seed := range seeds {
+		res := RunChaos(ChaosConfig{Seed: seed})
+		if res.Failed() {
+			t.Fatal(res.Report())
+		}
+		if res.Engages == 0 {
+			t.Fatalf("seed %d: overload ramp never engaged: %s", seed, res.Report())
+		}
+		if res.Reverts == 0 {
+			t.Fatalf("seed %d: calm tail never reverted: %s", seed, res.Report())
+		}
+		stale += res.StaleDirectives
+	}
+	if stale == 0 {
+		t.Errorf("no seed produced a watermark-rejected directive; dup/reorder faults not reaching the applier")
+	}
+}
+
 // TestChaosScheduleCoversFaultClasses spot-checks that schedules over
 // a seed range actually exercise every probabilistic fault class and
 // pick distinct crash/slow victims — the suite is only as good as the

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptmirror/internal/adapt"
 	"adaptmirror/internal/core"
 	"adaptmirror/internal/costmodel"
 	"adaptmirror/internal/echo"
@@ -85,8 +86,8 @@ type Config struct {
 	// bin width (Figure 9).
 	SeriesBin time.Duration
 	// OnMirrorSample forwards piggybacked mirror monitor samples
-	// (adaptation input).
-	OnMirrorSample func(core.Sample)
+	// (adaptation input) together with the reporting mirror's index.
+	OnMirrorSample func(site int, s core.Sample)
 	// ClientOut, when non-nil, additionally receives the central
 	// site's client update stream (thin clients, operations logs).
 	ClientOut core.Sender
@@ -120,33 +121,50 @@ type Cluster struct {
 	// mirror apply, checkpoint commit) shared by every site.
 	Tracer *obs.Tracer
 
+	// Appliers[i] is mirror i's adaptation applier: it consumes the
+	// regime directives the central piggybacks on CHKPT traffic,
+	// discards stale/duplicate deliveries by checkpoint round, and
+	// installs the mirror-relevant parameters on Mirrors[i]. Always
+	// wired (a non-adaptive cluster simply never sees a directive) so
+	// every deployment exports the per-site adapt_regime_id gauge.
+	Appliers []*adapt.Applier
+
 	start     time.Time
 	closers   []func()
 	closeOnce sync.Once
 
 	sampleMu sync.Mutex
-	onSample func(core.Sample)
+	onSample func(site int, s core.Sample)
 }
 
 // SetOnMirrorSample installs (or replaces) the callback receiving the
 // monitor samples mirror sites piggyback on checkpoint replies. It
 // composes with Config.OnMirrorSample: both are invoked.
-func (cl *Cluster) SetOnMirrorSample(f func(core.Sample)) {
+func (cl *Cluster) SetOnMirrorSample(f func(site int, s core.Sample)) {
 	cl.sampleMu.Lock()
 	cl.onSample = f
 	cl.sampleMu.Unlock()
 }
 
-func (cl *Cluster) dispatchSample(s core.Sample, configured func(core.Sample)) {
+func (cl *Cluster) dispatchSample(site int, s core.Sample, configured func(int, core.Sample)) {
 	if configured != nil {
-		configured(s)
+		configured(site, s)
 	}
 	cl.sampleMu.Lock()
 	f := cl.onSample
 	cl.sampleMu.Unlock()
 	if f != nil {
-		f(s)
+		f(site, s)
 	}
+}
+
+// newApplier creates mirror i's directive applier and exports its
+// metrics; the install hook is attached once the site exists.
+func (cl *Cluster) newApplier(i int) *adapt.Applier {
+	ap := adapt.NewApplier(nil)
+	ap.RegisterMetrics(cl.Obs, fmt.Sprintf("mirror%d", i))
+	cl.Appliers = append(cl.Appliers, ap)
+	return ap
 }
 
 // counterSink counts submissions (the regular-clients channel) and
@@ -229,8 +247,8 @@ func New(cfg Config) (*Cluster, error) {
 		NoMirror: cfg.NoMirror,
 		Obs:      cl.Obs,
 		Tracer:   cl.Tracer,
-		OnMirrorSample: func(s core.Sample) {
-			cl.dispatchSample(s, configured)
+		OnMirrorSample: func(site int, s core.Sample) {
+			cl.dispatchSample(site, s, configured)
 		},
 	})
 	cl.finishWiring()
@@ -391,6 +409,7 @@ func (cl *Cluster) wireDirect(cfg Config) []core.MirrorLink {
 	links := make([]core.MirrorLink, cfg.Mirrors)
 	for i := 0; i < cfg.Mirrors; i++ {
 		i := i
+		ap := cl.newApplier(i)
 		m := core.NewMirrorSite(core.MirrorSiteConfig{
 			Main:   cl.siteMainCfg(cfg),
 			Model:  cfg.Model,
@@ -398,11 +417,15 @@ func (cl *Cluster) wireDirect(cfg Config) []core.MirrorLink {
 			SiteID: uint8(i),
 			Obs:    cl.Obs,
 			Tracer: cl.Tracer,
+			OnPiggyback: func(round uint64, b []byte) {
+				ap.Apply(round, b)
+			},
 			CtrlUp: senderFunc(func(e *event.Event) error {
 				cl.Central.HandleControl(e)
 				return nil
 			}),
 		})
+		ap.SetInstall(adapt.InstallMirrorRegime(m))
 		cl.Mirrors = append(cl.Mirrors, m)
 		links[i] = core.MirrorLink{
 			Data: batchSenderFunc{
@@ -422,6 +445,7 @@ func (cl *Cluster) wireChannels(cfg Config) []core.MirrorLink {
 	cl.closers = append(cl.closers, func() { ctrlUp.Close() })
 	ctrlUp.Subscribe(func(e *event.Event) { cl.Central.HandleControl(e) })
 	for i := 0; i < cfg.Mirrors; i++ {
+		ap := cl.newApplier(i)
 		m := core.NewMirrorSite(core.MirrorSiteConfig{
 			Main:   cl.siteMainCfg(cfg),
 			Model:  cfg.Model,
@@ -429,8 +453,12 @@ func (cl *Cluster) wireChannels(cfg Config) []core.MirrorLink {
 			SiteID: uint8(i),
 			Obs:    cl.Obs,
 			Tracer: cl.Tracer,
+			OnPiggyback: func(round uint64, b []byte) {
+				ap.Apply(round, b)
+			},
 			CtrlUp: ctrlUp,
 		})
+		ap.SetInstall(adapt.InstallMirrorRegime(m))
 		cl.Mirrors = append(cl.Mirrors, m)
 		data := echo.NewLocal(fmt.Sprintf("data.%d", i))
 		ctrl := echo.NewLocal(fmt.Sprintf("ctrl.down.%d", i))
@@ -483,6 +511,7 @@ func (cl *Cluster) wireTCP(cfg Config) ([]core.MirrorLink, error) {
 		}
 		cl.closers = append(cl.closers, func() { upLink.Close() })
 
+		ap := cl.newApplier(i)
 		m := core.NewMirrorSite(core.MirrorSiteConfig{
 			Main:   cl.siteMainCfg(cfg),
 			Model:  cfg.Model,
@@ -490,8 +519,12 @@ func (cl *Cluster) wireTCP(cfg Config) ([]core.MirrorLink, error) {
 			SiteID: uint8(i),
 			Obs:    cl.Obs,
 			Tracer: cl.Tracer,
+			OnPiggyback: func(round uint64, b []byte) {
+				ap.Apply(round, b)
+			},
 			CtrlUp: upLink,
 		})
+		ap.SetInstall(adapt.InstallMirrorRegime(m))
 		cl.Mirrors = append(cl.Mirrors, m)
 		dataCh.Subscribe(m.HandleData)
 		ctrlCh.Subscribe(m.HandleControl)

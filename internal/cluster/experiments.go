@@ -171,7 +171,14 @@ func RunExperiment(opts Options) (Result, error) {
 	if zeroModel(model) {
 		model = costmodel.Default
 	}
+	// The controller must be fully constructed before New(cfg) starts
+	// the transports: the OnMirrorSample closure runs on transport
+	// goroutines, and having them read a variable the main goroutine
+	// assigns later is a data race.
 	var controller *adapt.Controller
+	if opts.Adaptive {
+		controller = adapt.NewController(opts.Baseline, opts.Degraded, nil)
+	}
 	cfg := Config{
 		Mirrors:        opts.Mirrors,
 		Transport:      opts.Transport,
@@ -187,9 +194,9 @@ func RunExperiment(opts Options) (Result, error) {
 			MaxCoalesce:    opts.MaxCoalesce,
 			CheckpointFreq: opts.ChkptFreq,
 		},
-		OnMirrorSample: func(s core.Sample) {
+		OnMirrorSample: func(site int, s core.Sample) {
 			if controller != nil {
-				controller.Observe(s)
+				controller.ObserveSite(site, s)
 			}
 		},
 	}
@@ -213,7 +220,7 @@ func RunExperiment(opts Options) (Result, error) {
 	}
 	var audit *obs.AuditLog
 	if opts.Adaptive {
-		controller = adapt.NewController(opts.Baseline, opts.Degraded, adapt.InstallRegime(cl.Central))
+		controller.SetApply(adapt.InstallRegime(cl.Central))
 		audit = obs.NewAuditLog(0)
 		controller.SetAudit(audit)
 		controller.RegisterMetrics(cl.Obs)

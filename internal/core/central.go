@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,8 +93,12 @@ type CentralConfig struct {
 	// in LinkStats — the slow site degrades alone.
 	OutboxDepth int
 	// OnMirrorSample, when non-nil, receives the monitored-variable
-	// samples mirror sites piggyback on their checkpoint replies.
-	OnMirrorSample func(Sample)
+	// samples mirror sites piggyback on their checkpoint replies,
+	// together with the reporting site's index (the reply's Stream).
+	// The adaptation controller keys its per-site last-sample table on
+	// it, so N-1 idle mirrors cannot revert the regime while one site
+	// is still overloaded.
+	OnMirrorSample func(site int, s Sample)
 	// Obs, when non-nil, is the registry the site's instruments are
 	// exported through (queue depths, fan-out counters, checkpoint
 	// rounds). Site labels every series.
@@ -142,6 +147,11 @@ type Central struct {
 
 	piggyMu   sync.Mutex
 	piggyback func() []byte
+	// lastDirective/lastDirectiveRound retain the most recent
+	// piggybacked adaptation directive and the checkpoint round that
+	// carried it, for recovery snapshots and standalone re-broadcast.
+	lastDirective      []byte
+	lastDirectiveRound uint64
 
 	chkptTrigger chan struct{}
 	ctrlStop     chan struct{}
@@ -564,7 +574,9 @@ func (c *Central) HandleControl(e *event.Event) {
 	if e.Type == event.TypeChkptReply {
 		if c.cfg.OnMirrorSample != nil && len(e.Payload) > 0 {
 			if s, err := DecodeSample(e.Payload); err == nil {
-				c.cfg.OnMirrorSample(s)
+				// Only mirror sites reach HandleControl; the central
+				// main unit replies straight to the coordinator.
+				c.cfg.OnMirrorSample(int(e.Stream), s)
 			}
 		}
 		c.noteReply(e)
@@ -581,14 +593,73 @@ func (c *Central) SetPiggyback(f func() []byte) {
 	c.piggyMu.Unlock()
 }
 
-func (c *Central) takePiggyback() []byte {
+// takePiggyback produces the bytes for the CHKPT of the given round
+// and retains them (with the round stamp) so recovery snapshots and
+// PublishDirective can re-deliver the same versioned directive.
+func (c *Central) takePiggyback(round uint64) []byte {
 	c.piggyMu.Lock()
 	f := c.piggyback
 	c.piggyMu.Unlock()
 	if f == nil {
 		return nil
 	}
-	return f()
+	b := f()
+	if len(b) > 0 {
+		c.piggyMu.Lock()
+		c.lastDirective = append(c.lastDirective[:0], b...)
+		c.lastDirectiveRound = round
+		c.piggyMu.Unlock()
+	}
+	return b
+}
+
+// lastDirectiveSnapshot copies the most recent piggybacked directive
+// and the round that stamped it (nil if no round has piggybacked yet).
+func (c *Central) lastDirectiveSnapshot() (uint64, []byte) {
+	c.piggyMu.Lock()
+	defer c.piggyMu.Unlock()
+	if len(c.lastDirective) == 0 {
+		return 0, nil
+	}
+	return c.lastDirectiveRound, append([]byte(nil), c.lastDirective...)
+}
+
+// PublishDirective broadcasts the current adaptation directive as a
+// standalone TypeAdapt control event. Checkpoint rounds stop once the
+// backup queue drains, so this is how a site that missed the last
+// piggybacked delivery still converges. When a piggyback provider is
+// installed it is consulted for fresh bytes first: a directive that
+// changed since a checkpoint last stamped one (a transition decided
+// on a reply that arrived after the round's CHKPT went out) gets a
+// freshly allocated round so receivers past the old watermark still
+// accept it — allocating the round abandons any open checkpoint
+// round, exactly as starting a new round would. An unchanged
+// directive keeps its original stamp, making the re-broadcast
+// idempotent at every receiver. It reports whether a directive
+// existed to publish.
+func (c *Central) PublishDirective() bool {
+	c.piggyMu.Lock()
+	f := c.piggyback
+	c.piggyMu.Unlock()
+	if f != nil {
+		if b := f(); len(b) > 0 {
+			c.piggyMu.Lock()
+			if !bytes.Equal(b, c.lastDirective) {
+				c.lastDirective = append(c.lastDirective[:0], b...)
+				c.lastDirectiveRound = c.coord.NextRound()
+			}
+			c.piggyMu.Unlock()
+		}
+	}
+	round, dir := c.lastDirectiveSnapshot()
+	if dir == nil {
+		return false
+	}
+	ev := event.NewControl(event.TypeAdapt, nil)
+	ev.Seq = round
+	ev.Payload = dir
+	c.coord.Broadcast(ev)
+	return true
 }
 
 // Sample returns the central site's own monitored variables.

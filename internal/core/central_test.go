@@ -342,11 +342,13 @@ func TestCoalescingReducesMirrorEvents(t *testing.T) {
 func TestMirrorSampleReachesCentral(t *testing.T) {
 	var mu sync.Mutex
 	var got []Sample
+	var sites []int
 	r := newRig(t, 1, func(cfg *CentralConfig) {
 		cfg.Params = Params{CheckpointFreq: 5}
-		cfg.OnMirrorSample = func(s Sample) {
+		cfg.OnMirrorSample = func(site int, s Sample) {
 			mu.Lock()
 			got = append(got, s)
+			sites = append(sites, site)
 			mu.Unlock()
 		}
 	})
@@ -356,6 +358,11 @@ func TestMirrorSampleReachesCentral(t *testing.T) {
 	defer mu.Unlock()
 	if len(got) == 0 {
 		t.Fatal("no mirror samples observed at central")
+	}
+	for _, site := range sites {
+		if site != 0 {
+			t.Fatalf("sample attributed to site %d, want 0", site)
+		}
 	}
 }
 

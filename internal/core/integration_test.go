@@ -222,6 +222,7 @@ func TestConcurrentIngestors(t *testing.T) {
 func TestAdaptationPiggybackRoundTrip(t *testing.T) {
 	var mu sync.Mutex
 	var got [][]byte
+	var rounds []uint64
 	r := &standaloneRig{}
 	links := []MirrorLink{{
 		Data: senderFunc(func(e *event.Event) error { r.mirrors[0].HandleData(e); return nil }),
@@ -230,8 +231,9 @@ func TestAdaptationPiggybackRoundTrip(t *testing.T) {
 	r.central = NewCentral(CentralConfig{Streams: 1, Mirrors: links})
 	r.mirrors = append(r.mirrors, NewMirrorSite(MirrorSiteConfig{
 		CtrlUp: senderFunc(func(e *event.Event) error { r.central.HandleControl(e); return nil }),
-		OnPiggyback: func(b []byte) {
+		OnPiggyback: func(round uint64, b []byte) {
 			mu.Lock()
+			rounds = append(rounds, round)
 			got = append(got, append([]byte(nil), b...))
 			mu.Unlock()
 		},
@@ -254,6 +256,11 @@ func TestAdaptationPiggybackRoundTrip(t *testing.T) {
 	for _, b := range got {
 		if string(b) != "regime:2" {
 			t.Fatalf("directive corrupted: %q", b)
+		}
+	}
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i] <= rounds[i-1] {
+			t.Fatalf("piggyback rounds not strictly increasing: %v", rounds)
 		}
 	}
 }

@@ -31,8 +31,10 @@ type MirrorSiteConfig struct {
 	// field of control replies for membership tracking.
 	SiteID uint8
 	// OnPiggyback, when non-nil, receives adaptation bytes attached to
-	// CHKPT events by the central site.
-	OnPiggyback func([]byte)
+	// CHKPT events by the central site (or carried by standalone and
+	// recovery-snapshot TypeAdapt events), with the checkpoint round
+	// that stamped them.
+	OnPiggyback func(round uint64, payload []byte)
 	// Obs, when non-nil, exports the site's queue depths and counters,
 	// labeled with Site (default "mirror<SiteID>").
 	Obs  *obs.Registry
@@ -67,6 +69,14 @@ type MirrorSite struct {
 	// for replicas to converge byte-for-byte.
 	dedupMu     sync.Mutex
 	arrivalHigh vclock.VC
+
+	// regime bookkeeping: the adaptation regime installed at this site
+	// (via piggybacked directives) — the configuration a promoted
+	// replacement central would start from.
+	regimeMu        sync.Mutex
+	regimeID        uint8
+	regimeParams    Params
+	regimeOverwrite int
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -160,9 +170,17 @@ func (m *MirrorSite) admit(e *event.Event) bool {
 // HandleData accepts one mirrored event from the central site.
 // Re-delivered events (at or below the arrival watermark) count as
 // received but are otherwise dropped; recovery-state events skip the
-// backup queue (they are not mirrored history, they replace it).
+// backup queue (they are not mirrored history, they replace it);
+// adaptation directives (recovery snapshots carry one) go straight to
+// the piggyback hook, never near the queues.
 func (m *MirrorSite) HandleData(e *event.Event) {
 	m.received.Add(1)
+	if e.Type == event.TypeAdapt {
+		if m.cfg.OnPiggyback != nil && len(e.Payload) > 0 {
+			m.cfg.OnPiggyback(e.Seq, e.Payload)
+		}
+		return
+	}
 	m.dedupMu.Lock()
 	ok := m.admit(e)
 	m.dedupMu.Unlock()
@@ -188,9 +206,11 @@ func (m *MirrorSite) HandleDataBatch(events []*event.Event) {
 	// On the first exception, fall back to filtered copies.
 	toBackup, toReady := events, events
 	plain := true
+	var directives []*event.Event
 	m.dedupMu.Lock()
 	for i, e := range events {
-		ok := m.admit(e)
+		adaptDir := e.Type == event.TypeAdapt
+		ok := !adaptDir && m.admit(e)
 		if plain && ok && e.Type != event.TypeRecoveryState {
 			continue
 		}
@@ -198,6 +218,10 @@ func (m *MirrorSite) HandleDataBatch(events []*event.Event) {
 			toBackup = append(make([]*event.Event, 0, len(events)), events[:i]...)
 			toReady = append(make([]*event.Event, 0, len(events)), events[:i]...)
 			plain = false
+		}
+		if adaptDir {
+			directives = append(directives, e)
+			continue
 		}
 		if ok {
 			toReady = append(toReady, e)
@@ -212,6 +236,13 @@ func (m *MirrorSite) HandleDataBatch(events []*event.Event) {
 	}
 	if len(toReady) > 0 {
 		_ = m.ready.PutBatch(toReady)
+	}
+	if m.cfg.OnPiggyback != nil {
+		for _, e := range directives {
+			if len(e.Payload) > 0 {
+				m.cfg.OnPiggyback(e.Seq, e.Payload)
+			}
+		}
 	}
 }
 
@@ -252,6 +283,28 @@ func (m *MirrorSite) Sample() Sample {
 		Backup:  m.backup.Len(),
 		Pending: m.main.PendingRequests(),
 	}
+}
+
+// SetRegime records the adaptation regime installed at this site: the
+// wire ID plus the mirror-relevant parameters. Mirrors do not run the
+// sending task, so the parameters are bookkeeping — the configuration
+// a promoted replacement central would start from — while the ID
+// feeds the per-site adapt_regime_id gauge and the chaos harness's
+// regime-convergence invariant.
+func (m *MirrorSite) SetRegime(id uint8, p Params, overwriteLen int) {
+	m.regimeMu.Lock()
+	m.regimeID = id
+	m.regimeParams = p
+	m.regimeOverwrite = overwriteLen
+	m.regimeMu.Unlock()
+}
+
+// Regime returns the recorded adaptation regime (zero values until a
+// directive has been installed).
+func (m *MirrorSite) Regime() (id uint8, p Params, overwriteLen int) {
+	m.regimeMu.Lock()
+	defer m.regimeMu.Unlock()
+	return m.regimeID, m.regimeParams, m.regimeOverwrite
 }
 
 // Received returns the number of mirrored events accepted.

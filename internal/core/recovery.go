@@ -30,6 +30,13 @@ type RecoverySnapshot struct {
 	// The range may overlap Cut; the receiving site's arrival
 	// watermark discards the overlap.
 	Events []*event.Event
+	// Directive is the most recent adaptation directive the central
+	// piggybacked on a checkpoint round (nil if none yet), and
+	// DirectiveRound the round that stamped it. Carrying it in the
+	// snapshot lets a rejoining mirror converge on the installed
+	// regime immediately instead of waiting for the next transition.
+	Directive      []byte
+	DirectiveRound uint64
 }
 
 // BuildRecovery assembles a recovery snapshot for a rejoining mirror.
@@ -49,20 +56,32 @@ func (c *Central) BuildRecovery() RecoverySnapshot {
 		capture()
 	}
 	snap.Events = c.backup.Snapshot()
+	snap.DirectiveRound, snap.Directive = c.lastDirectiveSnapshot()
 	return snap
 }
 
 // recoveryEvents flattens a snapshot into the wire sequence pushed to
 // a recovering mirror: one TypeRecoveryState event carrying the
-// serialized state at the cut, followed by the backup replay.
+// serialized state at the cut, then (when the adaptation loop has
+// distributed one) the current regime directive stamped with its
+// round — the receiver's watermark makes it idempotent — followed by
+// the backup replay.
 func recoveryEvents(snap RecoverySnapshot) []*event.Event {
-	events := make([]*event.Event, 0, len(snap.Events)+1)
+	events := make([]*event.Event, 0, len(snap.Events)+2)
 	events = append(events, &event.Event{
 		Type:      event.TypeRecoveryState,
 		Coalesced: 1,
 		VT:        snap.Cut,
 		Payload:   snap.State,
 	})
+	if len(snap.Directive) > 0 {
+		events = append(events, &event.Event{
+			Type:      event.TypeAdapt,
+			Coalesced: 1,
+			Seq:       snap.DirectiveRound,
+			Payload:   snap.Directive,
+		})
+	}
 	return append(events, snap.Events...)
 }
 

@@ -26,6 +26,11 @@ type AuditEntry struct {
 	// RegimeID/Regime identify the regime installed by the action.
 	RegimeID uint8  `json:"regime_id"`
 	Regime   string `json:"regime,omitempty"`
+	// Site names the site whose sample drove the decision ("central"
+	// or "mirror<N>"): under the per-site revert rule, the engage names
+	// the overloaded site and the revert names the site whose report
+	// completed the all-calm streak.
+	Site string `json:"site,omitempty"`
 	// Var is the monitored variable judged against Primary/Secondary:
 	// for an engage, the variable whose value reached Primary; for a
 	// revert, the variable that had engaged (its value is now below
