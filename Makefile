@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci metrics-lint chaos fuzz bench bench-compare bench-serve figures clean
+.PHONY: all build vet test race ci metrics-lint chaos fuzz bench bench-compare bench-gate bench-serve figures clean
 
 all: ci
 
@@ -35,6 +35,7 @@ chaos:
 # plane (the checked-in corpora always run as regular tests).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzCodecCorrupt -fuzztime 20s ./internal/event
+	$(GO) test -run xxx -fuzz FuzzBatchFrame -fuzztime 20s ./internal/event
 	$(GO) test -run xxx -fuzz FuzzCheckpointControl -fuzztime 20s ./internal/checkpoint
 	$(GO) test -run xxx -fuzz FuzzRegimeDirective -fuzztime 20s ./internal/adapt
 
@@ -45,6 +46,13 @@ bench:
 # Repeated runs of the fan-out-sensitive benchmarks, benchstat-ready.
 bench-compare:
 	./scripts/bench_compare.sh
+
+# Statistical wire-format gate: >=5 runs of the legacy vs columnar
+# framing benchmarks, Mann-Whitney-checked by the self-contained
+# cmd/benchgate (no benchstat install needed), plus a 0 allocs/op
+# assertion on the columnar round trip.
+bench-gate:
+	./scripts/bench_compare.sh gate
 
 # The init-state serving-path benchmarks (storm throughput and
 # snapshot-cache rebuild cost).

@@ -470,6 +470,104 @@ func BenchmarkCodecBatchWrite(b *testing.B) {
 	}
 }
 
+// repeatFrames feeds the same encoded frame bytes forever, so a
+// decoder can be driven for b.N events from one encoding.
+type repeatFrames struct {
+	data []byte
+	off  int
+}
+
+func (r *repeatFrames) Read(p []byte) (int, error) {
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// BenchmarkWireFrame round-trips batches through the wire codec —
+// encode into a frame, decode back into events — comparing the legacy
+// per-event codec against the columnar batch frame. One benchmark op
+// is one event, so ns/op and allocs/op read per event; the columnar
+// decode path borrows pooled slabs and must hold 0 allocs/op in
+// steady state (make bench-gate asserts exactly that, and that
+// columnar is not statistically slower than legacy).
+func BenchmarkWireFrame(b *testing.B) {
+	for _, codec := range []string{"legacy", "columnar"} {
+		for _, n := range []int{16, 64, 256} {
+			b.Run(fmt.Sprintf("%s/n=%d", codec, n), func(b *testing.B) {
+				batch := make([]*event.Event, n)
+				for i := range batch {
+					e := event.NewPosition(event.FlightID(i+1), uint64(i+1), 1, 2, 3, 1024)
+					e.VT = vclock.VC{uint64(i + 1), 0}
+					e.Payload = benchPayload
+					batch[i] = e
+				}
+				// Encode one frame up front to feed the decoder in a loop.
+				var sink frameBuffer
+				w := event.NewWriter(&sink)
+				var err error
+				if codec == "legacy" {
+					err = w.WriteBatch(batch)
+				} else {
+					err = w.WriteBatchFrame(batch)
+				}
+				if err == nil {
+					err = w.Flush()
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := event.NewReader(&repeatFrames{data: sink.buf})
+				enc := event.NewWriter(io.Discard)
+				b.ReportAllocs()
+				b.SetBytes(int64(len(sink.buf)) / int64(n))
+				b.ResetTimer()
+				for done := 0; done < b.N; done += n {
+					if codec == "legacy" {
+						if err := enc.WriteBatch(batch); err != nil {
+							b.Fatal(err)
+						}
+						if err := enc.Flush(); err != nil {
+							b.Fatal(err)
+						}
+						for i := 0; i < n; i++ {
+							if _, err := r.ReadEvent(); err != nil {
+								b.Fatal(err)
+							}
+						}
+						continue
+					}
+					if err := enc.WriteBatchFrame(batch); err != nil {
+						b.Fatal(err)
+					}
+					if err := enc.Flush(); err != nil {
+						b.Fatal(err)
+					}
+					_, bb, err := r.ReadFrame()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if bb == nil || len(bb.Events) != n {
+						b.Fatalf("decoded %v events, want batch of %d", bb, n)
+					}
+					bb.Release()
+				}
+			})
+		}
+	}
+}
+
+// frameBuffer is a minimal append-only sink (bytes.Buffer grows in
+// ways that would show up as setup noise).
+type frameBuffer struct{ buf []byte }
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
 // BenchmarkServeInitStorm measures the init-state serving path under
 // concurrent thin-client storms (the paper's airport power-failure
 // scenario): one main unit holding 1000 flights, hammered by 1/8/64

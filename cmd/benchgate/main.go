@@ -1,0 +1,311 @@
+// Command benchgate is a self-contained statistical gate over `go test
+// -bench` output — a minimal stand-in for benchstat that needs no
+// installation. It has two modes, composable in one invocation:
+//
+//	benchgate -compare old.txt new.txt
+//	    Pair benchmarks by name and compare their ns/op samples with a
+//	    two-sided Mann-Whitney U test (normal approximation with tie
+//	    correction, as benchstat uses for n this small). The gate fails
+//	    when a benchmark got significantly slower (p < alpha) by more
+//	    than -max-regress percent of the old median. Sub-benchmark
+//	    suffixes given via -old-sub/-new-sub remap names so the two
+//	    sides of one file can be compared:
+//
+//	benchgate -compare f.txt f.txt -old-sub legacy -new-sub columnar
+//	    Compares BenchmarkX/legacy/... in f.txt against
+//	    BenchmarkX/columnar/... in the same file.
+//
+//	benchgate -assert-zero-allocs regexp file.txt
+//	    Every benchmark matching the pattern must report 0 allocs/op in
+//	    every sample.
+//
+// Exit status 0 = gate passed, 1 = gate failed, 2 = usage/parse error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark result line.
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
+var allocsField = regexp.MustCompile(`([\d.]+) allocs/op`)
+
+// parseFile reads `go test -bench` output into name → samples.
+func parseFile(path string) (map[string][]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]sample)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		s := sample{nsPerOp: ns}
+		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+			s.allocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+			s.hasAllocs = true
+		}
+		out[m[1]] = append(out[m[1]], s)
+	}
+	return out, sc.Err()
+}
+
+// stripSub removes one path component from a benchmark name
+// (Benchmark/X/sub/Y → Benchmark/X/Y) so paired variants can be
+// matched; returns "" when the component is absent.
+func stripSub(name, sub string) string {
+	parts := strings.Split(name, "/")
+	for i, p := range parts {
+		if p == sub {
+			return strings.Join(append(parts[:i:i], parts[i+1:]...), "/")
+		}
+	}
+	return ""
+}
+
+// remap rewrites every benchmark name by stripping the sub component,
+// dropping benchmarks that do not carry it.
+func remap(in map[string][]sample, sub string) map[string][]sample {
+	if sub == "" {
+		return in
+	}
+	out := make(map[string][]sample)
+	for name, ss := range in {
+		if k := stripSub(name, sub); k != "" {
+			out[k] = append(out[k], ss...)
+		}
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitneyP returns the two-sided p-value of the Mann-Whitney U
+// test for samples a and b, using the normal approximation with tie
+// correction and continuity correction — adequate for the n≥5 runs
+// the gate requires, where the exact tables and the approximation
+// agree on the 0.05 decision boundary.
+func mannWhitneyP(a, b []float64) float64 {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Midranks with tie bookkeeping.
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u := r1 - n1*(n1+1)/2
+	mean := n1 * n2 / 2
+	n := n1 + n2
+	variance := n1 * n2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if variance <= 0 {
+		// All observations tied: no evidence of difference.
+		return 1
+	}
+	z := math.Abs(u-mean) - 0.5 // continuity correction
+	if z < 0 {
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	return 2 * (1 - stdNormCDF(z))
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+func main() {
+	var (
+		compare    = flag.Bool("compare", false, "compare two bench files (args: old.txt new.txt)")
+		oldSub     = flag.String("old-sub", "", "sub-benchmark component naming the old side")
+		newSub     = flag.String("new-sub", "", "sub-benchmark component naming the new side")
+		alpha      = flag.Float64("alpha", 0.05, "significance level for the U test")
+		maxRegress = flag.Float64("max-regress", 0, "tolerated median slowdown in percent before a significant regression fails the gate")
+		minRuns    = flag.Int("min-runs", 5, "minimum samples per side for a statistical verdict")
+		zeroAllocs = flag.String("assert-zero-allocs", "", "regexp of benchmarks that must report 0 allocs/op (args: file.txt)")
+	)
+	flag.Parse()
+	args := flag.Args()
+
+	fail := false
+	switch {
+	case *compare:
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "benchgate: -compare needs old.txt new.txt")
+			os.Exit(2)
+		}
+		oldSet, err := parseFile(args[0])
+		if err == nil {
+			var newSet map[string][]sample
+			newSet, err = parseFile(args[1])
+			if err == nil {
+				fail = runCompare(remap(oldSet, *oldSub), remap(newSet, *newSub), *alpha, *maxRegress, *minRuns)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if *zeroAllocs != "" {
+			fail = runZeroAllocs(*zeroAllocs, args[1]) || fail
+		}
+	case *zeroAllocs != "":
+		if len(args) < 1 {
+			fmt.Fprintln(os.Stderr, "benchgate: -assert-zero-allocs needs a bench output file")
+			os.Exit(2)
+		}
+		fail = runZeroAllocs(*zeroAllocs, args[0])
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func runCompare(oldSet, newSet map[string][]sample, alpha, maxRegress float64, minRuns int) (fail bool) {
+	names := make([]string, 0, len(oldSet))
+	for name := range oldSet {
+		if _, ok := newSet[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks in common")
+		return true
+	}
+	sort.Strings(names)
+	fmt.Printf("%-50s %12s %12s %8s %9s  verdict\n", "benchmark", "old ns/op", "new ns/op", "delta", "p")
+	for _, name := range names {
+		var o, n []float64
+		for _, s := range oldSet[name] {
+			o = append(o, s.nsPerOp)
+		}
+		for _, s := range newSet[name] {
+			n = append(n, s.nsPerOp)
+		}
+		om, nm := median(o), median(n)
+		delta := (nm - om) / om * 100
+		p := mannWhitneyP(o, n)
+		verdict := "~"
+		switch {
+		case len(o) < minRuns || len(n) < minRuns:
+			verdict = fmt.Sprintf("too few runs (%d vs %d, need %d)", len(o), len(n), minRuns)
+			fail = true
+		case p < alpha && delta > maxRegress:
+			verdict = "REGRESSION"
+			fail = true
+		case p < alpha && delta < 0:
+			verdict = "improved"
+		case p < alpha:
+			verdict = "slower (within tolerance)"
+		}
+		fmt.Printf("%-50s %12.1f %12.1f %+7.1f%% %9.4f  %s\n", name, om, nm, delta, p, verdict)
+	}
+	return fail
+}
+
+func runZeroAllocs(pattern, path string) (fail bool) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	set, err := parseFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	matched := false
+	for name, ss := range set {
+		if !re.MatchString(name) {
+			continue
+		}
+		matched = true
+		for _, s := range ss {
+			if !s.hasAllocs {
+				fmt.Printf("%s: no allocs/op field (run with -benchmem)\n", name)
+				fail = true
+				break
+			}
+			if s.allocsPerOp != 0 {
+				fmt.Printf("%s: %g allocs/op, want 0\n", name, s.allocsPerOp)
+				fail = true
+				break
+			}
+		}
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark matches %q\n", pattern)
+		return true
+	}
+	if !fail {
+		fmt.Printf("zero-alloc assertion passed for %q\n", pattern)
+	}
+	return fail
+}

@@ -40,6 +40,12 @@ var requiredSeries = []string{
 	`link_enqueued_total{mirror="0"}`,
 	`link_sent_total{mirror="1"}`,
 	`link_outbox_depth{mirror="0"}`,
+	// Columnar wire batches and the slab pool behind them.
+	`wire_batch_events_count{mirror="0"}`,
+	`wire_batch_bytes_count{mirror="1"}`,
+	`slab_pool_hit_total`,
+	`slab_pool_miss_total`,
+	`slab_pool_retained_total`,
 	// Mirror sites.
 	`mirror_received_total{site="mirror0"}`,
 	`queue_ready_depth{site="mirror1"}`,

@@ -83,9 +83,22 @@ type centralSite struct {
 // startCentral assembles a central site: an event-channel server for
 // ingress and control-up traffic, send links to every mirror, and an
 // HTTP front for client requests.
+// registerSlabMetrics exports the process-wide batch-frame slab-pool
+// counters on a site registry (they are global to the event package,
+// so every site of one process reports the same values).
+func registerSlabMetrics(r *obs.Registry) {
+	r.Describe("slab_pool_hit_total", "Batch-frame slabs served from the pool.")
+	r.Describe("slab_pool_miss_total", "Batch-frame slabs freshly allocated on pool miss.")
+	r.Describe("slab_pool_retained_total", "Batch-frame slabs returned to the pool for reuse.")
+	r.CounterFunc("slab_pool_hit_total", func() float64 { h, _, _ := event.SlabPoolStats(); return float64(h) })
+	r.CounterFunc("slab_pool_miss_total", func() float64 { _, m, _ := event.SlabPoolStats(); return float64(m) })
+	r.CounterFunc("slab_pool_retained_total", func() float64 { _, _, r := event.SlabPoolStats(); return float64(r) })
+}
+
 func startCentral(opts centralOptions) (*centralSite, error) {
 	s := &centralSite{bus: echo.NewBus(), Obs: obs.NewRegistry()}
 	s.Tracer = obs.NewTracer(s.Obs)
+	registerSlabMetrics(s.Obs)
 
 	// Dial every mirror before constructing the central so its
 	// sending task has live links from the first event (and a bad
@@ -326,6 +339,13 @@ func (l *lazyUplink) SubmitBatch(events []*event.Event) error {
 	return nil
 }
 
+// SubmitOwned implements core.OwnedBatchSender: the underlying
+// echo.SendLink only encodes the views into its write buffer, so
+// nothing outlives the call and the caller's slabs stay reusable.
+func (l *lazyUplink) SubmitOwned(events []*event.Event, _ event.Ref) error {
+	return l.SubmitBatch(events)
+}
+
 // dialReconnecting returns a lazyUplink whose first dial has already
 // succeeded, so an unreachable address still fails fast at startup.
 func dialReconnecting(addr, name string) (*lazyUplink, error) {
@@ -378,6 +398,7 @@ type mirrorSite struct {
 func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 	s := &mirrorSite{bus: echo.NewBus(), Obs: obs.NewRegistry()}
 	s.Tracer = obs.NewTracer(s.Obs)
+	registerSlabMetrics(s.Obs)
 	uplink := &lazyUplink{addr: opts.Central, name: chanCtrlUp}
 	s.uplink = uplink
 	s.Applier = adapt.NewApplier(nil)
@@ -405,7 +426,9 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 		s.Close()
 		return nil, err
 	}
-	data.Subscribe(s.Mirror.HandleData)
+	data.SubscribeBatch(s.Mirror.HandleData, func(es []*event.Event, ref event.Ref) {
+		_ = s.Mirror.HandleOwnedBatch(es, ref)
+	})
 	ctrl, err := s.bus.Open(chanCtrlDown)
 	if err != nil {
 		s.Close()

@@ -361,6 +361,10 @@ func newChaosRig(cfg ChaosConfig) *chaosRig {
 				r.slots[i].Load().HandleDataBatch(es)
 				return nil
 			},
+			owned: func(es []*event.Event, ref event.Ref) error {
+				r.slowCharge(i, chaosModel.EventBase, len(es))
+				return r.slots[i].Load().HandleOwnedBatch(es, ref)
+			},
 		}, faultinject.Faults{}))
 		// Control links tolerate loss, duplication, reordering, and
 		// payload damage by protocol design — the schedule's

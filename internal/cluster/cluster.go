@@ -62,6 +62,12 @@ type Config struct {
 	Transport Transport
 	// Shaping applies to TCP links (TransportTCP only).
 	Shaping simnet.Profile
+	// LegacyFrames, when LegacyFrames[i] is true, forces mirror i's
+	// data link onto the per-event legacy framing instead of columnar
+	// batch frames (TransportTCP only) — the mixed-generation interop
+	// configuration, where an upgraded central feeds a not-yet-upgraded
+	// mirror.
+	LegacyFrames []bool
 	// Params are the initial mirroring parameters.
 	Params core.Params
 	// Model is the CPU cost model for every site.
@@ -201,6 +207,12 @@ func New(cfg Config) (*Cluster, error) {
 	cl.Obs.RegisterHistogram("request_latency_seconds", cl.RequestHist)
 	cl.Obs.Describe("client_updates_total", "State updates emitted to regular clients.")
 	cl.Obs.RegisterCounter("client_updates_total", cl.Updates)
+	cl.Obs.Describe("slab_pool_hit_total", "Batch-frame slabs served from the pool.")
+	cl.Obs.Describe("slab_pool_miss_total", "Batch-frame slabs freshly allocated on pool miss.")
+	cl.Obs.Describe("slab_pool_retained_total", "Batch-frame slabs returned to the pool for reuse.")
+	cl.Obs.CounterFunc("slab_pool_hit_total", func() float64 { h, _, _ := event.SlabPoolStats(); return float64(h) })
+	cl.Obs.CounterFunc("slab_pool_miss_total", func() float64 { _, m, _ := event.SlabPoolStats(); return float64(m) })
+	cl.Obs.CounterFunc("slab_pool_retained_total", func() float64 { _, _, r := event.SlabPoolStats(); return float64(r) })
 	if cfg.SeriesBin > 0 {
 		cl.DelaySeries = metrics.NewSeries(cl.start, cfg.SeriesBin)
 	}
@@ -394,14 +406,28 @@ type senderFunc func(*event.Event) error
 func (f senderFunc) Submit(e *event.Event) error { return f(e) }
 
 // batchSenderFunc adds native whole-batch submission so the central
-// fan-out pipeline's batches survive the direct transport intact.
+// fan-out pipeline's batches survive the direct transport intact. The
+// optional owned hook carries the zero-copy protocol (slab views
+// guarded by a borrow-during-call reference); when nil, owned batches
+// degrade to many with the reference leaked by the caller.
 type batchSenderFunc struct {
-	one  func(*event.Event) error
-	many func([]*event.Event) error
+	one   func(*event.Event) error
+	many  func([]*event.Event) error
+	owned func([]*event.Event, event.Ref) error
 }
 
 func (f batchSenderFunc) Submit(e *event.Event) error         { return f.one(e) }
 func (f batchSenderFunc) SubmitBatch(es []*event.Event) error { return f.many(es) }
+
+func (f batchSenderFunc) SubmitOwned(es []*event.Event, ref event.Ref) error {
+	if f.owned == nil {
+		if ref != nil {
+			ref.Retain() // surrender the slab to the GC, never recycle it
+		}
+		return f.many(es)
+	}
+	return f.owned(es, ref)
+}
 
 // wireDirect connects sites with synchronous calls. Mirrors are
 // created first; the central's links close over the slice.
@@ -429,8 +455,9 @@ func (cl *Cluster) wireDirect(cfg Config) []core.MirrorLink {
 		cl.Mirrors = append(cl.Mirrors, m)
 		links[i] = core.MirrorLink{
 			Data: batchSenderFunc{
-				one:  func(e *event.Event) error { m.HandleData(e); return nil },
-				many: func(es []*event.Event) error { m.HandleDataBatch(es); return nil },
+				one:   func(e *event.Event) error { m.HandleData(e); return nil },
+				many:  func(es []*event.Event) error { m.HandleDataBatch(es); return nil },
+				owned: m.HandleOwnedBatch,
 			},
 			Ctrl: senderFunc(func(e *event.Event) error { m.HandleControl(e); return nil }),
 		}
@@ -462,7 +489,9 @@ func (cl *Cluster) wireChannels(cfg Config) []core.MirrorLink {
 		cl.Mirrors = append(cl.Mirrors, m)
 		data := echo.NewLocal(fmt.Sprintf("data.%d", i))
 		ctrl := echo.NewLocal(fmt.Sprintf("ctrl.down.%d", i))
-		data.Subscribe(m.HandleData)
+		data.SubscribeBatch(m.HandleData, func(es []*event.Event, ref event.Ref) {
+			_ = m.HandleOwnedBatch(es, ref)
+		})
 		ctrl.Subscribe(m.HandleControl)
 		cl.closers = append(cl.closers, func() { data.Close(); ctrl.Close() })
 		links[i] = core.MirrorLink{Data: data, Ctrl: ctrl}
@@ -526,7 +555,9 @@ func (cl *Cluster) wireTCP(cfg Config) ([]core.MirrorLink, error) {
 		})
 		ap.SetInstall(adapt.InstallMirrorRegime(m))
 		cl.Mirrors = append(cl.Mirrors, m)
-		dataCh.Subscribe(m.HandleData)
+		dataCh.SubscribeBatch(m.HandleData, func(es []*event.Event, ref event.Ref) {
+			_ = m.HandleOwnedBatch(es, ref)
+		})
 		ctrlCh.Subscribe(m.HandleControl)
 
 		// Central's downlinks to this mirror.
@@ -537,6 +568,9 @@ func (cl *Cluster) wireTCP(cfg Config) ([]core.MirrorLink, error) {
 		dataLink, err := echo.NewSendLink(dataConn, "data")
 		if err != nil {
 			return nil, fmt.Errorf("cluster: mirror %d data handshake: %w", i, err)
+		}
+		if i < len(cfg.LegacyFrames) && cfg.LegacyFrames[i] {
+			dataLink.SetLegacyFraming(true)
 		}
 		ctrlConn, err := simnet.Dial(ln.Addr().String(), cfg.Shaping)
 		if err != nil {

@@ -44,16 +44,15 @@ func (c *Central) SetComplexTuple(values []event.Status, out event.Type) {
 }
 
 // SetMirror is set_mirror(func): install a custom mirroring function.
+// Custom functions see one event at a time, so the sending task drops
+// back to its per-event filter loop; nil restores the default rule
+// engine together with its vectorized batch scan.
 func (c *Central) SetMirror(fn MirrorFunc) {
 	if fn == nil {
-		fn = DefaultMirrorFunc
+		c.setMirrorFns(DefaultMirrorFunc, (*Semantics).FilterBatch)
+		return
 	}
-	for {
-		old := c.fns.Load()
-		if c.fns.CompareAndSwap(old, &centralFns{mirror: fn, fwd: old.fwd}) {
-			return
-		}
-	}
+	c.setMirrorFns(fn, nil)
 }
 
 // SetFwd is set_fwd(func): install a custom forwarding function.
@@ -100,10 +99,10 @@ func scalePct(v, pct int) int {
 // of up to l overwriting position events is mirrored.
 func (c *Central) InstallSelective(l int) {
 	c.SetOverwrite(event.TypeFAAPosition, l)
-	c.SetMirror(DefaultMirrorFunc)
+	c.setMirrorFns(DefaultMirrorFunc, (*Semantics).FilterBatch)
 }
 
 // InstallSimple reverts to simple mirroring (every event mirrored).
 func (c *Central) InstallSimple() {
-	c.SetMirror(SimpleMirrorFunc)
+	c.setMirrorFns(SimpleMirrorFunc, passthroughBatch)
 }

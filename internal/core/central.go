@@ -219,7 +219,7 @@ func NewCentral(cfg CentralConfig) *Central {
 		chkptTrigger: make(chan struct{}, 4096),
 		ctrlStop:     make(chan struct{}),
 	}
-	c.fns.Store(&centralFns{mirror: DefaultMirrorFunc, fwd: DefaultFwdFunc})
+	c.fns.Store(&centralFns{mirror: DefaultMirrorFunc, fwd: DefaultFwdFunc, batch: (*Semantics).FilterBatch})
 	if !cfg.NoMirror {
 		for i, m := range cfg.Mirrors {
 			c.senders = append(c.senders,
@@ -361,10 +361,31 @@ func (c *Central) receivingTask() {
 }
 
 // centralFns bundles the installed mirroring and forwarding
-// functions so both can be swapped atomically.
+// functions so both can be swapped atomically. batch, when non-nil, is
+// the vectorized form of mirror — it filters a whole view batch under
+// one rule-engine lock with in-place compaction. It is set for the
+// built-in mirror functions; a custom set_mirror function clears it
+// and the sending task falls back to the per-event loop.
 type centralFns struct {
 	mirror MirrorFunc
 	fwd    FwdFunc
+	batch  func(*Semantics, []*event.Event) []*event.Event
+}
+
+// passthroughBatch is SimpleMirrorFunc's vectorized form: every event
+// is mirrored unmodified.
+func passthroughBatch(_ *Semantics, batch []*event.Event) []*event.Event { return batch }
+
+// setMirrorFns atomically installs a mirror function together with its
+// vectorized companion (nil for custom functions), preserving the
+// installed forwarding function.
+func (c *Central) setMirrorFns(fn MirrorFunc, batch func(*Semantics, []*event.Event) []*event.Event) {
+	for {
+		old := c.fns.Load()
+		if c.fns.CompareAndSwap(old, &centralFns{mirror: fn, fwd: old.fwd, batch: batch}) {
+			return
+		}
+	}
 }
 
 // sendingTask removes events from the ready queue in batches, forwards
@@ -384,8 +405,7 @@ func (c *Central) sendingTask() {
 	}
 
 	batch := make([]*event.Event, 0, c.cfg.SendBatch)
-	clones := make([]*event.Event, 0, c.cfg.SendBatch)
-	filtered := make([]*event.Event, 0, c.cfg.SendBatch)
+	var filtered []*event.Event
 	for {
 		p := c.params.get()
 		max := c.cfg.SendBatch
@@ -406,7 +426,7 @@ func (c *Central) sendingTask() {
 		if tracer != nil {
 			// Stamp ready-queue removal before any handoff: the stamps
 			// must be written while this task still owns the events
-			// exclusively (CloneBatch later copies them along).
+			// exclusively (ShallowBatch later copies them along).
 			now := time.Now().UnixNano()
 			for _, e := range batch {
 				e.ReadyAt = now
@@ -436,23 +456,34 @@ func (c *Central) sendingTask() {
 			}
 		}
 
-		// Mirror path: filter, optionally coalesce, back up, then
-		// fan the whole batch out to every link's outbox. The batch
-		// boundary amortizes queue locking, clone allocation (one slab
-		// per batch instead of three allocations per event) and the
-		// serialization charge; per-link sender goroutines submit
-		// concurrently.
-		clones = event.CloneBatch(clones[:0], batch)
-		filtered = filtered[:0]
-		for _, e := range clones {
-			if me := fns.mirror(c.sem, e); me != nil {
-				filtered = append(filtered, me)
+		// Mirror path: shallow-copy the batch into a pooled slab of
+		// views aliasing the originals' payloads and timestamps (both
+		// immutable after admission), filter and optionally coalesce in
+		// place over the slab, back the views up, then fan the batch
+		// out to every link's outbox. No payload byte is copied and no
+		// per-event allocation happens: the slab travels by reference —
+		// one count for this loop iteration, one for the backup queue,
+		// one per link outbox — and returns to the pool when the
+		// checkpoint commit trims the batch and every link has
+		// submitted it.
+		vb := event.ShallowBatch(batch)
+		if fns.batch != nil {
+			filtered = fns.batch(c.sem, vb.Events)
+		} else {
+			// Custom mirror functions (set_mirror) see one event at a
+			// time; compact survivors in place over the slab.
+			filtered = vb.Events[:0]
+			for _, e := range vb.Events {
+				if me := fns.mirror(c.sem, e); me != nil {
+					filtered = append(filtered, me)
+				}
 			}
 		}
 		if p.Coalesce && len(filtered) > 1 {
 			filtered = c.sem.Coalesce(filtered)
 		}
 		if len(filtered) == 0 {
+			vb.Release()
 			continue
 		}
 		bytes := 0
@@ -462,22 +493,27 @@ func (c *Central) sendingTask() {
 			weight += uint64(me.Weight())
 		}
 		c.sendMu.Lock()
-		c.backup.AppendBatch(filtered)
-		// Event resubmission, queue management and copying cost once
-		// per event; the batch is booked in one ledger operation.
-		c.cfg.AuxCPU.Charge(c.cfg.Model.SerializeBatchCost(len(filtered), bytes))
+		vb.Retain()
+		c.backup.AppendOwnedBatch(filtered, vb.Release)
+		// Columnar framing costs a fixed charge per batch plus a small
+		// per-event column append; the batch is booked in one ledger
+		// operation.
+		c.cfg.AuxCPU.Charge(c.cfg.Model.FrameBatchCost(len(filtered), bytes))
 		for _, s := range c.senders {
-			s.enqueue(filtered)
+			s.enqueue(filtered, vb)
 		}
 		c.sendMu.Unlock()
 		if tracer != nil {
 			// One fan-out sample per batch: ready-queue removal until
-			// every link's outbox holds the filtered batch.
+			// every link's outbox holds the filtered batch. The
+			// producer reference is still held, so the view read here
+			// cannot have been recycled by an early commit.
 			tracer.Observe(obs.StageFanoutEnqueue,
 				time.Duration(time.Now().UnixNano()-filtered[0].ReadyAt))
 		}
 		c.mirrored.Add(uint64(len(filtered)))
 		c.mirroredW.Add(weight)
+		vb.Release()
 	}
 }
 

@@ -47,12 +47,22 @@ type LinkStats struct {
 	Stall time.Duration
 }
 
+// sendGroup tracks the slab release of one enqueued batch while its
+// events sit in the outbox ring: left counts the group's events still
+// ringed, and release (nil for un-owned batches) must fire once none
+// remain anywhere — shed from the ring, or submitted and returned.
+type sendGroup struct {
+	left    int
+	release func()
+}
+
 // linkSender owns one mirror link's data path: a bounded outbox ring
 // fed by the sending task and a goroutine that drains it.
 type linkSender struct {
 	idx   int
 	link  MirrorLink
 	data  BatchSender
+	owned OwnedBatchSender // non-nil when link.Data speaks the zero-copy protocol
 	aux   *costmodel.CPU
 	model costmodel.Model
 	alive func(int) bool
@@ -63,6 +73,7 @@ type linkSender struct {
 	head   int
 	n      int
 	closed bool
+	groups []sendGroup // FIFO, parallel to ring occupancy
 
 	// ioMu serializes wire submission (send and recoverySend) so a
 	// recovery block — state snapshot plus backup replay — cannot
@@ -79,6 +90,11 @@ type linkSender struct {
 	dropped  *metrics.Counter
 	depth    *metrics.Gauge
 	stall    metrics.DurationCounter
+
+	// batchEvents/batchBytes sample each wire submission's event count
+	// and payload bytes (value histograms, not durations).
+	batchEvents *metrics.Histogram
+	batchBytes  *metrics.Histogram
 }
 
 // newLinkSender sizes the ring to the next power of two covering
@@ -102,12 +118,17 @@ func newLinkSender(idx int, link MirrorLink, depth int, aux *costmodel.CPU, mode
 		ring:   make([]*event.Event, size),
 		tracer: tracer,
 	}
+	if o, ok := link.Data.(OwnedBatchSender); ok {
+		s.owned = o
+	}
 	mirror := obs.L("mirror", strconv.Itoa(idx))
 	s.enqueued = reg.Counter("link_enqueued_total", mirror)
 	s.sent = reg.Counter("link_sent_total", mirror)
 	s.filtered = reg.Counter("link_filtered_total", mirror)
 	s.dropped = reg.Counter("link_dropped_total", mirror)
 	s.depth = reg.Gauge("link_outbox_depth", mirror)
+	s.batchEvents = reg.ValueHistogram("wire_batch_events", mirror)
+	s.batchBytes = reg.ValueHistogram("wire_batch_bytes", mirror)
 	if reg != nil {
 		reg.Describe("link_enqueued_total", "Events accepted into the link outbox.")
 		reg.Describe("link_sent_total", "Events submitted on the mirror link.")
@@ -118,16 +139,20 @@ func newLinkSender(idx int, link MirrorLink, depth int, aux *costmodel.CPU, mode
 		reg.GaugeFunc("link_outbox_depth_max", func() float64 { return float64(s.depth.Max()) }, mirror)
 		reg.Describe("link_stall_seconds_total", "Wall-clock time the link sender spent blocked in submission.")
 		reg.RegisterDurationCounter("link_stall_seconds_total", &s.stall, mirror)
+		reg.Describe("wire_batch_events", "Events per wire batch submission (value summary).")
+		reg.Describe("wire_batch_bytes", "Payload bytes per wire batch submission (value summary).")
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
 
-// enqueue hands a batch to the link. It never blocks: when the ring is
-// full the oldest queued events are shed (and accounted as drops), so
-// a stalled link loses its own backlog instead of stalling the
-// sending task. Enqueue after close is a no-op.
-func (s *linkSender) enqueue(batch []*event.Event) {
+// enqueue hands a batch to the link, retaining ref (when non-nil) until
+// every event of the batch has left the ring — shed, or drained and
+// submitted. It never blocks: when the ring is full the oldest queued
+// events are shed (and accounted as drops), so a stalled link loses its
+// own backlog instead of stalling the sending task. Enqueue after close
+// is a no-op and takes no reference.
+func (s *linkSender) enqueue(batch []*event.Event, ref event.Ref) {
 	if len(batch) == 0 {
 		return
 	}
@@ -136,14 +161,24 @@ func (s *linkSender) enqueue(batch []*event.Event) {
 		s.mu.Unlock()
 		return
 	}
+	var rel func()
+	if ref != nil {
+		ref.Retain()
+		rel = ref.Release
+	}
+	s.groups = append(s.groups, sendGroup{left: len(batch), release: rel})
 	mask := len(s.ring) - 1
 	dropped := 0
+	var fire []func()
 	for _, e := range batch {
 		if s.n == len(s.ring) {
 			s.ring[s.head] = nil
 			s.head = (s.head + 1) & mask
 			s.n--
 			dropped++
+			if f := s.shedOldestLocked(); f != nil {
+				fire = append(fire, f)
+			}
 		}
 		s.ring[(s.head+s.n)&mask] = e
 		s.n++
@@ -152,11 +187,37 @@ func (s *linkSender) enqueue(batch []*event.Event) {
 	s.cond.Signal()
 	s.mu.Unlock()
 
+	// A group released by shedding has no event anywhere any more — the
+	// drainer removes all ring events and all groups atomically, so a
+	// group still in s.groups cannot have drained siblings in flight.
+	for _, f := range fire {
+		f()
+	}
 	s.enqueued.Add(uint64(len(batch)))
 	if dropped > 0 {
 		s.dropped.Add(uint64(dropped))
 	}
 	s.depth.Set(int64(depth))
+}
+
+// shedOldestLocked accounts one shed ring event against the oldest
+// group and returns its release when the shed was the group's last
+// event. Caller holds s.mu.
+func (s *linkSender) shedOldestLocked() func() {
+	for len(s.groups) > 0 {
+		g := &s.groups[0]
+		if g.left > 0 {
+			g.left--
+			if g.left == 0 {
+				rel := g.release
+				s.groups = s.groups[1:]
+				return rel
+			}
+			return nil
+		}
+		s.groups = s.groups[1:]
+	}
+	return nil
 }
 
 // close stops accepting events; the sender goroutine drains what is
@@ -174,6 +235,7 @@ func (s *linkSender) close() {
 func (s *linkSender) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	scratch := make([]*event.Event, 0, DefaultSendBatch)
+	rels := make([]func(), 0, 8)
 	for {
 		s.mu.Lock()
 		for s.n == 0 && !s.closed {
@@ -191,9 +253,19 @@ func (s *linkSender) run(wg *sync.WaitGroup) {
 			s.head = (s.head + 1) & mask
 			s.n--
 		}
+		// The drain takes every ring event and every group in one
+		// critical section: after this point no group taken here can be
+		// decremented by shedding, so send owns their releases.
+		rels = rels[:0]
+		for _, g := range s.groups {
+			if g.release != nil {
+				rels = append(rels, g.release)
+			}
+		}
+		s.groups = s.groups[:0]
 		s.mu.Unlock()
 		s.depth.Set(0)
-		s.send(scratch)
+		s.send(scratch, rels)
 	}
 }
 
@@ -202,10 +274,18 @@ func (s *linkSender) run(wg *sync.WaitGroup) {
 // dead cannot slip onto the wire mid-recovery: either it is dropped
 // before the recovery block, or it follows the block entirely (and the
 // mirror's arrival watermark discards the stale prefix).
-func (s *linkSender) send(batch []*event.Event) {
+// send owns the drained batch's slab releases (rels): they fire once no
+// event of the batch can be referenced downstream any more — after an
+// owned submission returns (receivers retained what they keep), or
+// immediately when the batch is dropped or filtered to nothing. A plain
+// BatchSender receiver may retain the views indefinitely, so that path
+// never fires the releases and the slabs are left to the garbage
+// collector instead of the pool — correctness over reuse.
+func (s *linkSender) send(batch []*event.Event, rels []func()) {
 	s.ioMu.Lock()
 	defer s.ioMu.Unlock()
 	if s.alive != nil && !s.alive(s.idx) {
+		fireAll(rels)
 		return
 	}
 	if f := s.link.Filter; f != nil {
@@ -219,23 +299,39 @@ func (s *linkSender) send(batch []*event.Event) {
 		batch = kept
 	}
 	if len(batch) == 0 {
+		fireAll(rels)
 		return
 	}
-	bytes := 0
-	for _, e := range batch {
-		bytes += len(e.Payload)
-	}
+	bytes := event.BatchPayloadBytes(batch)
 	// The submission charge lands on the auxiliary unit's processor:
 	// links contend for its ledger exactly as the per-event path did,
 	// but the fixed cost is now paid once per batch.
 	s.aux.Charge(s.model.SubmitBatchCost(len(batch), bytes))
+	s.batchEvents.Record(time.Duration(len(batch)))
+	s.batchBytes.Record(time.Duration(bytes))
 	start := time.Now()
-	err := s.data.SubmitBatch(batch)
+	var err error
+	if s.owned != nil {
+		ref := newGroupRef(rels)
+		err = s.owned.SubmitOwned(batch, ref)
+		ref.Release()
+	} else {
+		err = s.data.SubmitBatch(batch)
+	}
 	elapsed := time.Since(start)
 	s.stall.Add(elapsed)
 	s.tracer.Observe(obs.StageLinkSend, elapsed)
 	if err == nil {
 		s.sent.Add(uint64(len(batch)))
+	}
+}
+
+// fireAll invokes every non-nil release.
+func fireAll(rels []func()) {
+	for _, f := range rels {
+		if f != nil {
+			f()
+		}
 	}
 }
 

@@ -112,7 +112,7 @@ func TestLinkSenderOverflowAccounting(t *testing.T) {
 
 	// First event: picked up by the sender goroutine, which then blocks
 	// inside the transport.
-	s.enqueue([]*event.Event{tev(1)})
+	s.enqueue([]*event.Event{tev(1)}, nil)
 	<-entered
 
 	// Eight more against a depth-4 ring: the four oldest are shed.
@@ -120,7 +120,7 @@ func TestLinkSenderOverflowAccounting(t *testing.T) {
 	for i := range more {
 		more[i] = tev(uint64(i + 2))
 	}
-	s.enqueue(more)
+	s.enqueue(more, nil)
 	st := s.stats()
 	if st.Enqueued != 9 {
 		t.Fatalf("Enqueued = %d, want 9", st.Enqueued)
@@ -161,7 +161,7 @@ func TestLinkSenderFilterAccounting(t *testing.T) {
 	for i := range batch {
 		batch[i] = tev(uint64(i + 1))
 	}
-	s.enqueue(batch)
+	s.enqueue(batch, nil)
 	s.close()
 	wg.Wait()
 	st := s.stats()

@@ -209,12 +209,21 @@ func (m *MainUnit) processLoop() {
 			fn()
 			continue
 		}
+		// Copy the event before Process: the moment Process folds its
+		// timestamp into the progress watermark, a checkpoint commit
+		// may trim the backup queue and recycle the slab an owned view
+		// borrows from, so e must not be touched after Process returns.
+		// Scalar reads below come from this stack copy. The Payload/VT
+		// aliases only reach the Out stream, which exists solely on the
+		// central site, whose main unit processes heap originals — a
+		// mirror site configuring Out would need to clone them first.
+		ev := *e
 		// The emission instant comes from the node's timeline (the
 		// virtual-CPU charge), so update delays reflect the node's
 		// booked processing, not the host's scheduling.
 		derived, done := m.engine.Process(e)
-		if e.Ingress != 0 && (m.cfg.DelayHist != nil || m.cfg.DelaySeries != nil || m.cfg.Tracer != nil) {
-			delay := e.Age(done)
+		if ev.Ingress != 0 && (m.cfg.DelayHist != nil || m.cfg.DelaySeries != nil || m.cfg.Tracer != nil) {
+			delay := ev.Age(done)
 			if delay < 0 {
 				// The virtual CPU's catch-up window can book work
 				// slightly in the past; an event cannot complete
@@ -231,7 +240,7 @@ func (m *MainUnit) processLoop() {
 				if m.cfg.TraceMirror {
 					t.Observe(obs.StageMirrorApply, delay)
 				} else {
-					t.ObserveCentralPath(e.Ingress, e.ReadyAt, e.ForwardAt, done)
+					t.ObserveCentralPath(ev.Ingress, ev.ReadyAt, ev.ForwardAt, done)
 				}
 			}
 		}
@@ -242,18 +251,18 @@ func (m *MainUnit) processLoop() {
 			// field and payloads are not forwarded (clients receive
 			// derived events for boarding/arrival).
 			var payload []byte
-			if e.Type == event.TypeFAAPosition {
-				payload = e.Payload
+			if ev.Type == event.TypeFAAPosition {
+				payload = ev.Payload
 			}
 			update := &event.Event{
 				Type:      event.TypeStateUpdate,
-				Flight:    e.Flight,
-				Stream:    e.Stream,
-				Seq:       e.Seq,
-				Status:    e.Status,
-				Coalesced: e.Weight(),
-				VT:        e.VT,
-				Ingress:   e.Ingress,
+				Flight:    ev.Flight,
+				Stream:    ev.Stream,
+				Seq:       ev.Seq,
+				Status:    ev.Status,
+				Coalesced: ev.Weight(),
+				VT:        ev.VT,
+				Ingress:   ev.Ingress,
 				Payload:   payload,
 			}
 			if m.cfg.Out.Submit(update) == nil {

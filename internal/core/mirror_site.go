@@ -70,6 +70,14 @@ type MirrorSite struct {
 	dedupMu     sync.Mutex
 	arrivalHigh vclock.VC
 
+	// batchMu serializes the owned-batch apply path so its scratch
+	// slices survive across the dedupMu window (queue bookings happen
+	// after dedupMu is dropped, so dedupMu alone cannot guard them).
+	batchMu       sync.Mutex
+	scratchBackup []*event.Event
+	scratchReady  []*event.Event
+	scratchDirs   []*event.Event
+
 	// regime bookkeeping: the adaptation regime installed at this site
 	// (via piggybacked directives) — the configuration a promoted
 	// replacement central would start from.
@@ -163,7 +171,9 @@ func (m *MirrorSite) admit(e *event.Event) bool {
 	if e.VT.LessEq(m.arrivalHigh) {
 		return false
 	}
-	m.arrivalHigh = m.arrivalHigh.Merge(e.VT)
+	// In-place merge: the watermark owns its backing and never aliases
+	// arriving events, so steady-state admission allocates nothing.
+	m.arrivalHigh = m.arrivalHigh.MergeInto(e.VT)
 	return true
 }
 
@@ -244,6 +254,75 @@ func (m *MirrorSite) HandleDataBatch(events []*event.Event) {
 			}
 		}
 	}
+}
+
+// HandleOwnedBatch accepts a batch of pooled event views borrowing
+// from slabs guarded by ref (core.OwnedBatchSender). No payload is
+// copied: admitted events enter the backup and ready queues as-is,
+// and the backup queue takes a retained reference that it drops when
+// a checkpoint commit trims past the batch. That trim is the proof
+// the views are dead — the commit cut folds in this site's own
+// last-processed reply, so everything trimmed has already cleared the
+// ready queue and the EDE. Recovery-state events skip the backup
+// queue, so nothing would pin their slab while they wait in ready;
+// they are deep-cloned off it (a cold path — recovery only).
+// Adaptation directives are applied synchronously while the caller's
+// borrow keeps the slab live.
+func (m *MirrorSite) HandleOwnedBatch(events []*event.Event, ref event.Ref) error {
+	if len(events) == 0 {
+		return nil
+	}
+	m.received.Add(uint64(len(events)))
+	m.batchMu.Lock()
+	defer m.batchMu.Unlock()
+	toBackup := m.scratchBackup[:0]
+	toReady := m.scratchReady[:0]
+	dirs := m.scratchDirs[:0]
+	m.dedupMu.Lock()
+	for _, e := range events {
+		if e.Type == event.TypeAdapt {
+			dirs = append(dirs, e)
+			continue
+		}
+		if !m.admit(e) {
+			continue
+		}
+		if e.Type == event.TypeRecoveryState {
+			toReady = append(toReady, e.Clone())
+			continue
+		}
+		toBackup = append(toBackup, e)
+		toReady = append(toReady, e)
+	}
+	m.dedupMu.Unlock()
+	// Backup first: once the forward task can see an event it must
+	// already be backed up, or a crash between the two bookings would
+	// lose acknowledged history.
+	if len(toBackup) > 0 {
+		ref.Retain()
+		m.backup.AppendOwnedBatch(toBackup, ref.Release)
+	}
+	var err error
+	if len(toReady) > 0 {
+		err = m.ready.PutBatch(toReady)
+	}
+	if m.cfg.OnPiggyback != nil {
+		for _, e := range dirs {
+			if len(e.Payload) > 0 {
+				m.cfg.OnPiggyback(e.Seq, e.Payload)
+			}
+		}
+	}
+	// Zero the scratches so they do not pin retired slabs against the
+	// collector between batches. (Anything past len was zeroed by the
+	// wider call that wrote it.)
+	clear(toBackup)
+	clear(toReady)
+	clear(dirs)
+	m.scratchBackup = toBackup[:0]
+	m.scratchReady = toReady[:0]
+	m.scratchDirs = dirs[:0]
+	return err
 }
 
 // HandleControl accepts one control event from the central site.

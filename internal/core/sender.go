@@ -1,6 +1,11 @@
 package core
 
-import "adaptmirror/internal/event"
+import (
+	"sync"
+	"sync/atomic"
+
+	"adaptmirror/internal/event"
+)
 
 // BatchSender extends Sender with whole-batch submission. Transports
 // that can frame a batch into one buffered write (echo.SendLink), one
@@ -36,4 +41,56 @@ func (a submitEach) SubmitBatch(events []*event.Event) error {
 		}
 	}
 	return nil
+}
+
+// OwnedBatchSender is the zero-copy extension of BatchSender: the
+// batch's events are pooled views borrowing from slabs guarded by ref.
+// The views (and the slice) are valid only for the duration of the
+// call; a receiver keeping any view longer must ref.Retain() before
+// returning and ref.Release() once done. Transports that merely encode
+// (echo.SendLink) need neither. Senders that do not implement this
+// interface receive the same views through SubmitBatch, in which case
+// the caller forfeits slab reuse rather than correctness (the slab is
+// leaked to the garbage collector).
+type OwnedBatchSender interface {
+	SubmitOwned(events []*event.Event, ref event.Ref) error
+}
+
+// groupRef aggregates several slab releases behind one event.Ref, for
+// drained outbox batches that merged events from more than one
+// producer batch. It is pooled: the final Release fires every
+// underlying release and returns the ref to the pool.
+type groupRef struct {
+	refs atomic.Int32
+	rels []func()
+}
+
+var groupRefPool = sync.Pool{New: func() any { return &groupRef{} }}
+
+// newGroupRef returns a ref holding the given releases with one
+// reference owned by the caller. The rels slice is copied.
+func newGroupRef(rels []func()) *groupRef {
+	g := groupRefPool.Get().(*groupRef)
+	g.refs.Store(1)
+	g.rels = append(g.rels[:0], rels...)
+	return g
+}
+
+func (g *groupRef) Retain() { g.refs.Add(1) }
+
+func (g *groupRef) Release() {
+	switch n := g.refs.Add(-1); {
+	case n > 0:
+	case n == 0:
+		for _, f := range g.rels {
+			if f != nil {
+				f()
+			}
+		}
+		clear(g.rels)
+		g.rels = g.rels[:0]
+		groupRefPool.Put(g)
+	default:
+		panic("core: group ref released more times than retained")
+	}
 }

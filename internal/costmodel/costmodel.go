@@ -49,6 +49,15 @@ type Model struct {
 
 	// ControlCost is charged per control event handled at a site.
 	ControlCost time.Duration
+
+	// FrameBase/FramePerEvent price the columnar batch framing of the
+	// zero-copy wire path: one fixed charge per frame (header build,
+	// offset table, single buffered write) plus a small per-event
+	// column-append charge. When both are zero the model predates the
+	// columnar codec and FrameBatchCost falls back to
+	// SerializeBatchCost, keeping older calibrations unchanged.
+	FrameBase     time.Duration
+	FramePerEvent time.Duration
 }
 
 // Default is calibrated so the experiment harness reproduces the
@@ -69,6 +78,8 @@ var Default = Model{
 	CheckpointBase:       100 * time.Microsecond,
 	CheckpointPerBacklog: 400 * time.Nanosecond,
 	ControlCost:          5 * time.Microsecond,
+	FrameBase:            2500 * time.Nanosecond,
+	FramePerEvent:        300 * time.Nanosecond,
 }
 
 // EventCost returns the EDE processing charge for a payload of n bytes.
@@ -97,6 +108,24 @@ func (m Model) SerializeBatchCost(n, bytes int) time.Duration {
 		return 0
 	}
 	return time.Duration(n)*m.SerializeBase + scale(m.SerializePerKB, bytes)
+}
+
+// FrameBatchCost returns the preparation charge for encoding a batch
+// of n events totalling bytes payload bytes as one columnar frame.
+// The columnar layout replaces the per-event header re-encode with
+// cheap column appends, so the per-event term is far below the legacy
+// SerializeBase while the byte-proportional term is unchanged. Models
+// with no framing calibration (both frame fields zero) fall back to
+// SerializeBatchCost so existing test and chaos calibrations keep
+// their historical charges.
+func (m Model) FrameBatchCost(n, bytes int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if m.FrameBase == 0 && m.FramePerEvent == 0 {
+		return m.SerializeBatchCost(n, bytes)
+	}
+	return m.FrameBase + time.Duration(n)*m.FramePerEvent + scale(m.SerializePerKB, bytes)
 }
 
 // SubmitBatchCost returns the per-mirror-site charge for submitting a

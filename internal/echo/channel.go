@@ -24,6 +24,13 @@ var ErrClosed = errors.New("echo: channel closed")
 // subscriptions run concurrently.
 type Handler func(*event.Event)
 
+// BatchHandler consumes owned batches (LocalChannel.SubmitOwned): the
+// events are pooled views borrowing from slabs guarded by ref, and the
+// slice and views are valid only for the duration of the call. A
+// handler keeping any view longer must ref.Retain() before returning
+// and ref.Release() once done.
+type BatchHandler func(events []*event.Event, ref event.Ref)
+
 // Channel is a logical event channel: submitted events are delivered
 // to every subscriber.
 type Channel interface {
@@ -118,14 +125,61 @@ func (c *LocalChannel) SubmitBatch(events []*event.Event) error {
 	return nil
 }
 
+// SubmitOwned delivers a batch of pooled event views guarded by ref
+// with zero payload copies. Each batch-aware subscriber receives the
+// events through its BatchHandler under the borrow-during-call
+// contract; plain-handler subscribers receive them one event at a
+// time with a reference retained forever on their behalf (a plain
+// Handler may keep events indefinitely, so the slab is surrendered to
+// the garbage collector instead of the pool — correctness over
+// reuse). The caller's own reference is untouched; the passed slice
+// is never retained.
+func (c *LocalChannel) SubmitOwned(events []*event.Event, ref event.Ref) error {
+	if len(events) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	subs := c.subs
+	c.mu.Unlock()
+
+	c.submitted.Add(uint64(len(events)))
+	var bytes uint64
+	for _, e := range events {
+		bytes += uint64(len(e.Payload))
+	}
+	c.bytes.Add(bytes)
+	for _, s := range subs {
+		if n := s.deliverOwned(events, ref); n > 0 {
+			c.delivered.Add(uint64(n))
+		}
+	}
+	return nil
+}
+
 // Subscribe implements Channel.
 func (c *LocalChannel) Subscribe(h Handler) (*Subscription, error) {
+	return c.subscribe(h, nil)
+}
+
+// SubscribeBatch registers a subscriber that receives owned batches
+// (SubmitOwned) through bh and everything else through h. Both
+// callbacks run on the subscription's dispatch goroutine, sequentially
+// in submission order.
+func (c *LocalChannel) SubscribeBatch(h Handler, bh BatchHandler) (*Subscription, error) {
+	return c.subscribe(h, bh)
+}
+
+func (c *LocalChannel) subscribe(h Handler, bh BatchHandler) (*Subscription, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrClosed
 	}
-	s := newSubscription(c, h)
+	s := newSubscription(c, h, bh)
 	c.subs = append(c.subs, s)
 	return s, nil
 }
@@ -176,20 +230,30 @@ func (c *LocalChannel) unsubscribe(target *Subscription) {
 	target.stop()
 }
 
+// subItem is one unit of a subscription's dispatch queue: a single
+// event, or an owned batch (slice copy plus one retained reference).
+type subItem struct {
+	e     *event.Event
+	batch []*event.Event
+	ref   event.Ref
+}
+
 // Subscription is one subscriber's attachment to a channel.
 type Subscription struct {
 	ch      *LocalChannel
 	handler Handler
+	bh      BatchHandler // nil for plain subscribers
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []*event.Event
+	queue   []subItem
+	pending int // events queued, across all items
 	stopped bool
 	done    chan struct{}
 }
 
-func newSubscription(c *LocalChannel, h Handler) *Subscription {
-	s := &Subscription{ch: c, handler: h, done: make(chan struct{})}
+func newSubscription(c *LocalChannel, h Handler, bh BatchHandler) *Subscription {
+	s := &Subscription{ch: c, handler: h, bh: bh, done: make(chan struct{})}
 	s.cond = sync.NewCond(&s.mu)
 	go s.run()
 	return s
@@ -201,21 +265,46 @@ func (s *Subscription) deliver(e *event.Event) bool {
 		s.mu.Unlock()
 		return false
 	}
-	s.queue = append(s.queue, e)
+	s.queue = append(s.queue, subItem{e: e})
+	s.pending++
 	s.cond.Signal()
 	s.mu.Unlock()
 	return true
 }
 
 // deliverBatch queues a whole batch under one lock acquisition and
-// returns the number of events accepted (0 when stopped).
+// returns the number of events accepted (0 when stopped). The channel
+// retains the events, never the slice.
 func (s *Subscription) deliverBatch(events []*event.Event) int {
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
 		return 0
 	}
-	s.queue = append(s.queue, events...)
+	for _, e := range events {
+		s.queue = append(s.queue, subItem{e: e})
+	}
+	s.pending += len(events)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return len(events)
+}
+
+// deliverOwned queues an owned batch: the slice is copied (the caller
+// only lends it) and one reference is taken on the subscriber's
+// behalf. Batch-aware subscribers give it back after their handler
+// returns; plain ones hold it forever (see SubmitOwned).
+func (s *Subscription) deliverOwned(events []*event.Event, ref event.Ref) int {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return 0
+	}
+	if ref != nil {
+		ref.Retain()
+	}
+	s.queue = append(s.queue, subItem{batch: append([]*event.Event(nil), events...), ref: ref})
+	s.pending += len(events)
 	s.cond.Signal()
 	s.mu.Unlock()
 	return len(events)
@@ -232,13 +321,40 @@ func (s *Subscription) run() {
 			s.mu.Unlock()
 			return
 		}
-		batch := s.queue
+		items := s.queue
 		s.queue = nil
 		s.mu.Unlock()
-		for _, e := range batch {
-			s.handler(e)
+		for i := range items {
+			it := &items[i]
+			switch {
+			case it.batch == nil:
+				s.handler(it.e)
+				s.drained(1)
+			case s.bh != nil:
+				s.bh(it.batch, it.ref)
+				if it.ref != nil {
+					it.ref.Release()
+				}
+				s.drained(len(it.batch))
+			default:
+				// Plain subscriber: hand the views over one at a time
+				// and keep the retained reference — the handler may
+				// hold them past the call, so the slab must never be
+				// recycled under it.
+				for _, e := range it.batch {
+					s.handler(e)
+				}
+				s.drained(len(it.batch))
+			}
+			*it = subItem{}
 		}
 	}
+}
+
+func (s *Subscription) drained(n int) {
+	s.mu.Lock()
+	s.pending -= n
+	s.mu.Unlock()
 }
 
 func (s *Subscription) stop() {
@@ -263,7 +379,7 @@ func (s *Subscription) Cancel() { s.ch.unsubscribe(s) }
 func (s *Subscription) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.pending
 }
 
 // Derive creates a new channel fed by src through filter: events for

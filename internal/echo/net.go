@@ -113,11 +113,24 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	switch mode {
 	case modeSend:
+		// ReadFrame discriminates columnar batch frames from legacy
+		// per-event frames on the wire, so mixed-version peers share
+		// one connection format. Batch frames decode into pooled slab
+		// views published zero-copy; the server's reference is dropped
+		// as soon as the channel has taken its own.
 		r := event.NewReader(conn)
 		for {
-			e, err := r.ReadEvent()
+			e, b, err := r.ReadFrame()
 			if err != nil {
 				return
+			}
+			if b != nil {
+				err = ch.SubmitOwned(b.Events, b)
+				b.Release()
+				if err != nil {
+					return
+				}
+				continue
 			}
 			if ch.Submit(e) != nil {
 				return
@@ -218,8 +231,23 @@ type SendLink struct {
 	w    *event.Writer
 	err  error
 
+	// legacy forces per-event framing for batches, for peers that
+	// predate the columnar batch frame. Single-event Submit always
+	// uses the legacy frame (control links stay byte-compatible).
+	legacy bool
+
 	submitted atomic.Uint64
 	bytes     atomic.Uint64
+}
+
+// SetLegacyFraming switches batch submissions to the per-event legacy
+// codec (true) or the columnar batch frame (false, the default). The
+// receive side auto-detects per frame, so this only needs to change
+// for peers too old to read batch frames.
+func (l *SendLink) SetLegacyFraming(legacy bool) {
+	l.mu.Lock()
+	l.legacy = legacy
+	l.mu.Unlock()
 }
 
 // DialSend connects a send link for the named channel at addr.
@@ -266,7 +294,9 @@ func (l *SendLink) Submit(e *event.Event) error {
 
 // SubmitBatch frames a whole batch into one buffered write and a
 // single flush, amortizing the per-submission syscall and lock costs
-// across the batch.
+// across the batch. Unless legacy framing is forced, the batch rides
+// one columnar frame: headers packed per column, payloads
+// concatenated into a single blob, nothing allocated per event.
 func (l *SendLink) SubmitBatch(events []*event.Event) error {
 	if len(events) == 0 {
 		return nil
@@ -276,7 +306,11 @@ func (l *SendLink) SubmitBatch(events []*event.Event) error {
 	if l.err != nil {
 		return l.err
 	}
-	if err := l.w.WriteBatch(events); err != nil {
+	write := l.w.WriteBatchFrame
+	if l.legacy {
+		write = l.w.WriteBatch
+	}
+	if err := write(events); err != nil {
 		l.err = err
 		return err
 	}
@@ -291,6 +325,14 @@ func (l *SendLink) SubmitBatch(events []*event.Event) error {
 	}
 	l.bytes.Add(bytes)
 	return nil
+}
+
+// SubmitOwned implements the zero-copy submission contract: the link
+// only encodes the views into its write buffer and retains nothing,
+// so the caller's slabs are free for reuse the moment the call
+// returns. ref is not touched.
+func (l *SendLink) SubmitOwned(events []*event.Event, _ event.Ref) error {
+	return l.SubmitBatch(events)
 }
 
 // Stats returns events and payload bytes submitted on the link.

@@ -102,7 +102,7 @@ func (en *Engine) Process(e *event.Event) ([]*event.Event, time.Time) {
 		}
 		if e.VT != nil {
 			en.mu.Lock()
-			en.lastProcessed = en.lastProcessed.Merge(e.VT)
+			en.lastProcessed = en.lastProcessed.MergeInto(e.VT)
 			en.mu.Unlock()
 		}
 		return nil, done
@@ -124,8 +124,11 @@ func (en *Engine) Process(e *event.Event) ([]*event.Event, time.Time) {
 	en.state.processed.Add(uint64(e.Weight()))
 
 	if e.VT != nil {
+		// In-place merge: the watermark owns its backing (LastProcessed
+		// hands out clones), so steady-state processing allocates
+		// nothing here.
 		en.mu.Lock()
-		en.lastProcessed = en.lastProcessed.Merge(e.VT)
+		en.lastProcessed = en.lastProcessed.MergeInto(e.VT)
 		en.mu.Unlock()
 	}
 	return derived, done

@@ -148,6 +148,35 @@ func (w *Writer) WriteBatch(events []*Event) error {
 	return err
 }
 
+// WriteBatchFrame frames a whole batch as one columnar frame (see
+// batchframe.go) built in the writer's reused buffer and handed to the
+// underlying bufio writer with a single Write call. Batches larger than
+// MaxBatchEvents are split across consecutive frames.
+func (w *Writer) WriteBatchFrame(events []*Event) error {
+	for len(events) > 0 {
+		n := len(events)
+		if n > MaxBatchEvents {
+			n = MaxBatchEvents
+		}
+		chunk := events[:n]
+		events = events[n:]
+		w.buf = append(w.buf[:0], 0, 0, 0, 0)
+		var err error
+		w.buf, err = AppendBatchFrame(w.buf, chunk)
+		if err != nil {
+			return err
+		}
+		if len(w.buf)-4 > MaxBatchFrame {
+			return fmt.Errorf("event: batch frame length %d exceeds maximum %d", len(w.buf)-4, MaxBatchFrame)
+		}
+		binary.LittleEndian.PutUint32(w.buf, uint32(len(w.buf)-4))
+		if _, err := w.w.Write(w.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Flush flushes buffered frames.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
@@ -192,4 +221,52 @@ func (r *Reader) ReadEvent() (*Event, error) {
 		return nil, fmt.Errorf("event: frame length %d does not match encoding %d", n, used)
 	}
 	return e, nil
+}
+
+// ReadFrame reads one frame of either framing generation: a columnar
+// batch frame yields a pooled Batch of zero-copy views (the caller owns
+// one reference and must Release it), a legacy frame yields a single
+// decoded event. Exactly one of the two results is non-nil on success.
+// It returns io.EOF at a clean end of stream and io.ErrUnexpectedEOF on
+// a truncated frame.
+func (r *Reader) ReadFrame() (*Event, *Batch, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+		return nil, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if n > MaxBatchFrame {
+		return nil, nil, fmt.Errorf("event: frame length %d exceeds maximum", n)
+	}
+	// The frame is read straight into a pooled slab so a batch frame's
+	// payloads need no further copy; a legacy frame just borrows the
+	// slab for the duration of the decode.
+	b := acquireBatch()
+	buf := b.Frame(n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		b.Release()
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, nil, err
+	}
+	if IsBatchFrame(buf) {
+		if err := b.DecodeFrame(); err != nil {
+			b.Release()
+			return nil, nil, err
+		}
+		return nil, b, nil
+	}
+	defer b.Release()
+	if n > MaxPayload+headerSize+1024 {
+		return nil, nil, fmt.Errorf("event: frame length %d exceeds maximum", n)
+	}
+	e, used, err := Unmarshal(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if used != n {
+		return nil, nil, fmt.Errorf("event: frame length %d does not match encoding %d", n, used)
+	}
+	return e, nil, nil
 }

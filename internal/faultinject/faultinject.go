@@ -301,6 +301,44 @@ func (l *Link) SubmitBatch(events []*event.Event) error {
 	return l.batch.SubmitBatch(out)
 }
 
+// ownedSender matches core.OwnedBatchSender structurally: zero-copy
+// batch submission under a borrow-during-call reference.
+type ownedSender interface {
+	SubmitOwned(events []*event.Event, ref event.Ref) error
+}
+
+// SubmitOwned applies the link's fault schedule to an owned batch and
+// passes the survivors (and the guarding reference) downstream when
+// the next hop speaks the zero-copy protocol. When it does not — or
+// when a reorder fault holds one of the batch's views back past this
+// call — a permanent reference is taken so the slab is surrendered to
+// the garbage collector instead of being recycled under a retained
+// view. The decision stream is identical to SubmitBatch's.
+func (l *Link) SubmitOwned(events []*event.Event, ref event.Ref) error {
+	l.mu.Lock()
+	heldBefore := l.held
+	out := make([]*event.Event, 0, len(events)+1)
+	for _, e := range events {
+		out = l.plan(e, out)
+	}
+	holdsView := l.held != nil && l.held != heldBefore
+	l.mu.Unlock()
+	if holdsView && ref != nil {
+		ref.Retain()
+		ref = nil // the leak already guards every view of this batch
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	if o, ok := l.next.(ownedSender); ok && ref != nil {
+		return o.SubmitOwned(out, ref)
+	}
+	if ref != nil {
+		ref.Retain()
+	}
+	return l.batch.SubmitBatch(out)
+}
+
 // Flush releases a pending reorder holdback (end of a schedule, before
 // drain barriers). Without it the last submission of a run could stay
 // held forever.

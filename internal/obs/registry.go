@@ -55,6 +55,7 @@ type series struct {
 	counter *metrics.Counter
 	gauge   *metrics.Gauge
 	hist    *metrics.Histogram
+	rawHist bool           // hist samples are dimensionless values, not durations
 	fn      func() float64 // CounterFunc/GaugeFunc
 }
 
@@ -173,6 +174,24 @@ func (r *Registry) Histogram(name string, ls ...Label) *metrics.Histogram {
 	if s.hist == nil {
 		s.hist = metrics.NewHistogram(0)
 	}
+	return s.hist
+}
+
+// ValueHistogram returns (creating if needed) a histogram whose
+// samples are dimensionless values rather than durations: callers
+// record a value n as time.Duration(n), and the summary renders the
+// raw numbers instead of seconds. Size-style distributions (bytes per
+// frame, events per batch) use it. On a nil registry it returns a
+// fresh unregistered histogram.
+func (r *Registry) ValueHistogram(name string, ls ...Label) *metrics.Histogram {
+	s := r.get(name, kindSummary, ls)
+	if s == nil {
+		return metrics.NewHistogram(0)
+	}
+	if s.hist == nil {
+		s.hist = metrics.NewHistogram(0)
+	}
+	s.rawHist = true
 	return s.hist
 }
 
@@ -358,19 +377,26 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// writeSummary renders one histogram series as a Prometheus summary in
-// seconds.
+// writeSummary renders one histogram series as a Prometheus summary —
+// in seconds for duration histograms, as raw values for value
+// histograms (ValueHistogram).
 func writeSummary(w io.Writer, name string, s *series) error {
+	val := func(d time.Duration) float64 {
+		if s.rawHist {
+			return float64(d)
+		}
+		return d.Seconds()
+	}
 	qs := s.hist.Quantiles(summaryQuantiles...)
 	for i, p := range summaryQuantiles {
 		q := L("quantile", formatFloat(p/100))
 		if _, err := fmt.Fprintf(w, "%s%s %s\n",
-			name, renderLabels(s.labels, q), formatFloat(qs[i].Seconds())); err != nil {
+			name, renderLabels(s.labels, q), formatFloat(val(qs[i]))); err != nil {
 			return err
 		}
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
-		name, renderLabels(s.labels), formatFloat(s.hist.Sum().Seconds())); err != nil {
+		name, renderLabels(s.labels), formatFloat(val(s.hist.Sum()))); err != nil {
 		return err
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.labels), s.hist.Count())

@@ -14,10 +14,24 @@ import (
 // and admission stamps are monotonic — and trimmed from the front at
 // commit. Its length is the second monitored variable used by the
 // adaptation mechanism.
+// releaseGroup tracks one owned batch's retained slab: remaining counts
+// the group's events still in the backup, and release fires when the
+// last one is trimmed.
+type releaseGroup struct {
+	remaining int
+	release   func()
+}
+
 type Backup struct {
 	mu  sync.Mutex
 	buf []*event.Event
 	hwm int
+
+	// rel parallels buf once any owned batch has been appended: rel[i]
+	// is the release group retaining buf[i]'s slab, or nil for events
+	// appended without an ownership transfer. It stays nil (no parallel
+	// bookkeeping at all) until the first AppendOwnedBatch.
+	rel []*releaseGroup
 
 	// trimmedEvents/trimmedBytes account everything Commit has ever
 	// released — the per-checkpoint-round reclamation the observability
@@ -39,6 +53,9 @@ func (b *Backup) Append(e *event.Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.buf = append(b.buf, e)
+	if b.rel != nil {
+		b.rel = append(b.rel, nil)
+	}
 	if len(b.buf) > b.hwm {
 		b.hwm = len(b.buf)
 	}
@@ -55,9 +72,43 @@ func (b *Backup) AppendBatch(batch []*event.Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.buf = append(b.buf, batch...)
+	if b.rel != nil {
+		for range batch {
+			b.rel = append(b.rel, nil)
+		}
+	}
 	if len(b.buf) > b.hwm {
 		b.hwm = len(b.buf)
 	}
+}
+
+// AppendOwnedBatch stores a batch whose events borrow from a pooled
+// slab the caller has retained for the backup: release is invoked
+// exactly once, after Commit has trimmed the batch's last event, at
+// which point no retained event references the slab any more. Ordering
+// requirements match AppendBatch. An empty batch releases immediately.
+func (b *Backup) AppendOwnedBatch(batch []*event.Event, release func()) {
+	if len(batch) == 0 {
+		if release != nil {
+			release()
+		}
+		return
+	}
+	b.mu.Lock()
+	if b.rel == nil {
+		// First owned append: backfill the parallel array for the
+		// events already retained.
+		b.rel = make([]*releaseGroup, len(b.buf), len(b.buf)+len(batch))
+	}
+	g := &releaseGroup{remaining: len(batch), release: release}
+	b.buf = append(b.buf, batch...)
+	for range batch {
+		b.rel = append(b.rel, g)
+	}
+	if len(b.buf) > b.hwm {
+		b.hwm = len(b.buf)
+	}
+	b.mu.Unlock()
 }
 
 // Last returns the timestamp of the most recently appended event, or
@@ -106,21 +157,42 @@ func (b *Backup) Contains(ts vclock.VC) bool {
 // earlier ones).
 func (b *Backup) Commit(ts vclock.VC) int {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.committed != nil && ts.LessEq(b.committed) {
+		b.mu.Unlock()
 		return 0
 	}
+	var fire []func()
 	n := 0
 	for n < len(b.buf) && b.buf[n].VT.LessEq(ts) {
 		b.trimmedBytes += uint64(len(b.buf[n].Payload))
 		b.buf[n] = nil
+		if b.rel != nil {
+			if g := b.rel[n]; g != nil {
+				b.rel[n] = nil
+				if g.remaining--; g.remaining == 0 {
+					fire = append(fire, g.release)
+				}
+			}
+		}
 		n++
 	}
 	if n > 0 {
 		b.buf = append(b.buf[:0], b.buf[n:]...)
+		if b.rel != nil {
+			b.rel = append(b.rel[:0], b.rel[n:]...)
+		}
 	}
 	b.trimmedEvents += uint64(n)
 	b.committed = b.committed.Merge(ts)
+	b.mu.Unlock()
+	// Slab releases run outside the queue lock: a release is a pool
+	// return plus reference-count arithmetic, but holding no lock here
+	// keeps the queue reentrancy-safe whatever the release closure does.
+	for _, f := range fire {
+		if f != nil {
+			f()
+		}
+	}
 	return n
 }
 
@@ -179,13 +251,13 @@ func (b *Backup) CheckInvariants() error {
 	return nil
 }
 
-// Snapshot returns the retained events in order. The recovery extension
-// replays them to a rejoining mirror; callers must not mutate the
-// returned events.
+// Snapshot returns deep copies of the retained events in order. The
+// recovery extension replays them to a rejoining mirror; copying here
+// decouples that replay from the pooled slabs owned batches borrow
+// from, which a concurrent Commit may release at any moment. Recovery
+// is rare, so the copy is off the steady-state path.
 func (b *Backup) Snapshot() []*event.Event {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]*event.Event, len(b.buf))
-	copy(out, b.buf)
-	return out
+	return event.CloneBatch(make([]*event.Event, 0, len(b.buf)), b.buf)
 }

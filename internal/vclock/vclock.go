@@ -109,6 +109,23 @@ func (v VC) Merge(o VC) VC {
 	return m
 }
 
+// MergeInto folds o into v in place (component-wise maximum), growing
+// v only when o is wider, and returns the (possibly reallocated)
+// clock. Unlike Merge it allocates nothing once v is wide enough —
+// the mirror sites' arrival watermark advances with it on every
+// admitted batch. v must not alias memory the caller does not own.
+func (v VC) MergeInto(o VC) VC {
+	for len(v) < len(o) {
+		v = append(v, 0)
+	}
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+	return v
+}
+
 // Min returns the component-wise minimum of v and o. The checkpoint
 // coordinator uses Min over participant replies to compute the highest
 // timestamp safely committable everywhere.

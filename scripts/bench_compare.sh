@@ -4,20 +4,43 @@
 #
 # Usage:
 #   scripts/bench_compare.sh [output-file]
+#   scripts/bench_compare.sh gate
 #
 # Typical comparison workflow:
 #   git checkout main   && scripts/bench_compare.sh bench_old.txt
 #   git checkout branch && scripts/bench_compare.sh bench_new.txt
 #   benchstat bench_old.txt bench_new.txt   # if benchstat is installed
+#   go run ./cmd/benchgate -compare bench_old.txt bench_new.txt  # no install needed
 #
 # The output is plain `go test -bench` text, which benchstat consumes
 # directly; without benchstat the raw per-run lines are still usable.
+#
+# The `gate` mode is the CI wire-format check (make bench-gate): it
+# runs the BenchmarkWireFrame legacy/columnar pair COUNT (>=5) times
+# and feeds the result to cmd/benchgate, which (a) checks with a
+# Mann-Whitney U test that the columnar frame is not statistically
+# slower than the legacy per-event codec, and (b) asserts the columnar
+# round trip reports 0 allocs/op — the steady-state zero-copy claim.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-bench_compare_$(git rev-parse --short HEAD 2>/dev/null || echo wip).txt}"
 count="${COUNT:-5}"
+
+if [ "${1:-}" = "gate" ]; then
+    mkdir -p results
+    out=results/bench_gate.txt
+    echo "running: -bench BenchmarkWireFrame -count=$count -> $out" >&2
+    go test -run xxx -bench 'BenchmarkWireFrame' -benchmem \
+        -benchtime=300000x -count="$count" -timeout 30m . | tee "$out"
+    go run ./cmd/benchgate \
+        -compare -old-sub legacy -new-sub columnar \
+        -assert-zero-allocs 'WireFrame/columnar' \
+        "$out" "$out"
+    exit $?
+fi
+
+out="${1:-bench_compare_$(git rev-parse --short HEAD 2>/dev/null || echo wip).txt}"
 
 # Fig5/Fig6 sweep the mirror fan-out directly; FanoutBatch and
 # CodecBatchWrite isolate the batch pipeline and the wire framing;
