@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci metrics-lint chaos fuzz bench bench-compare bench-gate bench-serve figures clean
+.PHONY: all build vet test race ci metrics-lint chaos fuzz bench bench-compare bench-gate bench-rejoin bench-serve figures clean
 
 all: ci
 
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzBatchFrame -fuzztime 20s ./internal/event
 	$(GO) test -run xxx -fuzz FuzzCheckpointControl -fuzztime 20s ./internal/checkpoint
 	$(GO) test -run xxx -fuzz FuzzRegimeDirective -fuzztime 20s ./internal/adapt
+	$(GO) test -run xxx -fuzz FuzzStateDelta -fuzztime 20s ./internal/statedelta
 
 # One fast pass over every figure and ablation benchmark.
 bench:
@@ -53,6 +54,12 @@ bench-compare:
 # assertion on the columnar round trip.
 bench-gate:
 	./scripts/bench_compare.sh gate
+
+# Incremental-rejoin gate: the snapshot vs cut-anchored delta rejoin
+# transfer, Mann-Whitney-checked on convergence time plus a >=5x
+# wire-byte ratio (cmd/benchgate -ratio-metric).
+bench-rejoin:
+	./scripts/bench_compare.sh rejoin
 
 # The init-state serving-path benchmarks (storm throughput and
 # snapshot-cache rebuild cost).

@@ -669,3 +669,103 @@ func nameInt(prefix string, v int) string {
 	}
 	return prefix + "-" + string(buf)
 }
+
+// rejoinSink adapts a function to the core.Sender interface for the
+// rejoin-transfer benchmark below.
+type rejoinSink func(*event.Event) error
+
+func (f rejoinSink) Submit(e *event.Event) error { return f(e) }
+
+// benchRejoinCluster builds the rejoin-transfer fixture: a mirrored
+// cluster carrying many flights of padded state, a committed
+// checkpoint cut, and a short tail of traffic past the cut touching
+// only a few flights — the workload where cut-anchored deltas pay off.
+func benchRejoinCluster(b *testing.B) (*cluster.Cluster, vclock.VC) {
+	b.Helper()
+	cl, err := cluster.New(cluster.Config{
+		Mirrors:      1,
+		StatePadding: 256,
+		Params:       core.Params{CheckpointFreq: 1 << 30}, // manual checkpoints only
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+
+	base := cluster.BuildEvents(cluster.Options{
+		Flights: 400, UpdatesPerFlight: 4, EventSize: 128, Seed: 7,
+	})
+	if err := cl.Feed(base); err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.Mirrors[0].Received() < uint64(len(base)) {
+		if time.Now().After(deadline) {
+			b.Fatalf("mirror received %d/%d base events", cl.Mirrors[0].Received(), len(base))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cl.Central.Checkpoint()
+	for cl.Mirrors[0].Backup().Committed() == nil {
+		if time.Now().After(deadline) {
+			b.Fatal("no committed cut at the mirror")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cut := cl.Mirrors[0].Backup().Committed()
+
+	// Past the cut only 8 of the 400 flights mutate.
+	tail := cluster.BuildEvents(cluster.Options{
+		Flights: 8, UpdatesPerFlight: 2, EventSize: 128, Seed: 9,
+	})
+	if err := cl.Feed(tail); err != nil {
+		b.Fatal(err)
+	}
+	cl.DrainAll()
+	return cl, cut
+}
+
+// BenchmarkRejoinTransfer measures one mirror rejoin transfer end to
+// end — build under the barrier, ship, apply at the receiver — for
+// the full-snapshot path against the cut-anchored delta path, and
+// reports the wire bytes each mode ships. `make bench-rejoin` runs
+// both sides repeatedly and gates them with cmd/benchgate: the delta
+// side must converge faster (Mann-Whitney on ns/op) and ship at least
+// 5x fewer bytes (bytes_shipped/op ratio).
+func BenchmarkRejoinTransfer(b *testing.B) {
+	for _, mode := range []string{"snapshot", "delta"} {
+		b.Run(mode, func(b *testing.B) {
+			cl, cut := benchRejoinCluster(b)
+			if mode == "snapshot" {
+				cut = nil // a rejoiner with no usable cut: full transfer
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fresh := core.NewMirrorSite(core.MirrorSiteConfig{})
+				if _, err := cl.Central.RecoverMirrorSince(rejoinSink(func(e *event.Event) error {
+					fresh.HandleData(e)
+					return nil
+				}), cut); err != nil {
+					b.Fatal(err)
+				}
+				fresh.Drain()
+				fresh.Close()
+			}
+			b.StopTimer()
+			stats := cl.Central.RejoinStats()
+			switch mode {
+			case "snapshot":
+				if stats.Snapshots != uint64(b.N) {
+					b.Fatalf("RejoinStats = %+v, want %d snapshot transfers", stats, b.N)
+				}
+				b.ReportMetric(float64(stats.SnapshotBytes)/float64(b.N), "bytes_shipped/op")
+			case "delta":
+				if stats.Deltas != uint64(b.N) {
+					b.Fatalf("RejoinStats = %+v, want %d delta transfers", stats, b.N)
+				}
+				b.ReportMetric(float64(stats.DeltaBytes)/float64(b.N), "bytes_shipped/op")
+			}
+		})
+	}
+}

@@ -39,10 +39,14 @@ type sample struct {
 	nsPerOp     float64
 	allocsPerOp float64
 	hasAllocs   bool
+	// fields holds every unit-suffixed value on the line ("B/op",
+	// custom b.ReportMetric units like "bytes_shipped/op", ...).
+	fields map[string]float64
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
 var allocsField = regexp.MustCompile(`([\d.]+) allocs/op`)
+var metricField = regexp.MustCompile(`([\d.]+(?:[eE][+-]?\d+)?) (\S+)`)
 
 // parseFile reads `go test -bench` output into name → samples.
 func parseFile(path string) (map[string][]sample, error) {
@@ -67,6 +71,14 @@ func parseFile(path string) (map[string][]sample, error) {
 		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
 			s.allocsPerOp, _ = strconv.ParseFloat(am[1], 64)
 			s.hasAllocs = true
+		}
+		for _, fm := range metricField.FindAllStringSubmatch(m[3], -1) {
+			if v, err := strconv.ParseFloat(fm[1], 64); err == nil {
+				if s.fields == nil {
+					s.fields = make(map[string]float64)
+				}
+				s.fields[fm[2]] = v
+			}
 		}
 		out[m[1]] = append(out[m[1]], s)
 	}
@@ -187,6 +199,8 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 0, "tolerated median slowdown in percent before a significant regression fails the gate")
 		minRuns    = flag.Int("min-runs", 5, "minimum samples per side for a statistical verdict")
 		zeroAllocs = flag.String("assert-zero-allocs", "", "regexp of benchmarks that must report 0 allocs/op (args: file.txt)")
+		ratioMet   = flag.String("ratio-metric", "", "with -compare: a reported metric unit (e.g. bytes_shipped/op) whose old/new median ratio is gated")
+		minRatio   = flag.Float64("min-ratio", 1, "with -ratio-metric: minimum required old/new median ratio")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -203,7 +217,11 @@ func main() {
 			var newSet map[string][]sample
 			newSet, err = parseFile(args[1])
 			if err == nil {
-				fail = runCompare(remap(oldSet, *oldSub), remap(newSet, *newSub), *alpha, *maxRegress, *minRuns)
+				oldR, newR := remap(oldSet, *oldSub), remap(newSet, *newSub)
+				fail = runCompare(oldR, newR, *alpha, *maxRegress, *minRuns)
+				if *ratioMet != "" {
+					fail = runRatio(oldR, newR, *ratioMet, *minRatio) || fail
+				}
 			}
 		}
 		if err != nil {
@@ -266,6 +284,48 @@ func runCompare(oldSet, newSet map[string][]sample, alpha, maxRegress float64, m
 			verdict = "slower (within tolerance)"
 		}
 		fmt.Printf("%-50s %12.1f %12.1f %+7.1f%% %9.4f  %s\n", name, om, nm, delta, p, verdict)
+	}
+	return fail
+}
+
+// runRatio gates a reported metric (b.ReportMetric units) on its
+// old/new median ratio: the gate fails when old < minRatio × new —
+// e.g. -ratio-metric bytes_shipped/op -min-ratio 5 demands the new
+// side ship at least 5x fewer bytes than the old.
+func runRatio(oldSet, newSet map[string][]sample, metric string, minRatio float64) (fail bool) {
+	names := make([]string, 0, len(oldSet))
+	for name := range oldSet {
+		if _, ok := newSet[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	collect := func(ss []sample) []float64 {
+		var out []float64
+		for _, s := range ss {
+			if v, ok := s.fields[metric]; ok {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	fmt.Printf("%-50s %14s %14s %8s  verdict (%s, min ratio %gx)\n",
+		"benchmark", "old", "new", "ratio", metric, minRatio)
+	for _, name := range names {
+		o, n := collect(oldSet[name]), collect(newSet[name])
+		if len(o) == 0 || len(n) == 0 {
+			fmt.Printf("%-50s missing %s samples (%d old, %d new)\n", name, metric, len(o), len(n))
+			fail = true
+			continue
+		}
+		om, nm := median(o), median(n)
+		ratio := om / nm
+		verdict := "ok"
+		if !(ratio >= minRatio) {
+			verdict = "BELOW MINIMUM"
+			fail = true
+		}
+		fmt.Printf("%-50s %14.1f %14.1f %7.1fx  %s\n", name, om, nm, ratio, verdict)
 	}
 	return fail
 }

@@ -59,6 +59,14 @@ var requiredSeries = []string{
 	`adapt_regime_id{site="mirror0"}`,
 	`adapt_directive_stale_total{site="mirror0"}`,
 	`adapt_directive_invalid_total{site="mirror1"}`,
+	// Incremental rejoin and the mutation journal behind it. Both
+	// transfer modes are registered up front (labels render sorted by
+	// key), so the series exist even before any rejoin happens.
+	`rejoin_mode_total{mode="snapshot",site="central"}`,
+	`rejoin_mode_total{mode="delta",site="central"}`,
+	`rejoin_bytes_total{mode="snapshot",site="central"}`,
+	`rejoin_bytes_total{mode="delta",site="central"}`,
+	`statedelta_journal_flights{site="central"}`,
 	// Checkpointing.
 	`checkpoint_rounds_total{site="central"}`,
 	`checkpoint_commits_total{site="central"}`,

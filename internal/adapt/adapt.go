@@ -88,6 +88,12 @@ type Regime struct {
 	OverwriteLen int
 	// CheckpointFreq is the checkpoint frequency in mirrored events.
 	CheckpointFreq int
+	// FieldDeltas installs the field-delta mirroring regime: the
+	// sending task ships per-flight field-level state deltas
+	// (internal/statedelta) in place of raw data events. Composes with
+	// Coalesce and OverwriteLen — deltas are built from the filtered,
+	// coalesced stream.
+	FieldDeltas bool
 }
 
 // SiteCentral keys the central site's own samples in the controller's
@@ -434,8 +440,14 @@ const regimeWire = 1 + 1 + 4 + 4 + 4 + 4
 func EncodeRegime(r Regime) []byte {
 	b := make([]byte, regimeWire)
 	b[0] = r.ID
+	// b[1] is a flag byte: bit 0 coalescing, bit 1 field-delta
+	// mirroring. (Pre-field-delta decoders read it as a boolean, so the
+	// bit assignment keeps old directives decoding identically.)
 	if r.Coalesce {
-		b[1] = 1
+		b[1] |= 1
+	}
+	if r.FieldDeltas {
+		b[1] |= 2
 	}
 	binary.LittleEndian.PutUint32(b[2:], uint32(r.MaxCoalesce))
 	binary.LittleEndian.PutUint32(b[6:], uint32(r.OverwriteLen))
@@ -455,7 +467,8 @@ func DecodeRegime(b []byte) (Regime, error) {
 	}
 	return Regime{
 		ID:             b[0],
-		Coalesce:       b[1] == 1,
+		Coalesce:       b[1]&1 != 0,
+		FieldDeltas:    b[1]&2 != 0,
 		MaxCoalesce:    int(binary.LittleEndian.Uint32(b[2:])),
 		OverwriteLen:   int(binary.LittleEndian.Uint32(b[6:])),
 		CheckpointFreq: int(binary.LittleEndian.Uint32(b[10:])),
@@ -463,11 +476,13 @@ func DecodeRegime(b []byte) (Regime, error) {
 }
 
 // InstallRegime applies a regime to a central site: it configures
-// coalescing, FAA-position overwriting, and checkpoint frequency in
-// one step. It is the standard apply callback for NewController.
+// coalescing, FAA-position overwriting, field-delta mirroring, and
+// checkpoint frequency in one step. It is the standard apply callback
+// for NewController.
 func InstallRegime(c *core.Central) func(Regime) {
 	return func(r Regime) {
 		c.SetParams(r.Coalesce, r.MaxCoalesce, r.CheckpointFreq)
 		c.InstallSelective(r.OverwriteLen)
+		c.SetFieldDeltas(r.FieldDeltas)
 	}
 }

@@ -192,6 +192,25 @@ func TestRegimeEncodeNoCoalesce(t *testing.T) {
 	}
 }
 
+func TestRegimeEncodeFieldDeltas(t *testing.T) {
+	// The flag byte carries Coalesce (bit 0) and FieldDeltas (bit 1)
+	// independently, and directives encoded before the field-delta
+	// regime existed decode with FieldDeltas off.
+	for _, r := range []Regime{
+		{ID: 4, FieldDeltas: true, OverwriteLen: 5, CheckpointFreq: 25},
+		{ID: 5, Coalesce: true, FieldDeltas: true, MaxCoalesce: 8, OverwriteLen: 5, CheckpointFreq: 25},
+		{ID: 6, Coalesce: true, MaxCoalesce: 8, OverwriteLen: 5, CheckpointFreq: 25},
+	} {
+		got, err := DecodeRegime(EncodeRegime(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.FieldDeltas != r.FieldDeltas || got.Coalesce != r.Coalesce {
+			t.Fatalf("flags round trip = %+v, want %+v", got, r)
+		}
+	}
+}
+
 func TestVarString(t *testing.T) {
 	for v, want := range map[Var]string{
 		VarReady:   "ready-queue",

@@ -19,7 +19,13 @@
 //     faulty control links install in strictly increasing round order
 //     at every mirror incarnation (a stale or duplicate delivery never
 //     installs), and after drain every site's installed regime ID
-//     equals the central controller's.
+//     equals the central controller's;
+//  6. incremental rejoin is sound: a healthy mirror that falls behind
+//     (partitioned until excluded, then overtaken by fresh traffic and
+//     commits) and rejoins presenting its committed cut is served the
+//     per-cut state delta — not a full snapshot — and still converges
+//     to the central EDE state byte-for-byte (checked by invariant 3
+//     over the same drained cluster).
 //
 // The adaptation scenario runs in every chaos run: the workload's
 // checkpoint cadence pushes the central backup queue over the primary
@@ -150,6 +156,14 @@ type ChaosResult struct {
 	// Replayed is the number of backup events replayed to the
 	// crash-restarted mirror at rejoin.
 	Replayed int
+	// DeltaReplayed is the number of backup events replayed to the
+	// lagging mirror at its incremental (delta-mode) rejoin.
+	DeltaReplayed int
+	// RejoinSnapshots/RejoinDeltas are the central's final rejoin
+	// transfer counters by mode: the crash-restarted victim (no cut)
+	// must take the snapshot path, the lagging mirror (committed cut
+	// within the journal horizon) the delta path.
+	RejoinSnapshots, RejoinDeltas uint64
 	// Rounds/Commits are the checkpoint protocol's final counters.
 	Rounds, Commits uint64
 	// P95 is the central update-delay 95th percentile.
@@ -178,8 +192,9 @@ func (r ChaosResult) Failed() bool { return len(r.Violations) > 0 }
 // Report renders the run for humans: schedule, verdict, and the repro
 // seed on failure.
 func (r ChaosResult) Report() string {
-	s := fmt.Sprintf("%s replayed=%d rounds=%d commits=%d p95=%s faults=%d adapt=%d/%d stale=%d invalid=%d digest=%016x",
-		r.Schedule, r.Replayed, r.Rounds, r.Commits, r.P95, r.Faults,
+	s := fmt.Sprintf("%s replayed=%d delta-replayed=%d rejoins=%d/%d rounds=%d commits=%d p95=%s faults=%d adapt=%d/%d stale=%d invalid=%d digest=%016x",
+		r.Schedule, r.Replayed, r.DeltaReplayed, r.RejoinSnapshots, r.RejoinDeltas,
+		r.Rounds, r.Commits, r.P95, r.Faults,
 		r.Engages, r.Reverts, r.StaleDirectives, r.InvalidDirectives, r.StateDigest)
 	if !r.Failed() {
 		return "PASS " + s
@@ -511,8 +526,11 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 		}
 	}
 
+	res.DeltaReplayed = r.deltaLagScenario(&fed)
 	r.calmTail(fed)
 	r.finish(&res)
+	stats := r.central.RejoinStats()
+	res.RejoinSnapshots, res.RejoinDeltas = stats.Snapshots, stats.Deltas
 	r.adaptMu.Lock()
 	r.violations = append(r.violations, r.adaptViol...)
 	r.adaptMu.Unlock()
@@ -523,6 +541,100 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 	res.Engages, res.Reverts = r.controller.Transitions()
 	res.StaleDirectives, res.InvalidDirectives = r.directiveStats()
 	return res
+}
+
+// deltaLagScenario exercises invariant 6: a healthy mirror (never the
+// crash victim — its state must stay intact) is partitioned until the
+// failure detector excludes it, the stream advances past it with fresh
+// events and committed cuts, and it then rejoins presenting the
+// checkpoint cut it had committed before the partition. The cut sits
+// within the central mutation journal's horizon, so the recovery
+// transfer must take the delta path; byte-exact convergence of the
+// delta-rejoined replica is then checked by invariant 3 over the
+// drained cluster. Returns the backup events replayed at the rejoin.
+func (r *chaosRig) deltaLagScenario(fed *int) int {
+	lag := 0
+	if lag == r.sched.CrashMirror {
+		lag = 1
+	}
+	if lag >= len(r.slots) {
+		return 0 // no healthy peer to lag in a 1-mirror cluster
+	}
+	// Control faults may have spuriously excluded the chosen site
+	// already; an excluded site receives no COMMIT broadcasts, so
+	// re-admit everyone before waiting for its cut to land.
+	r.rejoinAll("delta-prep")
+	m := r.slots[lag].Load()
+	// The site must hold a committed cut to present; control faults can
+	// have eaten every COMMIT so far, so drive rounds until one lands.
+	for attempt := 0; attempt < 200 && m.Backup().Committed() == nil; attempt++ {
+		r.round("delta-cut")
+		r.flushCtrl()
+	}
+	if m.Backup().Committed() == nil {
+		r.violatef("delta: mirror %d never committed a cut to rejoin from", lag)
+		return 0
+	}
+
+	// Partition the site and drive rounds until the detector excludes
+	// it, unblocking commits for the rest of the cluster.
+	r.data[lag].SetDown(true)
+	r.ctrlDown[lag].SetDown(true)
+	r.ctrlUp[lag].SetDown(true)
+	lagOut := func() bool {
+		for _, i := range r.member.Failed() {
+			if i == lag {
+				return true
+			}
+		}
+		return false
+	}
+	for attempt := 0; !lagOut() && attempt < r.cfg.MissedRounds+8; attempt++ {
+		r.round("delta-exclusion")
+	}
+	if !lagOut() {
+		r.violatef("delta: failure detector reported %v, missing lagging mirror %d",
+			r.member.Failed(), lag)
+	}
+
+	// Advance the world past the lagging site: fresh mutations and
+	// fresh committed cuts, all journaled against the cut it holds.
+	extra := BuildEvents(Options{
+		Flights:          r.cfg.Flights,
+		UpdatesPerFlight: 4,
+		EventSize:        48,
+		Seed:             r.cfg.Seed + 202,
+	})
+	for i, e := range extra {
+		if err := r.central.Ingest(e); err != nil {
+			r.violatef("delta: event %d/%d rejected: %v", i, len(extra), err)
+			return 0
+		}
+		*fed++
+		if (i+1)%r.cfg.CheckpointEvery == 0 {
+			r.waitMirrored(uint64(*fed))
+			r.round("delta-advance")
+		}
+	}
+	r.waitMirrored(uint64(*fed))
+	r.round("delta-advance")
+
+	// Heal the links and rejoin incrementally from the committed cut.
+	r.data[lag].SetDown(false)
+	r.ctrlDown[lag].SetDown(false)
+	r.ctrlUp[lag].SetDown(false)
+	before := r.central.RejoinStats()
+	replayed, err := r.member.RejoinSince(lag, m.Backup().Committed())
+	if err != nil {
+		r.violatef("delta: rejoin mirror %d: %v", lag, err)
+		return 0
+	}
+	if after := r.central.RejoinStats(); after.Deltas != before.Deltas+1 {
+		r.violatef("delta: rejoin of lagging mirror %d fell back to snapshot mode "+
+			"(cut should be within the journal horizon)", lag)
+	}
+	r.check("delta-rejoin")
+	return replayed
 }
 
 // calmTail is the downslope of the Figure-8-style load ramp: the

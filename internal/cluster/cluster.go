@@ -97,6 +97,11 @@ type Config struct {
 	// ClientOut, when non-nil, additionally receives the central
 	// site's client update stream (thin clients, operations logs).
 	ClientOut core.Sender
+	// DeltaHorizon is the central mutation journal's retention, in
+	// committed checkpoint cuts, for incremental mirror rejoin
+	// (0 = ede.DefaultJournalHorizon; negative disables journaling so
+	// every rejoin ships the full snapshot).
+	DeltaHorizon int
 }
 
 // Cluster is a running mirrored server.
@@ -255,10 +260,11 @@ func New(cfg Config) (*Cluster, error) {
 		CPU:      cl.CPUs[0],
 		AuxCPU:   auxCPU,
 		Main:     mainCfg,
-		Mirrors:  links,
-		NoMirror: cfg.NoMirror,
-		Obs:      cl.Obs,
-		Tracer:   cl.Tracer,
+		Mirrors:      links,
+		NoMirror:     cfg.NoMirror,
+		DeltaHorizon: cfg.DeltaHorizon,
+		Obs:          cl.Obs,
+		Tracer:       cl.Tracer,
 		OnMirrorSample: func(site int, s core.Sample) {
 			cl.dispatchSample(site, s, configured)
 		},

@@ -11,6 +11,7 @@ import (
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/obs"
 	"adaptmirror/internal/queue"
+	"adaptmirror/internal/statedelta"
 	"adaptmirror/internal/vclock"
 )
 
@@ -92,6 +93,13 @@ type CentralConfig struct {
 	// fill its ring, the oldest queued events are shed and accounted
 	// in LinkStats — the slow site degrades alone.
 	OutboxDepth int
+	// DeltaHorizon is how many committed checkpoint cuts the central
+	// EDE's mutation journal retains for incremental mirror rejoin
+	// (0 uses ede.DefaultJournalHorizon). A rejoiner whose committed
+	// cut falls within the horizon receives only the flights that
+	// mutated past it; older or unknown cuts fall back to the full
+	// snapshot. Negative disables journaling entirely.
+	DeltaHorizon int
 	// OnMirrorSample, when non-nil, receives the monitored-variable
 	// samples mirror sites piggyback on their checkpoint replies,
 	// together with the reporting site's index (the reply's Stream).
@@ -165,6 +173,17 @@ type Central struct {
 	forwarded atomic.Uint64
 	sinceCk   atomic.Uint64
 
+	// fieldDeltas, when set, makes the sending task rewrite mirrored
+	// data events into framed per-flight field deltas (the field-delta
+	// mirroring regime, adapt.Regime.FieldDeltas).
+	fieldDeltas atomic.Bool
+
+	// Rejoin transfer accounting, by recovery mode (recovery.go).
+	rejoinSnapshots     atomic.Uint64
+	rejoinDeltas        atomic.Uint64
+	rejoinSnapshotBytes atomic.Uint64
+	rejoinDeltaBytes    atomic.Uint64
+
 	pipeWG    sync.WaitGroup // receiving + sending tasks
 	ctrlWG    sync.WaitGroup // control task
 	drainOnce sync.Once
@@ -220,6 +239,12 @@ func NewCentral(cfg CentralConfig) *Central {
 		ctrlStop:     make(chan struct{}),
 	}
 	c.fns.Store(&centralFns{mirror: DefaultMirrorFunc, fwd: DefaultFwdFunc, batch: (*Semantics).FilterBatch})
+	if cfg.DeltaHorizon >= 0 {
+		// The mutation journal starts covering now (nil watermark =
+		// everything from the first event), sealing one entry per
+		// committed checkpoint cut via the coordinator's OnCommit.
+		c.main.Engine().State().EnableJournal(cfg.DeltaHorizon, nil)
+	}
 	if !cfg.NoMirror {
 		for i, m := range cfg.Mirrors {
 			c.senders = append(c.senders,
@@ -255,7 +280,13 @@ func NewCentral(cfg CentralConfig) *Central {
 			}
 			mainPart.OnControl(e.Clone())
 		},
-		OnCommit:     func(ts vclock.VC) { c.backup.Commit(ts) },
+		OnCommit: func(ts vclock.VC) {
+			c.backup.Commit(ts)
+			// Each committed cut is a position a mirror may later rejoin
+			// from; seal it with the mutation journal so the delta plane
+			// can serve exactly the suffix past it.
+			c.main.Engine().State().SealCut(ts)
+		},
 		Participants: len(cfg.Mirrors) + 1,
 		Piggyback:    c.takePiggyback,
 	}
@@ -309,6 +340,19 @@ func (c *Central) registerMetrics() {
 			_, n := c.backup.Trimmed()
 			return float64(n)
 		}, site)
+		r.Describe("rejoin_mode_total", "Completed mirror recovery transfers by state-transfer mode.")
+		r.CounterFunc("rejoin_mode_total",
+			func() float64 { return float64(c.rejoinSnapshots.Load()) }, site, obs.L("mode", "snapshot"))
+		r.CounterFunc("rejoin_mode_total",
+			func() float64 { return float64(c.rejoinDeltas.Load()) }, site, obs.L("mode", "delta"))
+		r.Describe("rejoin_bytes_total", "Recovery-transfer payload bytes shipped, by state-transfer mode.")
+		r.CounterFunc("rejoin_bytes_total",
+			func() float64 { return float64(c.rejoinSnapshotBytes.Load()) }, site, obs.L("mode", "snapshot"))
+		r.CounterFunc("rejoin_bytes_total",
+			func() float64 { return float64(c.rejoinDeltaBytes.Load()) }, site, obs.L("mode", "delta"))
+		r.Describe("statedelta_journal_flights", "Flights tracked by the central mutation journal.")
+		r.GaugeFunc("statedelta_journal_flights",
+			func() float64 { return float64(c.main.Engine().State().JournalFlights()) }, site)
 	}
 	roundHist := r.Histogram("checkpoint_round_seconds", obs.L("site", c.cfg.Site))
 	if r != nil {
@@ -482,6 +526,13 @@ func (c *Central) sendingTask() {
 		if p.Coalesce && len(filtered) > 1 {
 			filtered = c.sem.Coalesce(filtered)
 		}
+		if c.fieldDeltas.Load() && len(filtered) > 0 {
+			// Field-delta regime: rewrite the surviving (possibly
+			// coalesced) events into per-flight field deltas before
+			// backup and fan-out, so mirrors and the backup replay see
+			// the compact form.
+			transformFieldDeltas(filtered)
+		}
 		if len(filtered) == 0 {
 			vb.Release()
 			continue
@@ -514,6 +565,88 @@ func (c *Central) sendingTask() {
 		c.mirrored.Add(uint64(len(filtered)))
 		c.mirroredW.Add(weight)
 		vb.Release()
+	}
+}
+
+// SetFieldDeltas switches the field-delta mirroring regime on or off.
+// On, the sending task replaces each mirrored position, status, and
+// gate-reader event with a one-record statedelta frame
+// (TypeStateDelta) carrying only the fields the event would have
+// changed; mirror EDEs apply the frames through ede.DeltaRule and
+// converge byte-for-byte with raw mirroring. Off restores raw events.
+// Takes effect on the next batch.
+func (c *Central) SetFieldDeltas(on bool) { c.fieldDeltas.Store(on) }
+
+// FieldDeltas reports whether the field-delta regime is installed.
+func (c *Central) FieldDeltas() bool { return c.fieldDeltas.Load() }
+
+// deltaRecordFor maps one mirrored data event to its field-delta
+// record. ok=false passes the event through untransformed (control
+// events and streams the flight table does not track: crew, baggage,
+// weather).
+func deltaRecordFor(e *event.Event) (statedelta.Record, bool) {
+	r := statedelta.Record{Flight: e.Flight, Weight: e.Weight()}
+	switch e.Type {
+	case event.TypeFAAPosition:
+		// The weighted update counter always advances; the coordinates
+		// ride along when the payload carries a well-formed fix.
+		r.Mask = statedelta.MaskCounters
+		if lat, lon, alt, ok := e.Position(); ok {
+			r.Mask |= statedelta.MaskPosition
+			r.Lat, r.Lon, r.Alt = lat, lon, alt
+		}
+	case event.TypeDeltaStatus:
+		r.Mask = statedelta.MaskStatus
+		r.Status = uint8(e.Status)
+	case event.TypeGateReader:
+		// Weight is the boardings counted; the expected passenger total
+		// travels in the first payload word, same as the raw event.
+		r.Mask = statedelta.MaskPax
+		if len(e.Payload) >= 4 {
+			r.PaxExpected = uint32(e.Payload[0]) | uint32(e.Payload[1])<<8 |
+				uint32(e.Payload[2])<<16 | uint32(e.Payload[3])<<24
+		}
+	default:
+		return statedelta.Record{}, false
+	}
+	return r, true
+}
+
+// transformFieldDeltas rewrites, in place over the batch's view slab,
+// every mappable data event into a one-record statedelta frame. It
+// runs after filtering and coalescing, so record weights carry the
+// coalesce counts. All frames in the batch share one exactly-sized
+// buffer; each event's payload is a capped sub-slice of it.
+func transformFieldDeltas(batch []*event.Event) {
+	recs := make([]statedelta.Record, 0, len(batch))
+	idxs := make([]int, 0, len(batch))
+	total := 0
+	for i, e := range batch {
+		r, ok := deltaRecordFor(e)
+		if !ok {
+			continue
+		}
+		recs = append(recs, r)
+		idxs = append(idxs, i)
+		total += statedelta.FrameSize(recs[len(recs)-1:])
+	}
+	if len(recs) == 0 {
+		return
+	}
+	buf := make([]byte, 0, total)
+	for k, i := range idxs {
+		start := len(buf)
+		var err error
+		buf, err = statedelta.AppendFrame(buf, recs[k:k+1])
+		if err != nil {
+			// A single record built by deltaRecordFor always encodes;
+			// if it somehow does not, ship the raw event instead.
+			buf = buf[:start]
+			continue
+		}
+		e := batch[i]
+		e.Type = event.TypeStateDelta
+		e.Payload = buf[start:len(buf):len(buf)]
 	}
 }
 

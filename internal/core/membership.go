@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
 )
 
 // Membership extends the framework with mirror-site failure handling,
@@ -138,6 +139,17 @@ func (m *Membership) Live() int {
 // byte-for-byte even while traffic is flowing. The site rejoins the
 // commit quorum at the next checkpoint round.
 func (m *Membership) Rejoin(i int) (replayed int, err error) {
+	return m.RejoinSince(i, nil)
+}
+
+// RejoinSince is Rejoin with cut negotiation: cut is the rejoiner's
+// last committed checkpoint cut (its backup queue's Committed
+// watermark), nil when the site lost all state. A cut within the
+// central mutation journal's horizon turns the state transfer into a
+// per-flight delta of exactly what the rejoiner missed; anything else
+// falls back to the full snapshot. Either way the recovered replica
+// converges byte-for-byte.
+func (m *Membership) RejoinSince(i int, cut vclock.VC) (replayed int, err error) {
 	m.mu.Lock()
 	if i < 0 || i >= len(m.failed) {
 		m.mu.Unlock()
@@ -149,7 +161,7 @@ func (m *Membership) Rejoin(i int) (replayed int, err error) {
 	}
 	m.mu.Unlock()
 
-	n, err := m.central.recoverMirrorAndReadmit(i, func() {
+	n, err := m.central.recoverMirrorAndReadmit(i, cut, func() {
 		m.mu.Lock()
 		m.failed[i] = false
 		m.missed[i] = 0

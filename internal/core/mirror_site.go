@@ -161,6 +161,13 @@ func (m *MirrorSite) Main() *MainUnit { return m.main }
 // Backup exposes the site's backup queue.
 func (m *MirrorSite) Backup() *queue.Backup { return m.backup }
 
+// isRecoveryTransfer reports whether e carries a recovery state
+// transfer — full snapshot or incremental delta. Both replace history
+// rather than extend it, so neither belongs in the backup queue.
+func isRecoveryTransfer(e *event.Event) bool {
+	return e.Type == event.TypeRecoveryState || e.Type == event.TypeRecoveryDelta
+}
+
 // admit checks one arriving event against the arrival watermark,
 // advancing it on acceptance. Caller holds dedupMu. Unstamped events
 // (nil VT — unit tests, out-of-band traffic) bypass the watermark.
@@ -197,7 +204,7 @@ func (m *MirrorSite) HandleData(e *event.Event) {
 	if !ok {
 		return
 	}
-	if e.Type != event.TypeRecoveryState {
+	if !isRecoveryTransfer(e) {
 		m.backup.Append(e)
 	}
 	_ = m.ready.Put(e)
@@ -221,7 +228,7 @@ func (m *MirrorSite) HandleDataBatch(events []*event.Event) {
 	for i, e := range events {
 		adaptDir := e.Type == event.TypeAdapt
 		ok := !adaptDir && m.admit(e)
-		if plain && ok && e.Type != event.TypeRecoveryState {
+		if plain && ok && !isRecoveryTransfer(e) {
 			continue
 		}
 		if plain {
@@ -235,7 +242,7 @@ func (m *MirrorSite) HandleDataBatch(events []*event.Event) {
 		}
 		if ok {
 			toReady = append(toReady, e)
-			if e.Type != event.TypeRecoveryState {
+			if !isRecoveryTransfer(e) {
 				toBackup = append(toBackup, e)
 			}
 		}
@@ -287,7 +294,7 @@ func (m *MirrorSite) HandleOwnedBatch(events []*event.Event, ref event.Ref) erro
 		if !m.admit(e) {
 			continue
 		}
-		if e.Type == event.TypeRecoveryState {
+		if isRecoveryTransfer(e) {
 			toReady = append(toReady, e.Clone())
 			continue
 		}

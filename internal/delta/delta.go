@@ -5,6 +5,11 @@
 // generator reproduces its structure — per-flight monotone lifecycle
 // transitions interleaved across flights, plus bursts of gate-reader
 // events during boarding — deterministically from a seed.
+//
+// Despite the name, this package has nothing to do with state deltas:
+// the per-flight field-level *state-delta* codec used by incremental
+// rejoin and the field-delta mirroring regime lives in
+// internal/statedelta.
 package delta
 
 import (

@@ -8,6 +8,7 @@ import (
 	"adaptmirror/internal/costmodel"
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/obs"
+	"adaptmirror/internal/statedelta"
 	"adaptmirror/internal/vclock"
 )
 
@@ -108,6 +109,25 @@ func (en *Engine) Process(e *event.Event) ([]*event.Event, time.Time) {
 		return nil, done
 	}
 
+	// Recovery deltas are the incremental form: the payload holds
+	// absolute statedelta records, at the event's VT, for exactly the
+	// flights that mutated past the rejoiner's committed cut. Like a
+	// full snapshot they bypass the rules and the processed counter;
+	// unlike one they leave every uncarried flight alone.
+	if e.Type == event.TypeRecoveryDelta {
+		if len(e.Payload) > 0 {
+			if err := en.state.ApplyDeltaAbsolute(e.Payload); err != nil {
+				return nil, done
+			}
+		}
+		if e.VT != nil {
+			en.mu.Lock()
+			en.lastProcessed = en.lastProcessed.MergeInto(e.VT)
+			en.mu.Unlock()
+		}
+		return nil, done
+	}
+
 	// Lock only the shard owning the event's flight: applies to other
 	// flights, point reads, and snapshot rebuilds of other shards all
 	// proceed concurrently.
@@ -118,6 +138,9 @@ func (en *Engine) Process(e *event.Event) ([]*event.Event, time.Time) {
 		if out := r.Apply(en.state, e); len(out) > 0 {
 			derived = append(derived, out...)
 		}
+	}
+	if en.state.journal.on.Load() && e.VT != nil {
+		en.state.journalNote(sh, e.Flight, e.VT.Sum())
 	}
 	sh.epoch.Add(1)
 	sh.mu.Unlock()
@@ -155,9 +178,92 @@ func (en *Engine) ServeInitState() []byte {
 }
 
 // DefaultRules returns the standard OIS rule set: position tracking,
-// status lifecycle, boarding completion, and arrival derivation.
+// status lifecycle, boarding completion, arrival derivation, and
+// field-delta application (for sites mirrored under the field-delta
+// regime).
 func DefaultRules() []Rule {
-	return []Rule{PositionRule{}, StatusRule{}, BoardingRule{}, ArrivalRule{}}
+	return []Rule{PositionRule{}, StatusRule{}, BoardingRule{}, ArrivalRule{}, DeltaRule{}}
+}
+
+// DeltaRule applies TypeStateDelta events: framed per-flight field
+// deltas (internal/statedelta) the central sending task emits in
+// place of raw data events when the field-delta mirroring regime is
+// installed. Each masked field is applied with exactly the semantics
+// the corresponding full-event rule would have used — positions
+// overwrite and bump the weighted update counter, statuses advance
+// monotonically and derive arrival at the gate, boardings accumulate
+// by weight and derive all-boarded — so a replica fed deltas
+// converges byte-for-byte with one fed the raw events. Records for
+// flights other than the event's are skipped: the rule runs under the
+// event's flight's shard lock only.
+type DeltaRule struct{}
+
+// Name implements Rule.
+func (DeltaRule) Name() string { return "state-delta" }
+
+// Apply implements Rule.
+func (DeltaRule) Apply(st *State, e *event.Event) []*event.Event {
+	if e.Type != event.TypeStateDelta {
+		return nil
+	}
+	var d statedelta.Decoder
+	if d.Reset(e.Payload) != nil {
+		return nil
+	}
+	var derived []*event.Event
+	var r statedelta.Record
+	for d.Next(&r) {
+		if r.Flight != e.Flight {
+			continue
+		}
+		fs := st.flight(r.Flight)
+		if r.Mask&statedelta.MaskPosition != 0 {
+			fs.Lat, fs.Lon, fs.Alt = r.Lat, r.Lon, r.Alt
+		}
+		if r.Mask&statedelta.MaskCounters != 0 {
+			fs.PositionUpdates += uint64(r.Weight)
+		}
+		if r.Mask&statedelta.MaskStatus != 0 {
+			// StatusRule then ArrivalRule, in rule order.
+			status := event.Status(r.Status)
+			if status > fs.Status {
+				fs.Status = status
+			}
+			if status == event.StatusAtGate && !fs.Arrived {
+				fs.Arrived = true
+				fs.Status = event.StatusArrived
+				derived = append(derived, &event.Event{
+					Type:      event.TypeFlightArrived,
+					Flight:    r.Flight,
+					Stream:    e.Stream,
+					Seq:       e.Seq,
+					Status:    event.StatusArrived,
+					Coalesced: 1,
+					VT:        e.VT.Clone(),
+					Ingress:   e.Ingress,
+				})
+			}
+		}
+		if r.Mask&statedelta.MaskPax != 0 {
+			if r.PaxExpected > 0 && fs.PaxExpected == 0 {
+				fs.PaxExpected = r.PaxExpected
+			}
+			fs.PaxBoarded += r.Weight
+			if !fs.AllBoarded && fs.PaxExpected > 0 && fs.PaxBoarded >= fs.PaxExpected {
+				fs.AllBoarded = true
+				derived = append(derived, &event.Event{
+					Type:      event.TypeAllBoarded,
+					Flight:    r.Flight,
+					Stream:    e.Stream,
+					Seq:       e.Seq,
+					Coalesced: 1,
+					VT:        e.VT.Clone(),
+					Ingress:   e.Ingress,
+				})
+			}
+		}
+	}
+	return derived
 }
 
 // PositionRule applies FAA position reports to flight state.

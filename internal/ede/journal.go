@@ -1,0 +1,241 @@
+package ede
+
+// The mutation journal is the central-site half of incremental mirror
+// rejoin: per shard, it remembers for each flight the scalar position
+// of the last event that mutated it, keyed against the checkpoint
+// cuts the coordinator commits. A rejoiner that presents a committed
+// cut within the retained horizon receives only the flights that
+// mutated past it (as absolute statedelta records) instead of the
+// full snapshot.
+//
+// The scalar key is the vector timestamp's component sum: the central
+// receiving task stamps every event from one clock, so stamping order,
+// vector order, and sum order all agree — "mutated after cut C" is
+// exactly "mutation sum > C.Sum()". Commit cuts are event timestamps
+// (or merges of them from the same totally ordered sequence), so the
+// same projection orders them too.
+//
+// Horizon bookkeeping is a ring of sealed commit sums. When a seal
+// falls off the ring, the journal floor rises to it and every entry
+// at or below the floor is compacted away; a cut below the floor can
+// no longer be served incrementally and falls back to the snapshot
+// path. The journal therefore holds only flights that mutated within
+// the last `horizon` committed cuts — bounded working state, not a
+// second event log.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/statedelta"
+	"adaptmirror/internal/vclock"
+)
+
+// DefaultJournalHorizon is how many committed checkpoint cuts the
+// mutation journal retains when EnableJournal is given no bound.
+const DefaultJournalHorizon = 64
+
+// journal is the State-level coordination half of the mutation
+// journal; the per-flight maps live on the shards (guarded by the
+// shard locks, written on the rule-application path).
+type journal struct {
+	// on is checked on the per-event rule-application path, so it is
+	// atomic; everything else is recovery/commit-rate state under mu.
+	on atomic.Bool
+
+	mu      sync.Mutex
+	horizon int
+	floor   uint64   // sums at or below this are compacted away
+	seals   []uint64 // sealed commit sums, ascending, len <= horizon
+}
+
+// EnableJournal turns on mutation journaling with the given horizon
+// in committed cuts (<= 0 uses DefaultJournalHorizon). Coverage
+// starts at the current processed position: the floor is set to the
+// given watermark's sum so a cut from before enablement is never
+// served incrementally.
+func (s *State) EnableJournal(horizon int, since vclock.VC) {
+	if horizon <= 0 {
+		horizon = DefaultJournalHorizon
+	}
+	s.journal.mu.Lock()
+	s.journal.horizon = horizon
+	s.journal.floor = since.Sum()
+	s.journal.seals = s.journal.seals[:0]
+	s.journal.on.Store(true)
+	s.journal.mu.Unlock()
+}
+
+// journalNote records that flight f mutated at scalar position sum.
+// Caller holds the write lock of f's shard.
+func (s *State) journalNote(sh *shard, f event.FlightID, sum uint64) {
+	if sh.journal == nil {
+		sh.journal = make(map[event.FlightID]uint64)
+	}
+	if sum > sh.journal[f] {
+		sh.journal[f] = sum
+	}
+}
+
+// SealCut records one committed checkpoint cut with the journal. Cuts
+// beyond the horizon raise the floor and compact entries the floor
+// now covers. No-op while journaling is off.
+func (s *State) SealCut(ts vclock.VC) {
+	j := &s.journal
+	if !j.on.Load() {
+		return
+	}
+	j.mu.Lock()
+	sum := ts.Sum()
+	if n := len(j.seals); n > 0 && sum <= j.seals[n-1] {
+		// Re-delivered or stale commit; the ring stays ascending.
+		j.mu.Unlock()
+		return
+	}
+	j.seals = append(j.seals, sum)
+	var compactTo uint64
+	if len(j.seals) > j.horizon {
+		evict := len(j.seals) - j.horizon
+		j.floor = j.seals[evict-1]
+		j.seals = append(j.seals[:0], j.seals[evict:]...)
+		compactTo = j.floor
+	}
+	if compactTo > 0 {
+		// Compact under j.mu so a concurrent DeltaSince (which checked
+		// its cut against the floor before walking the shards) cannot
+		// lose entries it still needs.
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			for f, last := range sh.journal {
+				if last <= compactTo {
+					delete(sh.journal, f)
+				}
+			}
+			sh.mu.Unlock()
+		}
+	}
+	j.mu.Unlock()
+}
+
+// JournalFlights returns the number of flights currently tracked by
+// the mutation journal (the statedelta_journal_flights gauge).
+func (s *State) JournalFlights() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.journal)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// JournalSeals returns the retained sealed-cut count and the current
+// floor sum (tests, diagnostics).
+func (s *State) JournalSeals() (seals int, floor uint64) {
+	s.journal.mu.Lock()
+	defer s.journal.mu.Unlock()
+	return len(s.journal.seals), s.journal.floor
+}
+
+// recordOf captures one flight's full absolute state as a statedelta
+// record. Caller holds at least the read lock of fs's shard.
+func recordOf(fs *FlightState) statedelta.Record {
+	r := statedelta.Record{
+		Flight:      fs.ID,
+		Mask:        statedelta.MaskAll,
+		Status:      uint8(fs.Status),
+		Lat:         fs.Lat,
+		Lon:         fs.Lon,
+		Alt:         fs.Alt,
+		PaxExpected: fs.PaxExpected,
+		PaxBoarded:  fs.PaxBoarded,
+		PosUpdates:  fs.PositionUpdates,
+	}
+	if fs.AllBoarded {
+		r.Flags |= statedelta.FlagAllBoarded
+	}
+	if fs.Arrived {
+		r.Flags |= statedelta.FlagArrived
+	}
+	return r
+}
+
+// DeltaSince returns absolute records for every flight that mutated
+// after cut, in flight-ID order, or ok=false when the cut cannot be
+// served incrementally (journaling off, nil cut, or cut older than
+// the journal floor). Call it where the state is known quiescent for
+// the intended consistency point — the recovery path captures it
+// under the main unit's barrier, exactly like the full snapshot.
+func (s *State) DeltaSince(cut vclock.VC) (recs []statedelta.Record, ok bool) {
+	if cut == nil {
+		return nil, false
+	}
+	j := &s.journal
+	if !j.on.Load() {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sumC := cut.Sum()
+	if sumC < j.floor {
+		return nil, false
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for f, last := range sh.journal {
+			if last <= sumC {
+				continue
+			}
+			if fs := sh.flights[f]; fs != nil {
+				recs = append(recs, recordOf(fs))
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].Flight < recs[b].Flight })
+	return recs, true
+}
+
+// ApplyDeltaAbsolute installs a framed absolute delta (the payload of
+// a TypeRecoveryDelta event): each record overwrites its flight's
+// masked fields with the carried values. Overwriting is idempotent,
+// so re-delivered recovery deltas are harmless. The frame is fully
+// validated before any flight is touched — a corrupted payload
+// changes nothing.
+func (s *State) ApplyDeltaAbsolute(buf []byte) error {
+	var d statedelta.Decoder
+	if err := d.Reset(buf); err != nil {
+		return err
+	}
+	var r statedelta.Record
+	for d.Next(&r) {
+		sh := s.shardOf(r.Flight)
+		sh.mu.Lock()
+		fs := s.flight(r.Flight)
+		if r.Mask&statedelta.MaskStatus != 0 {
+			fs.Status = event.Status(r.Status)
+		}
+		if r.Mask&statedelta.MaskPosition != 0 {
+			fs.Lat, fs.Lon, fs.Alt = r.Lat, r.Lon, r.Alt
+		}
+		if r.Mask&statedelta.MaskPax != 0 {
+			fs.PaxExpected = r.PaxExpected
+			fs.PaxBoarded = r.PaxBoarded
+		}
+		if r.Mask&statedelta.MaskCounters != 0 {
+			fs.PositionUpdates = r.PosUpdates
+		}
+		if r.Mask&statedelta.MaskFlags != 0 {
+			fs.AllBoarded = r.Flags&statedelta.FlagAllBoarded != 0
+			fs.Arrived = r.Flags&statedelta.FlagArrived != 0
+		}
+		sh.epoch.Add(1)
+		sh.mu.Unlock()
+	}
+	return nil
+}

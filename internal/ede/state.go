@@ -59,6 +59,12 @@ type shard struct {
 	flights map[event.FlightID]*FlightState
 	ext     map[event.FlightID]*extState // crew/baggage/weather
 
+	// journal maps flight -> scalar position (VT sum) of its last
+	// mutation, maintained while the State's mutation journal is
+	// enabled (see journal.go). Guarded by mu's write lock; nil until
+	// the first note.
+	journal map[event.FlightID]uint64
+
 	// epoch counts mutations under mu's write lock; the snapshot cache
 	// compares it against the epoch its cached segment was built at to
 	// decide whether the shard is dirty. Atomic so the cache's warm
@@ -80,6 +86,9 @@ type State struct {
 	// padding is appended per flight in snapshots to model richer
 	// per-flight state than this reproduction tracks explicitly.
 	padding int
+
+	// journal coordinates the per-shard mutation maps (journal.go).
+	journal journal
 
 	cache snapCache
 }
@@ -256,6 +265,9 @@ func (s *State) Install(buf []byte) error {
 		sh.mu.Lock()
 		sh.flights = fresh[i]
 		sh.ext = nil
+		// The mutation journal describes the replaced state; whatever it
+		// tracked no longer corresponds to the installed flights.
+		sh.journal = nil
 		sh.epoch.Add(1)
 		sh.mu.Unlock()
 	}

@@ -75,6 +75,21 @@ const (
 	// a closure at an exact point of its event stream. It never crosses
 	// a link and is never serialized.
 	TypeBarrier
+
+	// TypeStateDelta carries a framed per-flight field-level state
+	// delta (internal/statedelta) in place of the raw data event(s) it
+	// summarizes. The central sending task emits them when the
+	// field-delta mirroring regime is installed; mirror EDEs apply them
+	// incrementally through ede.DeltaRule.
+	TypeStateDelta
+
+	// TypeRecoveryDelta is the incremental counterpart of
+	// TypeRecoveryState: its payload is a framed statedelta stream
+	// holding the absolute state, at the event's VT (the consistency
+	// cut), of exactly the flights that mutated since the rejoiner's
+	// committed cut. Installing it overwrites only those flights, so a
+	// lagging mirror rejoins without shipping the full snapshot.
+	TypeRecoveryDelta
 )
 
 // Control event types (exchanged on control channels).
@@ -131,6 +146,10 @@ func (t Type) String() string {
 		return "recovery-state"
 	case TypeBarrier:
 		return "barrier"
+	case TypeStateDelta:
+		return "state-delta"
+	case TypeRecoveryDelta:
+		return "recovery-delta"
 	case TypeChkpt:
 		return "CHKPT"
 	case TypeChkptReply:

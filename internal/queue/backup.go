@@ -261,3 +261,19 @@ func (b *Backup) Snapshot() []*event.Event {
 	defer b.mu.Unlock()
 	return event.CloneBatch(make([]*event.Event, 0, len(b.buf)), b.buf)
 }
+
+// SnapshotSince returns deep copies of only the retained events NOT
+// covered by cut — the suffix a rejoiner that has already committed cut
+// still needs. A nil cut is equivalent to Snapshot. Because events are
+// retained in non-decreasing timestamp order, the covered prefix is
+// skipped rather than cloned, which is the point: a rejoiner one cut
+// behind pays for one round of traffic, not the whole retained window.
+func (b *Backup) SnapshotSince(cut vclock.VC) []*event.Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	i := 0
+	for i < len(b.buf) && b.buf[i].VT.LessEq(cut) {
+		i++
+	}
+	return event.CloneBatch(make([]*event.Event, 0, len(b.buf)-i), b.buf[i:])
+}

@@ -1,0 +1,348 @@
+// Package statedelta implements the compact per-flight field-level
+// state-delta codec used by incremental mirror rejoin and by the
+// field-delta mirroring regime.
+//
+// Not to be confused with internal/delta, which is the Delta Air
+// Lines *stream generator* (it synthesizes flight-status source
+// events). This package encodes and decodes *state deltas*: framed
+// sequences of per-flight records, each carrying a field mask and the
+// masked fields' values, shipped either as the payload of a
+// TypeRecoveryDelta event (absolute state at a cut, applied by
+// ede.State.ApplyDeltaAbsolute) or of a TypeStateDelta event
+// (incremental updates, applied by ede.DeltaRule with the same
+// semantics as the full-event rules).
+//
+// The frame rides the PR-6 self-framing wire convention as its own
+// frame kind: like the columnar batch frame (event.IsBatchFrame,
+// marker 0xFFFF) it self-discriminates on a 2-byte marker — 0xFFFE
+// here — so a reader holding an arbitrary frame can tell the kinds
+// apart without out-of-band context. Layout (little-endian):
+//
+//	offset  size  field
+//	0       2     marker 0xFFFE
+//	1       -     (marker high byte)
+//	2       1     version (1)
+//	3       1     flags (0)
+//	4       4     record count N
+//	8       ...   N records, variable size (see Record)
+//	end-4   4     CRC32 (IEEE) over everything before it
+//
+// Each record is flight(4) | mask(1) | weight(4) | masked fields in
+// mask-bit order. The trailing CRC makes bit flips a rejection, not a
+// state corruption; every length is validated before a byte is read,
+// so truncation cannot panic. Encoding goes through a pooled slab
+// (AppendFrame onto a GetSlab buffer) and decoding borrows from the
+// input — Decoder never copies the frame.
+package statedelta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+
+	"adaptmirror/internal/event"
+)
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// Field-mask bits: which FlightState fields a record carries.
+const (
+	// MaskStatus carries the lifecycle status byte.
+	MaskStatus uint8 = 1 << 0
+	// MaskPosition carries the (lat, lon, alt) triple.
+	MaskPosition uint8 = 1 << 1
+	// MaskPax carries the expected and boarded passenger counts.
+	MaskPax uint8 = 1 << 2
+	// MaskCounters carries the position-update counter.
+	MaskCounters uint8 = 1 << 3
+	// MaskFlags carries the derived-marker flags (AllBoarded, Arrived).
+	MaskFlags uint8 = 1 << 4
+
+	// MaskAll is every field: a full absolute flight record.
+	MaskAll = MaskStatus | MaskPosition | MaskPax | MaskCounters | MaskFlags
+
+	maskValid = MaskAll
+)
+
+// Flag bits carried under MaskFlags (matching the ede snapshot flags).
+const (
+	FlagAllBoarded uint8 = 1 << 0
+	FlagArrived    uint8 = 1 << 1
+)
+
+// Record is one per-flight delta: a field mask plus the masked
+// fields' values. Unmasked fields are zero and must be ignored.
+type Record struct {
+	Flight event.FlightID
+	Mask   uint8
+
+	// Weight is how many raw source events the record stands for; the
+	// incremental apply path adds it to the counting fields
+	// (PositionUpdates, PaxBoarded) exactly as the full-event rules add
+	// event weights. Absolute (recovery) records carry 0.
+	Weight uint32
+
+	Status        uint8   // MaskStatus
+	Lat, Lon, Alt float64 // MaskPosition
+	PaxExpected   uint32  // MaskPax
+	PaxBoarded    uint32  // MaskPax
+	PosUpdates    uint64  // MaskCounters
+	Flags         uint8   // MaskFlags
+}
+
+// Frame header/trailer geometry.
+const (
+	deltaMarker  = 0xFFFE
+	deltaVersion = 1
+	headerSize   = 2 + 1 + 1 + 4
+	trailerSize  = 4
+
+	// recordFixed is the unconditional prefix of a record:
+	// flight(4) + mask(1) + weight(4).
+	recordFixed = 4 + 1 + 4
+
+	// MaxRecords bounds the record count of one frame.
+	MaxRecords = 1 << 20
+)
+
+// EncodedSize returns the exact encoded size of r.
+func (r *Record) EncodedSize() int {
+	n := recordFixed
+	if r.Mask&MaskStatus != 0 {
+		n++
+	}
+	if r.Mask&MaskPosition != 0 {
+		n += 24
+	}
+	if r.Mask&MaskPax != 0 {
+		n += 8
+	}
+	if r.Mask&MaskCounters != 0 {
+		n += 8
+	}
+	if r.Mask&MaskFlags != 0 {
+		n++
+	}
+	return n
+}
+
+// FrameSize returns the exact encoded size of a frame holding recs.
+func FrameSize(recs []Record) int {
+	n := headerSize + trailerSize
+	for i := range recs {
+		n += recs[i].EncodedSize()
+	}
+	return n
+}
+
+// IsDeltaFrame reports whether buf starts with the state-delta frame
+// marker (the analogue of event.IsBatchFrame for this frame kind).
+func IsDeltaFrame(buf []byte) bool {
+	return len(buf) >= 2 && binary.LittleEndian.Uint16(buf) == deltaMarker
+}
+
+// AppendFrame appends a framed encoding of recs to dst and returns
+// the extended slice. Records with invalid masks are rejected.
+func AppendFrame(dst []byte, recs []Record) ([]byte, error) {
+	if len(recs) == 0 || len(recs) > MaxRecords {
+		return dst, fmt.Errorf("statedelta: frame of %d records outside 1..%d", len(recs), MaxRecords)
+	}
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint16(dst, deltaMarker)
+	dst = append(dst, deltaVersion, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
+	for i := range recs {
+		r := &recs[i]
+		if r.Mask == 0 || r.Mask&^maskValid != 0 {
+			return dst[:start], fmt.Errorf("statedelta: record %d has invalid mask %#x", i, r.Mask)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Flight))
+		dst = append(dst, r.Mask)
+		dst = binary.LittleEndian.AppendUint32(dst, r.Weight)
+		if r.Mask&MaskStatus != 0 {
+			dst = append(dst, r.Status)
+		}
+		if r.Mask&MaskPosition != 0 {
+			dst = binary.LittleEndian.AppendUint64(dst, floatBits(r.Lat))
+			dst = binary.LittleEndian.AppendUint64(dst, floatBits(r.Lon))
+			dst = binary.LittleEndian.AppendUint64(dst, floatBits(r.Alt))
+		}
+		if r.Mask&MaskPax != 0 {
+			dst = binary.LittleEndian.AppendUint32(dst, r.PaxExpected)
+			dst = binary.LittleEndian.AppendUint32(dst, r.PaxBoarded)
+		}
+		if r.Mask&MaskCounters != 0 {
+			dst = binary.LittleEndian.AppendUint64(dst, r.PosUpdates)
+		}
+		if r.Mask&MaskFlags != 0 {
+			dst = append(dst, r.Flags)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:])), nil
+}
+
+// EncodeFrame frames recs onto a pooled slab sized by FrameSize. The
+// returned buffer must be handed back with PutSlab once no retained
+// event aliases it (event payloads built from it keep it alive via
+// the GC instead — callers that transfer ownership simply skip the
+// return).
+func EncodeFrame(recs []Record) ([]byte, error) {
+	return AppendFrame(GetSlab(FrameSize(recs)), recs)
+}
+
+// slabPool recycles encode scratch buffers so steady-state regime
+// encoding does not allocate per batch.
+var slabPool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+
+// maxRetainedSlab matches the batch-frame pool policy: buffers grown
+// past this stay with the GC instead of pinning pool memory.
+const maxRetainedSlab = 4 << 20
+
+// GetSlab returns an empty pooled buffer with at least the given
+// capacity.
+func GetSlab(capacity int) []byte {
+	b := slabPool.Get().([]byte)[:0]
+	if cap(b) < capacity {
+		b = make([]byte, 0, capacity)
+	}
+	return b
+}
+
+// PutSlab returns a buffer obtained from GetSlab to the pool.
+func PutSlab(b []byte) {
+	if cap(b) > 0 && cap(b) <= maxRetainedSlab {
+		slabPool.Put(b[:0])
+	}
+}
+
+// Decoder iterates the records of one frame, borrowing from buf (no
+// copy is made; the caller keeps buf alive across Next calls). The
+// whole frame — lengths, version, count, CRC — is validated by
+// NewDecoder before any record is surfaced, so a Decoder that
+// constructs successfully can never fail mid-iteration on corrupt
+// input.
+type Decoder struct {
+	rest    []byte
+	pending uint32
+}
+
+// NewDecoder validates buf as one complete state-delta frame and
+// returns a borrowing iterator over its records.
+func NewDecoder(buf []byte) (*Decoder, error) {
+	d := &Decoder{}
+	if err := d.Reset(buf); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Reset re-points an existing decoder at a new frame, revalidating it
+// (the zero-alloc path for per-event regime payloads).
+func (d *Decoder) Reset(buf []byte) error {
+	d.rest, d.pending = nil, 0
+	if len(buf) < headerSize+trailerSize {
+		return fmt.Errorf("statedelta: frame too short: %d bytes", len(buf))
+	}
+	if binary.LittleEndian.Uint16(buf) != deltaMarker {
+		return fmt.Errorf("statedelta: bad frame marker %#x", binary.LittleEndian.Uint16(buf))
+	}
+	if buf[2] != deltaVersion {
+		return fmt.Errorf("statedelta: unsupported frame version %d", buf[2])
+	}
+	if buf[3] != 0 {
+		return fmt.Errorf("statedelta: unsupported frame flags %#x", buf[3])
+	}
+	body := buf[:len(buf)-trailerSize]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(buf[len(buf)-trailerSize:]); got != want {
+		return fmt.Errorf("statedelta: frame checksum mismatch")
+	}
+	n := binary.LittleEndian.Uint32(buf[4:])
+	if n == 0 || n > MaxRecords {
+		return fmt.Errorf("statedelta: record count %d outside 1..%d", n, MaxRecords)
+	}
+	// Walk the records once up front: every mask and length is checked
+	// here so Next never sees malformed input.
+	rest := body[headerSize:]
+	for i := uint32(0); i < n; i++ {
+		if len(rest) < recordFixed {
+			return fmt.Errorf("statedelta: record %d truncated", i)
+		}
+		mask := rest[4]
+		if mask == 0 || mask&^maskValid != 0 {
+			return fmt.Errorf("statedelta: record %d has invalid mask %#x", i, mask)
+		}
+		size := (&Record{Mask: mask}).EncodedSize()
+		if len(rest) < size {
+			return fmt.Errorf("statedelta: record %d truncated", i)
+		}
+		rest = rest[size:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("statedelta: %d trailing bytes after %d records", len(rest), n)
+	}
+	d.rest = body[headerSize:]
+	d.pending = n
+	return nil
+}
+
+// Len returns the number of records not yet decoded.
+func (d *Decoder) Len() int { return int(d.pending) }
+
+// Next decodes the next record into r, returning false once the frame
+// is exhausted.
+func (d *Decoder) Next(r *Record) bool {
+	if d.pending == 0 {
+		return false
+	}
+	d.pending--
+	b := d.rest
+	*r = Record{
+		Flight: event.FlightID(binary.LittleEndian.Uint32(b)),
+		Mask:   b[4],
+		Weight: binary.LittleEndian.Uint32(b[5:]),
+	}
+	b = b[recordFixed:]
+	if r.Mask&MaskStatus != 0 {
+		r.Status = b[0]
+		b = b[1:]
+	}
+	if r.Mask&MaskPosition != 0 {
+		r.Lat = bitsFloat(binary.LittleEndian.Uint64(b))
+		r.Lon = bitsFloat(binary.LittleEndian.Uint64(b[8:]))
+		r.Alt = bitsFloat(binary.LittleEndian.Uint64(b[16:]))
+		b = b[24:]
+	}
+	if r.Mask&MaskPax != 0 {
+		r.PaxExpected = binary.LittleEndian.Uint32(b)
+		r.PaxBoarded = binary.LittleEndian.Uint32(b[4:])
+		b = b[8:]
+	}
+	if r.Mask&MaskCounters != 0 {
+		r.PosUpdates = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+	}
+	if r.Mask&MaskFlags != 0 {
+		r.Flags = b[0]
+		b = b[1:]
+	}
+	d.rest = b
+	return true
+}
+
+// DecodeFrame parses a frame into a fresh record slice (tests,
+// tooling; hot paths use Decoder to avoid the allocation).
+func DecodeFrame(buf []byte) ([]Record, error) {
+	d, err := NewDecoder(buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, 0, d.Len())
+	var r Record
+	for d.Next(&r) {
+		out = append(out, r)
+	}
+	return out, nil
+}

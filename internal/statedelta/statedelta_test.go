@@ -1,0 +1,199 @@
+package statedelta
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"adaptmirror/internal/event"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Flight: 1, Mask: MaskStatus, Status: uint8(event.StatusBoarding), Weight: 1},
+		{Flight: 2, Mask: MaskPosition | MaskCounters, Lat: 33.64, Lon: -84.42, Alt: 31000, Weight: 12},
+		{Flight: 3, Mask: MaskPax, PaxExpected: 180, PaxBoarded: 42, Weight: 3},
+		{Flight: 7, Mask: MaskAll, Status: uint8(event.StatusArrived), Lat: -1.5, Lon: 2.25, Alt: 0,
+			PaxExpected: 120, PaxBoarded: 120, PosUpdates: 999, Flags: FlagAllBoarded | FlagArrived, Weight: 1},
+		{Flight: 9, Mask: MaskFlags, Flags: FlagArrived},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	buf, err := EncodeFrame(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDeltaFrame(buf) {
+		t.Fatal("encoded frame not recognized by IsDeltaFrame")
+	}
+	if want := FrameSize(recs); len(buf) != want {
+		t.Fatalf("frame is %d bytes, FrameSize predicts %d", len(buf), want)
+	}
+	got, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+	PutSlab(buf)
+}
+
+func TestEmptyFrameRejected(t *testing.T) {
+	// A frame always carries at least one record — empty deltas are
+	// represented by not shipping a frame at all.
+	if _, err := EncodeFrame(nil); err == nil {
+		t.Fatal("zero-record frame encoded")
+	}
+	// A hand-built zero-count frame with a valid CRC must be rejected
+	// by count validation, not decoded as vacuously valid.
+	raw := []byte{0xFE, 0xFF, 1, 0, 0, 0, 0, 0}
+	raw = binary.LittleEndian.AppendUint32(raw, crc32.ChecksumIEEE(raw))
+	if _, err := DecodeFrame(raw); err == nil {
+		t.Fatal("zero-count frame accepted")
+	}
+}
+
+func TestUnmaskedFieldsDropped(t *testing.T) {
+	// Fields outside the mask must not travel: the decode of a record
+	// that set them anyway comes back zeroed outside the mask.
+	in := Record{Flight: 5, Mask: MaskStatus, Status: 3, Lat: 99, PaxBoarded: 7, Flags: FlagArrived, Weight: 2}
+	buf, err := EncodeFrame([]Record{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Record{Flight: 5, Mask: MaskStatus, Status: 3, Weight: 2}
+	if out[0] != want {
+		t.Fatalf("decoded %+v, want %+v", out[0], want)
+	}
+}
+
+func TestInvalidMaskRejected(t *testing.T) {
+	if _, err := EncodeFrame([]Record{{Flight: 1, Mask: 0x80}}); err == nil {
+		t.Fatal("mask with undefined bits encoded")
+	}
+	if _, err := EncodeFrame([]Record{{Flight: 1, Mask: 0}}); err == nil {
+		t.Fatal("empty mask encoded")
+	}
+}
+
+func TestCorruptionRejected(t *testing.T) {
+	buf, err := EncodeFrame(sampleRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-byte flip anywhere in the frame must be rejected:
+	// the trailing CRC covers marker, header, and records alike.
+	for i := range buf {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x41
+		var d Decoder
+		if d.Reset(bad) == nil {
+			// The only unprotected acceptance would be a flip that keeps
+			// the CRC consistent, which a single-byte xor cannot.
+			t.Fatalf("flip at byte %d/%d accepted", i, len(buf))
+		}
+	}
+	// Every truncation must be rejected too.
+	for n := 0; n < len(buf); n++ {
+		var d Decoder
+		if d.Reset(buf[:n]) == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(buf))
+		}
+	}
+	// Trailing garbage after a valid frame is not a valid frame.
+	var d Decoder
+	if d.Reset(append(append([]byte(nil), buf...), 0)) == nil {
+		t.Fatal("frame with trailing byte accepted")
+	}
+}
+
+func TestDecoderNext(t *testing.T) {
+	recs := sampleRecords()
+	buf, err := EncodeFrame(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decoder
+	if err := d.Reset(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(recs))
+	}
+	var r Record
+	for i := 0; d.Next(&r); i++ {
+		if r != recs[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, r, recs[i])
+		}
+	}
+	if d.Next(&r) {
+		t.Fatal("Next returned a record past the end")
+	}
+}
+
+func TestSlabReuse(t *testing.T) {
+	a := GetSlab(100)
+	PutSlab(a)
+	b := GetSlab(50)
+	if cap(b) < 50 {
+		t.Fatalf("slab capacity %d < 50", cap(b))
+	}
+	PutSlab(b)
+	// Oversized slabs must not be retained.
+	PutSlab(make([]byte, maxRetainedSlab+1))
+}
+
+// FuzzStateDelta hardens the field-delta frame decoder: arbitrary
+// bytes must never panic, anything accepted must round-trip through
+// the codec to identical bytes, and every accepted record must carry a
+// valid mask with unmasked fields zeroed.
+func FuzzStateDelta(f *testing.F) {
+	valid, _ := EncodeFrame(sampleRecords())
+	f.Add(append([]byte(nil), valid...))
+	one, _ := EncodeFrame([]Record{{Flight: 4, Mask: MaskPosition, Lat: 1, Lon: 2, Alt: 3}})
+	f.Add(append([]byte(nil), one...))
+	f.Add([]byte{})
+	f.Add([]byte{0xFE, 0xFF, 0x01, 0x00})
+	flipped := append([]byte(nil), valid...)
+	flipped[11] ^= 0x10
+	f.Add(flipped)
+	f.Add(valid[:len(valid)-2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		for i, r := range recs {
+			if r.Mask&^MaskAll != 0 {
+				t.Fatalf("record %d accepted with undefined mask bits %#x", i, r.Mask)
+			}
+			if r.Mask&MaskStatus == 0 && r.Status != 0 {
+				t.Fatalf("record %d carries an unmasked status", i)
+			}
+			if r.Mask&MaskFlags == 0 && r.Flags != 0 {
+				t.Fatalf("record %d carries unmasked flags", i)
+			}
+		}
+		re, err := EncodeFrame(recs)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode differs: %d vs %d bytes", len(re), len(data))
+		}
+	})
+}

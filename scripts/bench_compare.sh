@@ -40,6 +40,25 @@ if [ "${1:-}" = "gate" ]; then
     exit $?
 fi
 
+# The `rejoin` mode is the incremental-rejoin check (make
+# bench-rejoin): it runs the BenchmarkRejoinTransfer snapshot/delta
+# pair COUNT (>=5) times and feeds the result to cmd/benchgate, which
+# (a) checks with a Mann-Whitney U test that the delta transfer is not
+# statistically slower than the full snapshot, and (b) asserts the
+# delta ships at least 5x fewer wire bytes (bytes_shipped/op medians).
+if [ "${1:-}" = "rejoin" ]; then
+    mkdir -p results
+    out=results/bench_rejoin.txt
+    echo "running: -bench BenchmarkRejoinTransfer -count=$count -> $out" >&2
+    go test -run xxx -bench 'BenchmarkRejoinTransfer' -benchmem \
+        -benchtime=50x -count="$count" -timeout 30m . | tee "$out"
+    go run ./cmd/benchgate \
+        -compare -old-sub snapshot -new-sub delta \
+        -ratio-metric bytes_shipped/op -min-ratio 5 \
+        "$out" "$out"
+    exit $?
+fi
+
 out="${1:-bench_compare_$(git rev-parse --short HEAD 2>/dev/null || echo wip).txt}"
 
 # Fig5/Fig6 sweep the mirror fan-out directly; FanoutBatch and
