@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci metrics-lint chaos fuzz bench bench-compare bench-gate bench-rejoin bench-serve figures clean
+.PHONY: all build vet test race ci metrics-lint status-smoke chaos fuzz bench bench-compare bench-gate bench-rejoin bench-serve figures clean
 
 all: ci
 
@@ -21,8 +21,14 @@ race:
 metrics-lint:
 	$(GO) run ./cmd/metricslint
 
+# Boots a 2-mirror cluster with a live adaptation controller, fetches
+# /cluster/status over real HTTP, and asserts the aggregated status
+# document is well-formed (links, sites, checkpoint progress, regime).
+status-smoke:
+	$(GO) run ./cmd/statussmoke
+
 # Full gate: what CI runs and what every change must keep green.
-ci: build vet race metrics-lint
+ci: build vet race metrics-lint status-smoke
 
 # Deterministic fault-injection sweep: 32 seeded chaos runs under the
 # race detector, each crash-restarting a mirror while machine-checking

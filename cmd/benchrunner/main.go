@@ -28,7 +28,7 @@ func (f *figList) Set(v string) error {
 
 func main() {
 	var figs figList
-	flag.Var(&figs, "fig", "figure to regenerate: 4,5,6,7,8,9,serve,stages or all (repeatable)")
+	flag.Var(&figs, "fig", "figure to regenerate: 4,5,6,7,8,9,serve,bandwidth,stages or all (repeatable)")
 	quick := flag.Bool("quick", false, "use the reduced smoke-test scale")
 	plot := flag.Bool("plot", false, "render ASCII charts in addition to tables")
 	flag.Parse()
@@ -42,19 +42,20 @@ func main() {
 	}
 
 	runners := map[string]func() (figures.Figure, error){
-		"4":     func() (figures.Figure, error) { return figures.Fig4(scale) },
-		"5":     func() (figures.Figure, error) { return figures.Fig5(scale) },
-		"6":     func() (figures.Figure, error) { return figures.Fig6(scale) },
-		"7":     func() (figures.Figure, error) { return figures.Fig7(scale) },
-		"8":     func() (figures.Figure, error) { return figures.Fig8(scale) },
-		"9":     func() (figures.Figure, error) { return figures.Fig9(scale, figures.DefaultFig9) },
-		"serve": func() (figures.Figure, error) { return figures.FigServe(scale) },
+		"4":         func() (figures.Figure, error) { return figures.Fig4(scale) },
+		"5":         func() (figures.Figure, error) { return figures.Fig5(scale) },
+		"6":         func() (figures.Figure, error) { return figures.Fig6(scale) },
+		"7":         func() (figures.Figure, error) { return figures.Fig7(scale) },
+		"8":         func() (figures.Figure, error) { return figures.Fig8(scale) },
+		"9":         func() (figures.Figure, error) { return figures.Fig9(scale, figures.DefaultFig9) },
+		"serve":     func() (figures.Figure, error) { return figures.FigServe(scale) },
+		"bandwidth": func() (figures.Figure, error) { return figures.FigBandwidth(scale) },
 	}
 
 	var selected []string
 	for _, f := range figs {
 		if f == "all" {
-			selected = []string{"4", "5", "6", "7", "8", "9", "serve", "stages"}
+			selected = []string{"4", "5", "6", "7", "8", "9", "serve", "bandwidth", "stages"}
 			break
 		}
 		selected = append(selected, f)

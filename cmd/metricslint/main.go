@@ -16,7 +16,9 @@ import (
 	"strings"
 	"time"
 
+	"adaptmirror/internal/adapt"
 	"adaptmirror/internal/cluster"
+	"adaptmirror/internal/core"
 	"adaptmirror/internal/costmodel"
 	"adaptmirror/internal/httpfront"
 	"adaptmirror/internal/obs"
@@ -40,6 +42,11 @@ var requiredSeries = []string{
 	`link_enqueued_total{mirror="0"}`,
 	`link_sent_total{mirror="1"}`,
 	`link_outbox_depth{mirror="0"}`,
+	// Wire telemetry (bandwidth-adaptation monitored variables).
+	`link_wire_bytes_total{mirror="0"}`,
+	`link_wire_bytes_per_round{mirror="0"}`,
+	`link_wire_events_per_round{mirror="1"}`,
+	`link_est_bandwidth_bytes_per_second{mirror="0"}`,
 	// Columnar wire batches and the slab pool behind them.
 	`wire_batch_events_count{mirror="0"}`,
 	`wire_batch_bytes_count{mirror="1"}`,
@@ -48,6 +55,7 @@ var requiredSeries = []string{
 	`slab_pool_retained_total`,
 	// Mirror sites.
 	`mirror_received_total{site="mirror0"}`,
+	`mirror_apply_lag_micros{site="mirror0"}`,
 	`queue_ready_depth{site="mirror1"}`,
 	// Serving path and snapshot cache.
 	`requests_served_total{site="mirror0"}`,
@@ -59,6 +67,12 @@ var requiredSeries = []string{
 	`adapt_regime_id{site="mirror0"}`,
 	`adapt_directive_stale_total{site="mirror0"}`,
 	`adapt_directive_invalid_total{site="mirror1"}`,
+	// Central controller engage counters, by triggering variable (the
+	// lint cluster wires a real controller with unreachable thresholds,
+	// so the series exist at zero).
+	`adapt_engage_total{var="wire_bytes"}`,
+	`adapt_engage_total{var="outbox_depth"}`,
+	`adapt_engage_total{var="apply_lag"}`,
 	// Incremental rejoin and the mutation journal behind it. Both
 	// transfer modes are registered up front (labels render sorted by
 	// key), so the series exist even before any rejoin happens.
@@ -95,11 +109,31 @@ func run() error {
 		SubmitBase:    200 * time.Nanosecond,
 		RequestBase:   5 * time.Microsecond,
 	}
-	cl, err := cluster.New(cluster.Config{Mirrors: 2, Model: model})
+	// A real adaptation controller (thresholds set unreachably high so
+	// the run stays in the baseline regime): its presence registers the
+	// adapt_engage_total{var=...} family and feeds the status plane.
+	fn1 := adapt.Regime{ID: 1, Name: "coalesce-10", Coalesce: true, MaxCoalesce: 10, CheckpointFreq: 50}
+	fn2 := adapt.Regime{ID: 2, Name: "overwrite-20", Coalesce: true, MaxCoalesce: 20, OverwriteLen: 20, CheckpointFreq: 100}
+	controller := adapt.NewController(fn1, fn2, nil)
+	controller.SetMonitorValues(adapt.VarWireBytes, 1<<30, 0)
+	cl, err := cluster.New(cluster.Config{
+		Mirrors: 2,
+		Model:   model,
+		OnMirrorSample: func(site int, s core.Sample) {
+			controller.ObserveSite(site, s)
+		},
+	})
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
+	controller.SetApply(adapt.InstallRegime(cl.Central))
+	controller.RegisterMetrics(cl.Obs)
+	cl.Controller = controller
+	cl.Central.SetPiggyback(func() []byte {
+		controller.Observe(cl.Central.Sample())
+		return adapt.EncodeRegime(controller.Current())
+	})
 
 	// A small mirrored workload so every instrument has moved: events
 	// through the full pipeline, plus init-state requests against the

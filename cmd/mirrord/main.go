@@ -16,42 +16,47 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"adaptmirror/internal/httpfront"
 	"adaptmirror/internal/obs"
 )
 
 func main() {
 	var (
-		role      = flag.String("role", "", "site role: central or mirror")
-		listen    = flag.String("listen", "127.0.0.1:7000", "event-channel listen address")
-		httpAddr  = flag.String("http", "127.0.0.1:8000", "HTTP front listen address (client requests)")
-		central   = flag.String("central", "", "mirror role: central site's event-channel address")
-		siteID    = flag.Int("site", 0, "mirror role: this mirror's index in the central site's -mirrors list")
-		mirrors   = flag.String("mirrors", "", "central role: comma-separated mirror event-channel addresses")
-		selective = flag.Int("selective", 0, "overwrite run length for FAA positions (0 = simple mirroring)")
-		coalesce  = flag.Int("coalesce", 0, "coalesce up to N events before mirroring (0 = off)")
-		chkpt     = flag.Int("chkpt", 50, "checkpoint once per N processed events")
-		padding   = flag.Int("padding", 64, "per-flight init-state padding bytes")
-		shards    = flag.Int("shards", 0, "EDE state shard count, rounded up to a power of two (0 = default)")
-		workers   = flag.Int("reqworkers", 0, "init-state serving pool size (0 = default)")
-		adaptOn   = flag.Bool("adapt", false, "central role: enable runtime adaptation between mirroring functions")
-		adaptPri  = flag.Int("adapt-primary", 100, "pending-request primary threshold for adaptation")
-		adaptSec  = flag.Int("adapt-secondary", 50, "hysteresis below primary for reverting")
-		logDir    = flag.String("log", "", "central role: directory for the durable operations log (empty = disabled)")
-		dumpEvery = flag.Duration("metricsdump", 0, "dump the metrics registry to stdout this often, in the Prometheus text format (0 = off)")
-		auditPath = flag.String("auditlog", "", "central role with -adapt: durable JSONL file recording every adaptation transition")
+		role       = flag.String("role", "", "site role: central or mirror")
+		listen     = flag.String("listen", "127.0.0.1:7000", "event-channel listen address")
+		httpAddr   = flag.String("http", "127.0.0.1:8000", "HTTP front listen address (client requests)")
+		central    = flag.String("central", "", "mirror role: central site's event-channel address")
+		siteID     = flag.Int("site", 0, "mirror role: this mirror's index in the central site's -mirrors list")
+		mirrors    = flag.String("mirrors", "", "central role: comma-separated mirror event-channel addresses")
+		selective  = flag.Int("selective", 0, "overwrite run length for FAA positions (0 = simple mirroring)")
+		coalesce   = flag.Int("coalesce", 0, "coalesce up to N events before mirroring (0 = off)")
+		chkpt      = flag.Int("chkpt", 50, "checkpoint once per N processed events")
+		padding    = flag.Int("padding", 64, "per-flight init-state padding bytes")
+		shards     = flag.Int("shards", 0, "EDE state shard count, rounded up to a power of two (0 = default)")
+		workers    = flag.Int("reqworkers", 0, "init-state serving pool size (0 = default)")
+		adaptOn    = flag.Bool("adapt", false, "central role: enable runtime adaptation between mirroring functions")
+		adaptPri   = flag.Int("adapt-primary", 100, "pending-request primary threshold for adaptation")
+		adaptSec   = flag.Int("adapt-secondary", 50, "hysteresis below primary for reverting")
+		logDir     = flag.String("log", "", "central role: directory for the durable operations log (empty = disabled)")
+		dumpEvery  = flag.Duration("metricsdump", 0, "dump the metrics registry to stdout this often, in the Prometheus text format (0 = off)")
+		auditPath  = flag.String("auditlog", "", "central role with -adapt: durable JSONL file recording every adaptation transition")
+		statusAddr = flag.String("statusaddr", "", "extra listen address serving the operations plane (/metrics and /cluster/status) on its own port")
 	)
 	flag.Parse()
 
 	var (
-		site interface{ Close() error }
-		reg  *obs.Registry
-		err  error
+		site  interface{ Close() error }
+		reg   *obs.Registry
+		front *httpfront.Front
+		err   error
 	)
 	switch *role {
 	case "central":
@@ -77,7 +82,7 @@ func main() {
 			AuditPath:      *auditPath,
 		})
 		if err == nil {
-			site, reg = c, c.Obs
+			site, reg, front = c, c.Obs, c.Front
 		}
 	case "mirror":
 		if *central == "" {
@@ -95,7 +100,7 @@ func main() {
 			ReqWorkers: *workers,
 		})
 		if err == nil {
-			site, reg = m, m.Obs
+			site, reg, front = m, m.Obs, m.Front
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "mirrord: -role must be central or mirror")
@@ -106,6 +111,22 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("mirrord: %s site up (events %s, http %s)\n", *role, *listen, *httpAddr)
+
+	// The operations plane (/metrics, /cluster/status) is always part of
+	// the client-facing front; -statusaddr additionally binds the same
+	// mux on a dedicated listener so operators can firewall it apart
+	// from client traffic.
+	var statusSrv *http.Server
+	if *statusAddr != "" {
+		ln, lerr := net.Listen("tcp", *statusAddr)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "mirrord: status listener: %v\n", lerr)
+			os.Exit(1)
+		}
+		statusSrv = &http.Server{Handler: front.Handler()}
+		go statusSrv.Serve(ln)
+		fmt.Printf("mirrord: status plane on %s (/metrics, /cluster/status)\n", ln.Addr())
+	}
 
 	if *dumpEvery > 0 {
 		go func() {
@@ -122,5 +143,8 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("mirrord: shutting down")
+	if statusSrv != nil {
+		statusSrv.Close()
+	}
 	site.Close()
 }

@@ -15,6 +15,7 @@ import (
 	"adaptmirror/internal/httpfront"
 	"adaptmirror/internal/obs"
 	"adaptmirror/internal/oislog"
+	"adaptmirror/internal/status"
 )
 
 // Channel names of the deployed wire protocol. Sources send to the
@@ -220,6 +221,7 @@ func startCentral(opts centralOptions) (*centralSite, error) {
 	// Gate agents and similar clients may generate state updates;
 	// they enter through the central site's receiving task.
 	s.Front.EnableUpdates(s.Central.Ingest)
+	s.Front.SetStatus(s.Status)
 	httpAddr, err := s.Front.Listen(opts.HTTP)
 	if err != nil {
 		s.Close()
@@ -227,6 +229,19 @@ func startCentral(opts centralOptions) (*centralSite, error) {
 	}
 	s.HTTPAddr = httpAddr
 	return s, nil
+}
+
+// Status builds the aggregated cluster-status document served at
+// /cluster/status: the central regime and monitored variables, per-link
+// wire telemetry, per-site rows from the controller's last piggybacked
+// samples, rejoin accounting, and the adaptation audit tail.
+func (s *centralSite) Status() status.Document {
+	return status.Central(status.CentralSources{
+		Site:       "central",
+		Central:    s.Central,
+		Controller: s.Controller,
+		Audit:      s.Audit,
+	})
 }
 
 // observeSample forwards piggybacked mirror monitor samples to the
@@ -387,6 +402,7 @@ type mirrorSite struct {
 	// Addr and HTTPAddr are the bound listen addresses.
 	Addr     string
 	HTTPAddr string
+	site     string
 	srv      *echo.Server
 	bus      *echo.Bus
 	uplink   *lazyUplink
@@ -396,7 +412,7 @@ type mirrorSite struct {
 // exporting its data and control channels, a (lazily dialed) uplink
 // to the central site, and an HTTP front.
 func startMirror(opts mirrorOptions) (*mirrorSite, error) {
-	s := &mirrorSite{bus: echo.NewBus(), Obs: obs.NewRegistry()}
+	s := &mirrorSite{bus: echo.NewBus(), Obs: obs.NewRegistry(), site: fmt.Sprintf("mirror%d", opts.SiteID)}
 	s.Tracer = obs.NewTracer(s.Obs)
 	registerSlabMetrics(s.Obs)
 	uplink := &lazyUplink{addr: opts.Central, name: chanCtrlUp}
@@ -446,6 +462,7 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 	go s.srv.Serve(ln)
 
 	s.Front = httpfront.NewWithRegistry(s.Mirror.Main(), s.Obs)
+	s.Front.SetStatus(s.Status)
 	httpAddr, err := s.Front.Listen(opts.HTTP)
 	if err != nil {
 		s.Close()
@@ -453,6 +470,13 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 	}
 	s.HTTPAddr = httpAddr
 	return s, nil
+}
+
+// Status builds this mirror's local status document: its applier-held
+// regime (with the directive round that installed it) and its monitored
+// variables.
+func (s *mirrorSite) Status() status.Document {
+	return status.Mirror(s.site, s.Mirror, s.Applier)
 }
 
 // Close tears the site down.

@@ -26,15 +26,27 @@ import (
 // set_monitor_values).
 type Var uint8
 
-// Monitored variables.
+// Monitored variables. The first three are the paper's queue-length
+// variables; the wire-telemetry variables (PR 8) let the controller see
+// bandwidth pressure: VarWireBytes is the busiest link's EWMA payload
+// bytes per checkpoint round, VarOutboxDepth the deepest windowed
+// outbox high-water mark, and VarApplyLag the worst mirror's smoothed
+// apply lag in microseconds (piggybacked like the queue lengths).
 const (
 	VarReady Var = iota
 	VarBackup
 	VarPending
+	VarWireBytes
+	VarOutboxDepth
+	VarApplyLag
 	numVars
 )
 
-// String names the variable.
+// NumVars is the number of monitored variables.
+const NumVars = int(numVars)
+
+// String names the variable (the label value of
+// adapt_engage_total{var=...} and the audit log's var field).
 func (v Var) String() string {
 	switch v {
 	case VarReady:
@@ -43,9 +55,20 @@ func (v Var) String() string {
 		return "backup-queue"
 	case VarPending:
 		return "pending-requests"
+	case VarWireBytes:
+		return "wire_bytes"
+	case VarOutboxDepth:
+		return "outbox_depth"
+	case VarApplyLag:
+		return "apply_lag"
 	default:
 		return fmt.Sprintf("var(%d)", uint8(v))
 	}
+}
+
+// sampleVals indexes a Sample by monitored variable.
+func sampleVals(s core.Sample) [numVars]int {
+	return [numVars]int{s.Ready, s.Backup, s.Pending, s.WireBytes, s.Outbox, s.ApplyLag}
 }
 
 // Thresholds is a primary/secondary threshold pair. Primary triggers
@@ -122,6 +145,16 @@ type Controller struct {
 	engaged    bool
 	engages    uint64
 	reverts    uint64
+
+	// varRegime optionally overrides the degraded regime per monitored
+	// variable (SetVarRegime): bandwidth pressure can select the
+	// field-delta regime while queue pressure keeps selecting the
+	// coalescing one. engagedRegime is the regime the current
+	// engagement installed; engagesByVar counts engagements per
+	// triggering variable (adapt_engage_total{var=...}).
+	varRegime     [numVars]*Regime
+	engagedRegime Regime
+	engagesByVar  [numVars]uint64
 
 	// last holds the most recent sample reported by each live site.
 	// Engagement triggers on any one site crossing primary; reverting
@@ -241,6 +274,15 @@ func (c *Controller) RegisterMetrics(r *obs.Registry) {
 	r.GaugeFunc("adapt_regime_id", func() float64 {
 		return float64(c.Current().ID)
 	}, obs.L("site", "central"))
+	r.Describe("adapt_engage_total", "Transitions into a degraded regime, by triggering monitored variable.")
+	for v := Var(0); v < numVars; v++ {
+		vv := v
+		r.CounterFunc("adapt_engage_total", func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(c.engagesByVar[vv])
+		}, obs.L("var", vv.String()))
+	}
 }
 
 // auditLocked appends one transition entry. Caller holds c.mu.
@@ -248,7 +290,7 @@ func (c *Controller) auditLocked(action string, reg Regime, v Var, s core.Sample
 	if c.audit == nil {
 		return
 	}
-	vals := [numVars]int{s.Ready, s.Backup, s.Pending}
+	vals := sampleVals(s)
 	th := c.thresholds[v]
 	c.audit.Append(obs.AuditEntry{
 		Action:    action,
@@ -262,6 +304,9 @@ func (c *Controller) auditLocked(action string, reg Regime, v Var, s core.Sample
 		Ready:     s.Ready,
 		Backup:    s.Backup,
 		Pending:   s.Pending,
+		WireBytes: s.WireBytes,
+		Outbox:    s.Outbox,
+		ApplyLag:  s.ApplyLag,
 	})
 }
 
@@ -272,6 +317,28 @@ func (c *Controller) SetRevertAfter(n int) {
 	}
 	c.mu.Lock()
 	c.revertAfter = n
+	c.mu.Unlock()
+}
+
+// SetVarRegime overrides the regime an engagement triggered by v
+// installs (nil restores the shared degraded regime). The paper's
+// mechanism installs one "modification" regardless of trigger; the
+// per-variable override lets bandwidth pressure (VarWireBytes /
+// VarOutboxDepth) select the field-delta regime while queue pressure
+// keeps selecting the coalescing one. The override is consulted at
+// engage time only — an engagement already in force keeps its regime
+// until revert (first trigger wins).
+func (c *Controller) SetVarRegime(v Var, r *Regime) {
+	if v >= numVars {
+		return
+	}
+	c.mu.Lock()
+	if r == nil {
+		c.varRegime[v] = nil
+	} else {
+		reg := *r
+		c.varRegime[v] = &reg
+	}
 	c.mu.Unlock()
 }
 
@@ -310,20 +377,25 @@ func (c *Controller) Observe(s core.Sample) bool {
 // hysteresis band for revertAfter consecutive observations.
 func (c *Controller) ObserveSite(site int, s core.Sample) bool {
 	c.mu.Lock()
-	vals := [numVars]int{s.Ready, s.Backup, s.Pending}
+	vals := sampleVals(s)
 	c.last[site] = s
 
 	if !c.engaged {
 		for v := Var(0); v < numVars; v++ {
 			th := c.thresholds[v]
 			if th.enabled() && vals[v] >= th.Primary {
+				reg := c.degraded
+				if r := c.varRegime[v]; r != nil {
+					reg = *r
+				}
 				c.engaged = true
 				c.engagedVar = v
+				c.engagedRegime = reg
 				c.engages++
+				c.engagesByVar[v]++
 				c.calmStreak = 0
-				c.auditLocked("engage", c.degraded, v, s, site)
+				c.auditLocked("engage", reg, v, s, site)
 				seq := c.nextSeqLocked()
-				reg := c.degraded
 				c.mu.Unlock()
 				c.runApply(seq, reg)
 				return true
@@ -374,7 +446,7 @@ func (c *Controller) Sites() int {
 // calmLocked reports whether s sits strictly below the hysteresis band
 // on every enabled variable. Caller holds c.mu.
 func (c *Controller) calmLocked(s core.Sample) bool {
-	vals := [numVars]int{s.Ready, s.Backup, s.Pending}
+	vals := sampleVals(s)
 	for v := Var(0); v < numVars; v++ {
 		th := c.thresholds[v]
 		if th.enabled() && vals[v] >= th.calmFloor() {
@@ -404,7 +476,7 @@ func (c *Controller) nextSeqLocked() uint64 {
 // currentLocked returns the installed regime. Caller holds c.mu.
 func (c *Controller) currentLocked() Regime {
 	if c.engaged {
-		return c.degraded
+		return c.engagedRegime
 	}
 	return c.baseline
 }
@@ -428,6 +500,28 @@ func (c *Controller) Transitions() (engages, reverts uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.engages, c.reverts
+}
+
+// EngagesByVar returns the engage count for one monitored variable.
+func (c *Controller) EngagesByVar(v Var) uint64 {
+	if v >= numVars {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.engagesByVar[v]
+}
+
+// LastSamples copies the per-site last-sample table (the status plane's
+// per-site rows). Keys are SiteCentral or mirror indices.
+func (c *Controller) LastSamples() map[int]core.Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]core.Sample, len(c.last))
+	for k, v := range c.last {
+		out[k] = v
+	}
+	return out
 }
 
 // regimeWire is the encoded size of a Regime directive: the regime

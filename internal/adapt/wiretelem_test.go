@@ -1,0 +1,159 @@
+package adapt
+
+import (
+	"testing"
+
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/obs"
+)
+
+// TestWireBytesEngagesFieldDeltas drives the bandwidth-adaptation path
+// end to end inside the controller: a saturated link (WireBytes over
+// primary) must engage exactly once, the per-variable regime override
+// must select the field-delta regime rather than the generic degraded
+// one, the audit trail must attribute the engage to wire_bytes, and the
+// link draining must revert after the debounce with no flapping.
+func TestWireBytesEngagesFieldDeltas(t *testing.T) {
+	const (
+		primary     = 100_000 // bytes/round
+		secondary   = 60_000
+		hotRounds   = 30
+		revertAfter = 4
+	)
+	deltas := Regime{ID: 3, Name: "field-deltas", FieldDeltas: true, CheckpointFreq: 50}
+
+	audit := obs.NewAuditLog(16)
+	c := NewController(base, degr, nil)
+	c.SetMonitorValues(VarWireBytes, primary, secondary)
+	c.SetVarRegime(VarWireBytes, &deltas)
+	c.SetRevertAfter(revertAfter)
+	c.SetAudit(audit)
+
+	// Sustained saturation: every round reports bytes/round over the
+	// primary threshold. The regime must engage on the first round and
+	// hold without re-engaging.
+	for r := 0; r < hotRounds; r++ {
+		c.Observe(core.Sample{WireBytes: 150_000, Outbox: 8})
+		if !c.Engaged() {
+			t.Fatalf("round %d: not engaged under sustained wire saturation", r)
+		}
+		if got := c.Current(); !got.FieldDeltas || got.ID != deltas.ID {
+			t.Fatalf("round %d: engaged regime = %+v, want the field-delta override", r, got)
+		}
+	}
+	eng, rev := c.Transitions()
+	if eng != 1 || rev != 0 {
+		t.Fatalf("saturation window transitions = %d/%d, want 1/0 (flapping)", eng, rev)
+	}
+	if got := c.EngagesByVar(VarWireBytes); got != 1 {
+		t.Fatalf("EngagesByVar(wire_bytes) = %d, want 1", got)
+	}
+	if got := c.EngagesByVar(VarPending); got != 0 {
+		t.Fatalf("EngagesByVar(pending) = %d, want 0", got)
+	}
+
+	// The link drains: bytes/round drops below the hysteresis floor.
+	// Revert exactly once, after the debounce, back to the baseline.
+	drained := 0
+	for r := 0; r < revertAfter+2; r++ {
+		c.Observe(core.Sample{WireBytes: 1_000})
+		if !c.Engaged() {
+			drained++
+		}
+	}
+	if drained == 0 {
+		t.Fatal("never reverted after the link drained")
+	}
+	eng, rev = c.Transitions()
+	if eng != 1 || rev != 1 {
+		t.Fatalf("post-drain transitions = %d/%d, want 1/1", eng, rev)
+	}
+	if got := c.Current(); got.ID != base.ID || got.FieldDeltas {
+		t.Fatalf("post-revert regime = %+v, want baseline", got)
+	}
+
+	// Audit attribution: the engage names wire_bytes and records the
+	// observed value; the revert restores the baseline regime.
+	entries := audit.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("audit entries = %d, want 2", len(entries))
+	}
+	e := entries[0]
+	if e.Action != "engage" || e.Var != "wire_bytes" {
+		t.Fatalf("engage entry = %+v, want action=engage var=wire_bytes", e)
+	}
+	if e.Value < primary {
+		t.Fatalf("engage logged value %d below primary %d", e.Value, primary)
+	}
+	if e.WireBytes != 150_000 {
+		t.Fatalf("engage entry wire_bytes = %d, want 150000", e.WireBytes)
+	}
+	if entries[1].Action != "revert" {
+		t.Fatalf("second entry = %+v, want revert", entries[1])
+	}
+}
+
+// TestOutboxDepthSharesDeltaOverride pins first-trigger-wins regime
+// selection: with per-variable overrides on both wire variables, the
+// variable that crosses primary first decides the installed regime, and
+// a second variable crossing while engaged does not re-engage or swap
+// regimes.
+func TestOutboxDepthSharesDeltaOverride(t *testing.T) {
+	deltas := Regime{ID: 3, Name: "field-deltas", FieldDeltas: true, CheckpointFreq: 50}
+	c := NewController(base, degr, nil)
+	c.SetMonitorValues(VarWireBytes, 100_000, 60_000)
+	c.SetMonitorValues(VarOutboxDepth, 64, 32)
+	c.SetVarRegime(VarWireBytes, &deltas)
+	c.SetVarRegime(VarOutboxDepth, &deltas)
+	c.SetRevertAfter(2)
+
+	if !c.Observe(core.Sample{Outbox: 100}) {
+		t.Fatal("outbox depth over primary must engage")
+	}
+	if got := c.Current(); !got.FieldDeltas {
+		t.Fatalf("outbox engage installed %+v, want field-delta override", got)
+	}
+	if got := c.EngagesByVar(VarOutboxDepth); got != 1 {
+		t.Fatalf("EngagesByVar(outbox_depth) = %d, want 1", got)
+	}
+	// WireBytes crossing while engaged is not a second transition.
+	c.Observe(core.Sample{WireBytes: 500_000, Outbox: 100})
+	if eng, _ := c.Transitions(); eng != 1 {
+		t.Fatalf("engages = %d after second variable crossed, want 1", eng)
+	}
+	// Reverting requires BOTH variables calm: wire bytes still hot
+	// holds the degraded regime even though the outbox drained.
+	for i := 0; i < 6; i++ {
+		if c.Observe(core.Sample{WireBytes: 500_000, Outbox: 0}) {
+			t.Fatal("reverted while wire bytes still over the band")
+		}
+	}
+	reverted := false
+	for i := 0; i < 4; i++ {
+		if c.Observe(core.Sample{}) {
+			reverted = true
+		}
+	}
+	if !reverted {
+		t.Fatal("never reverted after both variables drained")
+	}
+	if got := c.Current(); got.ID != base.ID {
+		t.Fatalf("post-revert regime = %+v, want baseline", got)
+	}
+}
+
+// TestSetVarRegimeNilRestoresDefault: clearing an override falls back
+// to the constructor's degraded regime.
+func TestSetVarRegimeNilRestoresDefault(t *testing.T) {
+	deltas := Regime{ID: 3, Name: "field-deltas", FieldDeltas: true}
+	c := NewController(base, degr, nil)
+	c.SetMonitorValues(VarWireBytes, 100, 50)
+	c.SetRevertAfter(1)
+	c.SetVarRegime(VarWireBytes, &deltas)
+	c.SetVarRegime(VarWireBytes, nil)
+
+	c.Observe(core.Sample{WireBytes: 200})
+	if got := c.Current(); got.ID != degr.ID || got.FieldDeltas {
+		t.Fatalf("engaged regime = %+v, want constructor degraded after clearing the override", got)
+	}
+}

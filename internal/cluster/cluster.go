@@ -20,6 +20,7 @@ import (
 	"adaptmirror/internal/metrics"
 	"adaptmirror/internal/obs"
 	"adaptmirror/internal/simnet"
+	"adaptmirror/internal/status"
 )
 
 // Transport selects how sites are wired together.
@@ -140,6 +141,12 @@ type Cluster struct {
 	// every deployment exports the per-site adapt_regime_id gauge.
 	Appliers []*adapt.Applier
 
+	// Controller and Audit are set when an adaptation controller runs
+	// against this cluster (RunExperiment wires them; manual assemblies
+	// may too). Both may be nil; the status plane degrades gracefully.
+	Controller *adapt.Controller
+	Audit      *obs.AuditLog
+
 	start     time.Time
 	closers   []func()
 	closeOnce sync.Once
@@ -254,12 +261,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	configured := cfg.OnMirrorSample
 	cl.Central = core.NewCentral(core.CentralConfig{
-		Streams:  cfg.Streams,
-		Params:   cfg.Params,
-		Model:    cfg.Model,
-		CPU:      cl.CPUs[0],
-		AuxCPU:   auxCPU,
-		Main:     mainCfg,
+		Streams:      cfg.Streams,
+		Params:       cfg.Params,
+		Model:        cfg.Model,
+		CPU:          cl.CPUs[0],
+		AuxCPU:       auxCPU,
+		Main:         mainCfg,
 		Mirrors:      links,
 		NoMirror:     cfg.NoMirror,
 		DeltaHorizon: cfg.DeltaHorizon,
@@ -596,3 +603,38 @@ func (cl *Cluster) wireTCP(cfg Config) ([]core.MirrorLink, error) {
 // direct transport's closures capture cl.Central lazily, so nothing is
 // needed today).
 func (cl *Cluster) finishWiring() {}
+
+// --- status plane -----------------------------------------------------
+
+// CentralStatus builds the aggregated /cluster/status document: the
+// central site's regime, monitored variables, per-link wire telemetry,
+// per-site rows (each mirror applier's installed regime + its latest
+// piggybacked sample), rejoin accounting, checkpoint progress, and the
+// adaptation audit tail.
+func (cl *Cluster) CentralStatus() status.Document {
+	siteRegimes := make(map[int]status.SiteRegime, len(cl.Appliers))
+	for i, ap := range cl.Appliers {
+		if reg, round, ok := ap.Current(); ok {
+			siteRegimes[i] = status.SiteRegime{RegimeID: reg.ID, DirectiveRound: round}
+		}
+	}
+	return status.Central(status.CentralSources{
+		Site:        "central",
+		Central:     cl.Central,
+		Controller:  cl.Controller,
+		Audit:       cl.Audit,
+		SiteRegimes: siteRegimes,
+	})
+}
+
+// MirrorStatus builds mirror i's local status document.
+func (cl *Cluster) MirrorStatus(i int) status.Document {
+	if i < 0 || i >= len(cl.Mirrors) {
+		return status.Document{Role: "mirror"}
+	}
+	var ap *adapt.Applier
+	if i < len(cl.Appliers) {
+		ap = cl.Appliers[i]
+	}
+	return status.Mirror(fmt.Sprintf("mirror%d", i), cl.Mirrors[i], ap)
+}

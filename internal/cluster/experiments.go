@@ -62,6 +62,22 @@ type Options struct {
 	PendingSecondary   int
 	ReadyPrimary       int
 	ReadySecondary     int
+	// Wire-telemetry thresholds (FigBandwidth): engage when the
+	// busiest link's EWMA bytes/round or the deepest windowed outbox
+	// high-water mark crosses primary.
+	WirePrimary     int
+	WireSecondary   int
+	OutboxPrimary   int
+	OutboxSecondary int
+	// DeltaRegime, when non-zero, is installed instead of Degraded for
+	// engagements triggered by the wire-telemetry variables (the
+	// field-delta regime: saturated fan-out degrades to field deltas
+	// before it degrades fidelity).
+	DeltaRegime adapt.Regime
+
+	// FieldDeltas statically forces the field-delta mirroring regime
+	// for the whole run (non-adaptive sweeps of FigBandwidth).
+	FieldDeltas bool
 
 	// Misc.
 	StatePadding int
@@ -113,6 +129,11 @@ type Result struct {
 	// Audit holds the adaptation audit trail (Adaptive runs only): one
 	// entry per engage/revert with the sample and thresholds behind it.
 	Audit []obs.AuditEntry
+	// LinkSentBytes sums payload bytes submitted across every mirror
+	// link; BytesPerRound divides it by the checkpoint rounds that ran
+	// (the FigBandwidth metric).
+	LinkSentBytes uint64
+	BytesPerRound float64
 }
 
 // zeroModel reports whether m is entirely unset.
@@ -218,17 +239,32 @@ func RunExperiment(opts Options) (Result, error) {
 			[]event.Status{event.StatusLanded, event.StatusAtRunway, event.StatusAtGate},
 			event.TypeFlightArrived)
 	}
+	if opts.FieldDeltas {
+		cl.Central.SetFieldDeltas(true)
+	}
 	var audit *obs.AuditLog
 	if opts.Adaptive {
 		controller.SetApply(adapt.InstallRegime(cl.Central))
 		audit = obs.NewAuditLog(0)
 		controller.SetAudit(audit)
 		controller.RegisterMetrics(cl.Obs)
+		cl.Controller = controller
+		cl.Audit = audit
 		if opts.PendingPrimary > 0 {
 			controller.SetMonitorValues(adapt.VarPending, opts.PendingPrimary, opts.PendingSecondary)
 		}
 		if opts.ReadyPrimary > 0 {
 			controller.SetMonitorValues(adapt.VarReady, opts.ReadyPrimary, opts.ReadySecondary)
+		}
+		if opts.WirePrimary > 0 {
+			controller.SetMonitorValues(adapt.VarWireBytes, opts.WirePrimary, opts.WireSecondary)
+		}
+		if opts.OutboxPrimary > 0 {
+			controller.SetMonitorValues(adapt.VarOutboxDepth, opts.OutboxPrimary, opts.OutboxSecondary)
+		}
+		if opts.DeltaRegime != (adapt.Regime{}) {
+			controller.SetVarRegime(adapt.VarWireBytes, &opts.DeltaRegime)
+			controller.SetVarRegime(adapt.VarOutboxDepth, &opts.DeltaRegime)
 		}
 		// Central observes its own sample and piggybacks the current
 		// regime on every checkpoint round.
@@ -308,6 +344,14 @@ func RunExperiment(opts Options) (Result, error) {
 	if controller != nil {
 		res.Engages, res.Reverts = controller.Transitions()
 		res.Audit = audit.Entries()
+	}
+	for _, ls := range cl.Central.LinkStats() {
+		res.LinkSentBytes += ls.SentBytes
+	}
+	if rounds := res.Central.ChkptRounds; rounds > 0 {
+		res.BytesPerRound = float64(res.LinkSentBytes) / float64(rounds)
+	} else {
+		res.BytesPerRound = float64(res.LinkSentBytes)
 	}
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"adaptmirror/internal/costmodel"
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/obs"
+	"adaptmirror/internal/obs/linktelem"
 	"adaptmirror/internal/queue"
 	"adaptmirror/internal/statedelta"
 	"adaptmirror/internal/vclock"
@@ -146,6 +147,12 @@ type Central struct {
 	senders  []*linkSender
 	senderWG sync.WaitGroup
 
+	// telem smooths the senders' cumulative counters into per-round
+	// wire telemetry, ticked once per checkpoint round (nil when
+	// NoMirror is set). It backs the VarWireBytes / VarOutboxDepth
+	// monitored variables and the link_wire_* gauge families.
+	telem *linktelem.Sampler
+
 	// sendMu makes the backup-queue append and the outbox fan-out of a
 	// batch atomic with respect to mirror recovery: a recovery snapshot
 	// taken under sendMu sees either none or all of a batch, so the
@@ -254,6 +261,8 @@ func NewCentral(cfg CentralConfig) *Central {
 			c.senderWG.Add(1)
 			go s.run(&c.senderWG)
 		}
+		c.telem = linktelem.New(len(c.senders))
+		c.telem.Register(cfg.Obs)
 	}
 
 	// The central main unit participates in checkpointing directly:
@@ -733,8 +742,35 @@ func (c *Central) runRound() bool {
 	if c.backup.Last() == nil {
 		return false
 	}
+	// Tick wire telemetry at round granularity, before the round's
+	// piggyback provider runs: the adaptation controller observing
+	// this round's sample sees telemetry that includes the interval
+	// just ended, so an engage decision rides the same CHKPT.
+	c.tickTelemetry()
 	c.noteRoundStart()
 	return c.coord.Init()
+}
+
+// tickTelemetry feeds one cumulative sample per link into the wire
+// telemetry sampler (no-op without mirror links).
+func (c *Central) tickTelemetry() {
+	if c.telem == nil {
+		return
+	}
+	samples := make([]linktelem.Sample, len(c.senders))
+	for i, s := range c.senders {
+		samples[i] = s.telemSample()
+	}
+	c.telem.Tick(time.Now(), samples)
+}
+
+// Telemetry returns the smoothed per-link wire telemetry (nil without
+// mirror links).
+func (c *Central) Telemetry() []linktelem.Link {
+	if c.telem == nil {
+		return nil
+	}
+	return c.telem.Links()
 }
 
 // HandleControl processes a control event arriving from a mirror site
@@ -831,17 +867,37 @@ func (c *Central) PublishDirective() bool {
 	return true
 }
 
-// Sample returns the central site's own monitored variables.
+// Sample returns the central site's own monitored variables, including
+// the wire-telemetry variables derived from the fan-out links.
 func (c *Central) Sample() Sample {
-	return Sample{
+	s := Sample{
 		Ready:   c.ready.Len(),
 		Backup:  c.backup.Len(),
 		Pending: c.main.PendingRequests(),
 	}
+	if c.telem != nil {
+		s.WireBytes = c.telem.MaxBytesPerRound()
+		s.Outbox = c.telem.MaxOutboxDepth()
+	}
+	return s
 }
 
 // Backup exposes the central backup queue (recovery, tests).
 func (c *Central) Backup() *queue.Backup { return c.backup }
+
+// CommittedCut returns the last committed checkpoint cut (nil before
+// the first commit) — the status plane's checkpoint-progress field.
+func (c *Central) CommittedCut() vclock.VC { return c.backup.Committed() }
+
+// LastDirectiveRound returns the checkpoint round that stamped the most
+// recent piggybacked adaptation directive (0 before the first one).
+func (c *Central) LastDirectiveRound() uint64 {
+	round, dir := c.lastDirectiveSnapshot()
+	if dir == nil {
+		return 0
+	}
+	return round
+}
 
 // Stats snapshot.
 type CentralStats struct {

@@ -9,6 +9,7 @@ import (
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/metrics"
 	"adaptmirror/internal/obs"
+	"adaptmirror/internal/obs/linktelem"
 )
 
 // This file implements the central site's per-mirror fan-out pipeline.
@@ -35,6 +36,9 @@ type LinkStats struct {
 	// Sent counts events successfully submitted on the link (after
 	// the per-link filter).
 	Sent uint64
+	// SentBytes counts payload bytes successfully submitted on the
+	// link (regular batches plus recovery blocks).
+	SentBytes uint64
 	// Filtered counts events the per-link filter suppressed.
 	Filtered uint64
 	// Dropped counts events shed on outbox overflow (oldest first).
@@ -84,12 +88,13 @@ type linkSender struct {
 
 	tracer *obs.Tracer
 
-	enqueued *metrics.Counter
-	sent     *metrics.Counter
-	filtered *metrics.Counter
-	dropped  *metrics.Counter
-	depth    *metrics.Gauge
-	stall    metrics.DurationCounter
+	enqueued  *metrics.Counter
+	sent      *metrics.Counter
+	sentBytes *metrics.Counter
+	filtered  *metrics.Counter
+	dropped   *metrics.Counter
+	depth     *metrics.Gauge
+	stall     metrics.DurationCounter
 
 	// batchEvents/batchBytes sample each wire submission's event count
 	// and payload bytes (value histograms, not durations).
@@ -124,6 +129,7 @@ func newLinkSender(idx int, link MirrorLink, depth int, aux *costmodel.CPU, mode
 	mirror := obs.L("mirror", strconv.Itoa(idx))
 	s.enqueued = reg.Counter("link_enqueued_total", mirror)
 	s.sent = reg.Counter("link_sent_total", mirror)
+	s.sentBytes = reg.Counter("link_wire_bytes_total", mirror)
 	s.filtered = reg.Counter("link_filtered_total", mirror)
 	s.dropped = reg.Counter("link_dropped_total", mirror)
 	s.depth = reg.Gauge("link_outbox_depth", mirror)
@@ -132,10 +138,11 @@ func newLinkSender(idx int, link MirrorLink, depth int, aux *costmodel.CPU, mode
 	if reg != nil {
 		reg.Describe("link_enqueued_total", "Events accepted into the link outbox.")
 		reg.Describe("link_sent_total", "Events submitted on the mirror link.")
+		reg.Describe("link_wire_bytes_total", "Payload bytes submitted on the mirror link.")
 		reg.Describe("link_filtered_total", "Events suppressed by the per-link filter.")
 		reg.Describe("link_dropped_total", "Events shed on outbox overflow.")
 		reg.Describe("link_outbox_depth", "Current outbox depth per mirror link.")
-		reg.Describe("link_outbox_depth_max", "Outbox depth high-water mark per mirror link.")
+		reg.Describe("link_outbox_depth_max", "Outbox depth high-water mark per mirror link (windowed: resets at each telemetry tick).")
 		reg.GaugeFunc("link_outbox_depth_max", func() float64 { return float64(s.depth.Max()) }, mirror)
 		reg.Describe("link_stall_seconds_total", "Wall-clock time the link sender spent blocked in submission.")
 		reg.RegisterDurationCounter("link_stall_seconds_total", &s.stall, mirror)
@@ -323,6 +330,7 @@ func (s *linkSender) send(batch []*event.Event, rels []func()) {
 	s.tracer.Observe(obs.StageLinkSend, elapsed)
 	if err == nil {
 		s.sent.Add(uint64(len(batch)))
+		s.sentBytes.Add(uint64(bytes))
 	}
 }
 
@@ -366,6 +374,7 @@ func (s *linkSender) recoverySend(events []*event.Event, readmit func()) error {
 		return err
 	}
 	s.sent.Add(uint64(len(events)))
+	s.sentBytes.Add(uint64(bytes))
 	if readmit != nil {
 		readmit()
 	}
@@ -375,12 +384,28 @@ func (s *linkSender) recoverySend(events []*event.Event, readmit func()) error {
 // stats snapshots the link's counters.
 func (s *linkSender) stats() LinkStats {
 	return LinkStats{
-		Enqueued: s.enqueued.Value(),
-		Sent:     s.sent.Value(),
-		Filtered: s.filtered.Value(),
-		Dropped:  s.dropped.Value(),
+		Enqueued:  s.enqueued.Value(),
+		Sent:      s.sent.Value(),
+		SentBytes: s.sentBytes.Value(),
+		Filtered:  s.filtered.Value(),
+		Dropped:   s.dropped.Value(),
+		Depth:     int(s.depth.Value()),
+		MaxDepth:  int(s.depth.Max()),
+		Stall:     s.stall.Value(),
+	}
+}
+
+// telemSample snapshots the counters the wire-telemetry sampler
+// consumes once per checkpoint round. Unlike stats it *takes* the
+// outbox high-water mark: each telemetry window reports its own peak,
+// so a single historic burst no longer pins VarOutboxDepth high
+// forever.
+func (s *linkSender) telemSample() linktelem.Sample {
+	return linktelem.Sample{
+		Bytes:    s.sentBytes.Value(),
+		Events:   s.sent.Value(),
 		Depth:    int(s.depth.Value()),
-		MaxDepth: int(s.depth.Max()),
+		MaxDepth: int(s.depth.TakeMax()),
 		Stall:    s.stall.Value(),
 	}
 }

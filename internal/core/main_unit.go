@@ -96,6 +96,12 @@ type MainUnit struct {
 	servedReqs  atomic.Uint64
 	emitted     atomic.Uint64
 
+	// applyLagMicros is an EWMA (alpha 1/4) of per-event update delay
+	// in microseconds, maintained by the single processLoop goroutine
+	// when TraceMirror is set. Mirror sites piggyback it on control
+	// events as the ApplyLag monitored variable.
+	applyLagMicros atomic.Int64
+
 	barrierMu sync.Mutex
 	barriers  []func()
 
@@ -222,7 +228,7 @@ func (m *MainUnit) processLoop() {
 		// virtual-CPU charge), so update delays reflect the node's
 		// booked processing, not the host's scheduling.
 		derived, done := m.engine.Process(e)
-		if ev.Ingress != 0 && (m.cfg.DelayHist != nil || m.cfg.DelaySeries != nil || m.cfg.Tracer != nil) {
+		if ev.Ingress != 0 && (m.cfg.DelayHist != nil || m.cfg.DelaySeries != nil || m.cfg.Tracer != nil || m.cfg.TraceMirror) {
 			delay := ev.Age(done)
 			if delay < 0 {
 				// The virtual CPU's catch-up window can book work
@@ -235,6 +241,14 @@ func (m *MainUnit) processLoop() {
 			}
 			if m.cfg.DelaySeries != nil {
 				m.cfg.DelaySeries.Observe(done, float64(delay)/float64(time.Microsecond))
+			}
+			if m.cfg.TraceMirror {
+				// processLoop is the only writer, so load-modify-store
+				// without CAS is race-free; readers see a torn-free
+				// atomic value.
+				us := int64(delay / time.Microsecond)
+				old := m.applyLagMicros.Load()
+				m.applyLagMicros.Store(old + (us-old)/4)
 			}
 			if t := m.cfg.Tracer; t != nil {
 				if m.cfg.TraceMirror {
@@ -354,6 +368,10 @@ func (m *MainUnit) SnapshotCacheStats() (hits, misses uint64) {
 
 // EmittedUpdates returns the number of output events sent to clients.
 func (m *MainUnit) EmittedUpdates() uint64 { return m.emitted.Load() }
+
+// ApplyLagMicros returns the smoothed update-delay EWMA in
+// microseconds (0 unless TraceMirror is set).
+func (m *MainUnit) ApplyLagMicros() int { return int(m.applyLagMicros.Load()) }
 
 // Processed returns the weighted number of events applied by the EDE.
 func (m *MainUnit) Processed() uint64 { return m.engine.State().Processed() }

@@ -116,6 +116,8 @@ func NewMirrorSite(cfg MirrorSiteConfig) *MirrorSite {
 		r.GaugeFunc("queue_backup_depth", func() float64 { return float64(m.backup.Len()) }, site)
 		r.Describe("mirror_received_total", "Mirrored events accepted from the central site.")
 		r.CounterFunc("mirror_received_total", func() float64 { return float64(m.received.Load()) }, site)
+		r.Describe("mirror_apply_lag_micros", "Smoothed mirror-apply lag (central ingress to replica EDE emission), microseconds.")
+		r.GaugeFunc("mirror_apply_lag_micros", func() float64 { return float64(m.main.ApplyLagMicros()) }, site)
 		r.Describe("checkpoint_trimmed_events_total", "Backup-queue events released by checkpoint commits.")
 		r.CounterFunc("checkpoint_trimmed_events_total", func() float64 {
 			n, _ := m.backup.Trimmed()
@@ -362,12 +364,14 @@ func (m *MirrorSite) forwardTask() {
 	}
 }
 
-// Sample returns the site's monitored variables.
+// Sample returns the site's monitored variables, including the
+// smoothed apply lag the site piggybacks to central adaptation.
 func (m *MirrorSite) Sample() Sample {
 	return Sample{
-		Ready:   m.ready.Len(),
-		Backup:  m.backup.Len(),
-		Pending: m.main.PendingRequests(),
+		Ready:    m.ready.Len(),
+		Backup:   m.backup.Len(),
+		Pending:  m.main.PendingRequests(),
+		ApplyLag: m.main.ApplyLagMicros(),
 	}
 }
 

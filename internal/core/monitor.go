@@ -8,13 +8,24 @@ import (
 // Sample is one observation of the variables the adaptation mechanism
 // monitors (paper Section 3.2.2): the lengths of the ready and backup
 // queues and the depth of the application-level buffer of pending
-// client requests. Mirror sites attach an encoded Sample to their
-// CHKPT_REP control events so adaptation decisions at the central site
-// see the whole cluster without extra traffic.
+// client requests, extended with the wire-telemetry variables the
+// bandwidth-adaptation plane watches. Mirror sites attach an encoded
+// Sample to their CHKPT_REP control events so adaptation decisions at
+// the central site see the whole cluster without extra traffic.
 type Sample struct {
 	Ready   int
 	Backup  int
 	Pending int
+	// WireBytes is the EWMA of wire payload bytes the fan-out ships
+	// per checkpoint round on its busiest link (central site only;
+	// 0 at mirrors). It is the bandwidth-pressure monitored variable.
+	WireBytes int
+	// Outbox is the deepest per-link outbox high-water mark in the
+	// current telemetry window (central site only; 0 at mirrors).
+	Outbox int
+	// ApplyLag is the site's smoothed mirror-apply lag in microseconds
+	// (central ingress to replica EDE emission; mirror sites only).
+	ApplyLag int
 }
 
 // Max returns the component-wise maximum of s and o — the aggregation
@@ -29,11 +40,27 @@ func (s Sample) Max(o Sample) Sample {
 	if o.Pending > s.Pending {
 		s.Pending = o.Pending
 	}
+	if o.WireBytes > s.WireBytes {
+		s.WireBytes = o.WireBytes
+	}
+	if o.Outbox > s.Outbox {
+		s.Outbox = o.Outbox
+	}
+	if o.ApplyLag > s.ApplyLag {
+		s.ApplyLag = o.ApplyLag
+	}
 	return s
 }
 
-// sampleWire is the encoded size of a Sample.
-const sampleWire = 12
+// sampleWireV1 is the original three-variable encoding; sampleWire is
+// the current size. DecodeSample accepts both, so mixed-generation
+// sites interoperate: an old sample decodes with the telemetry
+// variables zero, and an old decoder reads the leading 12 bytes of a
+// new sample unchanged.
+const (
+	sampleWireV1 = 12
+	sampleWire   = 24
+)
 
 // EncodeSample serializes s for piggybacking on control events.
 func EncodeSample(s Sample) []byte {
@@ -41,17 +68,27 @@ func EncodeSample(s Sample) []byte {
 	binary.LittleEndian.PutUint32(b[0:], uint32(s.Ready))
 	binary.LittleEndian.PutUint32(b[4:], uint32(s.Backup))
 	binary.LittleEndian.PutUint32(b[8:], uint32(s.Pending))
+	binary.LittleEndian.PutUint32(b[12:], uint32(s.WireBytes))
+	binary.LittleEndian.PutUint32(b[16:], uint32(s.Outbox))
+	binary.LittleEndian.PutUint32(b[20:], uint32(s.ApplyLag))
 	return b
 }
 
-// DecodeSample parses a Sample encoded by EncodeSample.
+// DecodeSample parses a Sample encoded by EncodeSample, accepting the
+// pre-telemetry 12-byte form with the extension variables zeroed.
 func DecodeSample(b []byte) (Sample, error) {
-	if len(b) < sampleWire {
+	if len(b) < sampleWireV1 {
 		return Sample{}, fmt.Errorf("core: sample too short: %d bytes", len(b))
 	}
-	return Sample{
+	s := Sample{
 		Ready:   int(binary.LittleEndian.Uint32(b[0:])),
 		Backup:  int(binary.LittleEndian.Uint32(b[4:])),
 		Pending: int(binary.LittleEndian.Uint32(b[8:])),
-	}, nil
+	}
+	if len(b) >= sampleWire {
+		s.WireBytes = int(binary.LittleEndian.Uint32(b[12:]))
+		s.Outbox = int(binary.LittleEndian.Uint32(b[16:]))
+		s.ApplyLag = int(binary.LittleEndian.Uint32(b[20:]))
+	}
+	return s, nil
 }

@@ -1,0 +1,49 @@
+package core
+
+import "testing"
+
+// TestSampleWireExtension pins the mixed-generation wire contract: the
+// extended 24-byte encoding round-trips all six variables, and a
+// legacy 12-byte payload (pre-wire-telemetry sites) still decodes with
+// the extension fields zero.
+func TestSampleWireExtension(t *testing.T) {
+	s := Sample{Ready: 1, Backup: 2, Pending: 3, WireBytes: 400_000, Outbox: 5, ApplyLag: 600}
+	b := EncodeSample(s)
+	if len(b) != sampleWire {
+		t.Fatalf("encoded length = %d, want %d", len(b), sampleWire)
+	}
+	got, err := DecodeSample(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip = %+v, want %+v", got, s)
+	}
+
+	// A legacy peer ships only the leading three variables.
+	legacy, err := DecodeSample(b[:sampleWireV1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sample{Ready: 1, Backup: 2, Pending: 3}
+	if legacy != want {
+		t.Fatalf("legacy decode = %+v, want %+v", legacy, want)
+	}
+
+	// Truncated below the v1 floor still fails.
+	if _, err := DecodeSample(b[:sampleWireV1-1]); err == nil {
+		t.Fatal("sub-v1 payload must fail to decode")
+	}
+}
+
+// TestSampleMaxExtendedFields: Max is componentwise over all six
+// monitored variables, not just the original three.
+func TestSampleMaxExtendedFields(t *testing.T) {
+	a := Sample{Ready: 1, WireBytes: 900, Outbox: 2, ApplyLag: 50}
+	b := Sample{Backup: 7, WireBytes: 100, Outbox: 6, ApplyLag: 40}
+	got := a.Max(b)
+	want := Sample{Ready: 1, Backup: 7, WireBytes: 900, Outbox: 6, ApplyLag: 50}
+	if got != want {
+		t.Fatalf("Max = %+v, want %+v", got, want)
+	}
+}

@@ -468,6 +468,55 @@ func FigServe(s Scale) (Figure, error) {
 	return fig, nil
 }
 
+// FigBandwidth sweeps the wire-cost/freshness tradeoff across
+// mirroring regimes (reproduction-only; motivated by the PR 7 + PR 8
+// bandwidth-adaptation plane): for raw mirroring, coalescing, and the
+// field-delta regime it reports the payload bytes each checkpoint
+// round ships per link against the mean update delay. The delta regime
+// should cut bytes/round substantially at a bounded delay cost — the
+// tradeoff the VarWireBytes engage rule exploits.
+func FigBandwidth(s Scale) (Figure, error) {
+	const size = 1000
+	fig := Figure{
+		ID:     "figbandwidth",
+		Title:  "Wire bytes per checkpoint round vs update delay across regimes",
+		XLabel: "regime (1=raw 2=coalesce-10 3=field-deltas)",
+		YLabel: "bytes/round | mean update delay (µs)",
+	}
+	variants := []struct {
+		name  string
+		apply func(*cluster.Options)
+	}{
+		{"raw", func(o *cluster.Options) {}},
+		{"coalesce-10", func(o *cluster.Options) {
+			o.Coalesce = true
+			o.MaxCoalesce = 10
+		}},
+		{"field-deltas", func(o *cluster.Options) {
+			o.FieldDeltas = true
+		}},
+	}
+	bytesSeries := Series{Name: "bytes/round"}
+	delaySeries := Series{Name: "mean-delay-us"}
+	for i, v := range variants {
+		opts := s.base(size)
+		opts.Mirrors = 2
+		opts.ChkptFreq = 50
+		v.apply(&opts)
+		res, err := s.runMedian(opts)
+		if err != nil {
+			return Figure{}, fmt.Errorf("figbandwidth %s: %w", v.name, err)
+		}
+		x := float64(i + 1)
+		bytesSeries.X = append(bytesSeries.X, x)
+		bytesSeries.Y = append(bytesSeries.Y, res.BytesPerRound)
+		delaySeries.X = append(delaySeries.X, x)
+		delaySeries.Y = append(delaySeries.Y, float64(res.MeanDelay)/float64(time.Microsecond))
+	}
+	fig.Series = append(fig.Series, bytesSeries, delaySeries)
+	return fig, nil
+}
+
 // All regenerates every figure at the given scale.
 func All(s Scale) ([]Figure, error) {
 	var out []Figure
@@ -479,6 +528,7 @@ func All(s Scale) ([]Figure, error) {
 		func() (Figure, error) { return Fig8(s) },
 		func() (Figure, error) { return Fig9(s, DefaultFig9) },
 		func() (Figure, error) { return FigServe(s) },
+		func() (Figure, error) { return FigBandwidth(s) },
 	} {
 		fig, err := f()
 		if err != nil {

@@ -228,3 +228,31 @@ func TestStageBreakdownSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestFigBandwidthSmoke(t *testing.T) {
+	fig, err := FigBandwidth(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2 (bytes/round, mean-delay-us)", len(fig.Series))
+	}
+	bytes := fig.Series[0]
+	if bytes.Name != "bytes/round" || len(bytes.Y) != 3 {
+		t.Fatalf("bytes series = %s with %d points, want bytes/round with 3", bytes.Name, len(bytes.Y))
+	}
+	for i, y := range bytes.Y {
+		if y <= 0 {
+			t.Fatalf("regime %d shipped no bytes", i+1)
+		}
+	}
+	// The point of the figure: field deltas (x=3) ship materially fewer
+	// bytes per checkpoint round than raw mirroring (x=1).
+	if bytes.Y[2] >= bytes.Y[0] {
+		t.Fatalf("field-deltas bytes/round (%v) not below raw (%v)", bytes.Y[2], bytes.Y[0])
+	}
+	delay := fig.Series[1]
+	if len(delay.Y) != 3 || delay.Y[2] <= 0 {
+		t.Fatalf("delay series malformed: %+v", delay)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"adaptmirror/internal/core"
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/obs"
+	"adaptmirror/internal/status"
 )
 
 // Stats summarizes a front's request handling.
@@ -40,12 +41,13 @@ type Stats struct {
 // atomics so stats accounting never serializes concurrent /init
 // handlers.
 type Front struct {
-	main   *core.MainUnit
-	reg    *obs.Registry
-	ingest atomic.Pointer[func(*event.Event) error]
-	srv    *http.Server
-	ln     net.Listener
-	start  time.Time
+	main     *core.MainUnit
+	reg      *obs.Registry
+	ingest   atomic.Pointer[func(*event.Event) error]
+	statusFn atomic.Pointer[func() status.Document]
+	srv      *http.Server
+	ln       net.Listener
+	start    time.Time
 
 	requests atomic.Uint64
 	busy     atomic.Uint64
@@ -82,12 +84,24 @@ func NewWithRegistry(main *core.MainUnit, reg *obs.Registry) *Front {
 	mux.HandleFunc("/healthz", f.handleHealth)
 	mux.HandleFunc("/stats", f.handleStats)
 	mux.HandleFunc("/metrics", f.handleMetrics)
+	mux.HandleFunc("/cluster/status", f.handleClusterStatus)
 	f.srv = &http.Server{Handler: mux}
 	return f
 }
 
 // Registry exposes the registry served at /metrics.
 func (f *Front) Registry() *obs.Registry { return f.reg }
+
+// Handler exposes the front's full mux (/init, /update, /healthz,
+// /stats, /metrics, /cluster/status) so the same routes can be bound
+// on an additional listener (cmd/mirrord's -statusaddr).
+func (f *Front) Handler() http.Handler { return f.srv.Handler }
+
+// SetStatus installs the provider behind GET /cluster/status. Until one
+// is installed the endpoint answers 404.
+func (f *Front) SetStatus(fn func() status.Document) {
+	f.statusFn.Store(&fn)
+}
 
 // EnableUpdates accepts client-generated state updates at POST /update
 // (the paper: "certain clients may generate additional state updates,
@@ -174,6 +188,22 @@ func (f *Front) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (f *Front) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(f.Stats())
+}
+
+// handleClusterStatus serves the aggregated cluster-status document as
+// JSON (the central site's view, or a mirror's local one).
+func (f *Front) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	fn := f.statusFn.Load()
+	if fn == nil {
+		http.Error(w, "cluster status not available at this site", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode((*fn)())
 }
 
 // handleMetrics serves the registry in the Prometheus text exposition

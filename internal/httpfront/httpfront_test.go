@@ -14,6 +14,7 @@ import (
 	"adaptmirror/internal/core"
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/obs"
+	"adaptmirror/internal/status"
 )
 
 func front(t *testing.T, cfg core.MainConfig) (*Front, string, *core.MainUnit) {
@@ -410,4 +411,61 @@ func TestConcurrentScrapesDuringStorm(t *testing.T) {
 	scrapeWG.Wait()
 	close(stop)
 	wg.Wait()
+}
+
+// TestClusterStatusEndpoint pins the /cluster/status contract: 404
+// until a document source is installed with SetStatus, 405 on non-GET,
+// then a JSON document built fresh per request.
+func TestClusterStatusEndpoint(t *testing.T) {
+	f, addr, _ := front(t, core.MainConfig{})
+	url := "http://" + addr + "/cluster/status"
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-SetStatus status = %d, want 404", resp.StatusCode)
+	}
+
+	calls := 0
+	f.SetStatus(func() status.Document {
+		calls++
+		return status.Document{Site: "central", Role: "central"}
+	})
+
+	resp, err = http.Post(url, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+
+	for i := 1; i <= 2; i++ {
+		resp, err = http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q, want application/json", ct)
+		}
+		var doc status.Document
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.Site != "central" || doc.Role != "central" {
+			t.Fatalf("document = %+v", doc)
+		}
+		if calls != i {
+			t.Fatalf("builder ran %d times after %d GETs, want fresh per request", calls, i)
+		}
+	}
 }

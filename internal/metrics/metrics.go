@@ -64,6 +64,18 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Max returns the high-water mark.
 func (g *Gauge) Max() int64 { return g.max.Load() }
 
+// TakeMax returns the high-water mark accumulated since the previous
+// TakeMax (or since creation) and resets the mark to the current
+// level. Periodic telemetry uses it so each window reports its own
+// peak instead of the all-time one. A Set racing the reset can at
+// worst attribute its peak to the next window; the mark never drops
+// below the live level for long because the reset re-raises it.
+func (g *Gauge) TakeMax() int64 {
+	m := g.max.Swap(g.v.Load())
+	g.raiseMax(g.v.Load())
+	return m
+}
+
 // DurationCounter accumulates elapsed time atomically. The fan-out
 // pipeline uses one per mirror link to expose cumulative stall time
 // (wall clock spent blocked inside link submission).

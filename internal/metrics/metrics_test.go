@@ -239,6 +239,32 @@ func TestGaugeConcurrent(t *testing.T) {
 	}
 }
 
+// TestGaugeTakeMax pins the windowed high-water contract: TakeMax
+// returns the mark accumulated since the previous take and restarts
+// the window at the current value, so a later burst is visible in its
+// own window and a calm window reports only the standing depth.
+func TestGaugeTakeMax(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	g.Set(9)
+	g.Set(2)
+	if got := g.TakeMax(); got != 9 {
+		t.Fatalf("first TakeMax = %d, want 9", got)
+	}
+	// The new window starts at the current value, not zero.
+	if got := g.TakeMax(); got != 2 {
+		t.Fatalf("calm-window TakeMax = %d, want standing value 2", got)
+	}
+	g.Set(5)
+	if got := g.TakeMax(); got != 5 {
+		t.Fatalf("burst-window TakeMax = %d, want 5", got)
+	}
+	// After a take, Max reports the new window's mark.
+	if got := g.Max(); got != 5 {
+		t.Fatalf("Max after TakeMax = %d, want windowed 5", got)
+	}
+}
+
 func TestDurationCounter(t *testing.T) {
 	var d DurationCounter
 	d.Add(3 * time.Millisecond)

@@ -41,10 +41,19 @@ type AuditEntry struct {
 	// Primary/Secondary are Var's configured thresholds.
 	Primary   int `json:"primary"`
 	Secondary int `json:"secondary"`
-	// Ready/Backup/Pending are the full observed core.Sample.
+	// Ready/Backup/Pending are the full observed core.Sample; the
+	// wire-telemetry extension fields are omitted when zero so
+	// pre-telemetry audit files round-trip unchanged.
 	Ready   int `json:"ready"`
 	Backup  int `json:"backup"`
 	Pending int `json:"pending"`
+	// WireBytes/Outbox/ApplyLag are the sample's wire-telemetry
+	// monitored variables (EWMA bytes/round on the busiest link,
+	// deepest windowed outbox high-water mark, worst smoothed mirror
+	// apply lag in microseconds).
+	WireBytes int `json:"wire_bytes,omitempty"`
+	Outbox    int `json:"outbox,omitempty"`
+	ApplyLag  int `json:"apply_lag,omitempty"`
 }
 
 // DefaultAuditCap is the ring capacity when NewAuditLog is given 0.

@@ -1,0 +1,216 @@
+// Package linktelem derives per-link wire telemetry at checkpoint-round
+// granularity. The fan-out senders expose cumulative counters (payload
+// bytes shipped, events sent, stall time) and windowed outbox
+// high-water marks; the central site feeds them into a Sampler once per
+// checkpoint round, and the Sampler turns the deltas into EWMA
+// per-round rates plus an estimated link bandwidth. The smoothed values
+// back the link_wire_* gauge families and the VarWireBytes /
+// VarOutboxDepth monitored variables that let the adaptation controller
+// see bandwidth pressure (paper Section 3.2.2 generalized to network
+// telemetry, cf. RDMSim).
+//
+// The package deliberately does not import internal/core: core's
+// fan-out is a producer of Samples, so the dependency points the other
+// way.
+package linktelem
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"adaptmirror/internal/obs"
+)
+
+// DefaultAlpha is the EWMA smoothing factor applied to per-round
+// deltas. 0.5 converges within a handful of rounds while still riding
+// out single-round bursts (a checkpoint round is the natural control
+// interval, so heavier smoothing would delay engage decisions).
+const DefaultAlpha = 0.5
+
+// Sample is one cumulative reading from a link at a telemetry tick.
+// Bytes, Events and Stall are monotonically increasing counters since
+// link creation; Depth is the instantaneous outbox depth and MaxDepth
+// the high-water mark accumulated since the previous tick (the caller
+// resets the windowed mark when it reads it).
+type Sample struct {
+	Bytes    uint64
+	Events   uint64
+	Depth    int
+	MaxDepth int
+	Stall    time.Duration
+}
+
+// Link is the smoothed per-link view the Sampler maintains.
+type Link struct {
+	// BytesPerRound and EventsPerRound are EWMAs of the per-round
+	// deltas of the cumulative counters.
+	BytesPerRound  float64
+	EventsPerRound float64
+	// MaxDepth is the outbox high-water mark observed in the last
+	// telemetry window; Depth is the instantaneous depth at the last
+	// tick.
+	Depth    int
+	MaxDepth int
+	// StallPerRound is the EWMA of per-round stall time.
+	StallPerRound time.Duration
+	// BandwidthBps estimates the link's achieved payload bandwidth:
+	// EWMA of (delta bytes / elapsed wall time) across ticks.
+	BandwidthBps float64
+	// Bytes and Events mirror the latest cumulative counters.
+	Bytes  uint64
+	Events uint64
+	Stall  time.Duration
+}
+
+// Sampler accumulates per-link telemetry across ticks. All methods are
+// safe for concurrent use: the central checkpoint loop ticks it while
+// metric scrapes and status snapshots read it.
+type Sampler struct {
+	mu       sync.Mutex
+	alpha    float64
+	links    []Link
+	prev     []Sample
+	rounds   uint64
+	lastTick time.Time
+}
+
+// New returns a Sampler tracking n links with DefaultAlpha smoothing.
+func New(n int) *Sampler {
+	return &Sampler{alpha: DefaultAlpha, links: make([]Link, n), prev: make([]Sample, n)}
+}
+
+// SetAlpha overrides the EWMA smoothing factor (0 < alpha <= 1).
+func (s *Sampler) SetAlpha(a float64) {
+	if a <= 0 || a > 1 {
+		return
+	}
+	s.mu.Lock()
+	s.alpha = a
+	s.mu.Unlock()
+}
+
+func ewma(old, sample, alpha float64, first bool) float64 {
+	if first {
+		return sample
+	}
+	return old + alpha*(sample-old)
+}
+
+// Tick ingests one cumulative Sample per link, taken at instant now —
+// once per checkpoint round at the central site. The first tick seeds
+// the EWMAs with the raw first-window deltas.
+func (s *Sampler) Tick(now time.Time, samples []Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first := s.rounds == 0
+	elapsed := 0.0
+	if !first {
+		elapsed = now.Sub(s.lastTick).Seconds()
+	}
+	for i := range samples {
+		if i >= len(s.links) {
+			break
+		}
+		cur, prev := samples[i], s.prev[i]
+		l := &s.links[i]
+		dBytes := float64(cur.Bytes - prev.Bytes)
+		dEvents := float64(cur.Events - prev.Events)
+		dStall := float64(cur.Stall - prev.Stall)
+		l.BytesPerRound = ewma(l.BytesPerRound, dBytes, s.alpha, first)
+		l.EventsPerRound = ewma(l.EventsPerRound, dEvents, s.alpha, first)
+		l.StallPerRound = time.Duration(ewma(float64(l.StallPerRound), dStall, s.alpha, first))
+		if elapsed > 0 {
+			l.BandwidthBps = ewma(l.BandwidthBps, dBytes/elapsed, s.alpha, l.BandwidthBps == 0)
+		}
+		l.Depth = cur.Depth
+		l.MaxDepth = cur.MaxDepth
+		l.Bytes = cur.Bytes
+		l.Events = cur.Events
+		l.Stall = cur.Stall
+		s.prev[i] = cur
+	}
+	s.rounds++
+	s.lastTick = now
+}
+
+// Links returns a snapshot of the per-link smoothed telemetry.
+func (s *Sampler) Links() []Link {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Link, len(s.links))
+	copy(out, s.links)
+	return out
+}
+
+// Rounds returns the number of ticks ingested.
+func (s *Sampler) Rounds() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+// MaxBytesPerRound returns the busiest link's EWMA bytes/round,
+// rounded down — the value of the VarWireBytes monitored variable.
+func (s *Sampler) MaxBytesPerRound() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max float64
+	for i := range s.links {
+		if s.links[i].BytesPerRound > max {
+			max = s.links[i].BytesPerRound
+		}
+	}
+	return int(max)
+}
+
+// MaxOutboxDepth returns the deepest windowed outbox high-water mark
+// across links — the value of the VarOutboxDepth monitored variable.
+func (s *Sampler) MaxOutboxDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max int
+	for i := range s.links {
+		if s.links[i].MaxDepth > max {
+			max = s.links[i].MaxDepth
+		}
+	}
+	return max
+}
+
+// Register exports the smoothed per-link telemetry through r (nil-safe
+// like the registry itself), one series per link labelled by mirror
+// index.
+func (s *Sampler) Register(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Describe("link_wire_bytes_per_round", "EWMA of wire payload bytes shipped per checkpoint round, per mirror link.")
+	r.Describe("link_wire_events_per_round", "EWMA of events shipped per checkpoint round, per mirror link.")
+	r.Describe("link_stall_seconds_per_round", "EWMA of sender stall time per checkpoint round, per mirror link.")
+	r.Describe("link_est_bandwidth_bytes_per_second", "Estimated achieved payload bandwidth per mirror link (EWMA of bytes/wall-second between telemetry ticks).")
+	for i := range s.links {
+		idx := i
+		l := obs.L("mirror", strconv.Itoa(i))
+		r.GaugeFunc("link_wire_bytes_per_round", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.links[idx].BytesPerRound
+		}, l)
+		r.GaugeFunc("link_wire_events_per_round", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.links[idx].EventsPerRound
+		}, l)
+		r.GaugeFunc("link_stall_seconds_per_round", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.links[idx].StallPerRound.Seconds()
+		}, l)
+		r.GaugeFunc("link_est_bandwidth_bytes_per_second", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.links[idx].BandwidthBps
+		}, l)
+	}
+}
