@@ -30,12 +30,14 @@ status-smoke:
 # Full gate: what CI runs and what every change must keep green.
 ci: build vet race metrics-lint status-smoke
 
-# Deterministic fault-injection sweep: 32 seeded chaos runs under the
-# race detector, each crash-restarting a mirror while machine-checking
-# the mirroring invariants. A failing seed replays with
-# scripts/chaos_repro.sh <seed>.
+# Deterministic fault-injection sweep under the race detector: 32
+# seeded runs of each schedule class — "mirror" crash-restarts a
+# mirror, "central" kills the central site and promotes the
+# warm-standby — while machine-checking the mirroring invariants
+# (including invariant 7, lossless promotion). A failing seed replays
+# with scripts/chaos_repro.sh <seed>.
 chaos:
-	$(GO) run -race ./cmd/chaosrunner -seeds 32
+	$(GO) run -race ./cmd/chaosrunner -seeds 32 -class all
 
 # Short fuzz pass over the wire codec and the checkpoint control
 # plane (the checked-in corpora always run as regular tests).
@@ -43,6 +45,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzCodecCorrupt -fuzztime 20s ./internal/event
 	$(GO) test -run xxx -fuzz FuzzBatchFrame -fuzztime 20s ./internal/event
 	$(GO) test -run xxx -fuzz FuzzCheckpointControl -fuzztime 20s ./internal/checkpoint
+	$(GO) test -run xxx -fuzz FuzzPromotionHandshake -fuzztime 20s ./internal/checkpoint
 	$(GO) test -run xxx -fuzz FuzzRegimeDirective -fuzztime 20s ./internal/adapt
 	$(GO) test -run xxx -fuzz FuzzStateDelta -fuzztime 20s ./internal/statedelta
 

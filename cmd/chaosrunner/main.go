@@ -1,14 +1,17 @@
 // Command chaosrunner drives the deterministic chaos suite from the
-// shell: each seed fully determines a fault schedule (mirror
-// crash-restart, link partitions, probabilistic control-link faults, a
-// slow mirror) and a workload, runs them against an in-process
-// cluster, and machine-checks the mirroring invariants. A failing seed
-// prints its schedule and replays exactly with -seed (see
-// scripts/chaos_repro.sh).
+// shell: each seed fully determines a fault schedule and a workload,
+// runs them against an in-process cluster, and machine-checks the
+// mirroring invariants. Two schedule classes exist: "mirror" (a mirror
+// crash-restarts, links partition, control links misbehave, one mirror
+// runs slow) and "central" (the central site itself dies mid-run and
+// the warm-standby mirror is promoted). A failing seed prints its
+// schedule and replays exactly with -seed (see scripts/chaos_repro.sh).
 //
-//	chaosrunner -seeds 32           # seeds 1..32
-//	chaosrunner -seed 1337          # one seed, verbose schedule
-//	chaosrunner -seeds 8 -mirrors 5 # wider cluster
+//	chaosrunner -seeds 32                 # seeds 1..32, mirror class
+//	chaosrunner -seeds 32 -class central  # central-crash class
+//	chaosrunner -seeds 32 -class all      # both classes per seed
+//	chaosrunner -seed 1337                # one seed, verbose schedule
+//	chaosrunner -seeds 8 -mirrors 5       # wider cluster
 package main
 
 import (
@@ -24,8 +27,22 @@ func main() {
 	seed := flag.Int64("seed", 0, "run exactly this seed (overrides -seeds)")
 	mirrors := flag.Int("mirrors", 3, "mirror sites per run")
 	flights := flag.Int("flights", 0, "workload flights (0 = default)")
+	class := flag.String("class", "mirror", "schedule class: mirror, central, or all")
 	verbose := flag.Bool("v", false, "print every run, not just failures")
 	flag.Parse()
+
+	var central []bool
+	switch *class {
+	case "mirror":
+		central = []bool{false}
+	case "central":
+		central = []bool{true}
+	case "all":
+		central = []bool{false, true}
+	default:
+		fmt.Fprintf(os.Stderr, "chaosrunner: unknown -class %q (want mirror, central, or all)\n", *class)
+		os.Exit(2)
+	}
 
 	var list []int64
 	if *seed != 0 {
@@ -37,24 +54,28 @@ func main() {
 		}
 	}
 
-	failed := 0
-	for _, s := range list {
-		res := cluster.RunChaos(cluster.ChaosConfig{
-			Seed:    s,
-			Mirrors: *mirrors,
-			Flights: *flights,
-		})
-		if res.Failed() {
-			failed++
-			fmt.Println(res.Report())
-			continue
-		}
-		if *verbose {
-			fmt.Println(res.Report())
+	runs, failed := 0, 0
+	for _, crashCentral := range central {
+		for _, s := range list {
+			runs++
+			res := cluster.RunChaos(cluster.ChaosConfig{
+				Seed:         s,
+				Mirrors:      *mirrors,
+				Flights:      *flights,
+				CentralCrash: crashCentral,
+			})
+			if res.Failed() {
+				failed++
+				fmt.Println(res.Report())
+				continue
+			}
+			if *verbose {
+				fmt.Println(res.Report())
+			}
 		}
 	}
 
-	fmt.Printf("chaos: %d/%d seeds passed\n", len(list)-failed, len(list))
+	fmt.Printf("chaos: %d/%d runs passed\n", runs-failed, runs)
 	if failed > 0 {
 		os.Exit(1)
 	}

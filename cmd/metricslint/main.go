@@ -81,6 +81,11 @@ var requiredSeries = []string{
 	`rejoin_bytes_total{mode="snapshot",site="central"}`,
 	`rejoin_bytes_total{mode="delta",site="central"}`,
 	`statedelta_journal_flights{site="central"}`,
+	// Warm-standby promotion: counters and the epoch gauge exist from
+	// boot (zero for an original, never-promoted central).
+	`promotion_total{site="central"}`,
+	`promotion_replayed_events_total{site="central"}`,
+	`central_epoch{site="central"}`,
 	// Checkpointing.
 	`checkpoint_rounds_total{site="central"}`,
 	`checkpoint_commits_total{site="central"}`,

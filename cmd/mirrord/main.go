@@ -35,6 +35,7 @@ func main() {
 		httpAddr   = flag.String("http", "127.0.0.1:8000", "HTTP front listen address (client requests)")
 		central    = flag.String("central", "", "mirror role: central site's event-channel address")
 		siteID     = flag.Int("site", 0, "mirror role: this mirror's index in the central site's -mirrors list")
+		standby    = flag.Bool("standby", false, "mirror role: arm this site as the warm-standby central (journals mutations per committed cut for post-promotion delta rejoins)")
 		mirrors    = flag.String("mirrors", "", "central role: comma-separated mirror event-channel addresses")
 		selective  = flag.Int("selective", 0, "overwrite run length for FAA positions (0 = simple mirroring)")
 		coalesce   = flag.Int("coalesce", 0, "coalesce up to N events before mirroring (0 = off)")
@@ -95,6 +96,7 @@ func main() {
 			HTTP:       *httpAddr,
 			Central:    *central,
 			SiteID:     *siteID,
+			Standby:    *standby,
 			StatePad:   *padding,
 			Shards:     *shards,
 			ReqWorkers: *workers,

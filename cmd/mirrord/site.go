@@ -293,6 +293,17 @@ type mirrorOptions struct {
 	// ede/core defaults).
 	Shards     int
 	ReqWorkers int
+	// Standby arms this site as the warm-standby central: its EDE
+	// journals mutations per committed cut so a promoted replacement
+	// central can keep serving incremental (delta) rejoins to the
+	// surviving mirrors. The in-process promotion machinery itself
+	// (core.MirrorSite.Promote + core.CentralConfig.Resume) is exercised
+	// by the chaos suite; wiring a wire-level takeover into mirrord is
+	// future work.
+	Standby bool
+	// StandbyHorizon bounds the standby journal in committed cuts
+	// (0 = the core default).
+	StandbyHorizon int
 }
 
 // lazyUplink is a self-healing send link to one channel of a peer
@@ -425,11 +436,13 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 			EDE:            ede.Config{Model: costmodel.Default, StatePadding: opts.StatePad, Shards: opts.Shards},
 			RequestWorkers: opts.ReqWorkers,
 		},
-		Model:  costmodel.Default,
-		CPU:    &costmodel.CPU{},
-		SiteID: uint8(opts.SiteID),
-		Obs:    s.Obs,
-		Tracer: s.Tracer,
+		Model:          costmodel.Default,
+		CPU:            &costmodel.CPU{},
+		SiteID:         uint8(opts.SiteID),
+		Standby:        opts.Standby,
+		StandbyHorizon: opts.StandbyHorizon,
+		Obs:            s.Obs,
+		Tracer:         s.Tracer,
 		OnPiggyback: func(round uint64, b []byte) {
 			s.Applier.Apply(round, b)
 		},

@@ -122,6 +122,9 @@ func run() error {
 	if doc.Rejoin == nil {
 		return fmt.Errorf("document omits rejoin accounting")
 	}
+	if doc.CentralEpoch != 0 {
+		return fmt.Errorf("original central reports promotion epoch %d, want 0", doc.CentralEpoch)
+	}
 
 	// Mirror documents must be well-formed too.
 	for i := range cl.Mirrors {
@@ -131,6 +134,10 @@ func run() error {
 		}
 		if md.Regime.ID != fn1.ID || md.Regime.DirectiveRound == 0 {
 			return fmt.Errorf("mirror %d never installed a directive: %+v", i, md.Regime)
+		}
+		if md.CentralEpoch != doc.CentralEpoch {
+			return fmt.Errorf("mirror %d derives epoch %d from its round watermark, central reports %d",
+				i, md.CentralEpoch, doc.CentralEpoch)
 		}
 	}
 	fmt.Printf("statussmoke: ok (%d links, %d sites, %d commits, %d audit entries)\n",

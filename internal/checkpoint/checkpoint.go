@@ -36,6 +36,19 @@ import (
 // cluster is limited to 255 mirrors, far beyond the paper's eight).
 const CentralParticipant uint8 = 0xFF
 
+// EpochShift partitions the round-number space by promotion epoch: a
+// coordinator resumed at epoch e stamps rounds above EpochBase(e), so
+// every round it issues is strictly greater than anything the previous
+// central could have stamped (rounds advance one per checkpoint or
+// directive broadcast — 2^32 of them is decades of continuous
+// operation). Receiver-side directive watermarks and the coordinator's
+// own reply floor both lean on this monotonicity.
+const EpochShift = 32
+
+// EpochBase returns the first round number reserved for promotion
+// epoch e. Epoch 0 is the original central; its rounds start at 1.
+func EpochBase(epoch uint64) uint64 { return epoch << EpochShift }
+
 // Coordinator runs at the central site's auxiliary unit. It initiates
 // rounds, collects CHKPT_REP replies, computes their minimum, and
 // issues COMMIT.
@@ -66,6 +79,7 @@ type Coordinator struct {
 
 	mu        sync.Mutex
 	round     uint64
+	floor     uint64 // rounds at or below this belong to a previous central
 	pending   int
 	min       vclock.VC
 	replied   [4]uint64 // per-site reply bitset for the open round, keyed by Stream
@@ -119,6 +133,15 @@ func (c *Coordinator) OnReply(e *event.Event) {
 		return
 	}
 	c.mu.Lock()
+	if e.Seq <= c.floor {
+		// A reply stamped by a previous central's coordinator, still in
+		// flight when the role moved. The round check below would reject
+		// it too (resumed rounds start past the floor), but the explicit
+		// guard keeps promotion safety independent of round-allocation
+		// order and makes the property fuzzable on its own.
+		c.mu.Unlock()
+		return
+	}
 	if e.Seq != c.round || c.pending == 0 {
 		c.mu.Unlock()
 		return
@@ -173,6 +196,23 @@ func (c *Coordinator) NextRound() uint64 {
 	defer c.mu.Unlock()
 	c.round++
 	return c.round
+}
+
+// Resume prepares a coordinator that takes over from a failed central
+// (warm-standby promotion): round numbering restarts strictly above
+// floor, and replies stamped at or below it — stragglers addressed to
+// the old coordinator — are ignored. Use EpochBase to pick a floor
+// past everything the old central could have stamped. Call before the
+// first Init.
+func (c *Coordinator) Resume(floor uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if floor > c.round {
+		c.round = floor
+	}
+	if floor > c.floor {
+		c.floor = floor
+	}
 }
 
 // SetParticipants changes the number of replies that complete a round

@@ -25,7 +25,17 @@
 //     commits) and rejoins presenting its committed cut is served the
 //     per-cut state delta — not a full snapshot — and still converges
 //     to the central EDE state byte-for-byte (checked by invariant 3
-//     over the same drained cluster).
+//     over the same drained cluster);
+//  7. central failover is lossless and monotone: when the schedule
+//     class kills the central site itself (ChaosConfig.CentralCrash),
+//     the warm-standby mirror detects the missed rounds and is
+//     promoted, the adopted state covers the last committed checkpoint
+//     cut (nothing durable is lost), the drained cluster's final
+//     committed cut covers the pre-crash cut, and round/cut numbering
+//     never regresses across the promotion epoch (checkpoint rounds
+//     restart above checkpoint.EpochBase; the surviving appliers'
+//     install watermarks carry over, so a directive stamped by the old
+//     central can never install after one stamped by the new).
 //
 // The adaptation scenario runs in every chaos run: the workload's
 // checkpoint cadence pushes the central backup queue over the primary
@@ -52,6 +62,7 @@ import (
 	"time"
 
 	"adaptmirror/internal/adapt"
+	"adaptmirror/internal/checkpoint"
 	"adaptmirror/internal/core"
 	"adaptmirror/internal/costmodel"
 	"adaptmirror/internal/event"
@@ -121,6 +132,12 @@ type ChaosConfig struct {
 	// EnvelopeP95 bounds the central update-delay 95th percentile
 	// (invariant 4; default 250ms).
 	EnvelopeP95 time.Duration
+	// CentralCrash selects the central-crash schedule class: instead
+	// of a mirror crash-restart, the central site itself dies at the
+	// schedule's crash position and the warm-standby mirror is
+	// promoted in its place (invariant 7). Every mirror runs
+	// standby-armed in this class.
+	CentralCrash bool
 }
 
 func (c *ChaosConfig) defaults() {
@@ -184,6 +201,19 @@ type ChaosResult struct {
 	// directive checksum (corrupted control-link deliveries, summed
 	// across incarnations).
 	InvalidDirectives uint64
+	// Promotions/PromotionReplayed report the central-crash class:
+	// warm-standby promotions performed (1 in that class, 0 otherwise)
+	// and the backup-queue events the promotion replayed from the last
+	// committed cut.
+	Promotions        uint64
+	PromotionReplayed uint64
+	// CentralEpoch is the final central's promotion epoch (0 = the
+	// original central survived the run).
+	CentralEpoch uint64
+	// Audit is the run's decision log: engage/revert transitions and,
+	// in the central-crash class, the promotion entry recording the
+	// old and new central identities.
+	Audit []obs.AuditEntry
 }
 
 // Failed reports whether any invariant was violated.
@@ -196,6 +226,9 @@ func (r ChaosResult) Report() string {
 		r.Schedule, r.Replayed, r.DeltaReplayed, r.RejoinSnapshots, r.RejoinDeltas,
 		r.Rounds, r.Commits, r.P95, r.Faults,
 		r.Engages, r.Reverts, r.StaleDirectives, r.InvalidDirectives, r.StateDigest)
+	if r.Schedule.CrashCentral {
+		s += fmt.Sprintf(" promo=%d replayed=%d epoch=%d", r.Promotions, r.PromotionReplayed, r.CentralEpoch)
+	}
 	if !r.Failed() {
 		return "PASS " + s
 	}
@@ -217,11 +250,16 @@ type chaosRig struct {
 	plane *faultinject.Plane
 	reg   *obs.Registry
 
-	central *core.Central
-	member  *core.Membership
+	// central/member live in atomic slots because the central-crash
+	// class replaces them mid-run (warm-standby promotion) while the
+	// control uplinks' closures keep routing "to the central" — the
+	// same late binding the mirror slots already use.
+	central atomic.Pointer[core.Central]
+	member  atomic.Pointer[core.Membership]
 	slots   []atomic.Pointer[core.MirrorSite]
 	cpus    []*costmodel.CPU // [0] central, [1..] mirrors
 	hist    *metrics.Histogram
+	audit   *obs.AuditLog
 
 	data     []*faultinject.Link // central → mirror data (partition only)
 	ctrlDown []*faultinject.Link // central → mirror control (probabilistic faults)
@@ -229,8 +267,16 @@ type chaosRig struct {
 
 	violations []string
 	// prevCommitted tracks the last observed cut per backup-queue
-	// incarnation: [0] central, [1..] mirrors (reset on crash-restart).
+	// incarnation: [0] central, [1..] mirrors (reset on crash-restart
+	// and on central promotion).
 	prevCommitted []vclock.VC
+
+	// Central-crash bookkeeping (driver goroutine only): the committed
+	// cut the promotion is held to (invariant 7), and the fed-event
+	// count at the promotion instant — the new central's Mirrored
+	// counter starts at zero, so waitMirrored measures against it.
+	preCrashCut vclock.VC
+	fedBase     uint64
 
 	// controller is the central adaptation decision-maker; appliers
 	// hold each mirror slot's current directive applier (swapped with
@@ -252,6 +298,10 @@ func (r *chaosRig) violatef(format string, args ...interface{}) {
 	r.violations = append(r.violations, fmt.Sprintf(format, args...))
 }
 
+// cen and mem load the current central/membership incarnation.
+func (r *chaosRig) cen() *core.Central    { return r.central.Load() }
+func (r *chaosRig) mem() *core.Membership { return r.member.Load() }
+
 // newMirror builds one mirror-site incarnation. The control uplink is
 // the plane's per-mirror Link, shared across incarnations so the fault
 // decision stream continues over a restart, exactly like a network
@@ -266,6 +316,10 @@ func (r *chaosRig) newMirror(i int) *core.MirrorSite {
 		CPU:    r.cpus[i+1],
 		SiteID: uint8(i),
 		CtrlUp: r.ctrlUp[i],
+		// Central-crash class: every mirror runs standby-armed (journal
+		// + sealed cuts), so whichever is the lowest-indexed live site
+		// at the crash can be promoted.
+		Standby: r.cfg.CentralCrash,
 		OnPiggyback: func(round uint64, b []byte) {
 			ap.Apply(round, b)
 		},
@@ -340,6 +394,9 @@ func (r *chaosRig) slowCharge(i int, base time.Duration, n int) {
 
 func newChaosRig(cfg ChaosConfig) *chaosRig {
 	sched := faultinject.NewSchedule(cfg.Seed, cfg.Mirrors)
+	if cfg.CentralCrash {
+		sched = faultinject.NewCentralCrashSchedule(cfg.Seed, cfg.Mirrors)
+	}
 	r := &chaosRig{
 		cfg:           cfg,
 		sched:         sched,
@@ -351,8 +408,12 @@ func newChaosRig(cfg ChaosConfig) *chaosRig {
 		lastInstall:   make([]uint64, cfg.Mirrors),
 	}
 	// The controller is fully constructed before the central exists:
-	// its ObserveSite closure runs on control-handling paths.
+	// its ObserveSite closure runs on control-handling paths. The audit
+	// log records its transitions and, in the central-crash class, the
+	// promotion entry.
+	r.audit = obs.NewAuditLog(0)
 	r.controller = adapt.NewController(chaosBaselineRegime, chaosDegradedRegime, nil)
+	r.controller.SetAudit(r.audit)
 	r.controller.SetMonitorValues(adapt.VarBackup, chaosAdaptPrimary, chaosAdaptSecondary)
 	r.plane = faultinject.NewPlane(cfg.Seed, r.reg)
 	for i := 0; i <= cfg.Mirrors; i++ {
@@ -392,13 +453,13 @@ func newChaosRig(cfg ChaosConfig) *chaosRig {
 			}), sched.CtrlFaults))
 		r.ctrlUp = append(r.ctrlUp, r.plane.Wrap(fmt.Sprintf("ctrl.up.%d", i),
 			senderFunc(func(e *event.Event) error {
-				r.central.HandleControl(e)
+				r.cen().HandleControl(e)
 				return nil
 			}), sched.CtrlFaults))
 		links[i] = core.MirrorLink{Data: r.data[i], Ctrl: r.ctrlDown[i]}
 	}
 
-	r.central = core.NewCentral(core.CentralConfig{
+	r.central.Store(core.NewCentral(core.CentralConfig{
 		Streams: 1,
 		Model:   chaosModel,
 		CPU:     r.cpus[0],
@@ -407,41 +468,41 @@ func newChaosRig(cfg ChaosConfig) *chaosRig {
 		OnMirrorSample: func(site int, s core.Sample) {
 			r.controller.ObserveSite(site, s)
 		},
-	})
+	}))
 	// Manual rounds only: the driver sequences checkpoints against
 	// stream positions so the schedule is machine-speed independent.
-	r.central.SetParams(false, 1, 1<<30)
+	r.cen().SetParams(false, 1, 1<<30)
 	// Decision point: each round's CHKPT observes the central's own
 	// queues and piggybacks whatever regime is current, stamped with
 	// the round.
-	r.central.SetPiggyback(func() []byte {
-		r.controller.Observe(r.central.Sample())
+	r.cen().SetPiggyback(func() []byte {
+		r.controller.Observe(r.cen().Sample())
 		return adapt.EncodeRegime(r.controller.Current())
 	})
 	for i := 0; i < cfg.Mirrors; i++ {
 		r.slots[i].Store(r.newMirror(i))
 	}
-	r.member = core.NewMembership(r.central, core.MembershipConfig{
+	r.member.Store(core.NewMembership(r.cen(), core.MembershipConfig{
 		MissedRounds: cfg.MissedRounds,
 		// An excluded site's last sample row must not pin the regime:
 		// the per-site revert rule considers live sites only.
 		OnFailure: func(site int) { r.controller.EvictSite(site) },
-	})
+	}))
 	return r
 }
 
 // check samples the continuously checkable invariants (1 and the
 // structural half of 2). It runs from the driver goroutine only.
 func (r *chaosRig) check(stage string) {
-	com := r.central.Backup().Committed()
+	com := r.cen().Backup().Committed()
 	if prev := r.prevCommitted[0]; prev != nil && !prev.LessEq(com) {
 		r.violatef("%s: central committed cut regressed: %v after %v", stage, com, prev)
 	}
 	r.prevCommitted[0] = com
-	if lp := r.central.Main().LastProcessed(); com != nil && !com.LessEq(lp) {
+	if lp := r.cen().Main().LastProcessed(); com != nil && !com.LessEq(lp) {
 		r.violatef("%s: central committed %v beyond its own progress %v", stage, com, lp)
 	}
-	if err := r.central.Backup().CheckInvariants(); err != nil {
+	if err := r.cen().Backup().CheckInvariants(); err != nil {
 		r.violatef("%s: central backup: %v", stage, err)
 	}
 	for i := range r.slots {
@@ -461,7 +522,7 @@ func (r *chaosRig) check(stage string) {
 // control loop — broadcast, replies, commit — is synchronous through
 // the direct links, so the sample right after sees its effect.
 func (r *chaosRig) round(stage string) {
-	r.central.Checkpoint()
+	r.cen().Checkpoint()
 	r.check(stage)
 }
 
@@ -484,7 +545,7 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 		for i := range r.slots {
 			r.slots[i].Load().Close()
 		}
-		r.central.Close()
+		r.cen().Close()
 	}()
 
 	events := BuildEvents(Options{
@@ -500,19 +561,29 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 
 	fed := 0
 	for i, e := range events {
-		if i == crashAt {
-			// The mirror dies: every link to and from it partitions, and
-			// whatever its volatile queues held is gone with it.
-			r.data[victim].SetDown(true)
-			r.ctrlDown[victim].SetDown(true)
-			r.ctrlUp[victim].SetDown(true)
+		if sched.CrashCentral {
+			if i == crashAt {
+				// The central site itself dies; the warm-standby mirror
+				// is promoted in its place (invariant 7).
+				r.promoteCentral(uint64(i))
+			}
+		} else {
+			// Independent checks: a zero down-window schedule makes
+			// restartAt == crashAt and both must still run.
+			if i == crashAt {
+				// The mirror dies: every link to and from it partitions,
+				// and whatever its volatile queues held is gone with it.
+				r.data[victim].SetDown(true)
+				r.ctrlDown[victim].SetDown(true)
+				r.ctrlUp[victim].SetDown(true)
+			}
+			if i == restartAt {
+				r.waitMirrored(uint64(i))
+				r.excludeVictim()
+				res.Replayed = r.restartAndRejoin()
+			}
 		}
-		if i == restartAt {
-			r.waitMirrored(uint64(i))
-			r.excludeVictim()
-			res.Replayed = r.restartAndRejoin()
-		}
-		if err := r.central.Ingest(e); err != nil {
+		if err := r.cen().Ingest(e); err != nil {
 			r.violatef("feed: event %d/%d rejected: %v", i, n, err)
 			break
 		}
@@ -529,17 +600,20 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 	res.DeltaReplayed = r.deltaLagScenario(&fed)
 	r.calmTail(fed)
 	r.finish(&res)
-	stats := r.central.RejoinStats()
+	stats := r.cen().RejoinStats()
 	res.RejoinSnapshots, res.RejoinDeltas = stats.Snapshots, stats.Deltas
 	r.adaptMu.Lock()
 	r.violations = append(r.violations, r.adaptViol...)
 	r.adaptMu.Unlock()
 	res.Violations = r.violations
-	res.Rounds, res.Commits = r.central.Stats().ChkptRounds, r.central.Stats().ChkptCommits
+	res.Rounds, res.Commits = r.cen().Stats().ChkptRounds, r.cen().Stats().ChkptCommits
 	res.P95 = r.hist.Percentile(95)
 	res.Faults = r.faultCount()
 	res.Engages, res.Reverts = r.controller.Transitions()
 	res.StaleDirectives, res.InvalidDirectives = r.directiveStats()
+	res.Promotions, res.PromotionReplayed = r.cen().PromotionStats()
+	res.CentralEpoch = r.cen().Epoch()
+	res.Audit = r.audit.Entries()
 	return res
 }
 
@@ -582,7 +656,7 @@ func (r *chaosRig) deltaLagScenario(fed *int) int {
 	r.ctrlDown[lag].SetDown(true)
 	r.ctrlUp[lag].SetDown(true)
 	lagOut := func() bool {
-		for _, i := range r.member.Failed() {
+		for _, i := range r.mem().Failed() {
 			if i == lag {
 				return true
 			}
@@ -594,7 +668,7 @@ func (r *chaosRig) deltaLagScenario(fed *int) int {
 	}
 	if !lagOut() {
 		r.violatef("delta: failure detector reported %v, missing lagging mirror %d",
-			r.member.Failed(), lag)
+			r.mem().Failed(), lag)
 	}
 
 	// Advance the world past the lagging site: fresh mutations and
@@ -606,7 +680,7 @@ func (r *chaosRig) deltaLagScenario(fed *int) int {
 		Seed:             r.cfg.Seed + 202,
 	})
 	for i, e := range extra {
-		if err := r.central.Ingest(e); err != nil {
+		if err := r.cen().Ingest(e); err != nil {
 			r.violatef("delta: event %d/%d rejected: %v", i, len(extra), err)
 			return 0
 		}
@@ -623,13 +697,13 @@ func (r *chaosRig) deltaLagScenario(fed *int) int {
 	r.data[lag].SetDown(false)
 	r.ctrlDown[lag].SetDown(false)
 	r.ctrlUp[lag].SetDown(false)
-	before := r.central.RejoinStats()
-	replayed, err := r.member.RejoinSince(lag, m.Backup().Committed())
+	before := r.cen().RejoinStats()
+	replayed, err := r.mem().RejoinSince(lag, m.Backup().Committed())
 	if err != nil {
 		r.violatef("delta: rejoin mirror %d: %v", lag, err)
 		return 0
 	}
-	if after := r.central.RejoinStats(); after.Deltas != before.Deltas+1 {
+	if after := r.cen().RejoinStats(); after.Deltas != before.Deltas+1 {
 		r.violatef("delta: rejoin of lagging mirror %d fell back to snapshot mode "+
 			"(cut should be within the journal horizon)", lag)
 	}
@@ -652,7 +726,7 @@ func (r *chaosRig) calmTail(fed int) {
 		Seed:             r.cfg.Seed + 101,
 	})
 	for i, e := range tail {
-		if err := r.central.Ingest(e); err != nil {
+		if err := r.cen().Ingest(e); err != nil {
 			r.violatef("calm: event %d/%d rejected: %v", i, len(tail), err)
 			return
 		}
@@ -671,13 +745,19 @@ func (r *chaosRig) calmTail(fed int) {
 
 // waitMirrored blocks until the sending task has fanned out (and
 // backup-appended) n events, i.e. the async pipeline has caught up to
-// the driver's feed position.
+// the driver's feed position. n is the cumulative fed count; a
+// promoted central's counter starts at zero, so the count at the
+// promotion instant (fedBase) is subtracted out.
 func (r *chaosRig) waitMirrored(n uint64) {
+	if n < r.fedBase {
+		return
+	}
+	n -= r.fedBase
 	deadline := time.Now().Add(20 * time.Second)
-	for r.central.Stats().Mirrored < n {
+	for r.cen().Stats().Mirrored < n {
 		if time.Now().After(deadline) {
 			r.violatef("feed: pipeline stuck at %d/%d mirrored events",
-				r.central.Stats().Mirrored, n)
+				r.cen().Stats().Mirrored, n)
 			return
 		}
 		time.Sleep(50 * time.Microsecond)
@@ -695,7 +775,7 @@ func (r *chaosRig) excludeVictim() {
 	// excluded a healthy mirror already, so a bare "anyone failed?"
 	// check could pass without the victim ever leaving the quorum.
 	victimOut := func() bool {
-		for _, i := range r.member.Failed() {
+		for _, i := range r.mem().Failed() {
 			if i == r.sched.CrashMirror {
 				return true
 			}
@@ -707,7 +787,7 @@ func (r *chaosRig) excludeVictim() {
 	}
 	if !victimOut() {
 		r.violatef("exclusion: failure detector reported %v, missing victim %d",
-			r.member.Failed(), r.sched.CrashMirror)
+			r.mem().Failed(), r.sched.CrashMirror)
 	}
 }
 
@@ -718,8 +798,8 @@ func (r *chaosRig) excludeVictim() {
 // faults quiesce; the end-state invariants are stated over the
 // converged cluster, so everyone gets re-admitted first.
 func (r *chaosRig) rejoinAll(stage string) {
-	for _, i := range r.member.Failed() {
-		if _, err := r.member.Rejoin(i); err != nil {
+	for _, i := range r.mem().Failed() {
+		if _, err := r.mem().Rejoin(i); err != nil {
 			r.violatef("%s: rejoin mirror %d: %v", stage, i, err)
 		}
 	}
@@ -739,7 +819,7 @@ func (r *chaosRig) restartAndRejoin() int {
 	r.data[victim].SetDown(false)
 	r.ctrlDown[victim].SetDown(false)
 	r.ctrlUp[victim].SetDown(false)
-	replayed, err := r.member.Rejoin(victim)
+	replayed, err := r.mem().Rejoin(victim)
 	if err != nil {
 		r.violatef("rejoin: %v", err)
 		return 0
@@ -749,16 +829,193 @@ func (r *chaosRig) restartAndRejoin() int {
 	return replayed
 }
 
+// promoteCentral executes the central-crash schedule class: the
+// current central dies at its crash position and the warm-standby
+// mirror (the lowest-indexed live site) is promoted in its place. The
+// sequence mirrors a real deployment's failover path — detect via
+// missed rounds, adopt local state, restart the coordinator above the
+// old epoch, re-admit the survivors — with two harness-only additions:
+// the pipeline is quiesced at the crash position first (so the
+// delivered-event set, and with it the replayed StateDigest, stays a
+// pure function of the seed), and a checkpoint commit is forced before
+// the crash so every seed demonstrates zero committed-event loss
+// rather than vacuously passing with a nil pre-crash cut. fed is the
+// cumulative fed-event count at the crash instant.
+func (r *chaosRig) promoteCentral(fed uint64) {
+	old := r.cen()
+	r.waitMirrored(fed)
+	// Force a committed cut before the crash: control faults may have
+	// eaten every COMMIT so far, and invariant 7's lossless check is
+	// stated against the last cut committed under the old central.
+	for attempt := 0; attempt < 200 && old.Backup().Committed() == nil; attempt++ {
+		r.round("pre-crash")
+		r.flushCtrl()
+	}
+	preCut := old.Backup().Committed()
+	if preCut == nil {
+		r.violatef("pre-crash: no checkpoint cut committed before the central crash")
+	}
+	r.preCrashCut = preCut
+	// Control faults may have spuriously excluded the standby; the
+	// promotion picks the lowest-indexed *live* mirror, and the chaos
+	// scenarios that follow assume a full quorum, so re-admit everyone
+	// while the old central is still alive to serve the transfer.
+	r.rejoinAll("pre-crash")
+
+	// Crash. Drain first: the sending task's exit path flushes the
+	// outbox rings over still-up links, so draining before partitioning
+	// pins the delivered-event set to the feed position (seed-exact);
+	// protocol-wise the crash is still abrupt — no handoff round runs.
+	old.Drain()
+	for i := range r.slots {
+		r.data[i].SetDown(true)
+		r.ctrlDown[i].SetDown(true)
+		r.ctrlUp[i].SetDown(true)
+	}
+	old.Close()
+
+	// The standby is the lowest-indexed live mirror (Failed() reports
+	// ascending indices, so one pass suffices).
+	standby := 0
+	for _, f := range r.mem().Failed() {
+		if f == standby {
+			standby++
+		}
+	}
+	if standby >= len(r.slots) {
+		r.violatef("promotion: no live mirror left to promote")
+		return
+	}
+	site := r.slots[standby].Load()
+
+	// Failure detection: the standby's monitor sees no new round for
+	// its whole budget and declares the central dead. The first tick
+	// baselines (the site has observed rounds), the rest miss.
+	mon := core.NewStandbyMonitor(site.LastRound, r.cfg.MissedRounds)
+	fired := false
+	for t := 0; t < r.cfg.MissedRounds+2 && !fired; t++ {
+		fired = mon.Tick()
+	}
+	if !fired {
+		r.violatef("promotion: standby monitor never declared the central failed")
+		return
+	}
+
+	// Adopt: capture the standby's local view and build the new central
+	// on it, one epoch past the failed one. The directive pair comes
+	// from the standby's applier so PublishDirective re-broadcasts the
+	// installed regime idempotently.
+	state := site.Promote()
+	state.Epoch = old.Epoch() + 1
+	if ap := r.appliers[standby].Load(); ap != nil {
+		if reg, round, ok := ap.Current(); ok {
+			state.Directive = adapt.EncodeRegime(reg)
+			state.DirectiveRound = round
+		}
+	}
+	preRound := state.RoundFloor
+	links := make([]core.MirrorLink, len(r.slots))
+	for i := range r.slots {
+		links[i] = core.MirrorLink{Data: r.data[i], Ctrl: r.ctrlDown[i]}
+	}
+	nc := core.NewCentral(core.CentralConfig{
+		Streams: 1,
+		Model:   chaosModel,
+		CPU:     r.cpus[standby+1],
+		Mirrors: links,
+		Obs:     r.reg,
+		OnMirrorSample: func(site int, s core.Sample) {
+			r.controller.ObserveSite(site, s)
+		},
+		Resume: &state,
+	})
+	nc.SetParams(false, 1, 1<<30)
+	nc.SetPiggyback(func() []byte {
+		r.controller.Observe(nc.Sample())
+		return adapt.EncodeRegime(r.controller.Current())
+	})
+	r.central.Store(nc)
+	// The new backup queue is a fresh incarnation seeded at the
+	// standby's cut; the new Mirrored counter starts at zero.
+	r.prevCommitted[0] = nil
+	r.fedBase = fed
+
+	// Invariant 7, promotion-instant half: the adopted state covers the
+	// last committed cut (nothing durable lost) and round numbering
+	// restarts strictly above everything the old epoch stamped.
+	if preCut != nil && !preCut.LessEq(nc.Main().LastProcessed()) {
+		r.violatef("promotion: adopted state %v below last committed cut %v",
+			nc.Main().LastProcessed(), preCut)
+	}
+	if nc.Epoch() != old.Epoch()+1 {
+		r.violatef("promotion: epoch %d, want %d", nc.Epoch(), old.Epoch()+1)
+	}
+	if checkpoint.EpochBase(nc.Epoch()) <= preRound {
+		r.violatef("promotion: epoch base %d not above old epoch's round watermark %d",
+			checkpoint.EpochBase(nc.Epoch()), preRound)
+	}
+
+	// Re-point the survivors: a fresh Membership starts with every slot
+	// excluded, then each is re-admitted through RejoinSince. The
+	// standby's own slot restarts as a fresh mirror (its main unit now
+	// belongs to the central); survivors present their committed cut
+	// for a delta transfer only when their arrival watermark is covered
+	// by the adopted state — a survivor the old central fanned out to
+	// past the standby's progress holds mutations the adopted journal
+	// never saw, and must take the snapshot path (Install replaces
+	// wholesale).
+	nm := core.NewMembership(nc, core.MembershipConfig{
+		MissedRounds: r.cfg.MissedRounds,
+		OnFailure:    func(site int) { r.controller.EvictSite(site) },
+	})
+	for i := range r.slots {
+		if err := nm.Exclude(i); err != nil {
+			r.violatef("promotion: exclude mirror %d: %v", i, err)
+		}
+	}
+	r.member.Store(nm)
+	for i := range r.slots {
+		r.data[i].SetDown(false)
+		r.ctrlDown[i].SetDown(false)
+		r.ctrlUp[i].SetDown(false)
+	}
+	r.retireApplier(standby)
+	promoted := r.slots[standby].Swap(r.newMirror(standby))
+	promoted.Close() // detached: stops aux plumbing only, the main unit lives on
+	r.prevCommitted[standby+1] = nil
+	anchor := nc.Main().LastProcessed()
+	for i := range r.slots {
+		var cut vclock.VC
+		if i != standby {
+			m := r.slots[i].Load()
+			if m.ArrivalHigh().LessEq(anchor) {
+				cut = m.Backup().Committed()
+			}
+		}
+		if _, err := nm.RejoinSince(i, cut); err != nil {
+			r.violatef("promotion: rejoin mirror %d: %v", i, err)
+		}
+	}
+	r.check("promotion")
+	r.audit.Append(obs.AuditEntry{
+		Action:     "promotion",
+		Site:       fmt.Sprintf("mirror%d", standby),
+		OldCentral: "central",
+		NewCentral: fmt.Sprintf("mirror%d", standby),
+		Epoch:      nc.Epoch(),
+	})
+}
+
 // finish drains the pipeline, waits for every mirror to converge on
 // the central progress, runs final checkpoint rounds until the central
 // backup is fully trimmed, and evaluates the end-state invariants.
 func (r *chaosRig) finish(res *ChaosResult) {
-	r.central.Drain()
+	r.cen().Drain()
 	// Whoever the detector excluded along the way comes back now: the
 	// rejoin transfer (snapshot + retained backup) covers everything an
 	// excluded site missed, so convergence is still byte-exact.
 	r.rejoinAll("final")
-	centralLP := r.central.Main().LastProcessed()
+	centralLP := r.cen().Main().LastProcessed()
 	deadline := time.Now().Add(20 * time.Second)
 	for i := range r.slots {
 		for !centralLP.LessEq(r.slots[i].Load().Main().LastProcessed()) {
@@ -776,18 +1033,18 @@ func (r *chaosRig) finish(res *ChaosResult) {
 	// round is not guaranteed to land — later rounds subsume earlier
 	// ones until the backup trims through the last event. The bound is
 	// far beyond any plausible unlucky streak at ≤10% per-class rates.
-	for attempt := 0; attempt < 200 && r.central.Backup().Len() > 0; attempt++ {
+	for attempt := 0; attempt < 200 && r.cen().Backup().Len() > 0; attempt++ {
 		r.round("final")
 		r.flushCtrl()
 	}
-	if got := r.central.Backup().Len(); got > 0 {
+	if got := r.cen().Backup().Len(); got > 0 {
 		r.violatef("final: central backup retains %d events after 200 rounds", got)
 	}
 	costmodel.WaitIdle(r.cpus...)
 
 	// Invariant 3: every replica — including the crash-restarted one —
 	// has converged to the central EDE state byte-for-byte.
-	want := r.central.Main().Engine().State().Snapshot()
+	want := r.cen().Main().Engine().State().Snapshot()
 	h := fnv.New64a()
 	_, _ = h.Write(want)
 	res.StateDigest = h.Sum64()
@@ -822,7 +1079,7 @@ func (r *chaosRig) finish(res *ChaosResult) {
 	// every applier converges; the round watermark makes the redundant
 	// deliveries harmless.
 	for attempt := 0; attempt < 200 && !r.regimesConverged(); attempt++ {
-		r.central.PublishDirective()
+		r.cen().PublishDirective()
 		r.flushCtrl()
 	}
 	if !r.regimesConverged() {
@@ -834,6 +1091,35 @@ func (r *chaosRig) finish(res *ChaosResult) {
 				r.violatef("adapt: mirror %d regime applier=%d site=%d (round %d, have=%v) != central %d after drain",
 					i, reg.ID, id, round, ok, want.ID)
 			}
+		}
+	}
+
+	// Invariant 7, end-state half: the promotion lost nothing durable
+	// and never regressed numbering. The drained cluster's final
+	// committed cut must cover the cut committed before the crash, and
+	// the promotion epoch's rounds must have reached the cluster: some
+	// mirror observed a round at or above the epoch base. (Per-slot
+	// would be too strong — a site spuriously excluded through the calm
+	// tail and rejoined with a fresh backup may legitimately see no
+	// further round before the stream ends; the per-incarnation CAS-max
+	// watermarks and noteInstall monotonicity cover no-regression.)
+	if r.sched.CrashCentral {
+		if r.preCrashCut != nil {
+			if com := r.cen().Backup().Committed(); com == nil || !r.preCrashCut.LessEq(com) {
+				r.violatef("promotion: final committed cut %v does not cover pre-crash cut %v",
+					com, r.preCrashCut)
+			}
+		}
+		base := checkpoint.EpochBase(r.cen().Epoch())
+		var maxRound uint64
+		for i := range r.slots {
+			if lr := r.slots[i].Load().LastRound(); lr > maxRound {
+				maxRound = lr
+			}
+		}
+		if maxRound < base {
+			r.violatef("promotion: no mirror observed a round in epoch %d (max round %d < epoch base %d)",
+				r.cen().Epoch(), maxRound, base)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"adaptmirror/internal/faultinject"
+	"adaptmirror/internal/obs"
 )
 
 // TestChaosSeeds runs the chaos harness over a spread of seeds: each
@@ -59,6 +60,87 @@ func itoa(n int64) string {
 	return string(b[i:])
 }
 
+// TestChaosCentralCrashPromotion runs the central-crash schedule
+// class over a spread of seeds: the central site itself dies mid-run,
+// the warm-standby mirror is promoted, and the run continues —
+// survivors re-pointed, ingest resumed, the adaptation ramp and the
+// delta-lag scenario exercised against the promoted central.
+// Invariant 7 (promotion is lossless and monotone) is machine-checked
+// inside the harness at the promotion instant and after drain; this
+// test additionally pins the promotion's observable contract: exactly
+// one promotion per run, the cluster ends in epoch 1, commits land
+// under the new central (the forced pre-crash commit plus continued
+// ingest means every seed demonstrates zero committed-event loss, not
+// just one), and the audit log records the handover.
+func TestChaosCentralCrashPromotion(t *testing.T) {
+	seeds := []int64{1, 2, 3, 7, 11, 42, 1337, 99991}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("central-seed="+itoa(seed), func(t *testing.T) {
+			res := RunChaos(ChaosConfig{Seed: seed, CentralCrash: true})
+			if res.Failed() {
+				t.Fatal(res.Report())
+			}
+			if !res.Schedule.CrashCentral {
+				t.Fatalf("schedule is not central-crash class: %s", res.Schedule)
+			}
+			if res.Promotions != 1 {
+				t.Fatalf("promotions = %d, want 1: %s", res.Promotions, res.Report())
+			}
+			if res.CentralEpoch != 1 {
+				t.Fatalf("central epoch = %d, want 1: %s", res.CentralEpoch, res.Report())
+			}
+			if res.Commits == 0 {
+				t.Fatalf("no commits landed under the promoted central: %s", res.Report())
+			}
+			var promo *obs.AuditEntry
+			for i := range res.Audit {
+				if res.Audit[i].Action == "promotion" {
+					if promo != nil {
+						t.Fatalf("audit records more than one promotion: %s", res.Report())
+					}
+					promo = &res.Audit[i]
+				}
+			}
+			if promo == nil {
+				t.Fatalf("audit log has no promotion entry: %s", res.Report())
+			}
+			if promo.OldCentral != "central" || promo.NewCentral == "" || promo.Epoch != 1 {
+				t.Fatalf("promotion audit entry malformed: %+v", *promo)
+			}
+		})
+	}
+}
+
+// TestChaosCentralCrashScheduleClass spot-checks the central-crash
+// schedule generator: the class is marked, the crash position stays in
+// the configured band, the old central never returns (no down window
+// to wait out), and the slow-mirror pick never lands on mirror 0 —
+// the deterministic promotion candidate.
+func TestChaosCentralCrashScheduleClass(t *testing.T) {
+	for seed := int64(0); seed < 64; seed++ {
+		sched := faultinject.NewCentralCrashSchedule(seed, 3)
+		if !sched.CrashCentral {
+			t.Fatalf("seed %d: schedule not marked central-crash", seed)
+		}
+		if sched.CrashMirror != -1 {
+			t.Fatalf("seed %d: central-crash schedule also crashes mirror %d", seed, sched.CrashMirror)
+		}
+		if sched.DownFrac != 0 {
+			t.Fatalf("seed %d: central-crash schedule has a down window %v", seed, sched.DownFrac)
+		}
+		if sched.CrashAfterFrac < 0.25 || sched.CrashAfterFrac > 0.65 {
+			t.Fatalf("seed %d: crash position %v outside [0.25, 0.65]", seed, sched.CrashAfterFrac)
+		}
+		if sched.SlowMirror == 0 {
+			t.Fatalf("seed %d: slow mirror is the promotion candidate", seed)
+		}
+	}
+}
+
 // TestChaosDeterministicReplay is the repro contract: the same seed
 // produces the same fault schedule, the same verdict, and the same
 // final central state digest, so a failing seed from CI replays
@@ -79,6 +161,30 @@ func TestChaosDeterministicReplay(t *testing.T) {
 	}
 	if a.Failed() {
 		t.Fatal(a.Report())
+	}
+
+	// Same contract for the central-crash class: the crash position,
+	// the promotion, and everything the promoted central ingests are
+	// all seed-determined, so verdict and digest replay exactly — the
+	// crash-position quiesce in promoteCentral exists precisely to keep
+	// this true.
+	ca := RunChaos(ChaosConfig{Seed: seed, CentralCrash: true})
+	cb := RunChaos(ChaosConfig{Seed: seed, CentralCrash: true})
+	if ca.Schedule.String() != cb.Schedule.String() {
+		t.Fatalf("central-crash schedule not deterministic:\n  %s\n  %s", ca.Schedule, cb.Schedule)
+	}
+	if ca.Failed() != cb.Failed() {
+		t.Fatalf("central-crash verdict not deterministic:\n  %s\n  %s", ca.Report(), cb.Report())
+	}
+	if ca.StateDigest != cb.StateDigest {
+		t.Fatalf("central-crash state digest not deterministic: %016x vs %016x",
+			ca.StateDigest, cb.StateDigest)
+	}
+	if ca.Failed() {
+		t.Fatal(ca.Report())
+	}
+	if ca.Promotions != 1 || cb.Promotions != 1 {
+		t.Fatalf("central-crash replay promotions %d/%d, want 1/1", ca.Promotions, cb.Promotions)
 	}
 }
 

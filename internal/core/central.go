@@ -119,6 +119,15 @@ type CentralConfig struct {
 	// the sending task stamps ready/forward instants on each event and
 	// the fan-out and checkpoint paths record their stages.
 	Tracer *obs.Tracer
+	// Resume, when non-nil, builds this central as the warm-standby
+	// promotion of a failed one: the site adopts the standby mirror's
+	// main unit (EDE state, mutation journal, processed watermark),
+	// seeds its backup queue with the standby's retained events past
+	// the last committed cut, resumes the stamping clock past every
+	// event the standby admitted, restamps checkpoint rounds above the
+	// old central's watermark, and restores the last adaptation
+	// directive for idempotent re-broadcast. See MirrorSite.Promote.
+	Resume *ResumeState
 }
 
 // Central is the central site: the primary mirror. Its auxiliary unit
@@ -191,6 +200,14 @@ type Central struct {
 	rejoinSnapshotBytes atomic.Uint64
 	rejoinDeltaBytes    atomic.Uint64
 
+	// Promotion provenance (immutable after construction): the epoch
+	// this central stamps rounds in (0 for an original central), how
+	// many promotions it performed (1 when built from a ResumeState),
+	// and how many backup-queue events the promotion replayed.
+	epoch             uint64
+	promotions        uint64
+	promotionReplayed uint64
+
 	pipeWG    sync.WaitGroup // receiving + sending tasks
 	ctrlWG    sync.WaitGroup // control task
 	drainOnce sync.Once
@@ -236,7 +253,6 @@ func NewCentral(cfg CentralConfig) *Central {
 		params: newParamBox(cfg.Params),
 		ready:  queue.NewReady(0),
 		backup: queue.NewBackup(),
-		main:   NewMainUnit(cfg.Main),
 		in:     make(chan *event.Event, cfg.IngestBuffer),
 		// Deep buffer: the sending task can mirror hundreds of events
 		// between scheduler yields, and every earned checkpoint round
@@ -245,12 +261,52 @@ func NewCentral(cfg CentralConfig) *Central {
 		chkptTrigger: make(chan struct{}, 4096),
 		ctrlStop:     make(chan struct{}),
 	}
+	if res := cfg.Resume; res != nil && res.Main != nil {
+		// Promotion: adopt the standby's main unit whole. Its EDE state
+		// already holds every event the standby processed, its
+		// lastProcessed watermark keeps checkpoint votes honest (a fresh
+		// unit would vote zero progress and let a commit regress below
+		// the adopted state), and its mutation journal — sealed at the
+		// cluster's committed cuts — keeps serving rejoin deltas to
+		// survivors.
+		c.main = res.Main
+	} else {
+		c.main = NewMainUnit(cfg.Main)
+	}
 	c.fns.Store(&centralFns{mirror: DefaultMirrorFunc, fwd: DefaultFwdFunc, batch: (*Semantics).FilterBatch})
-	if cfg.DeltaHorizon >= 0 {
+	if cfg.DeltaHorizon >= 0 && !c.main.Engine().State().JournalEnabled() {
 		// The mutation journal starts covering now (nil watermark =
 		// everything from the first event), sealing one entry per
-		// committed checkpoint cut via the coordinator's OnCommit.
-		c.main.Engine().State().EnableJournal(cfg.DeltaHorizon, nil)
+		// committed checkpoint cut via the coordinator's OnCommit. An
+		// adopted standby main unit usually arrives with its journal
+		// already on (and its history intact); one promoted from a
+		// non-standby mirror starts covering at its processed watermark.
+		since := vclock.VC(nil)
+		if cfg.Resume != nil && cfg.Resume.Main != nil {
+			since = c.main.LastProcessed()
+		}
+		c.main.Engine().State().EnableJournal(cfg.DeltaHorizon, since)
+	}
+	if res := cfg.Resume; res != nil {
+		c.epoch = res.Epoch
+		c.promotions = 1
+		c.promotionReplayed = uint64(len(res.Events))
+		// Replay the standby's backup queue from the last committed cut:
+		// the committed watermark carries over so cut numbering never
+		// regresses, and the retained suffix (every event past the cut)
+		// re-enters the queue for future rounds to commit and trim. The
+		// events need no re-fan-out — their effects are already in the
+		// adopted state, which survivor rejoin transfers carry over.
+		if res.Cut != nil {
+			c.backup.Commit(res.Cut)
+		}
+		for _, e := range res.Events {
+			c.backup.Append(e)
+		}
+		if len(res.Directive) > 0 {
+			c.lastDirective = append([]byte(nil), res.Directive...)
+			c.lastDirectiveRound = res.DirectiveRound
+		}
 	}
 	if !cfg.NoMirror {
 		for i, m := range cfg.Mirrors {
@@ -299,7 +355,22 @@ func NewCentral(cfg CentralConfig) *Central {
 		Participants: len(cfg.Mirrors) + 1,
 		Piggyback:    c.takePiggyback,
 	}
+	if res := cfg.Resume; res != nil {
+		// Rounds restart strictly above both the promotion epoch's base
+		// and everything the standby saw the old central stamp, so
+		// survivor-side directive watermarks accept the new central's
+		// directives and stragglers addressed to the old coordinator
+		// are rejected by the floor.
+		floor := checkpoint.EpochBase(res.Epoch)
+		if res.RoundFloor > floor {
+			floor = res.RoundFloor
+		}
+		c.coord.Resume(floor)
+	}
 	c.registerMetrics()
+	if cfg.Resume != nil {
+		c.primeTelemetry()
+	}
 
 	c.pipeWG.Add(2)
 	go c.receivingTask()
@@ -362,6 +433,12 @@ func (c *Central) registerMetrics() {
 		r.Describe("statedelta_journal_flights", "Flights tracked by the central mutation journal.")
 		r.GaugeFunc("statedelta_journal_flights",
 			func() float64 { return float64(c.main.Engine().State().JournalFlights()) }, site)
+		r.Describe("promotion_total", "Warm-standby promotions this central performed (1 when it took over from a failed central).")
+		r.CounterFunc("promotion_total", func() float64 { return float64(c.promotions) }, site)
+		r.Describe("promotion_replayed_events_total", "Backup-queue events replayed from the last committed cut during promotion.")
+		r.CounterFunc("promotion_replayed_events_total", func() float64 { return float64(c.promotionReplayed) }, site)
+		r.Describe("central_epoch", "Promotion epoch this central stamps checkpoint rounds in (0 = original central).")
+		r.GaugeFunc("central_epoch", func() float64 { return float64(c.epoch) }, site)
 	}
 	roundHist := r.Histogram("checkpoint_round_seconds", obs.L("site", c.cfg.Site))
 	if r != nil {
@@ -398,6 +475,14 @@ func (c *Central) Ingest(e *event.Event) error {
 func (c *Central) receivingTask() {
 	defer c.pipeWG.Done()
 	clock := vclock.New(c.cfg.Streams)
+	if res := c.cfg.Resume; res != nil {
+		// Resume stamping past every event the standby admitted: reusing
+		// an old stamp would make surviving mirrors' dedup watermarks
+		// silently drop the promoted central's fresh events.
+		for i := 0; i < len(clock) && i < len(res.Clock); i++ {
+			clock[i] = res.Clock[i]
+		}
+	}
 	for e := range c.in {
 		clock = clock.Tick(int(e.Stream))
 		e.VT = clock.Clone()
@@ -764,6 +849,23 @@ func (c *Central) tickTelemetry() {
 	c.telem.Tick(time.Now(), samples)
 }
 
+// primeTelemetry baselines the wire-telemetry sampler at the links'
+// current cumulative counters. A promoted central re-registers the
+// same per-link counter series the old central grew (the registry
+// hands back existing series), so without the baseline the first
+// post-promotion round would read the whole history as one delta and
+// poison the EWMAs behind VarWireBytes/VarOutboxDepth.
+func (c *Central) primeTelemetry() {
+	if c.telem == nil {
+		return
+	}
+	samples := make([]linktelem.Sample, len(c.senders))
+	for i, s := range c.senders {
+		samples[i] = s.telemSample()
+	}
+	c.telem.Prime(time.Now(), samples)
+}
+
 // Telemetry returns the smoothed per-link wire telemetry (nil without
 // mirror links).
 func (c *Central) Telemetry() []linktelem.Link {
@@ -884,6 +986,16 @@ func (c *Central) Sample() Sample {
 
 // Backup exposes the central backup queue (recovery, tests).
 func (c *Central) Backup() *queue.Backup { return c.backup }
+
+// Epoch returns the promotion epoch this central stamps rounds in: 0
+// for an original central, the ResumeState's epoch for a promoted one.
+func (c *Central) Epoch() uint64 { return c.epoch }
+
+// PromotionStats returns how many promotions this central performed
+// (0 or 1) and how many backup events the promotion replayed.
+func (c *Central) PromotionStats() (promotions, replayed uint64) {
+	return c.promotions, c.promotionReplayed
+}
 
 // CommittedCut returns the last committed checkpoint cut (nil before
 // the first commit) — the status plane's checkpoint-progress field.

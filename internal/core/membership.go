@@ -130,6 +130,35 @@ func (m *Membership) Live() int {
 	return m.live
 }
 
+// Exclude forcibly removes mirror i from mirroring and the commit
+// quorum, as if it had exhausted the miss budget. Promotion bootstrap
+// uses it: a freshly promoted central starts with every mirror
+// excluded — the standby's own slot stays that way, survivors are
+// re-admitted through RejoinSince with their own committed cuts.
+// Excluding an already-excluded mirror is a no-op.
+func (m *Membership) Exclude(i int) error {
+	m.mu.Lock()
+	if i < 0 || i >= len(m.failed) {
+		m.mu.Unlock()
+		return fmt.Errorf("core: no mirror %d", i)
+	}
+	if m.failed[i] {
+		m.mu.Unlock()
+		return nil
+	}
+	m.failed[i] = true
+	m.missed[i] = 0
+	m.live--
+	live := m.live
+	m.mu.Unlock()
+
+	m.central.coord.SetParticipants(live + 1)
+	if m.cfg.OnFailure != nil {
+		m.cfg.OnFailure(i)
+	}
+	return nil
+}
+
 // Rejoin re-admits mirror i after transferring the central state
 // snapshot (with its consistency cut) and the retained backup events
 // through the mirror's fan-out sender. The transfer and the liveness

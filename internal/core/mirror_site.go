@@ -42,6 +42,14 @@ type MirrorSiteConfig struct {
 	// Tracer, when non-nil, receives the site's mirror-apply latencies
 	// (central ingress → replica EDE emission).
 	Tracer *obs.Tracer
+	// Standby arms this site as a warm-standby central: its EDE journals
+	// mutations and seals every committed checkpoint cut, so that after
+	// Promote the adopted state can serve cut-anchored rejoin deltas to
+	// surviving mirrors exactly as the old central did.
+	Standby bool
+	// StandbyHorizon bounds the standby journal in committed cuts
+	// (0 uses ede.DefaultJournalHorizon).
+	StandbyHorizon int
 }
 
 // MirrorSite is a secondary mirror: its auxiliary unit receives
@@ -86,6 +94,16 @@ type MirrorSite struct {
 	regimeParams    Params
 	regimeOverwrite int
 
+	// lastRound is the highest checkpoint/directive round observed on
+	// this site's control path — the watermark a promoted coordinator
+	// must restamp rounds above (missed-round failure detection reads
+	// it too).
+	lastRound atomic.Uint64
+
+	// detached flips when Promote hands the main unit to a new central;
+	// Close then leaves the unit alone (its new owner closes it).
+	detached atomic.Bool
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -107,6 +125,12 @@ func NewMirrorSite(cfg MirrorSiteConfig) *MirrorSite {
 		ready:  queue.NewReady(0),
 		backup: queue.NewBackup(),
 		main:   NewMainUnit(cfg.Main),
+	}
+	if cfg.Standby {
+		// Warm standby: journal mutations from the first event so the
+		// state adopted at promotion can serve rejoin deltas. Seals are
+		// added as this site learns commits (the Commit closure below).
+		m.main.Engine().State().EnableJournal(cfg.StandbyHorizon, nil)
 	}
 	if r := cfg.Obs; r != nil {
 		site := obs.L("site", cfg.Site)
@@ -144,7 +168,14 @@ func NewMirrorSite(cfg MirrorSiteConfig) *MirrorSite {
 				_ = cfg.CtrlUp.Submit(e)
 			}
 		},
-		Commit:      func(ts vclock.VC) { m.backup.Commit(ts) },
+		Commit: func(ts vclock.VC) {
+			m.backup.Commit(ts)
+			if cfg.Standby {
+				// Every committed cut is a position a survivor may later
+				// rejoin the promoted central from.
+				m.main.Engine().State().SealCut(ts)
+			}
+		},
 		OnPiggyback: cfg.OnPiggyback,
 	}
 	// The main unit's checkpoint replies flow back through the aux
@@ -173,8 +204,25 @@ func isRecoveryTransfer(e *event.Event) bool {
 // admit checks one arriving event against the arrival watermark,
 // advancing it on acceptance. Caller holds dedupMu. Unstamped events
 // (nil VT — unit tests, out-of-band traffic) bypass the watermark.
+//
+// Recovery transfers RESET the watermark to their cut instead of
+// merging: a transfer re-anchors the whole replica at its consistency
+// point, and after a central promotion the new anchor can sit below a
+// survivor's watermark (the survivor admitted uncommitted events the
+// standby's cut does not cover). Merging would make the survivor
+// reject the transfer and then silently dedup the promoted central's
+// fresh events, whose resumed clock stamps collide with timestamps the
+// survivor has already seen. Resetting is safe: anything at or below
+// the new anchor is in the transferred state by construction, replayed
+// backup events above it still merge forward, and the failed central's
+// in-flight traffic never races the reset because its links are down
+// before a promotion starts.
 func (m *MirrorSite) admit(e *event.Event) bool {
 	if e.VT == nil {
+		return true
+	}
+	if isRecoveryTransfer(e) {
+		m.arrivalHigh = e.VT.Clone()
 		return true
 	}
 	if e.VT.LessEq(m.arrivalHigh) {
@@ -186,6 +234,30 @@ func (m *MirrorSite) admit(e *event.Event) bool {
 	return true
 }
 
+// ArrivalHigh returns a copy of the arrival watermark: the highest
+// event timestamp admitted on the data path. A promoted central
+// resumes its stamping clock from here.
+func (m *MirrorSite) ArrivalHigh() vclock.VC {
+	m.dedupMu.Lock()
+	defer m.dedupMu.Unlock()
+	return m.arrivalHigh.Clone()
+}
+
+// noteRound advances the observed-round watermark.
+func (m *MirrorSite) noteRound(seq uint64) {
+	for {
+		cur := m.lastRound.Load()
+		if seq <= cur || m.lastRound.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// LastRound returns the highest checkpoint or directive round this
+// site has observed from the central. A standby monitor polls it to
+// detect missed rounds; a promoted coordinator resumes above it.
+func (m *MirrorSite) LastRound() uint64 { return m.lastRound.Load() }
+
 // HandleData accepts one mirrored event from the central site.
 // Re-delivered events (at or below the arrival watermark) count as
 // received but are otherwise dropped; recovery-state events skip the
@@ -195,6 +267,7 @@ func (m *MirrorSite) admit(e *event.Event) bool {
 func (m *MirrorSite) HandleData(e *event.Event) {
 	m.received.Add(1)
 	if e.Type == event.TypeAdapt {
+		m.noteRound(e.Seq)
 		if m.cfg.OnPiggyback != nil && len(e.Payload) > 0 {
 			m.cfg.OnPiggyback(e.Seq, e.Payload)
 		}
@@ -206,7 +279,12 @@ func (m *MirrorSite) HandleData(e *event.Event) {
 	if !ok {
 		return
 	}
-	if !isRecoveryTransfer(e) {
+	if isRecoveryTransfer(e) {
+		// The transfer re-anchors this replica at its cut: retained
+		// backup entries are either covered (inside the state body) or
+		// orphans of a dead central's epoch — both go.
+		m.backup.Rebase(e.VT)
+	} else {
 		m.backup.Append(e)
 	}
 	_ = m.ready.Put(e)
@@ -226,6 +304,7 @@ func (m *MirrorSite) HandleDataBatch(events []*event.Event) {
 	toBackup, toReady := events, events
 	plain := true
 	var directives []*event.Event
+	var rebase vclock.VC
 	m.dedupMu.Lock()
 	for i, e := range events {
 		adaptDir := e.Type == event.TypeAdapt
@@ -239,17 +318,27 @@ func (m *MirrorSite) HandleDataBatch(events []*event.Event) {
 			plain = false
 		}
 		if adaptDir {
+			m.noteRound(e.Seq)
 			directives = append(directives, e)
 			continue
 		}
 		if ok {
 			toReady = append(toReady, e)
-			if !isRecoveryTransfer(e) {
+			if isRecoveryTransfer(e) {
+				// The transfer replaces history: everything retained so
+				// far — including earlier events in this batch — is
+				// covered by its cut or orphaned by it.
+				rebase = e.VT
+				toBackup = toBackup[:0]
+			} else {
 				toBackup = append(toBackup, e)
 			}
 		}
 	}
 	m.dedupMu.Unlock()
+	if rebase != nil {
+		m.backup.Rebase(rebase)
+	}
 	if len(toBackup) > 0 {
 		m.backup.AppendBatch(toBackup)
 	}
@@ -287,9 +376,11 @@ func (m *MirrorSite) HandleOwnedBatch(events []*event.Event, ref event.Ref) erro
 	toBackup := m.scratchBackup[:0]
 	toReady := m.scratchReady[:0]
 	dirs := m.scratchDirs[:0]
+	var rebase vclock.VC
 	m.dedupMu.Lock()
 	for _, e := range events {
 		if e.Type == event.TypeAdapt {
+			m.noteRound(e.Seq)
 			dirs = append(dirs, e)
 			continue
 		}
@@ -297,6 +388,10 @@ func (m *MirrorSite) HandleOwnedBatch(events []*event.Event, ref event.Ref) erro
 			continue
 		}
 		if isRecoveryTransfer(e) {
+			// History replacement: drop what this batch retained so far
+			// and rebase the backup below.
+			rebase = e.VT
+			toBackup = toBackup[:0]
 			toReady = append(toReady, e.Clone())
 			continue
 		}
@@ -304,6 +399,9 @@ func (m *MirrorSite) HandleOwnedBatch(events []*event.Event, ref event.Ref) erro
 		toReady = append(toReady, e)
 	}
 	m.dedupMu.Unlock()
+	if rebase != nil {
+		m.backup.Rebase(rebase)
+	}
 	// Backup first: once the forward task can see an event it must
 	// already be backed up, or a crash between the two bookings would
 	// lose acknowledged history.
@@ -342,6 +440,7 @@ func (m *MirrorSite) HandleOwnedBatch(events []*event.Event, ref event.Ref) erro
 func (m *MirrorSite) HandleControl(e *event.Event) {
 	cost := m.cfg.Model.ControlCost
 	if e.Type == event.TypeChkpt || e.Type == event.TypeCommit {
+		m.noteRound(e.Seq)
 		// Answering a proposal and trimming on commit scan the local
 		// backup queue.
 		cost += time.Duration(m.backup.Len()) * m.cfg.Model.CheckpointPerBacklog
@@ -351,10 +450,16 @@ func (m *MirrorSite) HandleControl(e *event.Event) {
 }
 
 // forwardTask moves mirrored events from the ready queue to the local
-// main unit.
+// main unit. Its exit path drains the unit shut — unless the site was
+// detached by a promotion, in which case the unit now belongs to the
+// adopting central and must keep accepting that central's deliveries.
 func (m *MirrorSite) forwardTask() {
 	defer m.wg.Done()
-	defer m.main.DrainEvents()
+	defer func() {
+		if !m.detached.Load() {
+			m.main.DrainEvents()
+		}
+	}()
 	for {
 		e, err := m.ready.Get()
 		if err != nil {
@@ -411,10 +516,14 @@ func (m *MirrorSite) Drain() {
 	m.wg.Wait()
 }
 
-// Close drains the site and shuts its main unit down.
+// Close drains the site and shuts its main unit down. A site whose
+// main unit was adopted by a promoted central (Promote) leaves the
+// unit to its new owner.
 func (m *MirrorSite) Close() {
 	m.closeOnce.Do(func() {
 		m.Drain()
-		m.main.Close()
+		if !m.detached.Load() {
+			m.main.Close()
+		}
 	})
 }

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sync"
+
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
+)
+
+// Warm-standby central promotion. The paper's architecture hangs every
+// mirror, the checkpoint coordinator, and the directive publisher off
+// one central site; this file implements the failover path that keeps
+// the cluster alive when that site dies. A designated standby mirror
+// (config-ordered: the lowest-indexed live mirror) detects the failure
+// through missed checkpoint rounds (StandbyMonitor), captures its local
+// view (MirrorSite.Promote), and a new Central built with
+// CentralConfig.Resume takes over:
+//
+//   - the standby's main unit is adopted whole — EDE state, processed
+//     watermark, and (for a Standby-armed site) the mutation journal
+//     with its sealed cuts, so survivor rejoins keep getting deltas;
+//   - the backup queue is reseeded with the standby's retained events
+//     past its last committed cut (committed events were trimmed
+//     everywhere and live in every replica's state — nothing is lost);
+//   - the stamping clock resumes past every event the standby admitted,
+//     so surviving mirrors' dedup watermarks accept fresh traffic;
+//   - checkpoint rounds restart above checkpoint.EpochBase(epoch) and
+//     the standby's observed round watermark, so survivor-side
+//     directive appliers accept the new central's directives and
+//     stragglers addressed to the old coordinator are rejected;
+//   - survivors are re-pointed through a fresh Membership: everything
+//     starts excluded, then RejoinSince re-admits each survivor from
+//     its own committed cut.
+
+// ResumeState is everything a promoted central takes over from the
+// standby mirror it is built on. MirrorSite.Promote captures the
+// site-local fields; the caller supplies Epoch (one past the failed
+// central's) and, when it tracks directives through an applier, the
+// Directive pair.
+type ResumeState struct {
+	// Epoch is the promotion epoch the new central stamps rounds in
+	// (>= 1; the original central is epoch 0).
+	Epoch uint64
+	// RoundFloor is the highest checkpoint/directive round the standby
+	// observed from the failed central. The resumed coordinator stamps
+	// strictly above max(EpochBase(Epoch), RoundFloor).
+	RoundFloor uint64
+	// Clock is the standby's arrival watermark: the stamping clock
+	// resumes from here so fresh events never reuse a timestamp a
+	// surviving mirror has already admitted.
+	Clock vclock.VC
+	// Cut is the standby's last committed checkpoint cut (nil before
+	// the first commit it saw); it seeds the new backup queue's
+	// committed watermark so cut numbering never regresses.
+	Cut vclock.VC
+	// Events is the standby's retained backup queue — every event past
+	// Cut, in timestamp order. They re-enter the new central's backup
+	// queue for future rounds to commit; their effects already live in
+	// the adopted state, which survivor rejoin transfers carry over, so
+	// they are never re-fanned-out directly.
+	Events []*event.Event
+	// Main is the standby's main unit, adopted whole.
+	Main *MainUnit
+	// Directive/DirectiveRound restore the last adaptation directive
+	// the standby saw installed, so PublishDirective re-broadcasts it
+	// idempotently (survivor watermarks already cover the round).
+	Directive      []byte
+	DirectiveRound uint64
+}
+
+// Promote drains this site and captures everything a replacement
+// central needs from it: the last committed cut, the retained backup
+// suffix (deep copies), the arrival watermark, the observed round
+// watermark, and the main unit itself, which is detached — Close will
+// no longer shut it down; the adopting Central owns it now. The site
+// must already be isolated from live traffic (its central is down);
+// after Promote it serves no further purpose beyond being dropped.
+func (m *MirrorSite) Promote() ResumeState {
+	// Detach before draining: the forward task's exit path would
+	// otherwise close the main unit's inbound queue for good, and the
+	// adopting central must keep delivering into it.
+	m.detached.Store(true)
+	// Drain the site's plumbing, then quiesce the main unit without
+	// closing it: the captured state must reflect every admitted
+	// event, or the resumed clock (arrivalHigh) would run ahead of the
+	// adopted state's processed watermark. The barrier runs on the
+	// processing goroutine after everything delivered before it.
+	m.Drain()
+	_ = m.main.Barrier(func() {})
+	return ResumeState{
+		RoundFloor: m.lastRound.Load(),
+		Clock:      m.ArrivalHigh(),
+		Cut:        m.backup.Committed(),
+		Events:     m.backup.Snapshot(),
+		Main:       m.main,
+	}
+}
+
+// StandbyMonitor is the failure detector a standby mirror runs against
+// its own control path: the central is presumed failed after Budget+1
+// consecutive detection intervals without a new checkpoint round.
+// Drive Tick once per expected round interval — from a wall-clock
+// ticker in a deployment, or deterministically from a test harness.
+type StandbyMonitor struct {
+	// LastRound reads the observed round watermark (MirrorSite.LastRound).
+	LastRound func() uint64
+	// Budget is how many consecutive missed intervals are tolerated
+	// (<= 0 uses 1): one more declares failure. Align it with the
+	// Membership miss budget so the standby never declares a central
+	// dead faster than the central would declare a mirror dead.
+	Budget int
+
+	mu     sync.Mutex
+	prev   uint64
+	missed int
+	fired  bool
+}
+
+// NewStandbyMonitor returns a monitor polling lastRound with the given
+// miss budget.
+func NewStandbyMonitor(lastRound func() uint64, budget int) *StandbyMonitor {
+	if budget <= 0 {
+		budget = 1
+	}
+	return &StandbyMonitor{LastRound: lastRound, Budget: budget}
+}
+
+// Tick observes one detection interval and reports whether central
+// failure is (now or already) declared. An interval that saw a new
+// round resets the miss streak; one that did not extends it.
+func (s *StandbyMonitor) Tick() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fired {
+		return true
+	}
+	cur := s.LastRound()
+	if cur > s.prev {
+		s.prev = cur
+		s.missed = 0
+		return false
+	}
+	s.missed++
+	if s.missed > s.Budget {
+		s.fired = true
+	}
+	return s.fired
+}
+
+// Missed returns the current consecutive-miss streak.
+func (s *StandbyMonitor) Missed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.missed
+}
+
+// Fired reports whether failure has been declared.
+func (s *StandbyMonitor) Fired() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}

@@ -120,7 +120,15 @@ func TestDeltaRejoinPastHorizonFallsBack(t *testing.T) {
 		r.central.Checkpoint()
 		waitFor(t, "the round's commit", func() bool {
 			c := m.Backup().Committed()
-			return c != nil && c.Sum() >= want
+			if c != nil && c.Sum() >= want {
+				return true
+			}
+			// A CHKPT proposal can race ahead of the round's data on
+			// the mirror's path; the conservative vote then commits a
+			// lower cut and a single round never covers the round's
+			// events. Rounds are manual here, so just ask again.
+			r.central.Checkpoint()
+			return false
 		})
 		if round == 0 {
 			oldCut = m.Backup().Committed()

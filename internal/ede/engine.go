@@ -106,6 +106,10 @@ func (en *Engine) Process(e *event.Event) ([]*event.Event, time.Time) {
 			en.lastProcessed = en.lastProcessed.MergeInto(e.VT)
 			en.mu.Unlock()
 		}
+		// A warm-standby mirror journals its own mutations so it can
+		// serve deltas after promotion; an installed snapshot replaces
+		// history the journal never saw, so coverage restarts here.
+		en.state.RebaseJournal(e.VT)
 		return nil, done
 	}
 
@@ -125,6 +129,9 @@ func (en *Engine) Process(e *event.Event) ([]*event.Event, time.Time) {
 			en.lastProcessed = en.lastProcessed.MergeInto(e.VT)
 			en.mu.Unlock()
 		}
+		// Same as the snapshot path: overwritten flights carry no
+		// journal entries for the span the delta covered.
+		en.state.RebaseJournal(e.VT)
 		return nil, done
 	}
 

@@ -68,6 +68,42 @@ func (s *State) EnableJournal(horizon int, since vclock.VC) {
 	s.journal.mu.Unlock()
 }
 
+// JournalEnabled reports whether mutation journaling is on.
+func (s *State) JournalEnabled() bool { return s.journal.on.Load() }
+
+// RebaseJournal re-anchors an enabled journal at cut. Recovery
+// transfers (snapshot installs and absolute deltas) replace flight
+// history without passing through the journaled rule path, so after
+// one lands the journal can no longer prove what mutated between its
+// old floor and the transfer's cut — serving such a span would ship an
+// incomplete delta. The floor rises to the cut's sum, the sealed-cut
+// ring resets, and stale per-flight entries at or below the new floor
+// are compacted; older cuts fall back to the snapshot path. No-op
+// while journaling is off.
+func (s *State) RebaseJournal(cut vclock.VC) {
+	j := &s.journal
+	if !j.on.Load() {
+		return
+	}
+	j.mu.Lock()
+	sum := cut.Sum()
+	if sum > j.floor {
+		j.floor = sum
+	}
+	j.seals = j.seals[:0]
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for f, last := range sh.journal {
+			if last <= j.floor {
+				delete(sh.journal, f)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	j.mu.Unlock()
+}
+
 // journalNote records that flight f mutated at scalar position sum.
 // Caller holds the write lock of f's shard.
 func (s *State) journalNote(sh *shard, f event.FlightID, sum uint64) {

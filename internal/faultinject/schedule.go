@@ -38,6 +38,12 @@ type Schedule struct {
 	// the framework assumes ordered exactly-once data delivery to
 	// live mirrors, so data links only crash or partition.
 	CtrlFaults Faults
+
+	// CrashCentral selects the central-crash schedule class: the
+	// central site (not a mirror) dies at CrashAfterFrac and the
+	// standby mirror is promoted in its place. CrashMirror is -1 and
+	// DownFrac is 0 in this class — the old central never returns.
+	CrashCentral bool
 }
 
 // NewSchedule derives the fault plan for a cluster of the given mirror
@@ -68,12 +74,50 @@ func NewSchedule(seed int64, mirrors int) Schedule {
 	return s
 }
 
+// NewCentralCrashSchedule derives a fault plan in which the central
+// site itself dies and the standby mirror takes over. It draws from
+// its own rng stream (independent of NewSchedule, whose seeded draws
+// are pinned by the deterministic-replay tests): the crash lands past
+// the first quarter of the stream so at least one checkpoint round
+// commits before failover, control faults are kept milder than the
+// mirror-crash class (the detection path itself rides control links),
+// and no mirror crashes — the only site that dies is the central.
+func NewCentralCrashSchedule(seed int64, mirrors int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{
+		Seed:           seed,
+		CrashCentral:   true,
+		CrashMirror:    -1,
+		CrashAfterFrac: 0.25 + 0.40*rng.Float64(), // past the first commit, stream left to replay
+		SlowMirror:     -1,
+		CtrlFaults: Faults{
+			Drop:      0.08 * rng.Float64(),
+			Duplicate: 0.08 * rng.Float64(),
+			Reorder:   0.08 * rng.Float64(),
+			Corrupt:   0.04 * rng.Float64(),
+		},
+	}
+	if mirrors > 1 && rng.Float64() < 0.5 {
+		// Never slow mirror 0: it is the promotion candidate, and a
+		// slow standby would stretch detection, not test anything new.
+		s.SlowMirror = 1 + rng.Intn(mirrors-1)
+		s.SlowFactor = 2 + rng.Intn(7)
+	}
+	return s
+}
+
 // String renders the schedule for failure reports and the fault
 // matrix.
 func (s Schedule) String() string {
 	slow := "none"
 	if s.SlowMirror >= 0 {
 		slow = fmt.Sprintf("mirror%d x%d", s.SlowMirror, s.SlowFactor)
+	}
+	if s.CrashCentral {
+		return fmt.Sprintf(
+			"seed=%d crash=central@%.0f%% slow=%s ctrl{drop=%.3f dup=%.3f reorder=%.3f corrupt=%.3f}",
+			s.Seed, 100*s.CrashAfterFrac, slow,
+			s.CtrlFaults.Drop, s.CtrlFaults.Duplicate, s.CtrlFaults.Reorder, s.CtrlFaults.Corrupt)
 	}
 	return fmt.Sprintf(
 		"seed=%d crash=mirror%d@%.0f%% down=%.0f%% slow=%s ctrl{drop=%.3f dup=%.3f reorder=%.3f corrupt=%.3f}",

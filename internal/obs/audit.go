@@ -20,8 +20,9 @@ type AuditEntry struct {
 	Seq uint64 `json:"seq"`
 	// At is the decision instant (stamped by the log when zero).
 	At time.Time `json:"at"`
-	// Action is "engage" (degraded regime installed) or "revert"
-	// (baseline reinstalled).
+	// Action is "engage" (degraded regime installed), "revert"
+	// (baseline reinstalled), or "promotion" (the central role moved to
+	// a warm-standby mirror; see OldCentral/NewCentral/Epoch).
 	Action string `json:"action"`
 	// RegimeID/Regime identify the regime installed by the action.
 	RegimeID uint8  `json:"regime_id"`
@@ -54,6 +55,13 @@ type AuditEntry struct {
 	WireBytes int `json:"wire_bytes,omitempty"`
 	Outbox    int `json:"outbox,omitempty"`
 	ApplyLag  int `json:"apply_lag,omitempty"`
+	// OldCentral/NewCentral identify the sites the central role moved
+	// between, and Epoch the promotion epoch entered, when Action is
+	// "promotion" (warm-standby failover). Omitted on adaptation
+	// entries so pre-failover audit files round-trip unchanged.
+	OldCentral string `json:"old_central,omitempty"`
+	NewCentral string `json:"new_central,omitempty"`
+	Epoch      uint64 `json:"epoch,omitempty"`
 }
 
 // DefaultAuditCap is the ring capacity when NewAuditLog is given 0.

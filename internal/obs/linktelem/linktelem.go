@@ -105,7 +105,9 @@ func (s *Sampler) Tick(now time.Time, samples []Sample) {
 	defer s.mu.Unlock()
 	first := s.rounds == 0
 	elapsed := 0.0
-	if !first {
+	if !s.lastTick.IsZero() {
+		// A primed sampler has a baseline instant but no rounds yet:
+		// its seeding tick still measures a real wall-clock window.
 		elapsed = now.Sub(s.lastTick).Seconds()
 	}
 	for i := range samples {
@@ -131,6 +133,31 @@ func (s *Sampler) Tick(now time.Time, samples []Sample) {
 		s.prev[i] = cur
 	}
 	s.rounds++
+	s.lastTick = now
+}
+
+// Prime installs baseline cumulative readings without consuming a
+// telemetry window. A promoted central inherits the per-link counters
+// of the old one (the metrics registry hands the same cumulative
+// series to whoever re-registers them), so a fresh Sampler's first
+// Tick would otherwise read the entire historic total as one round's
+// delta and poison the EWMAs — and, through VarWireBytes, the
+// adaptation controller. After Prime the next Tick still seeds the
+// EWMAs (rounds stays 0), but from the true first post-promotion
+// window.
+func (s *Sampler) Prime(now time.Time, samples []Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range samples {
+		if i >= len(s.prev) {
+			break
+		}
+		s.prev[i] = samples[i]
+		s.links[i].Bytes = samples[i].Bytes
+		s.links[i].Events = samples[i].Events
+		s.links[i].Stall = samples[i].Stall
+		s.links[i].Depth = samples[i].Depth
+	}
 	s.lastTick = now
 }
 

@@ -108,3 +108,45 @@ func TestRegisterExportsPerLinkSeries(t *testing.T) {
 	// Register on a nil registry must be a no-op, not a panic.
 	s.Register(nil)
 }
+
+// TestPrimeBaselinesInheritedCounters covers the promotion path: a
+// promoted central re-registers the old central's cumulative per-link
+// series, so its fresh Sampler must be primed with the inherited
+// totals or the first tick would read the whole history as one round's
+// delta and poison the EWMAs the adaptation controller feeds on.
+func TestPrimeBaselinesInheritedCounters(t *testing.T) {
+	s := New(1)
+	t0 := time.Unix(2000, 0)
+	s.Prime(t0, []Sample{{Bytes: 1_000_000, Events: 5000, Stall: time.Second, Depth: 3}})
+
+	// Prime consumes no telemetry window: the next tick still seeds.
+	if s.Rounds() != 0 {
+		t.Fatalf("Rounds after Prime = %d, want 0", s.Rounds())
+	}
+	l := s.Links()[0]
+	if l.Bytes != 1_000_000 || l.Events != 5000 || l.Depth != 3 {
+		t.Fatalf("primed cumulative view = %+v, want inherited totals", l)
+	}
+	if l.BytesPerRound != 0 || l.EventsPerRound != 0 {
+		t.Fatalf("Prime moved the EWMAs: %+v", l)
+	}
+
+	// The seeding tick sees only the true post-promotion window, not
+	// the inherited total.
+	s.Tick(t0.Add(time.Second), []Sample{{Bytes: 1_000_500, Events: 5010, Stall: time.Second + time.Millisecond}})
+	l = s.Links()[0]
+	if l.BytesPerRound != 500 || l.EventsPerRound != 10 {
+		t.Fatalf("first post-Prime tick = %+v, want window deltas 500/10", l)
+	}
+	if l.StallPerRound != time.Millisecond {
+		t.Fatalf("StallPerRound = %v, want 1ms", l.StallPerRound)
+	}
+	// Bandwidth likewise: 500 B over the 1 s since Prime.
+	if l.BandwidthBps != 500 {
+		t.Fatalf("BandwidthBps = %v, want 500", l.BandwidthBps)
+	}
+
+	// Extra samples beyond the tracked link count are ignored, same as
+	// Tick.
+	s.Prime(t0, []Sample{{Bytes: 1}, {Bytes: 2}})
+}

@@ -196,6 +196,46 @@ func (b *Backup) Commit(ts vclock.VC) int {
 	return n
 }
 
+// Rebase empties the queue and folds cut into the committed watermark.
+// A recovery state transfer re-anchors the receiving replica at its
+// cut — it replaces retained history rather than extending it — so the
+// receiver's backup drops with the history it retained: every entry is
+// either covered by the cut (inside the state body) or an orphan of a
+// failed central's epoch that no future commit will ever identify, and
+// keeping orphans would break append ordering the moment a promoted
+// central's resumed clock stamps fresh traffic. Returns the number of
+// entries dropped.
+//
+// Owned-batch slab references are dropped WITHOUT firing their release
+// groups. Commit's release safety rests on the commit cut covering
+// this replica's own processed watermark — everything trimmed has been
+// applied, so its views are dead. A rebase has no such guarantee: the
+// transfer can arrive while earlier views still sit unprocessed in the
+// site's ready/main queues, and returning their slab to the pool would
+// let a new batch overwrite memory the apply path is still reading.
+// The slabs leak to the garbage collector instead (the same idiom the
+// fan-out uses for non-owned senders); rebases are per-recovery rare,
+// so the pool miss is noise.
+func (b *Backup) Rebase(cut vclock.VC) int {
+	b.mu.Lock()
+	n := len(b.buf)
+	for i := range b.buf {
+		b.trimmedBytes += uint64(len(b.buf[i].Payload))
+		b.buf[i] = nil
+		if b.rel != nil {
+			b.rel[i] = nil
+		}
+	}
+	b.buf = b.buf[:0]
+	if b.rel != nil {
+		b.rel = b.rel[:0]
+	}
+	b.trimmedEvents += uint64(n)
+	b.committed = b.committed.Merge(cut)
+	b.mu.Unlock()
+	return n
+}
+
 // Trimmed returns the cumulative number of events and payload bytes
 // Commit has released since the queue was created.
 func (b *Backup) Trimmed() (events, bytes uint64) {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"adaptmirror/internal/adapt"
+	"adaptmirror/internal/checkpoint"
 	"adaptmirror/internal/core"
 	"adaptmirror/internal/obs"
 )
@@ -108,6 +109,13 @@ type Document struct {
 	At     time.Time `json:"at"`
 	Regime Regime    `json:"regime"`
 	Sample Sample    `json:"sample"`
+	// CentralEpoch is the promotion epoch the cluster runs in: 0 under
+	// the original central, n after the nth warm-standby promotion. A
+	// mirror derives it from its observed round watermark (rounds are
+	// partitioned by epoch), so a mirror document disagreeing with the
+	// central's is a mirror that has not yet heard from the promoted
+	// central.
+	CentralEpoch uint64 `json:"central_epoch"`
 
 	Checkpoint *Checkpoint      `json:"checkpoint,omitempty"`
 	Links      []Link           `json:"links,omitempty"`
@@ -161,6 +169,7 @@ func Central(src CentralSources) Document {
 		return doc
 	}
 	doc.Sample = FromSample(c.Sample())
+	doc.CentralEpoch = c.Epoch()
 	stats := c.Stats()
 	ck := &Checkpoint{Rounds: stats.ChkptRounds, Commits: stats.ChkptCommits}
 	if cut := c.CommittedCut(); cut != nil {
@@ -268,6 +277,7 @@ func Mirror(site string, m *core.MirrorSite, ap *adapt.Applier) Document {
 		doc.Sample = FromSample(m.Sample())
 		id, _, _ := m.Regime()
 		doc.Regime.ID = id
+		doc.CentralEpoch = m.LastRound() >> checkpoint.EpochShift
 	}
 	if ap != nil {
 		if reg, round, ok := ap.Current(); ok {
