@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci metrics-lint status-smoke chaos fuzz bench bench-compare bench-gate bench-rejoin bench-serve figures clean
+.PHONY: all build vet test race ci metrics-lint status-smoke takeover-smoke chaos fuzz bench bench-compare bench-gate bench-rejoin bench-serve figures clean
 
 all: ci
 
@@ -27,8 +27,15 @@ metrics-lint:
 status-smoke:
 	$(GO) run ./cmd/statussmoke
 
+# Wire-takeover end-to-end under the race detector: central + standby
+# + survivor as TCP-connected mirrord sites, kill the central, assert
+# the standby promotes (or the mirrors elect), the survivor redials,
+# and the cluster converges byte-exact in epoch 1.
+takeover-smoke:
+	$(GO) test -race -count=1 -run 'TestWireTakeover' ./cmd/mirrord
+
 # Full gate: what CI runs and what every change must keep green.
-ci: build vet race metrics-lint status-smoke
+ci: build vet race metrics-lint status-smoke takeover-smoke
 
 # Deterministic fault-injection sweep under the race detector: 32
 # seeded runs of each schedule class — "mirror" crash-restarts a

@@ -86,6 +86,12 @@ var requiredSeries = []string{
 	`promotion_total{site="central"}`,
 	`promotion_replayed_events_total{site="central"}`,
 	`central_epoch{site="central"}`,
+	// Wire takeover (cmd/mirrord): detection firings, survivor uplink
+	// repoints, and election-claim traffic, registered at zero on every
+	// mirror site.
+	`takeover_fired_total{site="mirror0"}`,
+	`uplink_repoint_total{site="mirror0"}`,
+	`election_claims_total{site="mirror1"}`,
 	// Checkpointing.
 	`checkpoint_rounds_total{site="central"}`,
 	`checkpoint_commits_total{site="central"}`,

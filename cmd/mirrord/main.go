@@ -11,6 +11,13 @@
 // Sources feed the central site with cmd/oisgen; clients fetch
 // initialization state from any site's HTTP front (exercised with
 // cmd/loadgen).
+//
+// Adding -peers (the cluster manifest) and -takeover-budget to the
+// mirrors arms wire takeover: a killed central is detected by
+// missed-round heartbeats, replaced by the -standby site (or by
+// committed-cut election when none is designated), and the survivors
+// redial the promoted address without restarting. See takeover.go and
+// the README failover runbook.
 package main
 
 import (
@@ -36,6 +43,10 @@ func main() {
 		central    = flag.String("central", "", "mirror role: central site's event-channel address")
 		siteID     = flag.Int("site", 0, "mirror role: this mirror's index in the central site's -mirrors list")
 		standby    = flag.Bool("standby", false, "mirror role: arm this site as the warm-standby central (journals mutations per committed cut for post-promotion delta rejoins)")
+		peers      = flag.String("peers", "", "mirror role: comma-separated event-channel addresses of every mirror site, indexed by -site (the cluster manifest; required to arm wire takeover)")
+		tkBudget   = flag.Int("takeover-budget", 0, "mirror role: missed checkpoint-round intervals tolerated before declaring the central dead (0 = takeover disarmed)")
+		tkInterval = flag.Duration("takeover-interval", defaultTakeoverInterval, "mirror role: central-liveness detection interval")
+		advertise  = flag.String("advertise", "", "mirror role: event-channel address announced to survivors after this site promotes (default: this site's -peers entry)")
 		mirrors    = flag.String("mirrors", "", "central role: comma-separated mirror event-channel addresses")
 		selective  = flag.Int("selective", 0, "overwrite run length for FAA positions (0 = simple mirroring)")
 		coalesce   = flag.Int("coalesce", 0, "coalesce up to N events before mirroring (0 = off)")
@@ -90,16 +101,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mirrord: -central is required for the mirror role")
 			os.Exit(2)
 		}
+		var peerAddrs []string
+		if *peers != "" {
+			peerAddrs = strings.Split(*peers, ",")
+		}
 		var m *mirrorSite
 		m, err = startMirror(mirrorOptions{
-			Listen:     *listen,
-			HTTP:       *httpAddr,
-			Central:    *central,
-			SiteID:     *siteID,
-			Standby:    *standby,
-			StatePad:   *padding,
-			Shards:     *shards,
-			ReqWorkers: *workers,
+			Listen:           *listen,
+			HTTP:             *httpAddr,
+			Central:          *central,
+			SiteID:           *siteID,
+			Standby:          *standby,
+			StatePad:         *padding,
+			Shards:           *shards,
+			ReqWorkers:       *workers,
+			Peers:            peerAddrs,
+			TakeoverBudget:   *tkBudget,
+			TakeoverInterval: *tkInterval,
+			Advertise:        *advertise,
 		})
 		if err == nil {
 			site, reg, front = m, m.Obs, m.Front

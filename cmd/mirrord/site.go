@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"adaptmirror/internal/adapt"
 
@@ -296,15 +298,38 @@ type mirrorOptions struct {
 	// Standby arms this site as the warm-standby central: its EDE
 	// journals mutations per committed cut so a promoted replacement
 	// central can keep serving incremental (delta) rejoins to the
-	// surviving mirrors. The in-process promotion machinery itself
-	// (core.MirrorSite.Promote + core.CentralConfig.Resume) is exercised
-	// by the chaos suite; wiring a wire-level takeover into mirrord is
-	// future work.
+	// surviving mirrors, and the takeover runtime (when armed via
+	// Peers/TakeoverBudget) promotes it directly on central failure
+	// instead of holding an election.
 	Standby bool
 	// StandbyHorizon bounds the standby journal in committed cuts
 	// (0 = the core default).
 	StandbyHorizon int
+	// Peers is the shared cluster manifest: every mirror site's
+	// event-channel address, indexed by site ID (entry SiteID is this
+	// site's own). Together with TakeoverBudget > 0 it arms the
+	// wire-takeover runtime; see takeover.go.
+	Peers []string
+	// TakeoverBudget is how many consecutive detection intervals
+	// without a new checkpoint round the site tolerates before
+	// declaring the central dead (0 disarms wire takeover).
+	TakeoverBudget int
+	// TakeoverInterval is the detection ticker period (0 = the
+	// takeover.go default). Align it with the expected checkpoint
+	// round cadence.
+	TakeoverInterval time.Duration
+	// Advertise overrides the address announced to survivors after a
+	// promotion (default Peers[SiteID]).
+	Advertise string
 }
+
+// Uplink dial/write bounds: one unreachable or wedged peer must fail a
+// submission in bounded time instead of holding the uplink mutex (and
+// every submitter behind it) forever.
+const (
+	defaultDialTimeout  = 3 * time.Second
+	defaultWriteTimeout = 5 * time.Second
+)
 
 // lazyUplink is a self-healing send link to one channel of a peer
 // site: it dials on first use and redials after failures. Mirrors use
@@ -312,13 +337,19 @@ type mirrorOptions struct {
 // exists (the documented startup order); the central uses it (via
 // dialReconnecting, which dials eagerly) for its per-mirror data and
 // control downlinks so a restarted mirror can be re-admitted over the
-// same link.
+// same link. Every dial and write carries a deadline, and Repoint
+// swings the link to a new peer address (wire takeover: survivors
+// redial the promoted central).
 type lazyUplink struct {
-	addr string
 	name string
 
 	mu   sync.Mutex
+	addr string
 	link *echo.SendLink
+	// dialTimeout/writeTimeout bound the dial and each write (zero
+	// values fall back to the package defaults; tests shrink them).
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
 }
 
 // ensureLocked dials the link if needed. Callers hold l.mu.
@@ -326,12 +357,40 @@ func (l *lazyUplink) ensureLocked() error {
 	if l.link != nil {
 		return nil
 	}
-	link, err := echo.DialSend(l.addr, l.name)
+	dt := l.dialTimeout
+	if dt <= 0 {
+		dt = defaultDialTimeout
+	}
+	link, err := echo.DialSendTimeout(l.addr, l.name, dt)
 	if err != nil {
 		return err
 	}
+	wt := l.writeTimeout
+	if wt <= 0 {
+		wt = defaultWriteTimeout
+	}
+	link.SetWriteTimeout(wt)
 	l.link = link
 	return nil
+}
+
+// Repoint swings the uplink to a new peer address: the current
+// connection (if any) is closed and the next submission dials addr.
+func (l *lazyUplink) Repoint(addr string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.addr = addr
+	if l.link != nil {
+		l.link.Close()
+		l.link = nil
+	}
+}
+
+// Addr returns the peer address the uplink currently targets.
+func (l *lazyUplink) Addr() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.addr
 }
 
 // Submit implements core.Sender.
@@ -417,6 +476,10 @@ type mirrorSite struct {
 	srv      *echo.Server
 	bus      *echo.Bus
 	uplink   *lazyUplink
+	// takeover is the wire-takeover runtime (nil when disarmed);
+	// promoted holds the central this site became after a takeover.
+	takeover *takeoverRuntime
+	promoted atomic.Pointer[promotedCentral]
 }
 
 // startMirror assembles a mirror site: an event-channel server
@@ -463,7 +526,18 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 		s.Close()
 		return nil, err
 	}
-	ctrl.Subscribe(s.Mirror.HandleControl)
+	ctrl.Subscribe(s.handleCtrlDown)
+
+	// Arm the takeover runtime before the event-channel server starts:
+	// handleCtrlDown reads s.takeover from connection goroutines.
+	if opts.TakeoverBudget > 0 && len(opts.Peers) > 0 {
+		t, err := newTakeoverRuntime(s, opts)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.takeover = t
+	}
 
 	ln, err := net.Listen("tcp", opts.Listen)
 	if err != nil {
@@ -482,23 +556,53 @@ func startMirror(opts mirrorOptions) (*mirrorSite, error) {
 		return nil, err
 	}
 	s.HTTPAddr = httpAddr
+
+	if s.takeover != nil {
+		s.takeover.start()
+	}
 	return s, nil
 }
 
-// Status builds this mirror's local status document: its applier-held
-// regime (with the directive round that installed it) and its monitored
-// variables.
+// handleCtrlDown dispatches control-downlink traffic: takeover frames
+// (TAKEOVER announcements, ELECT claims) go to the takeover runtime,
+// everything else to the mirror's checkpoint state machine.
+func (s *mirrorSite) handleCtrlDown(e *event.Event) {
+	if t := s.takeover; t != nil && t.handleControl(e) {
+		return
+	}
+	s.Mirror.HandleControl(e)
+}
+
+// Status builds this site's status document: the mirror-local view
+// (applier-held regime, monitored variables), or — after a wire
+// takeover promoted this site — the full central document. Either way
+// an armed takeover runtime reports its state.
 func (s *mirrorSite) Status() status.Document {
-	return status.Mirror(s.site, s.Mirror, s.Applier)
+	var doc status.Document
+	if pc := s.promoted.Load(); pc != nil {
+		doc = status.Central(status.CentralSources{Site: s.site, Central: pc.Central})
+	} else {
+		doc = status.Mirror(s.site, s.Mirror, s.Applier)
+	}
+	if s.takeover != nil {
+		doc.Takeover = s.takeover.Info()
+	}
+	return doc
 }
 
 // Close tears the site down.
 func (s *mirrorSite) Close() error {
+	if s.takeover != nil {
+		s.takeover.stopAndWait()
+	}
 	if s.Front != nil {
 		s.Front.Close()
 	}
 	if s.srv != nil {
 		s.srv.Close()
+	}
+	if pc := s.promoted.Load(); pc != nil {
+		pc.Close()
 	}
 	if s.Mirror != nil {
 		s.Mirror.Close()

@@ -19,6 +19,7 @@ import (
 	"adaptmirror/internal/echo"
 	"adaptmirror/internal/event"
 	"adaptmirror/internal/thinclient"
+	"adaptmirror/internal/vclock"
 )
 
 func main() {
@@ -46,15 +47,15 @@ func main() {
 	defer link.Close()
 	link.Subscribe(func(e *event.Event) { view.Apply(e) })
 
-	state, err := fetchInit(*initURL)
+	state, anchor, err := fetchInit(*initURL)
 	if err != nil {
 		fatal(err)
 	}
-	if err := view.Initialize(state); err != nil {
+	if err := view.InitializeAt(state, anchor); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("oisclient: initialized with %d flights (%d-byte state)\n",
-		view.Flights(), len(state))
+	fmt.Printf("oisclient: initialized with %d flights (%d-byte state, anchor %s)\n",
+		view.Flights(), len(state), anchor)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -67,8 +68,8 @@ func main() {
 				// Updates were lost (e.g. a dropped stream); do what
 				// the paper's displays do and re-initialize.
 				fmt.Println("oisclient: update gap detected — re-initializing")
-				if state, err := fetchInit(*initURL); err == nil {
-					if err := view.Initialize(state); err != nil {
+				if state, anchor, err := fetchInit(*initURL); err == nil {
+					if err := view.InitializeAt(state, anchor); err != nil {
 						fmt.Fprintf(os.Stderr, "oisclient: re-init: %v\n", err)
 					}
 				} else {
@@ -85,17 +86,28 @@ func main() {
 	}
 }
 
-// fetchInit performs the thin client's initialization request.
-func fetchInit(baseURL string) ([]byte, error) {
+// fetchInit performs the thin client's initialization request,
+// returning the snapshot and the server's X-Init-VT progress anchor
+// (nil when the server predates the header — the view then anchors at
+// zero exactly as before).
+func fetchInit(baseURL string) ([]byte, vclock.VC, error) {
 	resp, err := http.Get(baseURL + "/init")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("oisclient: init request: %s", resp.Status)
+		return nil, nil, fmt.Errorf("oisclient: init request: %s", resp.Status)
 	}
-	return io.ReadAll(resp.Body)
+	state, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	anchor, err := vclock.Parse(resp.Header.Get("X-Init-VT"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("oisclient: init anchor: %w", err)
+	}
+	return state, anchor, nil
 }
 
 func fatal(err error) {

@@ -19,17 +19,22 @@ func TestFetchInit(t *testing.T) {
 	}
 	defer f.Close()
 
-	state, err := fetchInit("http://" + addr)
+	state, anchor, err := fetchInit("http://" + addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(state) == 0 {
 		t.Fatal("empty init state")
 	}
+	// The anchor rides the X-Init-VT header; before any processed
+	// traffic it is the zero clock.
+	if anchor.Sum() != 0 {
+		t.Fatalf("anchor = %s, want zero", anchor)
+	}
 }
 
 func TestFetchInitErrors(t *testing.T) {
-	if _, err := fetchInit("http://127.0.0.1:1"); err == nil {
+	if _, _, err := fetchInit("http://127.0.0.1:1"); err == nil {
 		t.Fatal("unreachable front must fail")
 	}
 	// A front whose main unit is closed returns 503.
@@ -38,7 +43,7 @@ func TestFetchInitErrors(t *testing.T) {
 	addr, _ := f.Listen("127.0.0.1:0")
 	defer f.Close()
 	m.Close()
-	if _, err := fetchInit("http://" + addr); err == nil {
+	if _, _, err := fetchInit("http://" + addr); err == nil {
 		t.Fatal("503 must surface as an error")
 	}
 }

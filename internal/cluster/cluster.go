@@ -181,6 +181,11 @@ func (cl *Cluster) dispatchSample(site int, s core.Sample, configured func(int, 
 func (cl *Cluster) newApplier(i int) *adapt.Applier {
 	ap := adapt.NewApplier(nil)
 	ap.RegisterMetrics(cl.Obs, fmt.Sprintf("mirror%d", i))
+	// The wire-takeover counters are part of every mirror site's
+	// metrics surface (cmd/mirrord arms them with -takeover-budget);
+	// the in-process cluster registers them at zero so dashboards and
+	// the metrics lint see the full shape.
+	core.RegisterTakeoverMetrics(cl.Obs, fmt.Sprintf("mirror%d", i))
 	cl.Appliers = append(cl.Appliers, ap)
 	return ap
 }

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"adaptmirror/internal/event"
+	"adaptmirror/internal/obs"
 	"adaptmirror/internal/vclock"
 )
 
@@ -159,4 +163,167 @@ func (s *StandbyMonitor) Fired() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.fired
+}
+
+// --- Wire takeover protocol ---------------------------------------------
+//
+// The in-process promotion above becomes a deployed-cluster protocol
+// with two control frames carried on the existing mirror-to-mirror
+// channels (every mirrord site exports a ctrl.down channel any peer can
+// dial):
+//
+//   - TAKEOVER (event.TypeTakeover): the promoted central's
+//     announcement, retried on each survivor's ctrl.down until it
+//     rejoins. Epoch-fenced: a survivor records the first announcement
+//     it accepts for an epoch and rejects any later announcement for
+//     the same or an older epoch from a different address, so two
+//     would-be centrals can never split the cluster.
+//   - ELECT (event.TypeElect): an election claim exchanged by mirrors
+//     when no standby was designated. The winner is deterministic:
+//     highest committed cut first (commit quorum requires every live
+//     participant, so any site's committed cut is covered by all
+//     survivors' states), lowest site ID on ties.
+
+const (
+	takeoverWireVersion = 1
+	maxTakeoverAddr     = 255
+)
+
+// TakeoverAnnouncement is the payload of a TypeTakeover control event.
+type TakeoverAnnouncement struct {
+	// Epoch is the promotion epoch the new central stamps rounds in.
+	Epoch uint64
+	// Addr is the promoted site's event-channel address: survivors
+	// swing their ctrl.up uplink here.
+	Addr string
+	// Anchor is the adopted main unit's processed watermark. A
+	// survivor whose arrival watermark is covered by Anchor rejoins
+	// from its committed cut (delta-eligible); one that admitted
+	// events past the adopted state must take the full transfer.
+	Anchor vclock.VC
+}
+
+// Encode serializes the announcement.
+func (a TakeoverAnnouncement) Encode() []byte {
+	b := make([]byte, 0, 1+8+2+len(a.Addr)+a.Anchor.EncodedSize())
+	b = append(b, takeoverWireVersion)
+	b = binary.LittleEndian.AppendUint64(b, a.Epoch)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(a.Addr)))
+	b = append(b, a.Addr...)
+	b = a.Anchor.AppendBinary(b)
+	return b
+}
+
+// DecodeTakeoverAnnouncement parses an announcement payload, rejecting
+// truncated or trailing bytes.
+func DecodeTakeoverAnnouncement(b []byte) (TakeoverAnnouncement, error) {
+	var a TakeoverAnnouncement
+	if len(b) < 11 {
+		return a, fmt.Errorf("core: takeover announcement truncated (%d bytes)", len(b))
+	}
+	if b[0] != takeoverWireVersion {
+		return a, fmt.Errorf("core: takeover announcement version %d", b[0])
+	}
+	a.Epoch = binary.LittleEndian.Uint64(b[1:])
+	n := int(binary.LittleEndian.Uint16(b[9:]))
+	if n > maxTakeoverAddr || len(b) < 11+n {
+		return a, fmt.Errorf("core: takeover announcement bad address length %d", n)
+	}
+	a.Addr = string(b[11 : 11+n])
+	anchor, used, err := vclock.DecodeVC(b[11+n:])
+	if err != nil {
+		return a, fmt.Errorf("core: takeover announcement anchor: %w", err)
+	}
+	if 11+n+used != len(b) {
+		return a, fmt.Errorf("core: takeover announcement has %d trailing bytes", len(b)-11-n-used)
+	}
+	a.Anchor = anchor
+	return a, nil
+}
+
+// ElectionClaim is the payload of a TypeElect control event: one
+// mirror's bid to become the epoch's central.
+type ElectionClaim struct {
+	// Epoch is the promotion epoch being contested (one past the
+	// claimant's current epoch).
+	Epoch uint64
+	// Site is the claimant's site ID.
+	Site uint8
+	// Cut is the claimant's last committed checkpoint cut (nil before
+	// any commit).
+	Cut vclock.VC
+}
+
+// Encode serializes the claim.
+func (c ElectionClaim) Encode() []byte {
+	b := make([]byte, 0, 1+8+1+c.Cut.EncodedSize())
+	b = append(b, takeoverWireVersion)
+	b = binary.LittleEndian.AppendUint64(b, c.Epoch)
+	b = append(b, c.Site)
+	b = c.Cut.AppendBinary(b)
+	return b
+}
+
+// DecodeElectionClaim parses a claim payload, rejecting truncated or
+// trailing bytes.
+func DecodeElectionClaim(b []byte) (ElectionClaim, error) {
+	var c ElectionClaim
+	if len(b) < 10 {
+		return c, fmt.Errorf("core: election claim truncated (%d bytes)", len(b))
+	}
+	if b[0] != takeoverWireVersion {
+		return c, fmt.Errorf("core: election claim version %d", b[0])
+	}
+	c.Epoch = binary.LittleEndian.Uint64(b[1:])
+	c.Site = b[9]
+	cut, used, err := vclock.DecodeVC(b[10:])
+	if err != nil {
+		return c, fmt.Errorf("core: election claim cut: %w", err)
+	}
+	if 10+used != len(b) {
+		return c, fmt.Errorf("core: election claim has %d trailing bytes", len(b)-10-used)
+	}
+	c.Cut = cut
+	return c, nil
+}
+
+// Beats reports whether c wins the election against rival o for the
+// same epoch: the higher committed cut wins (commit quorum spans every
+// live participant, so each committed cut is covered by every
+// survivor's state — any winner preserves committed events), with ties
+// broken deterministically toward the lower site ID.
+func (c ElectionClaim) Beats(o ElectionClaim) bool {
+	cs, os := c.Cut.Sum(), o.Cut.Sum()
+	if cs != os {
+		return cs > os
+	}
+	return c.Site < o.Site
+}
+
+// TakeoverStats are the wire-takeover runtime's counters, registered
+// once per site via RegisterTakeoverMetrics so the series exist at zero
+// from boot.
+type TakeoverStats struct {
+	// Fired counts central-failure declarations by this site's monitor.
+	Fired atomic.Uint64
+	// Repoints counts ctrl.up uplink swings to a promoted address.
+	Repoints atomic.Uint64
+	// Claims counts election claims sent or received by this site.
+	Claims atomic.Uint64
+}
+
+// RegisterTakeoverMetrics exports a site's wire-takeover counters on r
+// (nil-safe) and returns the stats sink the runtime increments.
+func RegisterTakeoverMetrics(r *obs.Registry, site string) *TakeoverStats {
+	s := &TakeoverStats{}
+	if r != nil {
+		l := obs.L("site", site)
+		r.Describe("takeover_fired_total", "Central-failure declarations by the wire-takeover monitor.")
+		r.CounterFunc("takeover_fired_total", func() float64 { return float64(s.Fired.Load()) }, l)
+		r.Describe("uplink_repoint_total", "Control-uplink swings to a promoted central's address.")
+		r.CounterFunc("uplink_repoint_total", func() float64 { return float64(s.Repoints.Load()) }, l)
+		r.Describe("election_claims_total", "Central-election claims sent or received.")
+		r.CounterFunc("election_claims_total", func() float64 { return float64(s.Claims.Load()) }, l)
+	}
+	return s
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"adaptmirror/internal/vclock"
+)
+
+func TestTakeoverAnnouncementRoundTrip(t *testing.T) {
+	cases := []TakeoverAnnouncement{
+		{Epoch: 1, Addr: "127.0.0.1:7001", Anchor: vclock.VC{40, 12}},
+		{Epoch: 3, Addr: "host-a.cluster.internal:9000", Anchor: nil},
+		{Epoch: 1 << 40, Addr: "[::1]:7001", Anchor: vclock.VC{0}},
+	}
+	for _, want := range cases {
+		got, err := DecodeTakeoverAnnouncement(want.Encode())
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got.Epoch != want.Epoch || got.Addr != want.Addr || got.Anchor.Compare(want.Anchor) != vclock.Equal {
+			t.Fatalf("round trip %+v != %+v", got, want)
+		}
+	}
+}
+
+func TestTakeoverAnnouncementRejectsCorruption(t *testing.T) {
+	good := TakeoverAnnouncement{Epoch: 2, Addr: "127.0.0.1:7001", Anchor: vclock.VC{9}}.Encode()
+	for name, b := range map[string][]byte{
+		"empty":       nil,
+		"short":       good[:8],
+		"version":     append([]byte{99}, good[1:]...),
+		"truncated":   good[:len(good)-3],
+		"trailing":    append(append([]byte(nil), good...), 0xAA),
+		"addr-length": func() []byte { c := append([]byte(nil), good...); c[9] = 0xFF; c[10] = 0xFF; return c }(),
+	} {
+		if _, err := DecodeTakeoverAnnouncement(b); err == nil {
+			t.Errorf("%s: corrupt announcement decoded without error", name)
+		}
+	}
+}
+
+func TestElectionClaimRoundTrip(t *testing.T) {
+	cases := []ElectionClaim{
+		{Epoch: 1, Site: 0, Cut: vclock.VC{100, 7}},
+		{Epoch: 2, Site: 255, Cut: nil},
+	}
+	for _, want := range cases {
+		got, err := DecodeElectionClaim(want.Encode())
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got.Epoch != want.Epoch || got.Site != want.Site || got.Cut.Compare(want.Cut) != vclock.Equal {
+			t.Fatalf("round trip %+v != %+v", got, want)
+		}
+	}
+	good := cases[0].Encode()
+	if _, err := DecodeElectionClaim(good[:5]); err == nil {
+		t.Error("truncated claim decoded without error")
+	}
+	if _, err := DecodeElectionClaim(append(append([]byte(nil), good...), 1)); err == nil {
+		t.Error("claim with trailing bytes decoded without error")
+	}
+}
+
+// TestElectionClaimBeats pins the election rule: highest committed cut
+// wins, ties break to the lowest site ID, and the relation is a strict
+// total order over distinct (cut-sum, site) pairs.
+func TestElectionClaimBeats(t *testing.T) {
+	hi := ElectionClaim{Epoch: 1, Site: 2, Cut: vclock.VC{50, 10}}
+	lo := ElectionClaim{Epoch: 1, Site: 0, Cut: vclock.VC{40, 10}}
+	if !hi.Beats(lo) || lo.Beats(hi) {
+		t.Fatal("higher committed cut must win regardless of site ID")
+	}
+	a := ElectionClaim{Epoch: 1, Site: 1, Cut: vclock.VC{30}}
+	b := ElectionClaim{Epoch: 1, Site: 3, Cut: vclock.VC{10, 20}}
+	if !a.Beats(b) || b.Beats(a) {
+		t.Fatal("equal cut sums must break toward the lower site ID")
+	}
+	if a.Beats(a) {
+		t.Fatal("a claim must not beat itself")
+	}
+	none := ElectionClaim{Epoch: 1, Site: 4, Cut: nil}
+	if none.Beats(a) || !a.Beats(none) {
+		t.Fatal("a nil cut loses to any committed cut")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adaptmirror/internal/event"
 )
@@ -230,6 +231,11 @@ type SendLink struct {
 	mu   sync.Mutex
 	w    *event.Writer
 	err  error
+	// writeTimeout, when positive, bounds every write on the link so a
+	// peer that accepts but never reads fails the submit instead of
+	// wedging the caller. A deadline error poisons the link like any
+	// other write error; the owner redials.
+	writeTimeout time.Duration
 
 	// legacy forces per-event framing for batches, for peers that
 	// predate the columnar batch frame. Single-event Submit always
@@ -259,6 +265,43 @@ func DialSend(addr, name string) (*SendLink, error) {
 	return NewSendLink(conn, name)
 }
 
+// DialSendTimeout is DialSend with the dial and the handshake write
+// bounded by timeout (0 behaves like DialSend). The returned link
+// keeps timeout as its per-write bound; adjust with SetWriteTimeout.
+func DialSendTimeout(addr, name string, timeout time.Duration) (*SendLink, error) {
+	if timeout <= 0 {
+		return DialSend(addr, name)
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	l, err := NewSendLink(conn, name)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	l.SetWriteTimeout(timeout)
+	return l, nil
+}
+
+// SetWriteTimeout bounds every subsequent write on the link (0 removes
+// the bound).
+func (l *SendLink) SetWriteTimeout(d time.Duration) {
+	l.mu.Lock()
+	l.writeTimeout = d
+	l.mu.Unlock()
+}
+
+// armDeadlineLocked applies the write deadline for one submission.
+// Callers hold l.mu.
+func (l *SendLink) armDeadlineLocked() {
+	if l.writeTimeout > 0 {
+		l.conn.SetWriteDeadline(time.Now().Add(l.writeTimeout))
+	}
+}
+
 // NewSendLink performs the send handshake over an established
 // connection (used with custom or shaped transports).
 func NewSendLink(conn net.Conn, name string) (*SendLink, error) {
@@ -279,6 +322,7 @@ func (l *SendLink) Submit(e *event.Event) error {
 	if l.err != nil {
 		return l.err
 	}
+	l.armDeadlineLocked()
 	if err := l.w.WriteEvent(e); err != nil {
 		l.err = err
 		return err
@@ -306,6 +350,7 @@ func (l *SendLink) SubmitBatch(events []*event.Event) error {
 	if l.err != nil {
 		return l.err
 	}
+	l.armDeadlineLocked()
 	write := l.w.WriteBatchFrame
 	if l.legacy {
 		write = l.w.WriteBatch

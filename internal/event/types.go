@@ -115,6 +115,22 @@ const (
 	// TypeRecoveryRequest asks the central site to replay backup-queue
 	// events to a rejoining mirror (future-work extension).
 	TypeRecoveryRequest
+
+	// TypeTakeover announces a promoted central over the wire: after a
+	// standby (or election winner) adopts the central role, it
+	// broadcasts this event on every survivor's control downlink until
+	// the survivor rejoins. Seq carries the promotion epoch; the
+	// payload is a core.TakeoverAnnouncement (new ctrl.up address plus
+	// the adopted state's processed watermark for rejoin-cut
+	// negotiation).
+	TypeTakeover
+
+	// TypeElect is a central-election claim exchanged between mirrors
+	// when the central dies and no standby was designated. Seq carries
+	// the claimed epoch; the payload is a core.ElectionClaim (claimant
+	// site and committed cut — highest cut wins, ties break to the
+	// lowest site ID).
+	TypeElect
 )
 
 // String returns the conventional name of the event type.
@@ -162,6 +178,10 @@ func (t Type) String() string {
 		return "HELLO"
 	case TypeRecoveryRequest:
 		return "RECOVERY_REQ"
+	case TypeTakeover:
+		return "TAKEOVER"
+	case TypeElect:
+		return "ELECT"
 	default:
 		return fmt.Sprintf("type(%d)", uint16(t))
 	}

@@ -124,12 +124,20 @@ func (f *Front) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// handleInit answers a thin client's initialization-state request.
+// handleInit answers a thin client's initialization-state request. The
+// X-Init-VT response header carries the main unit's progress timestamp
+// so the client can anchor its update-stream stale/gap tracking at the
+// snapshot instead of at zero (a client that re-initializes mid-stream
+// would otherwise re-count every buffered update as fresh). The anchor
+// is captured BEFORE the snapshot is requested: an anchor at or below
+// the snapshot's coverage is safe (re-applied updates are idempotent),
+// one above it would silently drop the updates in between.
 func (f *Front) handleInit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	anchor := f.main.LastProcessed()
 	state, err := f.main.RequestInitState()
 	switch {
 	case errors.Is(err, core.ErrBusy):
@@ -143,8 +151,13 @@ func (f *Front) handleInit(w http.ResponseWriter, r *http.Request) {
 	f.requests.Add(1)
 	f.bytes.Add(uint64(len(state)))
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Init-VT", anchor.String())
 	w.Write(state)
 }
+
+// maxUpdateBody bounds a POST /update body; a single encoded event is
+// far smaller.
+const maxUpdateBody = 1 << 20
 
 // handleUpdate ingests one client-generated update: the POST body is
 // a single binary-encoded event.
@@ -158,14 +171,28 @@ func (f *Front) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "updates not accepted at this site", http.StatusForbidden)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	// Read one byte past the limit so an oversized body is
+	// distinguishable from one that merely fills it: a LimitReader at
+	// the limit would silently truncate and then fail (or worse,
+	// succeed) on a partial event.
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUpdateBody+1))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	e, _, err := event.Unmarshal(body)
+	if len(body) > maxUpdateBody {
+		http.Error(w, "update body exceeds 1MiB", http.StatusRequestEntityTooLarge)
+		return
+	}
+	e, n, err := event.Unmarshal(body)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bad event: %v", err), http.StatusBadRequest)
+		return
+	}
+	if n != len(body) {
+		// A body with trailing garbage is a malformed request, not "an
+		// event plus noise we happen to ignore".
+		http.Error(w, fmt.Sprintf("bad event: %d trailing bytes", len(body)-n), http.StatusBadRequest)
 		return
 	}
 	if !e.Type.IsData() {

@@ -1,0 +1,111 @@
+package httpfront
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"adaptmirror/internal/core"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
+)
+
+// TestUpdateBodyValidation pins the strict-body contract of POST
+// /update: exactly one well-formed data event, nothing more. A body
+// with trailing bytes used to be accepted (Unmarshal's consumed count
+// was discarded) and an oversized body was silently truncated by the
+// read limit before failing as a parse error.
+func TestUpdateBodyValidation(t *testing.T) {
+	var got []*event.Event
+	m := core.NewMainUnit(core.MainConfig{})
+	f := New(m)
+	f.EnableUpdates(func(e *event.Event) error {
+		got = append(got, e)
+		return nil
+	})
+	addr, err := f.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	defer m.Close()
+
+	good := event.NewStatus(7, 1, event.StatusBoarding, 32).Marshal()
+	cases := []struct {
+		name   string
+		body   []byte
+		status int
+		ingest int // cumulative accepted updates after the case
+	}{
+		{"well-formed", good, http.StatusAccepted, 1},
+		{"trailing-garbage", append(append([]byte(nil), good...), 0xDE, 0xAD), http.StatusBadRequest, 1},
+		{"two-events", append(append([]byte(nil), good...), good...), http.StatusBadRequest, 1},
+		{"empty", nil, http.StatusBadRequest, 1},
+		{"oversized", make([]byte, maxUpdateBody+1), http.StatusRequestEntityTooLarge, 1},
+		{"at-limit-garbage", make([]byte, maxUpdateBody), http.StatusBadRequest, 1},
+		{"well-formed-again", good, http.StatusAccepted, 2},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post("http://"+addr+"/update", "application/octet-stream",
+			bytes.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		if len(got) != tc.ingest {
+			t.Errorf("%s: ingested = %d events, want %d", tc.name, len(got), tc.ingest)
+		}
+	}
+}
+
+// TestInitAnchorHeader pins the X-Init-VT response header: it carries
+// the main unit's progress timestamp so a re-initializing thin client
+// can seed its stale/gap tracking at the snapshot instead of at zero.
+func TestInitAnchorHeader(t *testing.T) {
+	f, addr, m := front(t, core.MainConfig{})
+	_ = f
+
+	fetch := func() vclock.VC {
+		resp, err := http.Get("http://" + addr + "/init")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("init status = %d", resp.StatusCode)
+		}
+		anchor, err := vclock.Parse(resp.Header.Get("X-Init-VT"))
+		if err != nil {
+			t.Fatalf("bad X-Init-VT %q: %v", resp.Header.Get("X-Init-VT"), err)
+		}
+		return anchor
+	}
+
+	// An empty view anchors at zero (nil clock).
+	if anchor := fetch(); anchor.Sum() != 0 {
+		t.Fatalf("fresh anchor = %s, want zero", anchor)
+	}
+
+	// After processed traffic, the anchor matches the main unit's
+	// progress exactly.
+	for i := 1; i <= 5; i++ {
+		e := event.NewPosition(event.FlightID(i), uint64(i), 1, 2, 3, 16)
+		e.VT = vclock.VC{uint64(i)}
+		if err := m.Deliver(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Barrier(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	anchor := fetch()
+	if want := m.LastProcessed(); anchor.Compare(want) != vclock.Equal {
+		t.Fatalf("anchor = %s, want %s", anchor, want)
+	}
+}

@@ -1,0 +1,88 @@
+package thinclient
+
+import (
+	"testing"
+
+	"adaptmirror/internal/ede"
+	"adaptmirror/internal/event"
+	"adaptmirror/internal/vclock"
+)
+
+// TestInitializeAtAnchorsProgress pins the re-initialization fix: a
+// view re-initialized with the server's snapshot anchor treats updates
+// at or below the anchor as stale and does NOT trip the gap detector
+// on the first post-snapshot update. Before the fix, Initialize reset
+// lastVT to nil, so a re-initializing client re-counted old updates as
+// fresh and immediately re-detected a gap, looping on /init.
+func TestInitializeAtAnchorsProgress(t *testing.T) {
+	en := ede.New(ede.Config{StatePadding: 16})
+	en.Process(event.NewPosition(1, 1, 10, 20, 30000, 64))
+
+	v := New(16)
+	anchor := vclock.VC{5}
+	if err := v.InitializeAt(en.State().Snapshot(), anchor); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Progress(); got.Compare(anchor) != vclock.Equal {
+		t.Fatalf("progress = %s, want %s", got, anchor)
+	}
+
+	// An update from before the snapshot is stale, not fresh.
+	v.Apply(update(1, vclock.VC{3}, 11, 21, 31000))
+	if applied, stale := v.Stats(); applied != 0 || stale != 1 {
+		t.Fatalf("after old update: applied=%d stale=%d, want 0/1", applied, stale)
+	}
+
+	// The first live update after the snapshot (anchor+1) is a normal
+	// continuation — no gap.
+	v.Apply(update(1, vclock.VC{6}, 12, 22, 32000))
+	if v.NeedsReinit() {
+		t.Fatal("contiguous post-snapshot update tripped the gap detector")
+	}
+	if applied, _ := v.Stats(); applied != 1 {
+		t.Fatalf("applied = %d, want 1", applied)
+	}
+
+	// A real jump past the anchor still trips it.
+	v.Apply(update(1, vclock.VC{9}, 13, 23, 33000))
+	if !v.NeedsReinit() {
+		t.Fatal("lost updates not detected after anchored re-init")
+	}
+}
+
+// TestInitializeAtResetsCounters pins that re-initialization resets the
+// per-view counters along with the state they described: counters from
+// the discarded view previously leaked across re-inits.
+func TestInitializeAtResetsCounters(t *testing.T) {
+	en := ede.New(ede.Config{StatePadding: 0})
+	en.Process(event.NewPosition(1, 1, 1, 2, 3, 16))
+
+	v := New(0)
+	if err := v.Initialize(en.State().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	v.Apply(update(1, vclock.VC{1}, 1, 2, 3))
+	v.Apply(update(1, vclock.VC{1}, 1, 2, 3)) // merged, not stale (equal VT)
+	v.Apply(update(1, vclock.VC{0}, 1, 2, 3)) // stale
+	if applied, stale := v.Stats(); applied == 0 && stale == 0 {
+		t.Fatal("setup produced no counter traffic")
+	}
+
+	if err := v.InitializeAt(en.State().Snapshot(), vclock.VC{1}); err != nil {
+		t.Fatal(err)
+	}
+	if applied, stale := v.Stats(); applied != 0 || stale != 0 {
+		t.Fatalf("counters survived re-init: applied=%d stale=%d", applied, stale)
+	}
+	if v.NeedsReinit() {
+		t.Fatal("gap flag survived re-init")
+	}
+
+	// Initialize (no anchor) still resets progress to zero.
+	if err := v.Initialize(en.State().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Progress(); got != nil {
+		t.Fatalf("unanchored re-init progress = %s, want zero", got)
+	}
+}

@@ -41,8 +41,20 @@ func New(paddingPerFlight int) *View {
 // Initialize loads a server snapshot, replacing the current view.
 // Clients call it at startup, after recovering from failures (the
 // paper's power-failure scenario), and when NeedsReinit reports lost
-// updates.
+// updates. The view's progress restarts from zero; prefer InitializeAt
+// with the server's X-Init-VT anchor when it is available.
 func (v *View) Initialize(snapshot []byte) error {
+	return v.InitializeAt(snapshot, nil)
+}
+
+// InitializeAt loads a server snapshot and anchors the view's
+// update-stream progress at the snapshot's timestamp (the /init
+// response's X-Init-VT header). Without the anchor a re-initializing
+// client restarts its stale/gap tracking from zero: every update older
+// than the fresh snapshot is re-applied as if new, and the very next
+// live update trips the gap detector again. The per-view counters
+// reset with the state they described.
+func (v *View) InitializeAt(snapshot []byte, anchor vclock.VC) error {
 	flights, err := ede.DecodeSnapshot(snapshot, v.padding)
 	if err != nil {
 		return fmt.Errorf("thinclient: %w", err)
@@ -51,7 +63,9 @@ func (v *View) Initialize(snapshot []byte) error {
 	defer v.mu.Unlock()
 	v.flights = flights
 	v.inited = true
-	v.lastVT = nil
+	v.lastVT = anchor.Clone()
+	v.applied = 0
+	v.stale = 0
 	v.gap = false
 	return nil
 }

@@ -11,6 +11,7 @@ package vclock
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -203,6 +204,32 @@ func (v VC) String() string {
 	}
 	b.WriteByte('>')
 	return b.String()
+}
+
+// Parse parses a clock rendered by String ("<a,b,c>"), also accepting
+// the bare "a,b,c" form. The empty clock ("" or "<>") parses to nil,
+// matching the nil-means-all-zeros convention.
+func Parse(s string) (VC, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "<") {
+		if !strings.HasSuffix(s, ">") {
+			return nil, fmt.Errorf("vclock: unterminated clock %q", s)
+		}
+		s = s[1 : len(s)-1]
+	}
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	v := make(VC, len(parts))
+	for i, p := range parts {
+		x, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vclock: bad component %q in %q", p, s)
+		}
+		v[i] = x
+	}
+	return v, nil
 }
 
 // EncodedSize returns the number of bytes AppendBinary will write.

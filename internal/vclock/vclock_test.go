@@ -144,6 +144,43 @@ func TestString(t *testing.T) {
 	}
 }
 
+func TestParse(t *testing.T) {
+	good := []struct {
+		in   string
+		want VC
+	}{
+		{"<1,2>", VC{1, 2}},
+		{"1,2", VC{1, 2}},
+		{"<>", nil},
+		{"", nil},
+		{"  <7>  ", VC{7}},
+		{"<0, 42 ,9>", VC{0, 42, 9}},
+		{"<18446744073709551615>", VC{1<<64 - 1}},
+	}
+	for _, c := range good {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got.Compare(c.want) != Equal || len(got) != len(c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"<1,2", "<1,x>", "1,,2", "<-1>", "<1,2,>"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+	// Parse inverts String.
+	for _, v := range []VC{nil, {0}, {1, 2, 3}} {
+		got, err := Parse(v.String())
+		if err != nil || got.Compare(v) != Equal {
+			t.Errorf("Parse(String(%v)) = %v, %v", v, got, err)
+		}
+	}
+}
+
 func TestOrderingString(t *testing.T) {
 	for _, c := range []struct {
 		o    Ordering
